@@ -1,0 +1,56 @@
+// Ablation: bulk processing (Theorem 3.5, O(m + r)) versus the naive
+// per-edge engine (O(m·r)) at identical estimator counts.
+//
+// This is the design choice Sec. 3.3 exists to justify: without batching,
+// every edge touches all r estimators. The speedup should scale roughly
+// linearly in r once r >> batch amortization overheads.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Ablation: bulk (O(m+r)) vs naive (O(m*r)) engine",
+              "Sec. 3.3 motivation / Theorem 3.5");
+
+  DatasetInstance instance;
+  instance.id = gen::DatasetId::kAmazon;
+  instance.stream =
+      gen::MakeDataset(gen::DatasetId::kAmazon, BenchScale(), BenchSeed());
+  instance.summary = graph::Summarize(instance.stream);
+  const auto tau = static_cast<double>(instance.summary.triangles);
+  std::printf("\ndataset: Amazon-like, m=%s\n\n",
+              Pretty(instance.stream.size()).c_str());
+  std::printf("%10s | %12s | %12s | %9s | %12s | %12s\n", "r",
+              "naive t(s)", "bulk t(s)", "speedup", "naive err%",
+              "bulk err%");
+  std::printf("-----------+--------------+--------------+-----------+------"
+              "--------+-------------\n");
+
+  for (std::uint64_t r : {256ull, 1024ull, 4096ull, 16384ull, 65536ull}) {
+    // Naive engine (single trial; it is the slow side by construction).
+    core::TriangleCounterOptions opt;
+    opt.num_estimators = r;
+    opt.seed = BenchSeed();
+    core::NaiveTriangleCounter naive(opt);
+    WallTimer naive_timer;
+    naive.ProcessEdges(instance.stream.edges());
+    const double naive_s = naive_timer.Seconds();
+    const double naive_err =
+        RelativeErrorPercent(naive.EstimateTriangles(), tau);
+
+    const TrialResult bulk = RunTriangleTrials(instance, r, 3);
+    std::printf("%10s | %12.3f | %12.3f | %8.1fx | %12.2f | %12.2f\n",
+                Pretty(r).c_str(), naive_s, bulk.median_seconds,
+                naive_s / bulk.median_seconds, naive_err,
+                bulk.deviation.mean_percent);
+  }
+
+  std::printf(
+      "\nshape check: equal accuracy (same estimator semantics), but the\n"
+      "bulk engine's advantage grows ~linearly with r -- the paper's\n"
+      "amortized O(1) per edge at w = Theta(r).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Ablation: geometric-skip level-1 maintenance (Sec. 4 implementation
+// note) on versus off.
+//
+// As the stream grows, the fraction of estimators replacing their level-1
+// edge per batch shrinks to w/(m+w); jumping between the replacements with
+// Geometric(p) gaps avoids one RNG draw per estimator per batch in Step 1.
+// The benefit concentrates in the late, large-m batches.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Ablation: geometric-skip level-1 resampling",
+              "Sec. 4 implementation notes (gap-based step 1)");
+
+  DatasetInstance instance;
+  instance.id = gen::DatasetId::kOrkut;
+  instance.stream =
+      gen::MakeDataset(gen::DatasetId::kOrkut, BenchScale(), BenchSeed());
+  instance.summary.triangles = 1;  // timing only
+
+  std::printf("\ndataset: Orkut-like, m=%s (long stream: many late batches "
+              "with small replace probability)\n\n",
+              Pretty(instance.stream.size()).c_str());
+  std::printf("%10s | %14s | %14s | %9s\n", "r", "skip ON t(s)",
+              "skip OFF t(s)", "speedup");
+  std::printf("-----------+----------------+----------------+----------\n");
+
+  const int trials = BenchTrials();
+  for (std::uint64_t r : {ScaledR(131072), ScaledR(524288),
+                          ScaledR(2097152)}) {
+    std::vector<double> on_s, off_s;
+    for (int trial = 0; trial < trials; ++trial) {
+      for (bool skip : {true, false}) {
+        core::TriangleCounterOptions opt;
+        opt.num_estimators = r;
+        opt.seed = BenchSeed() * 7 + static_cast<std::uint64_t>(trial);
+        opt.use_geometric_skip = skip;
+        core::TriangleCounter counter(opt);
+        WallTimer timer;
+        counter.ProcessEdges(instance.stream.edges());
+        counter.Flush();
+        (skip ? on_s : off_s).push_back(timer.Seconds());
+      }
+    }
+    std::printf("%10s | %14.3f | %14.3f | %8.2fx\n", Pretty(r).c_str(),
+                Median(on_s), Median(off_s), Median(off_s) / Median(on_s));
+  }
+
+  std::printf(
+      "\nshape check: the skip path wins and its advantage grows with r\n"
+      "(step 1 is the only per-batch loop it changes; steps 2-3 dominate\n"
+      "otherwise, so expect a modest constant-factor gain, as in Sec. 4).\n");
+  return 0;
+}

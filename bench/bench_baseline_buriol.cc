@@ -1,0 +1,65 @@
+// Sec. 4.2 baseline-study reproduction: the Buriol et al. estimator
+// "fails to find a triangle most of the time, resulting in low-quality
+// estimates, or producing no estimates at all -- even when using millions
+// of estimators on the large graphs".
+//
+// This bench quantifies that: per dataset, the fraction of Buriol
+// estimators holding a triangle versus ours, and the resulting estimates.
+
+#include <cstdio>
+
+#include "baseline/buriol.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Baseline study: Buriol et al. yield vs ours",
+              "Sec. 4.2 (why the uniform-apex estimator fails)");
+
+  std::printf("\n%-14s | %10s | %14s | %14s | %12s | %12s\n", "dataset",
+              "r", "Buriol yield", "ours yield", "Buriol est.", "ours est.");
+  std::printf("---------------+------------+----------------+--------------"
+              "--+--------------+-------------\n");
+
+  const std::uint64_t r = ScaledR(131072);
+  for (gen::DatasetId id :
+       {gen::DatasetId::kSyn3Regular, gen::DatasetId::kAmazon,
+        gen::DatasetId::kDblp, gen::DatasetId::kYoutube}) {
+    DatasetInstance instance = MakeInstance(id);
+
+    baseline::BuriolCounter::Options bopt;
+    bopt.num_estimators = r;
+    bopt.seed = BenchSeed();
+    bopt.num_vertices = instance.stream.VertexUniverse();
+    baseline::BuriolCounter buriol(bopt);
+    buriol.ProcessEdges(instance.stream.edges());
+
+    core::TriangleCounterOptions oopt;
+    oopt.num_estimators = r;
+    oopt.seed = BenchSeed();
+    core::TriangleCounter ours(oopt);
+    ours.ProcessEdges(instance.stream.edges());
+    std::uint64_t our_hits = 0;
+    for (const core::EstimatorState& st : ours.estimators()) {
+      our_hits += st.has_triangle ? 1 : 0;
+    }
+    const double our_yield =
+        static_cast<double>(our_hits) / static_cast<double>(r);
+
+    std::printf("%-14s | %10s | %13.5f%% | %13.5f%% | %12.0f | %12.0f\n",
+                gen::PaperReference(id).name.c_str(), Pretty(r).c_str(),
+                100.0 * buriol.SuccessRate(), 100.0 * our_yield,
+                buriol.EstimateTriangles(), ours.EstimateTriangles());
+    std::printf("%-14s | exact tau = %s\n", "",
+                Pretty(instance.summary.triangles).c_str());
+  }
+
+  std::printf(
+      "\nshape check (Sec. 4.2 / Sec. 3.1): picking a random *adjacent*\n"
+      "vertex (neighborhood sampling) completes wedges orders of magnitude\n"
+      "more often than Buriol's uniform apex -- on the sparse stand-ins the\n"
+      "Buriol yield collapses toward zero and its estimate is unusable,\n"
+      "matching the paper's decision not to report it further.\n");
+  return 0;
+}

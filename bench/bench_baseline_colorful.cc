@@ -1,0 +1,64 @@
+// Comparison bench: Pagh–Tsourakakis colorful sparsification (paper
+// reference [16], discussed in Secs. 1.2/3.1) against neighborhood
+// sampling on equal-accuracy footing.
+//
+// The two schemes trade space differently -- colorful keeps an O(m/C)
+// subgraph, neighborhood sampling keeps O(r) constant-size estimators --
+// and the paper notes their bounds are "incomparable in general". This
+// bench sweeps C and reports error, time, and space side by side.
+
+#include <cstdio>
+
+#include "baseline/colorful.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Baseline: Pagh-Tsourakakis colorful sampling vs ours",
+              "Secs. 1.2/3.1 discussion of [16]");
+
+  DatasetInstance instance = MakeInstance(gen::DatasetId::kAmazon);
+  const auto tau = static_cast<double>(instance.summary.triangles);
+  std::printf("\ndataset: Amazon-like, m=%s, tau=%s\n\n",
+              Pretty(instance.stream.size()).c_str(),
+              Pretty(instance.summary.triangles).c_str());
+
+  std::printf("%-26s | %9s | %9s | %14s\n", "configuration", "error %",
+              "time(s)", "state kept");
+  std::printf("---------------------------+-----------+-----------+---------"
+              "------\n");
+
+  const int trials = BenchTrials();
+  for (std::uint32_t colors : {2u, 4u, 8u, 16u, 32u}) {
+    std::vector<double> estimates, seconds;
+    std::uint64_t kept = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      baseline::ColorfulTriangleCounter counter(
+          {.num_colors = colors,
+           .seed = BenchSeed() * 53 + static_cast<std::uint64_t>(trial)});
+      WallTimer timer;
+      counter.ProcessEdges(instance.stream.edges());
+      seconds.push_back(timer.Seconds());
+      estimates.push_back(counter.EstimateTriangles());
+      kept = counter.edges_kept();
+    }
+    const auto dev = SummarizeDeviations(estimates, tau);
+    std::printf("colorful C=%-15u | %9.2f | %9.3f | %8s edges\n", colors,
+                dev.mean_percent, Median(seconds), Pretty(kept).c_str());
+  }
+
+  for (std::uint64_t r : {ScaledR(131072), ScaledR(1048576)}) {
+    const TrialResult res = RunTriangleTrials(instance, r, trials);
+    std::printf("ours r=%-19s | %9.2f | %9.3f | %8s estimators\n",
+                Pretty(r).c_str(), res.deviation.mean_percent,
+                res.median_seconds, Pretty(r).c_str());
+  }
+
+  std::printf(
+      "\nshape check: colorful is accurate while C is small (keeps much of\n"
+      "the graph) and degrades as C grows; neighborhood sampling reaches\n"
+      "comparable error from constant-size estimator state, independent of\n"
+      "the graph's size -- the incomparable trade-off the paper describes.\n");
+  return 0;
+}

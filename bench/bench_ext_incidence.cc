@@ -1,0 +1,69 @@
+// Extension bench (Sec. 3.6 / Theorem 3.13): the adjacency-vs-incidence
+// model separation, made operational.
+//
+// On the lower-bound construction G* (T2 = 0), the incidence-model wedge
+// estimator succeeds with constant probability per estimator (2τ/ζ = 2/3)
+// regardless of the instance size n, while the adjacency-stream
+// estimator's capture probability decays like τ/(mΔ) ~ 1/n -- the
+// Ω(n)-bits content of the theorem visible as estimator counts.
+
+#include <cmath>
+#include <cstdio>
+
+#include "baseline/incidence.h"
+#include "bench/bench_util.h"
+#include "gen/index_lower_bound.h"
+#include "graph/csr.h"
+#include "graph/exact.h"
+#include "stream/edge_stream.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Extension: adjacency vs incidence model separation",
+              "Sec. 3.6 / Theorem 3.13 (G* construction, T2 = 0)");
+
+  std::printf("\nG*(n): anchor triangle + n encoded bits + query edges; "
+              "tau = 2, T2 = 0.\n");
+  std::printf("fixed r = 64 estimators for BOTH models.\n\n");
+  std::printf("%8s | %10s | %22s | %22s\n", "n bits", "m", "incidence est. "
+              "(err%)", "adjacency est. (err%)");
+  std::printf("---------+------------+------------------------+------------"
+              "-----------\n");
+
+  const int trials = BenchTrials();
+  for (std::size_t n : {100ull, 400ull, 1600ull, 6400ull}) {
+    std::vector<bool> bits(n, true);
+    const auto gstar = gen::IndexLowerBoundGraph(bits, 1, true);
+    std::vector<double> inc_est, adj_est;
+    for (int trial = 0; trial < trials; ++trial) {
+      baseline::IncidenceWedgeCounter incidence(
+          {.num_estimators = 64,
+           .seed = BenchSeed() * 3 + static_cast<std::uint64_t>(trial)});
+      incidence.ProcessStream(baseline::BuildIncidenceStream(
+          gstar, BenchSeed() + static_cast<std::uint64_t>(trial)));
+      inc_est.push_back(incidence.EstimateTriangles());
+
+      core::TriangleCounterOptions opt;
+      opt.num_estimators = 64;
+      opt.seed = BenchSeed() * 7 + static_cast<std::uint64_t>(trial);
+      core::TriangleCounter adjacency(opt);
+      adjacency.ProcessEdges(
+          stream::ShuffleStreamOrder(gstar,
+                                     BenchSeed() + 100 + trial).edges());
+      adj_est.push_back(adjacency.EstimateTriangles());
+    }
+    const auto inc_dev = SummarizeDeviations(inc_est, 2.0);
+    const auto adj_dev = SummarizeDeviations(adj_est, 2.0);
+    std::printf("%8zu | %10zu | %8.2f (%10.1f%%) | %8.2f (%10.1f%%)\n", n,
+                gstar.size(), Mean(inc_est), inc_dev.mean_percent,
+                Mean(adj_est), adj_dev.mean_percent);
+  }
+
+  std::printf(
+      "\nshape check: the incidence estimator's error is flat in n (its\n"
+      "per-estimator success probability is the constant 2/3 when T2 = 0),\n"
+      "while the adjacency estimator degrades as n grows at fixed r --\n"
+      "exactly the separation Theorem 3.13 proves must exist.\n");
+  return 0;
+}

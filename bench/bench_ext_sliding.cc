@@ -1,0 +1,74 @@
+// Extension bench (Sec. 5.2 / Theorem 5.8): sliding-window accuracy and
+// the Θ(log w) chain-length space overhead.
+//
+// The stream interleaves a drifting graph; at several checkpoints the
+// windowed estimate is compared against an exact recount of the last w
+// edges, and the measured chain length against the harmonic-number
+// prediction.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/sliding_window.h"
+#include "gen/holme_kim.h"
+#include "graph/csr.h"
+#include "graph/exact.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Extension: sliding-window triangle counting",
+              "Sec. 5.2 / Theorem 5.8 (chain sampling over windows)");
+
+  const std::uint64_t window = 30000;
+  core::SlidingWindowOptions options;
+  options.window_size = window;
+  options.num_estimators = 8192;
+  options.seed = BenchSeed();
+  core::SlidingWindowTriangleCounter counter(options);
+
+  const auto stream = gen::HolmeKim(40000, 6, 0.5, BenchSeed() + 1);
+  std::printf("\nstream: Holme-Kim m=%s, window w=%s, r=%s\n\n",
+              Pretty(stream.size()).c_str(), Pretty(window).c_str(),
+              Pretty(options.num_estimators).c_str());
+  std::printf("%10s | %14s | %14s | %8s | %10s\n", "edges", "window exact",
+              "window est.", "err %", "chain len");
+  std::printf("-----------+----------------+----------------+----------+---"
+              "--------\n");
+
+  std::uint64_t fed = 0;
+  WallTimer timer;
+  for (const Edge& e : stream.edges()) {
+    counter.ProcessEdge(e);
+    ++fed;
+    if (fed % 40000 == 0 || fed == stream.size()) {
+      timer.Pause();  // checkpoints (exact recounts) are not stream work
+      // Exact recount of the window suffix.
+      graph::EdgeList window_slice;
+      const std::uint64_t begin = fed - counter.window_edge_count();
+      for (std::uint64_t p = begin; p < fed; ++p) {
+        window_slice.Add(stream[static_cast<std::size_t>(p)]);
+      }
+      const auto tau_w = static_cast<double>(
+          graph::CountTriangles(graph::Csr::FromEdgeList(window_slice)));
+      const double est = counter.EstimateTriangles();
+      std::printf("%10s | %14.0f | %14.0f | %8.2f | %10.2f\n",
+                  Pretty(fed).c_str(), tau_w, est,
+                  RelativeErrorPercent(est, tau_w),
+                  counter.MeanChainLength());
+      timer.Resume();
+    }
+  }
+  const double elapsed = timer.Seconds();
+  std::printf("\nprocessing rate: %.3f M edges/s at r=%s (O(r log w) work "
+              "per edge)\n",
+              static_cast<double>(stream.size()) / elapsed / 1e6,
+              Pretty(options.num_estimators).c_str());
+  std::printf("chain-length prediction H_w = ln w + 0.577 = %.2f\n",
+              std::log(static_cast<double>(window)) + 0.5772);
+  std::printf(
+      "\nshape check: windowed estimates track the exact suffix counts and\n"
+      "the chain stays ~ln w long -- the O(r log w) space of Theorem 5.8.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Extension bench (Sec. 3.5 / Theorem 3.12): streaming transitivity
+// coefficient across the dataset stand-ins, from the same estimator state
+// that counts triangles (ζ̃ = m·c, κ̂ = 3τ̂/ζ̂).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Extension: transitivity coefficient estimation",
+              "Sec. 3.5 / Theorem 3.12 (kappa = 3*tau/zeta)");
+
+  std::printf("\n%-14s | %10s | %12s | %12s | %10s | %10s\n", "dataset", "r",
+              "kappa exact", "kappa est.", "err %", "zeta err %");
+  std::printf("---------------+------------+--------------+--------------+--"
+              "----------+-----------\n");
+
+  const int trials = BenchTrials();
+  for (gen::DatasetId id :
+       {gen::DatasetId::kAmazon, gen::DatasetId::kDblp,
+        gen::DatasetId::kYoutube, gen::DatasetId::kSynDRegular,
+        gen::DatasetId::kHepTh}) {
+    DatasetInstance instance = MakeInstance(id);
+    const double kappa_exact = instance.summary.transitivity;
+    const double zeta_exact = static_cast<double>(instance.summary.wedges);
+    const std::uint64_t r = ScaledR(1048576);
+    std::vector<double> kappas, zetas;
+    for (int trial = 0; trial < trials; ++trial) {
+      core::TriangleCounterOptions opt;
+      opt.num_estimators = r;
+      opt.seed = BenchSeed() * 3 + static_cast<std::uint64_t>(trial);
+      core::TriangleCounter counter(opt);
+      counter.ProcessEdges(instance.stream.edges());
+      kappas.push_back(counter.EstimateTransitivity());
+      zetas.push_back(counter.EstimateWedges());
+    }
+    std::printf("%-14s | %10s | %12.5f | %12.5f | %10.2f | %10.2f\n",
+                gen::PaperReference(id).name.c_str(), Pretty(r).c_str(),
+                kappa_exact, Mean(kappas),
+                SummarizeDeviations(kappas, kappa_exact).mean_percent,
+                SummarizeDeviations(zetas, zeta_exact).mean_percent);
+  }
+
+  std::printf(
+      "\nshape check: the wedge estimate zeta-hat is very sharp (every\n"
+      "estimator contributes m*c regardless of triangle luck), so the\n"
+      "kappa error closely tracks the triangle-estimate error, as the\n"
+      "union-bound argument of Theorem 3.12 predicts.\n");
+  return 0;
+}

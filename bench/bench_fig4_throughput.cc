@@ -1,0 +1,55 @@
+// Figure 4 reproduction: average streaming throughput (million edges per
+// second, I/O excluded) of the bulk algorithm on every real-world dataset
+// stand-in as r is varied over {1K, 128K, 1M} (scaled).
+//
+// Expected shape per the paper: throughput decreases as r grows (more
+// state per batch), and for fixed r longer streams amortize better
+// (throughput ∝ 1/(1 + r/m)).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Figure 4: throughput per dataset vs estimator count",
+              "Figure 4 (avg million edges/second, I/O factored out)");
+
+  const std::uint64_t r_values[] = {ScaledR(1024), ScaledR(131072),
+                                    ScaledR(1048576)};
+  std::printf("\n%-14s | %12s | %14s | %12s | %10s\n", "dataset",
+              "m (edges)", "r=1K(s) Meps", "r=128K(s)", "r=1M(s)");
+  std::printf("---------------+--------------+----------------+------------"
+              "--+-----------\n");
+
+  const int trials = BenchTrials();
+  // Figure 4 covers the five real-world datasets.
+  const gen::DatasetId ids[] = {
+      gen::DatasetId::kAmazon, gen::DatasetId::kDblp,
+      gen::DatasetId::kYoutube, gen::DatasetId::kLiveJournal,
+      gen::DatasetId::kOrkut};
+  for (gen::DatasetId id : ids) {
+    // Throughput only: skip the expensive exact ground truth.
+    DatasetInstance instance;
+    instance.id = id;
+    instance.stream = gen::MakeDataset(id, BenchScale(), BenchSeed());
+    instance.summary.triangles = 1;  // unused by the timing path
+    std::printf("%-14s | %12s |", gen::PaperReference(id).name.c_str(),
+                Pretty(instance.stream.size()).c_str());
+    for (std::uint64_t r : r_values) {
+      const TrialResult res = RunTriangleTrials(instance, r, trials);
+      std::printf(" %14.2f |", res.throughput_meps);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\npaper reference (Figure 4, Meps at r = 1K / 128K / 1M):\n"
+      "  Amazon ~2.3/0.9/0.25   DBLP ~2.5/1.0/0.26   Youtube ~2.6/1.3/0.6\n"
+      "  LiveJournal ~2.4/1.6/1.05   Orkut ~2.3/1.6/1.2\n"
+      "shape check: throughput falls with r; longer streams (LiveJournal-,\n"
+      "Orkut-like) sustain the highest rate at large r because the per-\n"
+      "batch O(r) term amortizes over more edges (~1/(1 + r/m)).\n");
+  return 0;
+}

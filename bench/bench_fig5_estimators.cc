@@ -1,0 +1,58 @@
+// Figure 5 reproduction: running time (left), throughput (center), and
+// relative error with the Theorem 3.3 bound curve (right) as the number
+// of estimators sweeps geometrically, on the Youtube-like and
+// LiveJournal-like stand-ins.
+//
+// Expected shapes: time grows ~linearly in r beyond a fixed O(m) floor;
+// error decreases with r and sits well below the conservative bound.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "graph/exact.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Figure 5: time/throughput/error vs estimator count",
+              "Figure 5 (r sweep on Youtube and LiveJournal; bound at "
+              "delta=1/5)");
+
+  const int trials = BenchTrials();
+  for (gen::DatasetId id :
+       {gen::DatasetId::kYoutube, gen::DatasetId::kLiveJournal}) {
+    DatasetInstance instance = MakeInstance(id);
+    const auto& s = instance.summary;
+    std::printf("\n--- %s-like: m=%s  max-deg=%llu  tau=%s  mD/tau=%.1f ---\n",
+                gen::PaperReference(id).name.c_str(),
+                Pretty(s.num_edges).c_str(),
+                static_cast<unsigned long long>(s.max_degree),
+                Pretty(s.triangles).c_str(), s.m_delta_over_tau);
+    std::printf("%10s | %9s | %11s | %10s | %14s\n", "r", "time(s)",
+                "Meps", "error %", "Thm3.3 bound %");
+    std::printf("-----------+-----------+-------------+------------+------"
+                "---------\n");
+    // Paper sweeps r = 1K..4M; scale the grid the same way as datasets
+    // (the ScaledR floor can collapse the smallest points; skip repeats).
+    std::uint64_t last_r = 0;
+    for (std::uint64_t paper_r = 1024; paper_r <= 4194304; paper_r *= 4) {
+      const std::uint64_t r = ScaledR(paper_r);
+      if (r == last_r) continue;
+      last_r = r;
+      const TrialResult res = RunTriangleTrials(instance, r, trials);
+      const double bound =
+          100.0 * graph::ErrorBoundThm33(s.num_edges, s.max_degree,
+                                         s.triangles, r, /*delta=*/0.2);
+      std::printf("%10s | %9.3f | %11.2f | %10.2f | %14.1f\n",
+                  Pretty(r).c_str(), res.median_seconds,
+                  res.throughput_meps, res.deviation.mean_percent, bound);
+    }
+  }
+
+  std::printf(
+      "\nshape check (paper Fig. 5): time rises ~linearly in r above the\n"
+      "O(m) floor; throughput decays accordingly; measured error falls\n"
+      "with r and stays far below the conservative Theorem 3.3 curve --\n"
+      "the paper's 'fewer estimators than the bound suggests' finding.\n");
+  return 0;
+}

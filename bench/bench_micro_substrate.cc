@@ -1,0 +1,122 @@
+// Micro-benchmarks (google-benchmark) of the substrate the estimators sit
+// on: RNG primitives, the flat hash map used by the bulk tables, the
+// per-edge estimator update, and the bulk batch step. These quantify the
+// constants behind the O(r + w) bound of Theorem 3.5.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/neighborhood_sampler.h"
+#include "core/triangle_counter.h"
+#include "gen/erdos_renyi.h"
+#include "stream/edge_stream.h"
+#include "util/flat_hash_map.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace {
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.Next());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_RngUniformBelow(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.UniformBelow(12345));
+}
+BENCHMARK(BM_RngUniformBelow);
+
+void BM_RngCoinOneIn(benchmark::State& state) {
+  Rng rng(3);
+  std::uint64_t i = 1;
+  for (auto _ : state) benchmark::DoNotOptimize(rng.CoinOneIn(++i));
+}
+BENCHMARK(BM_RngCoinOneIn);
+
+void BM_RngGeometricSkip(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.GeometricSkip(0.01));
+}
+BENCHMARK(BM_RngGeometricSkip);
+
+void BM_FlatHashMapInsert(benchmark::State& state) {
+  FlatHashMap<std::uint32_t> map(1 << 16);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(++map[rng.UniformBelow(1 << 15)]);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlatHashMapInsert);
+
+void BM_FlatHashMapFindHit(benchmark::State& state) {
+  FlatHashMap<std::uint32_t> map(1 << 16);
+  for (std::uint64_t k = 0; k < (1 << 15); ++k) map[k] = 1;
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Find(rng.UniformBelow(1 << 15)));
+  }
+}
+BENCHMARK(BM_FlatHashMapFindHit);
+
+void BM_FlatHashMapClearThenFill(benchmark::State& state) {
+  // The per-batch reuse pattern of the bulk tables.
+  FlatHashMap<std::uint32_t> map(1 << 12);
+  for (auto _ : state) {
+    map.Clear();
+    for (std::uint64_t k = 0; k < 256; ++k) map[k * 977] = 1;
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_FlatHashMapClearThenFill);
+
+void BM_SamplerProcessEdge(benchmark::State& state) {
+  // One estimator fed a pre-generated stream (Algorithm 1's per-edge cost).
+  const auto stream = stream::ShuffleStreamOrder(
+      gen::GnmRandom(5000, 100000, 7), 8);
+  Rng rng(9);
+  core::NeighborhoodSampler sampler;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    sampler.Process(stream[i], rng);
+    if (++i == stream.size()) {
+      i = 0;
+      sampler.Reset();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamplerProcessEdge);
+
+void BM_BulkBatch(benchmark::State& state) {
+  // Amortized per-edge cost of the bulk engine at w = 8r (Theorem 3.5).
+  const std::uint64_t r = state.range(0);
+  const auto stream = stream::ShuffleStreamOrder(
+      gen::GnmRandom(20000, 400000, 10), 11);
+  core::TriangleCounterOptions options;
+  options.num_estimators = r;
+  options.seed = 12;
+  core::TriangleCounter counter(options);
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const std::size_t take =
+        std::min<std::size_t>(counter.batch_size(),
+                              stream.size() - cursor);
+    counter.ProcessEdges(
+        std::span<const Edge>(stream.edges().data() + cursor, take));
+    counter.Flush();
+    cursor += take;
+    if (cursor >= stream.size()) cursor = 0;
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(take));
+  }
+}
+BENCHMARK(BM_BulkBatch)->Arg(1 << 10)->Arg(1 << 14)->Arg(1 << 17);
+
+}  // namespace
+}  // namespace tristream
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Table 1 reproduction: accuracy (mean deviation %) and processing time of
+// the Jowhari–Ghodsi baseline versus our bulk neighborhood-sampling
+// counter on the Syn-3-reg graph (n=2000, m=3000, Δ=3, τ=1000, mΔ/τ=9) as
+// the number of estimators r is varied.
+//
+// The stand-in reconstructs the paper's dataset *exactly* (every reported
+// parameter matches; see gen::PaperSyn3Regular). Expected shape: both
+// algorithms are accurate even at r=1K (mΔ/τ is tiny) and ours is >=10x
+// faster.
+
+#include <cstdio>
+
+#include "baseline/jowhari_ghodsi.h"
+#include "bench/bench_util.h"
+#include "gen/triangle_regular.h"
+#include "graph/degree_stats.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Table 1: JG vs ours on Syn 3-reg",
+              "Table 1 (Sec. 4.2 baseline study, synthetic 3-regular)");
+
+  const auto stream = gen::PaperSyn3Regular(BenchSeed());
+  const auto summary = graph::Summarize(stream);
+  std::printf("\ninstance: n=%llu m=%llu max-deg=%llu tau=%llu (paper: "
+              "n=2000 m=3000 D=3 tau=1000)\n\n",
+              static_cast<unsigned long long>(summary.num_vertices),
+              static_cast<unsigned long long>(summary.num_edges),
+              static_cast<unsigned long long>(summary.max_degree),
+              static_cast<unsigned long long>(summary.triangles));
+
+  const std::uint64_t r_values[] = {1000, 10000, 100000};
+  // Paper-reported rows for reference (MD %, seconds).
+  const double paper_jg_md[] = {7.20, 2.08, 0.27};
+  const double paper_jg_t[] = {0.04, 0.44, 5.26};
+  const double paper_ours_md[] = {4.28, 1.52, 0.93};
+  const double paper_ours_t[] = {0.004, 0.01, 0.07};
+
+  std::printf("%-10s | %18s | %18s | %22s\n", "", "r = 1,000", "r = 10,000",
+              "r = 100,000");
+  std::printf("%-10s | %8s %9s | %8s %9s | %8s %9s\n", "algorithm", "MD%",
+              "time(s)", "MD%", "time(s)", "MD%", "time(s)");
+  std::printf("-----------+--------------------+--------------------+------"
+              "----------------\n");
+
+  const int trials = BenchTrials();
+  const auto tau = static_cast<double>(summary.triangles);
+
+  // --- Jowhari-Ghodsi ---
+  std::printf("%-10s |", "JG [9]");
+  for (std::uint64_t r : r_values) {
+    // JG at large r is genuinely slow (the paper measured 86 s at r=100K);
+    // cap its trials there so the default suite stays time-boxed.
+    const int jg_trials = r >= 100000 ? std::min(trials, 2) : trials;
+    std::vector<double> estimates, seconds;
+    for (int trial = 0; trial < jg_trials; ++trial) {
+      baseline::JowhariGhodsiCounter::Options opt;
+      opt.num_estimators = r;
+      opt.max_degree_bound = summary.max_degree;
+      opt.seed = BenchSeed() * 31 + static_cast<std::uint64_t>(trial);
+      baseline::JowhariGhodsiCounter counter(opt);
+      WallTimer timer;
+      counter.ProcessEdges(stream.edges());
+      seconds.push_back(timer.Seconds());
+      estimates.push_back(counter.EstimateTriangles());
+    }
+    const auto dev = SummarizeDeviations(estimates, tau);
+    std::printf(" %8.2f %9.3f |", dev.mean_percent, Median(seconds));
+  }
+  std::printf("\n");
+
+  // --- Ours (bulk neighborhood sampling) ---
+  std::printf("%-10s |", "Ours");
+  DatasetInstance instance{gen::DatasetId::kSyn3Regular, stream, summary};
+  for (std::uint64_t r : r_values) {
+    const TrialResult res = RunTriangleTrials(instance, r, trials);
+    std::printf(" %8.2f %9.3f |", res.deviation.mean_percent,
+                res.median_seconds);
+  }
+  std::printf("\n\npaper reference (2.2 GHz laptop, Table 1):\n");
+  std::printf("%-10s |", "JG [9]");
+  for (int i = 0; i < 3; ++i) {
+    std::printf(" %8.2f %9.3f |", paper_jg_md[i], paper_jg_t[i]);
+  }
+  std::printf("\n%-10s |", "Ours");
+  for (int i = 0; i < 3; ++i) {
+    std::printf(" %8.2f %9.3f |", paper_ours_md[i], paper_ours_t[i]);
+  }
+  std::printf("\n\nshape check: both accurate at small r (mD/tau = 9); ours "
+              "at least ~10x faster at every r.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Table 2 reproduction: JG versus ours on the Hep-Th collaboration graph
+// (paper: n=9877, m=51971, Δ=130, τ=90649, mΔ/τ=74.5) as r varies.
+//
+// Expected shape per the paper: at r = 1K and 10K *neither* algorithm is
+// reliable (large variance -- the mean deviation across 5 runs is huge);
+// at r = 100K ours drops to ~1% while JG remains lost; ours is >=10x
+// faster throughout.
+
+#include <cstdio>
+
+#include "baseline/jowhari_ghodsi.h"
+#include "bench/bench_util.h"
+#include "gen/datasets.h"
+#include "graph/degree_stats.h"
+
+int main() {
+  using namespace tristream;
+  using namespace tristream::bench;
+  PrintBanner("Table 2: JG vs ours on Hep-Th",
+              "Table 2 (Sec. 4.2 baseline study, arXiv Hep-Th stand-in)");
+
+  // Hep-Th is small enough to run at full paper scale regardless of the
+  // global bench scale.
+  const auto stream = gen::MakeDataset(gen::DatasetId::kHepTh, 1.0,
+                                       BenchSeed());
+  const auto summary = graph::Summarize(stream);
+  std::printf("\ninstance: n=%llu m=%llu max-deg=%llu tau=%llu mD/tau=%.1f\n"
+              "paper   : n=9,877 m=51,971 max-deg=130 tau=90,649 "
+              "mD/tau=74.5\n\n",
+              static_cast<unsigned long long>(summary.num_vertices),
+              static_cast<unsigned long long>(summary.num_edges),
+              static_cast<unsigned long long>(summary.max_degree),
+              static_cast<unsigned long long>(summary.triangles),
+              summary.m_delta_over_tau);
+
+  const std::uint64_t r_values[] = {1000, 10000, 100000};
+  const double paper_jg_md[] = {79.33, 86.86, 86.66};
+  const double paper_jg_t[] = {0.71, 7.17, 86.02};
+  const double paper_ours_md[] = {92.69, 81.25, 0.68};
+  const double paper_ours_t[] = {0.05, 0.08, 0.17};
+
+  std::printf("%-10s | %18s | %18s | %22s\n", "", "r = 1,000", "r = 10,000",
+              "r = 100,000");
+  std::printf("%-10s | %8s %9s | %8s %9s | %8s %9s\n", "algorithm", "MD%",
+              "time(s)", "MD%", "time(s)", "MD%", "time(s)");
+  std::printf("-----------+--------------------+--------------------+------"
+              "----------------\n");
+
+  const int trials = BenchTrials();
+  const auto tau = static_cast<double>(summary.triangles);
+
+  std::printf("%-10s |", "JG [9]");
+  for (std::uint64_t r : r_values) {
+    // JG at large r is genuinely slow (the paper measured 86 s at r=100K);
+    // cap its trials there so the default suite stays time-boxed.
+    const int jg_trials = r >= 100000 ? std::min(trials, 2) : trials;
+    std::vector<double> estimates, seconds;
+    for (int trial = 0; trial < jg_trials; ++trial) {
+      baseline::JowhariGhodsiCounter::Options opt;
+      opt.num_estimators = r;
+      opt.max_degree_bound = summary.max_degree;
+      opt.seed = BenchSeed() * 131 + static_cast<std::uint64_t>(trial);
+      baseline::JowhariGhodsiCounter counter(opt);
+      WallTimer timer;
+      counter.ProcessEdges(stream.edges());
+      seconds.push_back(timer.Seconds());
+      estimates.push_back(counter.EstimateTriangles());
+    }
+    const auto dev = SummarizeDeviations(estimates, tau);
+    std::printf(" %8.2f %9.3f |", dev.mean_percent, Median(seconds));
+  }
+  std::printf("\n");
+
+  std::printf("%-10s |", "Ours");
+  DatasetInstance instance{gen::DatasetId::kHepTh, stream, summary};
+  for (std::uint64_t r : r_values) {
+    const TrialResult res = RunTriangleTrials(instance, r, trials);
+    std::printf(" %8.2f %9.3f |", res.deviation.mean_percent,
+                res.median_seconds);
+  }
+
+  std::printf("\n\npaper reference (2.2 GHz laptop, Table 2):\n");
+  std::printf("%-10s |", "JG [9]");
+  for (int i = 0; i < 3; ++i) {
+    std::printf(" %8.2f %9.3f |", paper_jg_md[i], paper_jg_t[i]);
+  }
+  std::printf("\n%-10s |", "Ours");
+  for (int i = 0; i < 3; ++i) {
+    std::printf(" %8.2f %9.3f |", paper_ours_md[i], paper_ours_t[i]);
+  }
+  std::printf("\n\nshape check: noisy at r <= 10K, ours sharp at r = 100K, "
+              "ours >=10x faster.\n");
+  return 0;
+}

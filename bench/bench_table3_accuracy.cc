@@ -1,0 +1,119 @@
+// Table 3 reproduction: accuracy (min/mean/max deviation %), median total
+// running time, and median I/O time of the bulk algorithm across all six
+// evaluation datasets as r is varied over {1K, 128K, 1M} (scaled), with
+// graphs streamed from a binary file on disk exactly like the paper's
+// setup. Also prints the Sec. 4.3 memory table (bytes per estimator and
+// totals per r).
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "stream/binary_io.h"
+
+namespace {
+
+using namespace tristream;
+using namespace tristream::bench;
+
+struct Row {
+  DeviationSummary dev;
+  double median_total_s = 0.0;
+  double median_io_s = 0.0;
+};
+
+Row RunFromDisk(const std::string& path, const DatasetInstance& instance,
+                std::uint64_t r, int trials) {
+  std::vector<double> estimates, totals, ios;
+  for (int trial = 0; trial < trials; ++trial) {
+    core::TriangleCounterOptions options;
+    options.num_estimators = r;
+    options.seed = BenchSeed() * 101 + static_cast<std::uint64_t>(trial);
+    core::TriangleCounter counter(options);
+    auto opened = stream::BinaryFileEdgeStream::Open(path);
+    TRISTREAM_CHECK(opened.ok()) << opened.status();
+    stream::BinaryFileEdgeStream& file = **opened;
+    WallTimer total;
+    std::vector<Edge> block;
+    while (file.NextBatch(counter.batch_size(), &block) > 0) {
+      counter.ProcessEdges(block);
+    }
+    estimates.push_back(counter.EstimateTriangles());
+    totals.push_back(total.Seconds());
+    ios.push_back(file.io_seconds());
+  }
+  Row row;
+  row.dev = SummarizeDeviations(
+      estimates, static_cast<double>(instance.summary.triangles));
+  row.median_total_s = Median(totals);
+  row.median_io_s = Median(ios);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  PrintBanner("Table 3: accuracy, runtime, and I/O across datasets",
+              "Table 3 + Sec. 4.3 memory table");
+
+  const std::uint64_t r_values[] = {ScaledR(1024), ScaledR(131072),
+                                    ScaledR(1048576)};
+  std::printf("\nestimator grid (paper r = 1K / 128K / 1M, scaled): "
+              "%llu / %llu / %llu\n",
+              static_cast<unsigned long long>(r_values[0]),
+              static_cast<unsigned long long>(r_values[1]),
+              static_cast<unsigned long long>(r_values[2]));
+
+  // Sec. 4.3 memory table: per-estimator bytes are scale-independent.
+  {
+    core::TriangleCounterOptions probe_opt;
+    probe_opt.num_estimators = 1;
+    core::TriangleCounter probe(probe_opt);
+    const std::size_t per_est = probe.ApproxMemoryUsage().per_estimator_bytes;
+    std::printf("\nestimator memory (paper: 36 B/estimator -> 36K/4.5M/36M "
+                "for 1K/128K/1M):\n");
+    std::printf("  ours: %zu B/estimator -> ", per_est);
+    for (std::uint64_t r : {std::uint64_t{1024}, std::uint64_t{131072},
+                            std::uint64_t{1048576}}) {
+      std::printf("%s for r=%s  ", Pretty(per_est * r).c_str(),
+                  Pretty(r).c_str());
+    }
+    std::printf("\n  (64-bit stream positions vs the paper's 32-bit; same "
+                "O(1) per estimator)\n");
+  }
+
+  std::printf("\n%-14s |  %-26s |  %-26s |  %-26s | %6s\n", "dataset",
+              "r = 1K(s): min/mean/max t", "r = 128K(s)", "r = 1M(s)",
+              "I/O(s)");
+  std::printf("---------------+-----------------------------+---------------"
+              "--------------+-----------------------------+-------\n");
+
+  const int trials = BenchTrials();
+  for (gen::DatasetId id : gen::Figure3Datasets()) {
+    DatasetInstance instance = MakeInstance(id);
+    const std::string path =
+        "/tmp/tristream_bench_" + gen::PaperReference(id).name + ".tris";
+    TRISTREAM_CHECK(stream::WriteBinaryEdges(path, instance.stream).ok());
+    std::printf("%-14s |", gen::PaperReference(id).name.c_str());
+    double io_s = 0.0;
+    for (std::uint64_t r : r_values) {
+      const Row row = RunFromDisk(path, instance, r, trials);
+      std::printf(" %5.2f/%6.2f/%6.2f %6.2f |", row.dev.min_percent,
+                  row.dev.mean_percent, row.dev.max_percent,
+                  row.median_total_s);
+      io_s = row.median_io_s;
+    }
+    std::printf(" %6.3f\n", io_s);
+    std::remove(path.c_str());
+  }
+
+  std::printf(
+      "\npaper reference (mean deviation %%, r = 1K / 128K / 1M):\n"
+      "  Amazon 6.28/0.84/0.25   DBLP 18.28/0.50/0.19   "
+      "Youtube 59.45/21.46/4.42\n"
+      "  LiveJournal 11.53/2.35/0.60   Orkut 31.93/4.69/3.55   "
+      "Syn.~d-reg 7.58/0.37/0.24\n"
+      "shape check: error falls with r everywhere; the large-mD/tau\n"
+      "datasets (Youtube-like, Orkut-like) need the most estimators.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Clique hunting: estimating 4-clique density in a streamed network.
+//
+// Dense subgraphs (cliques) signal thematic communities, spam farms, and
+// fraud rings (paper introduction). Sec. 5.1 extends neighborhood sampling
+// to 4-cliques via the Type I / Type II split. This example plants dense
+// communities inside background noise and estimates the 4-clique count in
+// one pass, comparing against the exact count and the per-type partition.
+
+#include <cstdio>
+
+#include "core/clique_counter.h"
+#include "gen/erdos_renyi.h"
+#include "graph/csr.h"
+#include "graph/exact.h"
+#include "stream/edge_stream.h"
+#include "util/rng.h"
+
+namespace {
+
+// Plants `count` cliques of size `size` on fresh vertices.
+void PlantCliques(tristream::graph::EdgeList& g, tristream::VertexId base,
+                  int count, tristream::VertexId size) {
+  for (int c = 0; c < count; ++c) {
+    for (tristream::VertexId i = 0; i < size; ++i) {
+      for (tristream::VertexId j = i + 1; j < size; ++j) {
+        g.Add(base + i, base + j);
+      }
+    }
+    base += size;
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace tristream;
+  std::printf("=== Streaming 4-clique estimation (Sec. 5.1) ===\n\n");
+
+  // Background: sparse random graph (few accidental cliques) with planted
+  // dense communities: 10 K6s (each contributing C(6,4) = 15 4-cliques).
+  // Kept small on purpose: a Type II clique is captured with probability
+  // ~2/m^2 per estimator, so clique estimation is only practical on
+  // moderate streams (the paper calls Sec. 5 "mostly of theoretical
+  // interest").
+  graph::EdgeList g = gen::GnmRandom(300, 400, 5);
+  PlantCliques(g, 10000, 10, 6);
+  const auto stream = stream::ShuffleStreamOrder(g, 11);
+
+  const auto csr = graph::Csr::FromEdgeList(stream);
+  const auto tau4 = graph::Count4Cliques(csr);
+  const auto types = graph::Count4CliqueTypes(stream);
+
+  core::CliqueCounterOptions options;
+  options.num_estimators = 200000;
+  options.seed = 3;
+  core::CliqueCounter4 counter(options);
+  counter.ProcessEdges(stream.edges());
+
+  std::printf("stream: m = %zu edges\n", stream.size());
+  std::printf("4-cliques exact     : %llu  (Type I %llu / Type II %llu for "
+              "this arrival order)\n",
+              static_cast<unsigned long long>(tau4),
+              static_cast<unsigned long long>(types.type1),
+              static_cast<unsigned long long>(types.type2));
+  std::printf("4-cliques estimated : %.0f  (Type I %.0f / Type II %.0f)\n",
+              counter.EstimateCliques(), counter.EstimateTypeI(),
+              counter.EstimateTypeII());
+  const double err = 100.0 *
+                     (counter.EstimateCliques() - static_cast<double>(tau4)) /
+                     static_cast<double>(tau4);
+  std::printf("relative error      : %+.2f%%\n\n", err);
+
+  // Uniform clique samples point straight at the dense communities.
+  auto sample = counter.SampleCliques(5, /*max_degree_bound=*/csr.MaxDegree());
+  if (sample.ok()) {
+    std::printf("uniform 4-clique samples (Theorem 5.7):\n");
+    for (const core::Clique4& q : *sample) {
+      std::printf("  {%u, %u, %u, %u}%s\n", q.a, q.b, q.c, q.d,
+                  q.a >= 10000 ? "   <- planted community" : "");
+    }
+  } else {
+    std::printf("sampling: %s\n", sample.status().ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Disk-to-estimate pipeline: the paper's experimental setup end to end.
+//
+// The paper streams graphs from a laptop hard drive, processes them in
+// batches, and reports I/O time separately from compute (Table 3). This
+// example writes a graph to the binary edge format, streams it back in
+// blocks through the bulk counter, and prints the same accounting:
+// total wall time, I/O time, and sustained throughput.
+
+#include <cstdio>
+#include <string>
+
+#include "core/triangle_counter.h"
+#include "gen/holme_kim.h"
+#include "graph/csr.h"
+#include "graph/exact.h"
+#include "stream/binary_io.h"
+#include "stream/edge_stream.h"
+#include "util/timer.h"
+
+int main() {
+  using namespace tristream;
+  std::printf("=== Disk-backed streaming pipeline ===\n\n");
+
+  // Produce a social-graph stand-in and persist it as a binary edge file.
+  const auto g = stream::ShuffleStreamOrder(
+      gen::HolmeKim(100000, 8, 0.4, 21), 22);
+  const std::string path = "/tmp/tristream_example.tris";
+  if (Status s = stream::WriteBinaryEdges(path, g); !s.ok()) {
+    std::printf("write failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu edges to %s\n\n", g.size(), path.c_str());
+
+  // Stream it back in 64K-edge blocks through the bulk counter.
+  auto opened = stream::BinaryFileEdgeStream::Open(path);
+  if (!opened.ok()) {
+    std::printf("open failed: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  stream::BinaryFileEdgeStream& file_stream = **opened;
+
+  core::TriangleCounterOptions options;
+  options.num_estimators = 1 << 17;
+  options.seed = 23;
+  core::TriangleCounter counter(options);
+
+  WallTimer total;
+  std::vector<Edge> block;
+  while (file_stream.NextBatch(1 << 16, &block) > 0) {
+    counter.ProcessEdges(block);
+  }
+  const double tau_hat = counter.EstimateTriangles();
+  const double total_s = total.Seconds();
+  const double io_s = file_stream.io_seconds();
+
+  const auto tau = graph::CountTriangles(graph::Csr::FromEdgeList(g));
+  std::printf("triangles exact      : %llu\n",
+              static_cast<unsigned long long>(tau));
+  std::printf("triangles estimated  : %.0f  (error %.2f%%)\n", tau_hat,
+              100.0 * (tau_hat - static_cast<double>(tau)) /
+                  static_cast<double>(tau));
+  std::printf("total time           : %.3f s\n", total_s);
+  std::printf("I/O time             : %.3f s\n", io_s);
+  std::printf("compute throughput   : %.2f M edges/s (I/O factored out)\n",
+              static_cast<double>(g.size()) / (total_s - io_s) / 1e6);
+  std::remove(path.c_str());
+  return 0;
+}

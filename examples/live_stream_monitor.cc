@@ -1,0 +1,85 @@
+// Live-stream monitoring with sliding windows (paper Sec. 5.2).
+//
+// Real-time processing of live interaction data is the paper's headline
+// use case. This example simulates an interaction stream whose community
+// structure changes over time -- quiet background traffic, then a burst of
+// tightly-knit (triangle-rich) activity, then quiet again -- and shows a
+// sequence-based sliding-window counter tracking the windowed triangle
+// density as it rises and falls, something a whole-stream counter cannot
+// see by design.
+
+#include <cstdio>
+
+#include "core/sliding_window.h"
+#include "gen/erdos_renyi.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace {
+
+constexpr std::uint64_t kWindow = 20000;
+
+// Background traffic: random sparse interactions among a large population.
+tristream::Edge BackgroundEdge(tristream::Rng& rng) {
+  const auto u = static_cast<tristream::VertexId>(rng.UniformBelow(200000));
+  const auto v = static_cast<tristream::VertexId>(rng.UniformBelow(200000));
+  return {u, v == u ? u + 1 : v};
+}
+
+// Burst traffic: interactions inside a small, tight community.
+tristream::Edge BurstEdge(tristream::Rng& rng) {
+  const auto u = static_cast<tristream::VertexId>(rng.UniformBelow(300));
+  const auto v = static_cast<tristream::VertexId>(rng.UniformBelow(300));
+  return {u, v == u ? u + 1 : v};
+}
+
+}  // namespace
+
+int main() {
+  using namespace tristream;
+  std::printf("=== Sliding-window triangle monitor (w = %llu edges) ===\n\n",
+              static_cast<unsigned long long>(kWindow));
+
+  core::SlidingWindowOptions options;
+  options.window_size = kWindow;
+  options.num_estimators = 4096;
+  options.seed = 9;
+  core::SlidingWindowTriangleCounter monitor(options);
+
+  Rng traffic(17);
+  std::printf("%10s  %12s  %14s  %s\n", "edge#", "phase", "window tau-hat",
+              "alert");
+  const auto report = [&monitor](const char* phase) {
+    const double tau_hat = monitor.EstimateTriangles();
+    const bool alert = tau_hat > 5000.0;
+    std::printf("%10llu  %12s  %14.0f  %s\n",
+                static_cast<unsigned long long>(monitor.edges_seen()), phase,
+                tau_hat, alert ? "** dense community forming **" : "");
+  };
+
+  // Phase 1: background only.
+  for (int i = 0; i < 40000; ++i) monitor.ProcessEdge(BackgroundEdge(traffic));
+  report("background");
+
+  // Phase 2: a coordinated burst (e.g. spam ring) mixed into the traffic.
+  for (int i = 0; i < 30000; ++i) {
+    monitor.ProcessEdge(i % 3 == 0 ? BurstEdge(traffic)
+                                   : BackgroundEdge(traffic));
+    if ((i + 1) % 10000 == 0) report("burst");
+  }
+
+  // Phase 3: burst ends; the window slides clean again.
+  for (int i = 0; i < 60000; ++i) {
+    monitor.ProcessEdge(BackgroundEdge(traffic));
+    if ((i + 1) % 20000 == 0) report("cooldown");
+  }
+
+  std::printf(
+      "\nmean chain length: %.2f (Theorem 5.8 predicts ~ln w = %.2f)\n",
+      monitor.MeanChainLength(), std::log(static_cast<double>(kWindow)));
+  std::printf(
+      "\nThe windowed estimate spikes while the burst community is inside\n"
+      "the window and returns to ~0 after it slides out -- the real-time\n"
+      "behaviour Sec. 5.2's chain-sampling construction provides.\n");
+  return 0;
+}

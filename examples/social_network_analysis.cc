@@ -1,0 +1,73 @@
+// Social-network analysis: the "friend of a friend is a friend" metric.
+//
+// The paper's introduction motivates triangle counting through social
+// network analysis: the transitivity coefficient κ = 3τ/ζ measures how
+// often two people with a mutual friend are friends themselves. This
+// example streams two contrasting network stand-ins -- a clustered
+// friendship graph and a broadcast-style follower graph -- and compares
+// their streaming κ estimates against exact computation.
+
+#include <cstdio>
+
+#include "core/triangle_counter.h"
+#include "gen/chung_lu.h"
+#include "gen/holme_kim.h"
+#include "graph/csr.h"
+#include "graph/degree_stats.h"
+#include "graph/exact.h"
+#include "stream/edge_stream.h"
+
+namespace {
+
+void AnalyzeNetwork(const char* name, const tristream::graph::EdgeList& g,
+                    std::uint64_t seed) {
+  using namespace tristream;
+  const auto stream = stream::ShuffleStreamOrder(g, seed);
+
+  core::TriangleCounterOptions options;
+  options.num_estimators = 1 << 17;
+  options.seed = seed;
+  core::TriangleCounter counter(options);
+  counter.ProcessEdges(stream.edges());
+
+  const auto csr = graph::Csr::FromEdgeList(stream);
+  const auto summary = graph::Summarize(stream);
+  const double kappa = graph::Transitivity(csr);
+  const double kappa_hat = counter.EstimateTransitivity();
+  const double tau_hat = counter.EstimateTriangles();
+
+  std::printf("%s\n", name);
+  std::printf("  n=%llu  m=%llu  max degree=%llu\n",
+              static_cast<unsigned long long>(summary.num_vertices),
+              static_cast<unsigned long long>(summary.num_edges),
+              static_cast<unsigned long long>(summary.max_degree));
+  std::printf("  triangles        exact %llu  streamed %.0f\n",
+              static_cast<unsigned long long>(summary.triangles), tau_hat);
+  std::printf("  transitivity     exact %.4f  streamed %.4f\n", kappa,
+              kappa_hat);
+  std::printf("  friend-of-friend closure: %.1f%% of wedges close\n\n",
+              100.0 * kappa_hat);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tristream;
+  std::printf("=== Streaming social-network transitivity ===\n\n");
+
+  // Friendship-style network: preferential attachment with strong triadic
+  // closure -- people befriend friends of friends.
+  AnalyzeNetwork("friendship network (Holme-Kim, heavy triadic closure)",
+                 gen::HolmeKim(30000, 6, /*triad_probability=*/0.6, 7), 1);
+
+  // Follower-style network: heavy-tailed Chung-Lu without any closure
+  // mechanism -- celebrities accumulate followers who ignore each other.
+  AnalyzeNetwork("follower network (Chung-Lu, no closure mechanism)",
+                 gen::ChungLuPowerLaw(30000, 120000, 2.1, 8), 2);
+
+  std::printf(
+      "Interpretation: the friendship network closes an order of magnitude\n"
+      "more wedges -- the transitivity gap the paper's Sec. 3.5 estimator\n"
+      "surfaces in one pass over the edge stream.\n");
+  return 0;
+}

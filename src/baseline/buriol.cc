@@ -1,0 +1,61 @@
+#include "baseline/buriol.h"
+
+#include "util/logging.h"
+
+namespace tristream {
+namespace baseline {
+
+void BuriolEstimator::Process(const Edge& e, VertexId num_vertices,
+                              Rng& rng) {
+  const std::uint64_t i = ++edges_seen_;
+  if (rng.CoinOneIn(i)) {
+    r1_ = StreamEdge(e, i - 1);
+    apex_ = static_cast<VertexId>(rng.UniformBelow(num_vertices));
+    found_[0] = found_[1] = false;
+    return;
+  }
+  if (!r1_.valid() || r1_.edge.Contains(apex_)) return;  // degenerate apex
+  if (e == Edge(r1_.edge.u, apex_)) found_[0] = true;
+  if (e == Edge(r1_.edge.v, apex_)) found_[1] = true;
+}
+
+BuriolCounter::BuriolCounter(const Options& options)
+    : options_(options),
+      rng_(options.seed),
+      estimators_(options.num_estimators) {
+  TRISTREAM_CHECK(options.num_vertices > 0)
+      << "Buriol et al. needs the vertex universe in advance";
+}
+
+void BuriolCounter::ProcessEdge(const Edge& e) {
+  ++edges_processed_;
+  for (BuriolEstimator& est : estimators_) {
+    est.Process(e, options_.num_vertices, rng_);
+  }
+}
+
+void BuriolCounter::ProcessEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) ProcessEdge(e);
+}
+
+double BuriolCounter::EstimateTriangles() const {
+  if (estimators_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const BuriolEstimator& est : estimators_) {
+    sum += est.Estimate(options_.num_vertices);
+  }
+  return sum / static_cast<double>(estimators_.size());
+}
+
+double BuriolCounter::SuccessRate() const {
+  if (estimators_.empty()) return 0.0;
+  std::uint64_t hits = 0;
+  for (const BuriolEstimator& est : estimators_) {
+    hits += est.has_triangle() ? 1 : 0;
+  }
+  return static_cast<double>(hits) /
+         static_cast<double>(estimators_.size());
+}
+
+}  // namespace baseline
+}  // namespace tristream

@@ -1,0 +1,116 @@
+#include "baseline/jowhari_ghodsi.h"
+
+#include "util/logging.h"
+
+namespace tristream {
+namespace baseline {
+
+// ------------------------------------------------------ slot-pair JG [9]
+
+void JowhariGhodsiEstimator::Process(const Edge& e,
+                                     std::uint64_t max_degree_bound,
+                                     Rng& rng) {
+  const std::uint64_t i = ++edges_seen_;
+  if (rng.CoinOneIn(i)) {
+    r1_ = StreamEdge(e, i - 1);
+    count_u_ = count_v_ = 0;
+    hit_u_ = hit_v_ = kInvalidVertex;
+    slot_u_ = rng.UniformInt(1, max_degree_bound);
+    slot_v_ = rng.UniformInt(1, max_degree_bound);
+    return;
+  }
+  if (!r1_.valid()) return;
+  const Edge& anchor = r1_.edge;
+  // A later edge touches at most one endpoint of the anchor.
+  if (e.Contains(anchor.u)) {
+    if (++count_u_ == slot_u_) hit_u_ = e.Other(anchor.u);
+  } else if (e.Contains(anchor.v)) {
+    if (++count_v_ == slot_v_) hit_v_ = e.Other(anchor.v);
+  }
+}
+
+JowhariGhodsiCounter::JowhariGhodsiCounter(const Options& options)
+    : options_(options),
+      rng_(options.seed),
+      estimators_(options.num_estimators) {
+  TRISTREAM_CHECK(options.max_degree_bound > 0)
+      << "Jowhari-Ghodsi needs an a-priori degree bound";
+}
+
+void JowhariGhodsiCounter::ProcessEdge(const Edge& e) {
+  ++edges_processed_;
+  for (JowhariGhodsiEstimator& est : estimators_) {
+    est.Process(e, options_.max_degree_bound, rng_);
+  }
+}
+
+void JowhariGhodsiCounter::ProcessEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) ProcessEdge(e);
+}
+
+double JowhariGhodsiCounter::EstimateTriangles() const {
+  if (estimators_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const JowhariGhodsiEstimator& est : estimators_) {
+    sum += est.Estimate(options_.max_degree_bound);
+  }
+  return sum / static_cast<double>(estimators_.size());
+}
+
+// --------------------------------------- exhaustive-neighborhood variant
+
+void FirstEdgeExhaustiveEstimator::Process(const Edge& e, Rng& rng) {
+  const std::uint64_t i = ++edges_seen_;
+  if (rng.CoinOneIn(i)) {
+    r1_ = StreamEdge(e, i - 1);
+    side_u_.Clear();
+    side_v_.Clear();
+    triangles_ = 0;
+    return;
+  }
+  if (!r1_.valid()) return;
+  const Edge& anchor = r1_.edge;
+  if (e.Contains(anchor.u)) {
+    const VertexId w = e.Other(anchor.u);
+    if (side_v_.Contains(w)) ++triangles_;  // {v,w} already seen
+    side_u_.Insert(w);
+  } else if (e.Contains(anchor.v)) {
+    const VertexId w = e.Other(anchor.v);
+    if (side_u_.Contains(w)) ++triangles_;  // {u,w} already seen
+    side_v_.Insert(w);
+  }
+}
+
+FirstEdgeExhaustiveCounter::FirstEdgeExhaustiveCounter(const Options& options)
+    : rng_(options.seed), estimators_(options.num_estimators) {}
+
+void FirstEdgeExhaustiveCounter::ProcessEdge(const Edge& e) {
+  ++edges_processed_;
+  for (FirstEdgeExhaustiveEstimator& est : estimators_) {
+    est.Process(e, rng_);
+  }
+}
+
+void FirstEdgeExhaustiveCounter::ProcessEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) ProcessEdge(e);
+}
+
+double FirstEdgeExhaustiveCounter::EstimateTriangles() const {
+  if (estimators_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const FirstEdgeExhaustiveEstimator& est : estimators_) {
+    sum += est.Estimate();
+  }
+  return sum / static_cast<double>(estimators_.size());
+}
+
+std::size_t FirstEdgeExhaustiveCounter::NeighborhoodBytes() const {
+  std::size_t total = 0;
+  for (const FirstEdgeExhaustiveEstimator& est : estimators_) {
+    total += est.NeighborhoodBytes();
+  }
+  return total;
+}
+
+}  // namespace baseline
+}  // namespace tristream

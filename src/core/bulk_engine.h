@@ -1,0 +1,58 @@
+// Internal building blocks of the bulk-processing algorithm (Sec. 3.3).
+//
+// Algorithm 2 of the paper is edgeIter, "a degree-keeping edge iterator":
+// it sweeps a batch B once, maintaining the in-batch degree table deg[],
+// and emits two event kinds:
+//   EVENTA(i, {x,y}, deg)   -- after edge i, the degree table is deg;
+//   EVENTB(i, {x,y}, v, a)  -- after edge i, vertex v's degree became a.
+// Observation 3.6 turns these events into an implicit description of every
+// estimator's level-2 candidate set N(r1) ∩ B, which is what lets bulkTC
+// track r substreams simultaneously in O(r + w) time.
+//
+// This header is an implementation detail of core::TriangleCounter; it is
+// exposed (and unit-tested against the paper's Figure 2 worked example)
+// because the event algebra is the subtle part of the whole scheme.
+
+#ifndef TRISTREAM_CORE_BULK_ENGINE_H_
+#define TRISTREAM_CORE_BULK_ENGINE_H_
+
+#include <cstdint>
+#include <span>
+
+#include "util/flat_hash_map.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace core {
+
+/// Packs an EVENTB subscription key: vertex v reaching in-batch degree d.
+inline std::uint64_t PackEventKey(VertexId v, std::uint32_t degree) {
+  return (static_cast<std::uint64_t>(v) << 32) | degree;
+}
+
+/// Runs Algorithm 2 over `batch`. `deg` is cleared and, after the call,
+/// holds deg_B (the in-batch degree of every touched vertex). on_event_a is
+/// invoked once per edge as on_event_a(i, edge) with `deg` already updated
+/// (callers query deg for the snapshot); on_event_b twice per edge as
+/// on_event_b(i, edge, vertex, new_degree).
+template <typename OnEventA, typename OnEventB>
+void RunEdgeIter(std::span<const Edge> batch,
+                 FlatHashMap<std::uint32_t>& deg, OnEventA&& on_event_a,
+                 OnEventB&& on_event_b) {
+  deg.Clear();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Edge& e = batch[i];
+    // Copy the updated values out before the second operator[] call, which
+    // may rehash and invalidate references.
+    const std::uint32_t dx = ++deg[e.u];
+    const std::uint32_t dy = ++deg[e.v];
+    on_event_a(i, e);
+    on_event_b(i, e, e.u, dx);
+    on_event_b(i, e, e.v, dy);
+  }
+}
+
+}  // namespace core
+}  // namespace tristream
+
+#endif  // TRISTREAM_CORE_BULK_ENGINE_H_

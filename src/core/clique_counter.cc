@@ -1,0 +1,248 @@
+#include "core/clique_counter.h"
+
+#include <algorithm>
+
+#include "core/neighborhood_sampler.h"
+#include "util/logging.h"
+
+namespace tristream {
+namespace core {
+namespace {
+
+Clique4 SortedClique(VertexId a, VertexId b, VertexId c, VertexId d) {
+  VertexId q[4] = {a, b, c, d};
+  std::sort(q, q + 4);
+  return Clique4{q[0], q[1], q[2], q[3]};
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- Type I
+
+void TypeICliqueSampler::Process(const Edge& e, Rng& rng) {
+  const std::uint64_t i = ++edges_seen_;
+  // Level 1: uniform over the whole stream.
+  if (rng.CoinOneIn(i)) {
+    r1_ = StreamEdge(e, i - 1);
+    c1_ = 0;
+    ResetLevel2();
+    return;
+  }
+  if (!r1_.valid()) return;
+  const bool adjacent1 = e.Adjacent(r1_.edge);
+  if (adjacent1) {
+    // Level 2: uniform over N(r1).
+    ++c1_;
+    if (rng.CoinOneIn(c1_)) {
+      r2_ = StreamEdge(e, i - 1);
+      ResetLevel3();
+      c2_ = 0;
+      closer_found_ = false;
+      return;
+    }
+  }
+  if (!r2_.valid()) return;
+  const bool adjacent2 = e.Adjacent(r2_.edge);
+  if (!adjacent1 && !adjacent2) return;
+  // The unique wedge-closing edge is collected passively (it determines no
+  // new vertex) and is excluded from the level-3 candidate space.
+  if (e == ClosingEdge(r1_.edge, r2_.edge)) {
+    closer_found_ = true;
+    return;
+  }
+  // Level 3: uniform over N(r1, r2) -- edges after r2 adjacent to r1 or r2.
+  ++c2_;
+  if (rng.CoinOneIn(c2_)) {
+    r3_ = StreamEdge(e, i - 1);
+    d_found_[0] = d_found_[1] = false;
+    // r3 introduces exactly one vertex outside the wedge; the clique still
+    // needs the two edges joining it to the other two wedge vertices.
+    const VertexId shared = r1_.edge.SharedVertex(r2_.edge);
+    const VertexId a = r1_.edge.Other(shared);
+    const VertexId b = r2_.edge.Other(shared);
+    VertexId fresh = kInvalidVertex;
+    for (VertexId v : {r3_.edge.u, r3_.edge.v}) {
+      if (v != shared && v != a && v != b) fresh = v;
+    }
+    TRISTREAM_DCHECK(fresh != kInvalidVertex);
+    VertexId joined[2];
+    int n = 0;
+    for (VertexId v : {shared, a, b}) {
+      if (!r3_.edge.Contains(v)) joined[n++] = v;
+    }
+    TRISTREAM_DCHECK(n == 2);
+    awaited_[0] = Edge(joined[0], fresh);
+    awaited_[1] = Edge(joined[1], fresh);
+    return;
+  }
+  // Passive collection of the remaining new-vertex edges.
+  if (r3_.valid()) {
+    if (e == awaited_[0]) {
+      d_found_[0] = true;
+    } else if (e == awaited_[1]) {
+      d_found_[1] = true;
+    }
+  }
+}
+
+Clique4 TypeICliqueSampler::clique() const {
+  TRISTREAM_DCHECK(has_clique());
+  const VertexId shared = r1_.edge.SharedVertex(r2_.edge);
+  const VertexId a = r1_.edge.Other(shared);
+  const VertexId b = r2_.edge.Other(shared);
+  const VertexId fresh = awaited_[0].u != shared && awaited_[0].u != a &&
+                                 awaited_[0].u != b
+                             ? awaited_[0].u
+                             : awaited_[0].v;
+  return SortedClique(shared, a, b, fresh);
+}
+
+void TypeICliqueSampler::Reset() {
+  r1_ = StreamEdge();
+  c1_ = 0;
+  edges_seen_ = 0;
+  ResetLevel2();
+}
+
+void TypeICliqueSampler::ResetLevel2() {
+  r2_ = StreamEdge();
+  c2_ = 0;
+  closer_found_ = false;
+  ResetLevel3();
+}
+
+void TypeICliqueSampler::ResetLevel3() {
+  r3_ = StreamEdge();
+  awaited_[0] = Edge();
+  awaited_[1] = Edge();
+  d_found_[0] = d_found_[1] = false;
+}
+
+// ---------------------------------------------------------------- Type II
+
+void TypeIICliqueSampler::Process(const Edge& e, Rng& rng) {
+  const std::uint64_t i = ++edges_seen_;
+  // Two independent uniform reservoirs; either replacement invalidates the
+  // passive collection (its edges must arrive after both anchors).
+  if (rng.CoinOneIn(i)) {
+    ra_ = StreamEdge(e, i - 1);
+    ResetCollection();
+  }
+  if (rng.CoinOneIn(i)) {
+    rb_ = StreamEdge(e, i - 1);
+    ResetCollection();
+  }
+  if (!ra_.valid() || !rb_.valid()) return;
+  if (ra_.edge.Adjacent(rb_.edge)) return;  // not a Type II anchor pair
+  // Await the four cross edges between {a,b} = rA and {c,d} = rB.
+  const Edge cross[4] = {Edge(ra_.edge.u, rb_.edge.u),
+                         Edge(ra_.edge.u, rb_.edge.v),
+                         Edge(ra_.edge.v, rb_.edge.u),
+                         Edge(ra_.edge.v, rb_.edge.v)};
+  for (int k = 0; k < 4; ++k) {
+    if (e == cross[k]) cross_found_[k] = true;
+  }
+}
+
+bool TypeIICliqueSampler::has_clique() const {
+  return ra_.valid() && rb_.valid() && !ra_.edge.Adjacent(rb_.edge) &&
+         cross_found_[0] && cross_found_[1] && cross_found_[2] &&
+         cross_found_[3];
+}
+
+Clique4 TypeIICliqueSampler::clique() const {
+  TRISTREAM_DCHECK(has_clique());
+  return SortedClique(ra_.edge.u, ra_.edge.v, rb_.edge.u, rb_.edge.v);
+}
+
+void TypeIICliqueSampler::Reset() {
+  ra_ = StreamEdge();
+  rb_ = StreamEdge();
+  edges_seen_ = 0;
+  ResetCollection();
+}
+
+void TypeIICliqueSampler::ResetCollection() {
+  cross_found_[0] = cross_found_[1] = cross_found_[2] = cross_found_[3] =
+      false;
+}
+
+// --------------------------------------------------------- CliqueCounter4
+
+CliqueCounter4::CliqueCounter4(const CliqueCounterOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      sample_rng_(options.seed ^ 0x5a5a5a5a5a5a5a5aULL),
+      type1_(options.num_estimators),
+      type2_(options.num_estimators) {
+  TRISTREAM_CHECK(options.num_estimators > 0);
+}
+
+void CliqueCounter4::ProcessEdge(const Edge& e) {
+  ++edges_processed_;
+  for (TypeICliqueSampler& s : type1_) s.Process(e, rng_);
+  for (TypeIICliqueSampler& s : type2_) s.Process(e, rng_);
+}
+
+void CliqueCounter4::ProcessEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) ProcessEdge(e);
+}
+
+double CliqueCounter4::EstimateTypeI() const {
+  std::vector<double> values;
+  values.reserve(type1_.size());
+  for (const TypeICliqueSampler& s : type1_) values.push_back(s.Estimate());
+  return AggregateEstimates(values, options_.aggregation,
+                            options_.median_groups);
+}
+
+double CliqueCounter4::EstimateTypeII() const {
+  std::vector<double> values;
+  values.reserve(type2_.size());
+  for (const TypeIICliqueSampler& s : type2_) values.push_back(s.Estimate());
+  return AggregateEstimates(values, options_.aggregation,
+                            options_.median_groups);
+}
+
+Result<std::vector<Clique4>> CliqueCounter4::SampleCliques(
+    std::uint64_t k, std::uint64_t max_degree_bound) {
+  if (max_degree_bound == 0) {
+    return Status::InvalidArgument("max_degree_bound must be positive");
+  }
+  // Output probability target t = min(1/(8mΔ²), 2/m²): a held Type I
+  // clique is emitted with probability t·m·c1·c2 (held w.p. 1/(m·c1·c2)),
+  // a held Type II clique with probability t·m²/2 (held w.p. 2/m²), making
+  // every 4-clique equally likely overall.
+  const auto m = static_cast<double>(edges_processed_);
+  if (m == 0.0) {
+    return Status::FailedPrecondition("no edges processed yet");
+  }
+  const double delta = static_cast<double>(max_degree_bound);
+  const double t = std::min(1.0 / (8.0 * m * delta * delta), 2.0 / (m * m));
+  std::vector<Clique4> survivors;
+  for (const TypeICliqueSampler& s : type1_) {
+    if (!s.has_clique()) continue;
+    const double c1c2 =
+        static_cast<double>(s.c1()) * static_cast<double>(s.c2());
+    if (c1c2 > 8.0 * delta * delta) {
+      return Status::InvalidArgument(
+          "max_degree_bound too small for observed c1*c2");
+    }
+    if (sample_rng_.Coin(t * m * c1c2)) survivors.push_back(s.clique());
+  }
+  for (const TypeIICliqueSampler& s : type2_) {
+    if (!s.has_clique()) continue;
+    if (sample_rng_.Coin(t * m * m / 2.0)) survivors.push_back(s.clique());
+  }
+  if (survivors.size() < k) {
+    return Status::FailedPrecondition(
+        "only " + std::to_string(survivors.size()) +
+        " uniform 4-cliques available; need k = " + std::to_string(k));
+  }
+  std::shuffle(survivors.begin(), survivors.end(), sample_rng_);
+  survivors.resize(k);
+  return survivors;
+}
+
+}  // namespace core
+}  // namespace tristream

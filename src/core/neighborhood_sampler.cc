@@ -1,0 +1,58 @@
+#include "core/neighborhood_sampler.h"
+
+#include <algorithm>
+
+namespace tristream {
+namespace core {
+
+Triangle TriangleFromWedge(const Edge& e1, const Edge& e2) {
+  const VertexId shared = e1.SharedVertex(e2);
+  TRISTREAM_DCHECK(shared != kInvalidVertex);
+  VertexId t[3] = {shared, e1.Other(shared), e2.Other(shared)};
+  std::sort(t, t + 3);
+  return Triangle{t[0], t[1], t[2]};
+}
+
+Edge ClosingEdge(const Edge& e1, const Edge& e2) {
+  const VertexId shared = e1.SharedVertex(e2);
+  TRISTREAM_DCHECK(shared != kInvalidVertex);
+  return Edge(e1.Other(shared), e2.Other(shared));
+}
+
+void NeighborhoodSampler::Process(const Edge& e, Rng& rng) {
+  const std::uint64_t i = ++edges_seen_;
+  // Level-1 reservoir: replace with probability 1/i.
+  if (rng.CoinOneIn(i)) {
+    r1_ = StreamEdge(e, i - 1);
+    r2_ = StreamEdge();
+    c_ = 0;
+    has_triangle_ = false;
+    return;
+  }
+  if (!r1_.valid() || !e.Adjacent(r1_.edge)) return;
+  // e ∈ N(r1): level-2 reservoir over the adjacency substream.
+  ++c_;
+  if (rng.CoinOneIn(c_)) {
+    r2_ = StreamEdge(e, i - 1);
+    has_triangle_ = false;
+    return;
+  }
+  // Not sampled into level 2: e may close the current wedge instead. The
+  // closing edge is itself adjacent to r1, which is why this check lives in
+  // the adjacency branch (see Algorithm 1).
+  if (!has_triangle_ && r2_.valid() &&
+      e == ClosingEdge(r1_.edge, r2_.edge)) {
+    has_triangle_ = true;
+  }
+}
+
+void NeighborhoodSampler::Reset() {
+  r1_ = StreamEdge();
+  r2_ = StreamEdge();
+  c_ = 0;
+  edges_seen_ = 0;
+  has_triangle_ = false;
+}
+
+}  // namespace core
+}  // namespace tristream

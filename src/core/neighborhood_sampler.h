@@ -1,0 +1,105 @@
+// Neighborhood sampling for triangles: Algorithm 1 (NSAMP-TRIANGLE).
+//
+// One estimator maintains:
+//   r1 -- level-1 edge, uniform over the stream so far (reservoir);
+//   r2 -- level-2 edge, uniform over N(r1) = the edges adjacent to r1 that
+//         arrived after it (reservoir over that implicit substream);
+//   c  -- |N(r1)|, the level-2 eligible count;
+//   t  -- whether the wedge r1r2 was closed by a later edge.
+//
+// Lemma 3.1: the held triangle equals a fixed triangle t* with probability
+// 1/(m·C(t*)), so c·m (when a triangle is held) is an unbiased estimate of
+// τ(G) (Lemma 3.2), and m·c alone is an unbiased estimate of the wedge
+// count ζ(G) (Lemma 3.10 via Claim 3.9).
+
+#ifndef TRISTREAM_CORE_NEIGHBORHOOD_SAMPLER_H_
+#define TRISTREAM_CORE_NEIGHBORHOOD_SAMPLER_H_
+
+#include <cstdint>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace core {
+
+/// A triangle reported by a sampler: the three vertices in ascending order.
+struct Triangle {
+  VertexId a = kInvalidVertex;
+  VertexId b = kInvalidVertex;
+  VertexId c = kInvalidVertex;
+
+  friend constexpr bool operator==(const Triangle&, const Triangle&) =
+      default;
+};
+
+/// Builds the sorted Triangle spanned by an adjacent edge pair.
+/// Requires that the edges share exactly one vertex.
+Triangle TriangleFromWedge(const Edge& e1, const Edge& e2);
+
+/// Returns the unique edge that would close the wedge (e1, e2): the edge
+/// joining the two non-shared endpoints. Requires adjacency.
+Edge ClosingEdge(const Edge& e1, const Edge& e2);
+
+/// One neighborhood-sampling estimator (Algorithm 1). Feed every stream
+/// edge in arrival order via Process(); all randomness comes from the
+/// caller's Rng so that large estimator arrays share one generator.
+class NeighborhoodSampler {
+ public:
+  NeighborhoodSampler() = default;
+
+  /// Processes the next stream edge (the paper's "Upon receiving edge e_i").
+  void Process(const Edge& e, Rng& rng);
+
+  /// Edges observed so far (the stream position i, equal to the current m).
+  std::uint64_t edges_seen() const { return edges_seen_; }
+
+  /// Level-1 edge with its stream position; valid() is false before the
+  /// first edge arrives.
+  const StreamEdge& r1() const { return r1_; }
+
+  /// Level-2 edge with its stream position; valid() is false while N(r1)
+  /// is empty.
+  const StreamEdge& r2() const { return r2_; }
+
+  /// The level-2 eligible count c = |N(r1)| so far.
+  std::uint64_t c() const { return c_; }
+
+  /// True when the wedge r1r2 has been closed (a triangle is held).
+  bool has_triangle() const { return has_triangle_; }
+
+  /// The held triangle. Requires has_triangle().
+  Triangle triangle() const {
+    TRISTREAM_DCHECK(has_triangle_);
+    return TriangleFromWedge(r1_.edge, r2_.edge);
+  }
+
+  /// Unbiased triangle estimate τ̃ = c·m when a triangle is held, else 0
+  /// (Lemma 3.2).
+  double TriangleEstimate() const {
+    return has_triangle_
+               ? static_cast<double>(c_) * static_cast<double>(edges_seen_)
+               : 0.0;
+  }
+
+  /// Unbiased wedge estimate ζ̃ = m·c (Lemma 3.10).
+  double WedgeEstimate() const {
+    return static_cast<double>(c_) * static_cast<double>(edges_seen_);
+  }
+
+  /// Restores the initial empty state.
+  void Reset();
+
+ private:
+  StreamEdge r1_;
+  StreamEdge r2_;
+  std::uint64_t c_ = 0;
+  std::uint64_t edges_seen_ = 0;
+  bool has_triangle_ = false;
+};
+
+}  // namespace core
+}  // namespace tristream
+
+#endif  // TRISTREAM_CORE_NEIGHBORHOOD_SAMPLER_H_

@@ -1,0 +1,115 @@
+#include "core/parallel_counter.h"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace core {
+
+ParallelTriangleCounter::ParallelTriangleCounter(
+    const ParallelCounterOptions& options)
+    : options_(options) {
+  TRISTREAM_CHECK(options.num_estimators > 0);
+  std::uint32_t threads = options.num_threads != 0
+                              ? options.num_threads
+                              : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = static_cast<std::uint32_t>(
+      std::min<std::uint64_t>(threads, options.num_estimators));
+
+  // Derive per-shard seeds from the base seed so (seed, threads) pins the
+  // whole run.
+  Rng seeder(options.seed ^ (0x517a9dULL * threads));
+  const std::uint64_t base = options.num_estimators / threads;
+  const std::uint64_t remainder = options.num_estimators % threads;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    TriangleCounterOptions shard_opt;
+    shard_opt.num_estimators = base + (t < remainder ? 1 : 0);
+    shard_opt.seed = seeder.Next();
+    shard_opt.aggregation = options.aggregation;
+    shard_opt.median_groups = options.median_groups;
+    // Shards never self-batch: this wrapper owns batching so that all
+    // shards see identical batch boundaries.
+    shard_opt.batch_size = std::numeric_limits<std::size_t>::max();
+    shards_.push_back(std::make_unique<TriangleCounter>(shard_opt));
+  }
+  batch_size_ = options.batch_size != 0
+                    ? options.batch_size
+                    : static_cast<std::size_t>(8 * options.num_estimators /
+                                               threads);
+  if (batch_size_ == 0) batch_size_ = 1;
+  pending_.reserve(batch_size_);
+}
+
+void ParallelTriangleCounter::ProcessEdge(const Edge& e) {
+  pending_.push_back(e);
+  if (pending_.size() >= batch_size_) ApplyPendingParallel();
+}
+
+void ParallelTriangleCounter::ProcessEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) {
+    pending_.push_back(e);
+    if (pending_.size() >= batch_size_) ApplyPendingParallel();
+  }
+}
+
+void ParallelTriangleCounter::Flush() {
+  if (!pending_.empty()) ApplyPendingParallel();
+}
+
+void ParallelTriangleCounter::ApplyPendingParallel() {
+  std::span<const Edge> batch(pending_);
+  if (shards_.size() == 1) {
+    shards_[0]->ProcessEdges(batch);
+    shards_[0]->Flush();
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      workers.emplace_back([&shard, batch] {
+        shard->ProcessEdges(batch);
+        shard->Flush();
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  }
+  applied_edges_ += pending_.size();
+  pending_.clear();
+}
+
+std::vector<double> ParallelTriangleCounter::Gather(
+    std::vector<double> (TriangleCounter::*per_estimator)()) {
+  Flush();
+  std::vector<double> all;
+  all.reserve(options_.num_estimators);
+  for (auto& shard : shards_) {
+    std::vector<double> part = ((*shard).*per_estimator)();
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
+double ParallelTriangleCounter::EstimateTriangles() {
+  return AggregateEstimates(
+      Gather(&TriangleCounter::PerEstimatorTriangleEstimates),
+      options_.aggregation, options_.median_groups);
+}
+
+double ParallelTriangleCounter::EstimateWedges() {
+  return AggregateEstimates(
+      Gather(&TriangleCounter::PerEstimatorWedgeEstimates),
+      options_.aggregation, options_.median_groups);
+}
+
+double ParallelTriangleCounter::EstimateTransitivity() {
+  const double wedges = EstimateWedges();
+  if (wedges <= 0.0) return 0.0;
+  return 3.0 * EstimateTriangles() / wedges;
+}
+
+}  // namespace core
+}  // namespace tristream

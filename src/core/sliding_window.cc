@@ -1,0 +1,109 @@
+#include "core/sliding_window.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace tristream {
+namespace core {
+
+SlidingWindowTriangleCounter::SlidingWindowTriangleCounter(
+    const SlidingWindowOptions& options)
+    : options_(options), rng_(options.seed), chains_(options.num_estimators) {
+  TRISTREAM_CHECK(options.window_size > 0);
+  TRISTREAM_CHECK(options.num_estimators > 0);
+}
+
+void SlidingWindowTriangleCounter::ProcessEdge(const Edge& e) {
+  const std::uint64_t pos = edges_seen_++;
+  const std::uint64_t expire_before =
+      pos >= options_.window_size ? pos - options_.window_size + 1 : 0;
+  for (auto& chain : chains_) {
+    // Expire the head when it slides out; the next suffix minimum takes
+    // over with its fully maintained level-2 state.
+    while (!chain.empty() && chain.front().edge.pos < expire_before) {
+      chain.pop_front();
+    }
+    // Advance every chain element's level-2 neighborhood sampling with the
+    // new edge (the new edge is "after" each of them by construction).
+    for (ChainNode& node : chain) {
+      if (!e.Adjacent(node.edge.edge)) continue;
+      ++node.c;
+      if (rng_.CoinOneIn(node.c)) {
+        node.r2 = StreamEdge(e, pos);
+        node.has_triangle = false;
+      } else if (node.r2.valid() && !node.has_triangle &&
+                 e == ClosingEdge(node.edge.edge, node.r2.edge)) {
+        node.has_triangle = true;
+      }
+    }
+    // Maintain the suffix-minima structure: the new edge's priority evicts
+    // every tail element with a larger-or-equal priority.
+    const double priority = rng_.UniformReal();
+    while (!chain.empty() && chain.back().priority >= priority) {
+      chain.pop_back();
+    }
+    ChainNode node;
+    node.edge = StreamEdge(e, pos);
+    node.priority = priority;
+    chain.push_back(node);
+  }
+}
+
+void SlidingWindowTriangleCounter::ProcessEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) ProcessEdge(e);
+}
+
+std::uint64_t SlidingWindowTriangleCounter::window_edge_count() const {
+  return std::min(edges_seen_, options_.window_size);
+}
+
+double SlidingWindowTriangleCounter::EstimateTriangles() const {
+  const auto window = static_cast<double>(window_edge_count());
+  std::vector<double> values;
+  values.reserve(chains_.size());
+  for (const auto& chain : chains_) {
+    if (chain.empty()) {
+      values.push_back(0.0);
+      continue;
+    }
+    const ChainNode& head = chain.front();
+    values.push_back(head.has_triangle
+                         ? static_cast<double>(head.c) * window
+                         : 0.0);
+  }
+  return AggregateEstimates(values, options_.aggregation,
+                            options_.median_groups);
+}
+
+double SlidingWindowTriangleCounter::EstimateWedges() const {
+  const auto window = static_cast<double>(window_edge_count());
+  std::vector<double> values;
+  values.reserve(chains_.size());
+  for (const auto& chain : chains_) {
+    values.push_back(chain.empty() ? 0.0
+                                   : static_cast<double>(chain.front().c) *
+                                         window);
+  }
+  return AggregateEstimates(values, options_.aggregation,
+                            options_.median_groups);
+}
+
+double SlidingWindowTriangleCounter::EstimateTransitivity() const {
+  const double wedges = EstimateWedges();
+  if (wedges <= 0.0) return 0.0;
+  return 3.0 * EstimateTriangles() / wedges;
+}
+
+double SlidingWindowTriangleCounter::MeanChainLength() const {
+  if (chains_.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& chain : chains_) {
+    total += static_cast<double>(chain.size());
+  }
+  return total / static_cast<double>(chains_.size());
+}
+
+}  // namespace core
+}  // namespace tristream

@@ -1,0 +1,96 @@
+// Sequence-based sliding-window triangle counting (Sec. 5.2, Theorem 5.8).
+//
+// The window holds the most recent `window_size` edges. Level-1 sampling
+// over a sliding window uses the chain-sample of Babcock, Datar and
+// Motwani: every edge gets an i.i.d. priority ρ ∈ [0,1), and the estimator
+// keeps the chain of *suffix minima* -- positions l1 < l2 < ... where
+// ρ(l1) is minimal in the window and ρ(l_{k+1}) is minimal after l_k. The
+// chain head is then a uniform sample of the window, and when it expires
+// the next chain element takes over without rescanning. Each chain element
+// carries its own level-2 neighborhood-sampling state (r2, c, triangle
+// flag), which stays window-valid because N(e) only contains edges newer
+// than e. Expected chain length is Θ(log w), giving O(r·log w) space.
+
+#ifndef TRISTREAM_CORE_SLIDING_WINDOW_H_
+#define TRISTREAM_CORE_SLIDING_WINDOW_H_
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "core/neighborhood_sampler.h"
+#include "core/triangle_counter.h"
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace core {
+
+/// Configuration for the sliding-window counter.
+struct SlidingWindowOptions {
+  /// Window size w in edges (sequence-based).
+  std::uint64_t window_size = 1 << 16;
+  /// Number of independent estimators r.
+  std::uint64_t num_estimators = 1 << 10;
+  std::uint64_t seed = 0x51de14d05eedULL;
+  Aggregation aggregation = Aggregation::kMean;
+  std::uint32_t median_groups = 12;
+};
+
+/// Streaming (ε, δ)-estimator of the triangle count of the most recent w
+/// edges.
+class SlidingWindowTriangleCounter {
+ public:
+  explicit SlidingWindowTriangleCounter(const SlidingWindowOptions& options);
+
+  /// Processes the next stream edge, expiring anything older than w edges.
+  void ProcessEdge(const Edge& e);
+  void ProcessEdges(std::span<const Edge> edges);
+
+  /// Total edges ever seen.
+  std::uint64_t edges_seen() const { return edges_seen_; }
+
+  /// Edges currently inside the window: min(edges_seen, window_size).
+  std::uint64_t window_edge_count() const;
+
+  /// Aggregated estimate of the triangle count of the window's subgraph.
+  double EstimateTriangles() const;
+
+  /// Aggregated estimate of the window's wedge count.
+  double EstimateWedges() const;
+
+  /// Estimate of the window's transitivity coefficient 3τ̂/ζ̂ (0 when the
+  /// wedge estimate is 0) -- Theorem 3.12 applied within the window.
+  double EstimateTransitivity() const;
+
+  /// Mean chain length across estimators (Theorem 5.8 predicts Θ(log w);
+  /// exposed for tests and the sliding-window bench).
+  double MeanChainLength() const;
+
+  /// One element of a chain sample: the sampled edge, its priority, and
+  /// its private level-2 state.
+  struct ChainNode {
+    StreamEdge edge;
+    double priority = 0.0;
+    StreamEdge r2;
+    std::uint64_t c = 0;
+    bool has_triangle = false;
+  };
+
+  /// The chain of one estimator (head first). For tests.
+  const std::deque<ChainNode>& chain(std::size_t estimator) const {
+    return chains_[estimator];
+  }
+
+ private:
+  SlidingWindowOptions options_;
+  Rng rng_;
+  std::vector<std::deque<ChainNode>> chains_;
+  std::uint64_t edges_seen_ = 0;
+};
+
+}  // namespace core
+}  // namespace tristream
+
+#endif  // TRISTREAM_CORE_SLIDING_WINDOW_H_

@@ -1,0 +1,346 @@
+#include "core/triangle_counter.h"
+
+#include <algorithm>
+
+#include "core/bulk_engine.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace tristream {
+namespace core {
+namespace {
+
+constexpr std::uint32_t kNil = 0xffffffffu;
+
+double TransitivityFrom(double triangles, double wedges) {
+  if (wedges <= 0.0) return 0.0;
+  return 3.0 * triangles / wedges;
+}
+
+}  // namespace
+
+double AggregateEstimates(const std::vector<double>& values,
+                          Aggregation aggregation,
+                          std::uint32_t median_groups) {
+  switch (aggregation) {
+    case Aggregation::kMean:
+      return Mean(values);
+    case Aggregation::kMedianOfMeans:
+      return MedianOfMeans(values, median_groups);
+  }
+  return Mean(values);
+}
+
+// ------------------------------------------------------------------ naive
+
+NaiveTriangleCounter::NaiveTriangleCounter(
+    const TriangleCounterOptions& options)
+    : options_(options),
+      rng_(options.seed),
+      estimators_(options.num_estimators) {
+  TRISTREAM_CHECK(options.num_estimators > 0);
+}
+
+void NaiveTriangleCounter::ProcessEdge(const Edge& e) {
+  ++edges_processed_;
+  for (NeighborhoodSampler& est : estimators_) est.Process(e, rng_);
+}
+
+void NaiveTriangleCounter::ProcessEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) ProcessEdge(e);
+}
+
+double NaiveTriangleCounter::EstimateTriangles() const {
+  std::vector<double> values;
+  values.reserve(estimators_.size());
+  for (const NeighborhoodSampler& est : estimators_) {
+    values.push_back(est.TriangleEstimate());
+  }
+  return AggregateEstimates(values, options_.aggregation,
+                            options_.median_groups);
+}
+
+double NaiveTriangleCounter::EstimateWedges() const {
+  std::vector<double> values;
+  values.reserve(estimators_.size());
+  for (const NeighborhoodSampler& est : estimators_) {
+    values.push_back(est.WedgeEstimate());
+  }
+  return AggregateEstimates(values, options_.aggregation,
+                            options_.median_groups);
+}
+
+double NaiveTriangleCounter::EstimateTransitivity() const {
+  return TransitivityFrom(EstimateTriangles(), EstimateWedges());
+}
+
+// ------------------------------------------------------------------- bulk
+
+TriangleCounter::TriangleCounter(const TriangleCounterOptions& options)
+    : options_(options),
+      batch_size_(options.batch_size != 0
+                      ? options.batch_size
+                      : static_cast<std::size_t>(8 * options.num_estimators)),
+      rng_(options.seed),
+      states_(options.num_estimators),
+      deg_(1024),
+      level1_(1024),
+      level2_(1024),
+      closers_(1024),
+      chain_next_(options.num_estimators, kNil),
+      closer_next_(options.num_estimators, kNil),
+      beta_u_(options.num_estimators, 0),
+      beta_v_(options.num_estimators, 0) {
+  TRISTREAM_CHECK(options.num_estimators > 0);
+  TRISTREAM_CHECK(batch_size_ > 0);
+  // Callers may pass an effectively-infinite batch size to disable
+  // self-batching (the parallel wrapper owns batch boundaries); cap the
+  // eager reservation.
+  pending_.reserve(std::min<std::size_t>(batch_size_, std::size_t{1} << 22));
+}
+
+void TriangleCounter::ProcessEdge(const Edge& e) {
+  pending_.push_back(e);
+  if (pending_.size() >= batch_size_) Flush();
+}
+
+void TriangleCounter::ProcessEdges(std::span<const Edge> edges) {
+  for (const Edge& e : edges) {
+    pending_.push_back(e);
+    if (pending_.size() >= batch_size_) Flush();
+  }
+}
+
+void TriangleCounter::Flush() {
+  if (pending_.empty()) return;
+  ApplyBatch(pending_);
+  applied_edges_ += pending_.size();
+  pending_.clear();
+}
+
+void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
+  const std::uint64_t m_before = applied_edges_;
+  const std::uint64_t w = batch.size();
+  const std::uint64_t r = states_.size();
+
+  // ---------------------------------------------------------------------
+  // Step 1 -- level-1 resampling. Keep the current edge with probability
+  // m/(m+w); otherwise install a uniformly chosen batch edge and reset the
+  // level-2 state. Estimators that picked batch index j are chained into
+  // L[j] so Step 2a can record their β values during the sweep.
+  // ---------------------------------------------------------------------
+  level1_.Clear();
+  std::fill(beta_u_.begin(), beta_u_.end(), 0u);
+  std::fill(beta_v_.begin(), beta_v_.end(), 0u);
+
+  auto replace_level1 = [&](std::uint64_t est_idx, std::uint64_t batch_idx) {
+    EstimatorState& st = states_[est_idx];
+    st.r1 = batch[batch_idx];
+    st.r1_pos = m_before + batch_idx;
+    st.r2 = Edge();
+    st.r2_pos = kInvalidEdgeIndex;
+    st.c = 0;
+    st.has_triangle = false;
+    // Chain-head convention for all three tables: a stored value of 0 means
+    // "empty" (operator[] default-constructs to 0), otherwise head-1 is the
+    // first estimator index of the chain.
+    std::uint32_t& head = level1_[batch_idx];
+    chain_next_[est_idx] = head == 0 ? kNil : head - 1;
+    head = static_cast<std::uint32_t>(est_idx) + 1;
+  };
+
+  const double replace_prob =
+      static_cast<double>(w) / static_cast<double>(m_before + w);
+  if (options_.use_geometric_skip && replace_prob < 1.0) {
+    // Jump directly between the estimators whose level-1 coin lands heads
+    // (Sec. 4: gaps between successes are Geometric(p)).
+    std::uint64_t est = rng_.GeometricSkip(replace_prob);
+    while (est < r) {
+      replace_level1(est, rng_.UniformBelow(w));
+      const std::uint64_t gap = rng_.GeometricSkip(replace_prob);
+      if (gap >= r) break;  // next success is past the array (avoids wrap)
+      est += 1 + gap;
+    }
+  } else {
+    for (std::uint64_t est = 0; est < r; ++est) {
+      const std::uint64_t pick = rng_.UniformBelow(m_before + w);
+      if (pick >= m_before) replace_level1(est, pick - m_before);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Step 2a -- first edgeIter sweep: record β(r1)(x), β(r1)(y) for every
+  // estimator that replaced its level-1 edge (Observation 3.6 needs the
+  // degree snapshot at the moment r1 was added). After the sweep, deg_
+  // holds deg_B.
+  // ---------------------------------------------------------------------
+  RunEdgeIter(
+      batch, deg_,
+      [&](std::size_t j, const Edge&) {  // EVENTA
+        const std::uint32_t* head = level1_.Find(j);
+        if (head == nullptr || *head == 0) return;
+        for (std::uint32_t i = *head - 1; i != kNil; i = chain_next_[i]) {
+          const EstimatorState& st = states_[i];
+          beta_u_[i] = *deg_.Find(st.r1.u);
+          beta_v_[i] = *deg_.Find(st.r1.v);
+        }
+      },
+      [](std::size_t, const Edge&, VertexId, std::uint32_t) {});
+
+  // ---------------------------------------------------------------------
+  // Step 2b -- choose every estimator's level-2 edge over the combined
+  // candidate space: c− old candidates plus c+ = a + b in-batch candidates
+  // (Algorithm 3's translation of a uniform draw into an EVENTB
+  // subscription in P, or "keep current r2"). Estimators keeping an open
+  // wedge subscribe their awaited closing edge in Q for the Step-3 pass.
+  // ---------------------------------------------------------------------
+  level2_.Clear();
+  closers_.Clear();
+  std::uint64_t pending_assignments = 0;
+
+  auto subscribe_closer = [&](std::uint32_t est_idx) {
+    const EstimatorState& st = states_[est_idx];
+    const std::uint64_t key = ClosingEdge(st.r1, st.r2).Key();
+    std::uint32_t& head = closers_[key];
+    closer_next_[est_idx] = head == 0 ? kNil : head - 1;
+    head = est_idx + 1;
+  };
+
+  for (std::uint64_t i = 0; i < r; ++i) {
+    EstimatorState& st = states_[i];
+    st.r2_pending = false;
+    if (!st.has_r1()) continue;  // impossible once w >= 1, kept for safety
+    const std::uint32_t* du = deg_.Find(st.r1.u);
+    const std::uint32_t* dv = deg_.Find(st.r1.v);
+    const std::uint64_t a = (du != nullptr ? *du : 0) - beta_u_[i];
+    const std::uint64_t b = (dv != nullptr ? *dv : 0) - beta_v_[i];
+    const std::uint64_t c_minus = st.c;
+    const std::uint64_t c_total = c_minus + a + b;
+    st.c = c_total;
+    if (a + b == 0) {
+      // No in-batch neighbors: nothing to sample, no closer can arrive.
+      continue;
+    }
+    const std::uint64_t phi = rng_.UniformInt(1, c_total);
+    if (phi <= c_minus) {
+      // Keep the current r2; its wedge may still be closed by a batch edge.
+      if (st.has_r2() && !st.has_triangle) subscribe_closer(i);
+      continue;
+    }
+    // Algorithm 3: translate the draw into the EVENTB that identifies the
+    // chosen in-batch edge.
+    std::uint64_t event_key;
+    if (phi <= c_minus + a) {
+      event_key = PackEventKey(
+          st.r1.u, beta_u_[i] + static_cast<std::uint32_t>(phi - c_minus));
+    } else {
+      event_key = PackEventKey(
+          st.r1.v,
+          beta_v_[i] + static_cast<std::uint32_t>(phi - c_minus - a));
+    }
+    st.r2 = Edge();
+    st.r2_pos = kInvalidEdgeIndex;
+    st.r2_pending = true;
+    st.has_triangle = false;
+    std::uint32_t& head = level2_[event_key];
+    chain_next_[i] = head == 0 ? kNil : head - 1;
+    head = static_cast<std::uint32_t>(i) + 1;
+    ++pending_assignments;
+  }
+
+  // ---------------------------------------------------------------------
+  // Steps 2c + 3 -- second edgeIter sweep (the paper's Sec. 4 notes merge
+  // these into one pass). Per edge, first complete any wedge awaiting this
+  // edge as its closer (Q), then deliver EVENTB subscriptions (P), turning
+  // event picks into concrete level-2 edges whose own closers are then
+  // subscribed in Q for the remainder of the batch.
+  // ---------------------------------------------------------------------
+  std::uint64_t performed_assignments = 0;
+  RunEdgeIter(
+      batch, deg_,
+      [&](std::size_t j, const Edge& e) {  // EVENTA: closing-edge check
+        const std::uint32_t* head = closers_.Find(e.Key());
+        if (head == nullptr || *head == 0) return;
+        const std::uint64_t pos = m_before + j;
+        (void)pos;
+        for (std::uint32_t i = *head - 1; i != kNil; i = closer_next_[i]) {
+          EstimatorState& st = states_[i];
+          TRISTREAM_DCHECK(st.r2_pos < pos);
+          st.has_triangle = true;
+        }
+      },
+      [&](std::size_t j, const Edge& e, VertexId v, std::uint32_t d) {
+        // EVENTB(j, e, v, d): deliver pending level-2 assignments.
+        std::uint32_t* head = level2_.Find(PackEventKey(v, d));
+        if (head == nullptr || *head == 0) return;
+        for (std::uint32_t i = *head - 1; i != kNil; i = chain_next_[i]) {
+          EstimatorState& st = states_[i];
+          TRISTREAM_DCHECK(st.r2_pending);
+          st.r2 = e;
+          st.r2_pos = m_before + j;
+          st.r2_pending = false;
+          st.has_triangle = false;
+          subscribe_closer(i);
+          ++performed_assignments;
+        }
+        *head = 0;  // chain consumed; the event cannot fire again
+      });
+  TRISTREAM_CHECK_EQ(pending_assignments, performed_assignments);
+}
+
+std::vector<double> TriangleCounter::PerEstimatorTriangleEstimates() {
+  Flush();
+  std::vector<double> values;
+  values.reserve(states_.size());
+  const auto m = static_cast<double>(applied_edges_);
+  for (const EstimatorState& st : states_) {
+    values.push_back(st.has_triangle ? static_cast<double>(st.c) * m : 0.0);
+  }
+  return values;
+}
+
+std::vector<double> TriangleCounter::PerEstimatorWedgeEstimates() {
+  Flush();
+  std::vector<double> values;
+  values.reserve(states_.size());
+  const auto m = static_cast<double>(applied_edges_);
+  for (const EstimatorState& st : states_) {
+    values.push_back(static_cast<double>(st.c) * m);
+  }
+  return values;
+}
+
+double TriangleCounter::EstimateTriangles() {
+  return AggregateEstimates(PerEstimatorTriangleEstimates(),
+                            options_.aggregation, options_.median_groups);
+}
+
+double TriangleCounter::EstimateWedges() {
+  return AggregateEstimates(PerEstimatorWedgeEstimates(),
+                            options_.aggregation, options_.median_groups);
+}
+
+double TriangleCounter::EstimateTransitivity() {
+  return TransitivityFrom(EstimateTriangles(), EstimateWedges());
+}
+
+const std::vector<EstimatorState>& TriangleCounter::estimators() {
+  Flush();
+  return states_;
+}
+
+TriangleCounter::MemoryStats TriangleCounter::ApproxMemoryUsage() const {
+  MemoryStats stats;
+  stats.per_estimator_bytes = sizeof(EstimatorState);
+  stats.estimator_bytes = states_.capacity() * sizeof(EstimatorState);
+  stats.batch_scratch_bytes =
+      pending_.capacity() * sizeof(Edge) + deg_.MemoryBytes() +
+      level1_.MemoryBytes() + level2_.MemoryBytes() + closers_.MemoryBytes() +
+      (chain_next_.capacity() + closer_next_.capacity() +
+       beta_u_.capacity() + beta_v_.capacity()) *
+          sizeof(std::uint32_t);
+  return stats;
+}
+
+}  // namespace core
+}  // namespace tristream

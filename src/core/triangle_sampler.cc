@@ -1,0 +1,68 @@
+#include "core/triangle_sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tristream {
+namespace core {
+
+TriangleSampler::TriangleSampler(const TriangleSamplerOptions& options)
+    : options_(options),
+      counter_([&options] {
+        TriangleCounterOptions copt;
+        copt.num_estimators = options.num_estimators;
+        copt.seed = options.seed;
+        copt.batch_size = options.batch_size;
+        return copt;
+      }()),
+      sample_rng_(options.seed ^ 0xacceb7ed5a3b1e5ULL) {
+  TRISTREAM_CHECK(options.max_degree_bound > 0)
+      << "TriangleSampler needs a positive max-degree bound (the paper's Δ)";
+}
+
+Result<TriangleSampler::SampleResult> TriangleSampler::Sample(
+    std::uint64_t k) {
+  const double two_delta = 2.0 * static_cast<double>(options_.max_degree_bound);
+  SampleResult result;
+  std::vector<Triangle> accepted;
+  for (const EstimatorState& st : counter_.estimators()) {
+    if (!st.has_triangle) continue;
+    ++result.held;
+    // C(t) = c <= 2Δ must hold for a valid bound; a violation proves the
+    // configured bound wrong (and would break uniformity).
+    if (static_cast<double>(st.c) > two_delta) {
+      return Status::InvalidArgument(
+          "max_degree_bound too small: observed c = " + std::to_string(st.c) +
+          " > 2Δ = " + std::to_string(2 * options_.max_degree_bound));
+    }
+    // Lemma 3.7: accept with probability c/(2Δ), cancelling the 1/C(t)
+    // neighborhood-sampling bias.
+    if (sample_rng_.Coin(static_cast<double>(st.c) / two_delta)) {
+      accepted.push_back(TriangleFromWedge(st.r1, st.r2));
+    }
+  }
+  result.accepted = accepted.size();
+  if (accepted.size() < k) {
+    return Status::FailedPrecondition(
+        "only " + std::to_string(accepted.size()) + " of " +
+        std::to_string(counter_.estimators().size()) +
+        " copies yielded a triangle; need k = " + std::to_string(k) +
+        " (increase num_estimators per Theorem 3.8)");
+  }
+  // Pick k of the accepted copies at random; each copy holds an
+  // independent uniform triangle.
+  std::shuffle(accepted.begin(), accepted.end(), sample_rng_);
+  result.triangles.assign(accepted.begin(), accepted.begin() + k);
+  return result;
+}
+
+double TriangleSampler::PerCopyYieldBound(double tau_estimate) const {
+  const auto m = static_cast<double>(counter_.edges_processed());
+  if (m == 0.0) return 0.0;
+  return tau_estimate /
+         (2.0 * m * static_cast<double>(options_.max_degree_bound));
+}
+
+}  // namespace core
+}  // namespace tristream

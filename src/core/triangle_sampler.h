@@ -1,0 +1,106 @@
+// Uniform triangle sampling (Sec. 3.4).
+//
+// Neighborhood sampling alone holds a *biased* random triangle: triangle t
+// is held with probability 1/(m·C(t)) (Lemma 3.1), so "tangled" triangles
+// (large C) are under-represented. Lemma 3.7's unifTri fixes this by
+// accepting the held triangle with probability c/(2Δ) -- the factor that
+// exactly cancels the 1/C(t) bias -- leaving every triangle equally likely
+// (probability 1/(2mΔ) each). Theorem 3.8: r >= 4mkΔ·ln(e/δ)/τ estimator
+// copies yield k uniform-with-replacement triangles w.p. >= 1-δ.
+//
+// The paper treats the maximum degree Δ as known. Options carries the
+// bound; any upper bound on Δ preserves exact uniformity (only the yield
+// degrades), and a wrong (too small) bound is detected at sampling time
+// because some estimator's c then exceeds 2Δ. MaxDegreeTracker offers an
+// exact running Δ for callers who can afford O(active vertices) memory.
+
+#ifndef TRISTREAM_CORE_TRIANGLE_SAMPLER_H_
+#define TRISTREAM_CORE_TRIANGLE_SAMPLER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/triangle_counter.h"
+#include "util/flat_hash_map.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace core {
+
+/// Exact running maximum degree over a stream (hash map of degrees). Costs
+/// O(#active vertices) space -- optional, for callers without an a-priori
+/// degree bound.
+class MaxDegreeTracker {
+ public:
+  MaxDegreeTracker() : degrees_(1 << 12) {}
+
+  /// Accounts one stream edge.
+  void Process(const Edge& e) {
+    max_degree_ = std::max(max_degree_,
+                           static_cast<std::uint64_t>(++degrees_[e.u]));
+    max_degree_ = std::max(max_degree_,
+                           static_cast<std::uint64_t>(++degrees_[e.v]));
+  }
+
+  /// Largest degree seen so far.
+  std::uint64_t max_degree() const { return max_degree_; }
+
+ private:
+  FlatHashMap<std::uint32_t> degrees_;
+  std::uint64_t max_degree_ = 0;
+};
+
+/// Configuration for TriangleSampler.
+struct TriangleSamplerOptions {
+  /// Estimator copies r (Theorem 3.8's yield knob).
+  std::uint64_t num_estimators = 1 << 16;
+  std::uint64_t seed = 0xb10ca8c0ffeeULL;
+  /// Upper bound on the maximum degree Δ of the stream; required.
+  std::uint64_t max_degree_bound = 0;
+  /// Bulk batch size for the underlying counter (0 = default w = 8r).
+  std::size_t batch_size = 0;
+};
+
+/// Maintains k-uniform triangle samples over an adjacency stream, built on
+/// the bulk estimator engine.
+class TriangleSampler {
+ public:
+  explicit TriangleSampler(const TriangleSamplerOptions& options);
+
+  /// Feeds stream edges.
+  void ProcessEdge(const Edge& e) { counter_.ProcessEdge(e); }
+  void ProcessEdges(std::span<const Edge> edges) {
+    counter_.ProcessEdges(edges);
+  }
+
+  std::uint64_t edges_processed() const { return counter_.edges_processed(); }
+
+  /// Outcome of one sampling query.
+  struct SampleResult {
+    std::vector<Triangle> triangles;   // k uniform samples
+    std::uint64_t held = 0;            // estimators holding any triangle
+    std::uint64_t accepted = 0;        // survivors of the c/(2Δ) filter
+  };
+
+  /// Draws `k` uniformly distributed triangles (with replacement in the
+  /// distribution sense: independent copies, duplicates possible). Fails
+  /// with FailedPrecondition when fewer than k copies yield a triangle
+  /// (Theorem 3.8's failure event) and with InvalidArgument when the
+  /// configured degree bound is proven wrong (some c > 2Δ).
+  Result<SampleResult> Sample(std::uint64_t k);
+
+  /// The per-copy success probability lower bound τ/(2mΔ) of Lemma 3.7,
+  /// using an externally supplied τ (e.g. from TriangleCounter).
+  double PerCopyYieldBound(double tau_estimate) const;
+
+ private:
+  TriangleSamplerOptions options_;
+  TriangleCounter counter_;
+  Rng sample_rng_;
+};
+
+}  // namespace core
+}  // namespace tristream
+
+#endif  // TRISTREAM_CORE_TRIANGLE_SAMPLER_H_

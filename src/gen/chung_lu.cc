@@ -1,0 +1,44 @@
+#include "gen/chung_lu.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gen/weighted_sampler.h"
+#include "util/flat_hash_map.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+
+graph::EdgeList ChungLuPowerLaw(VertexId num_vertices, std::uint64_t num_edges,
+                                double exponent, std::uint64_t seed) {
+  TRISTREAM_CHECK(num_vertices >= 2);
+  TRISTREAM_CHECK(exponent > 1.0);
+  Rng rng(seed);
+  std::vector<double> weights(num_vertices);
+  const double alpha = 1.0 / (exponent - 1.0);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    weights[v] = std::pow(static_cast<double>(v) + 1.0, -alpha);
+  }
+  const DiscreteSampler sampler(weights);
+
+  FlatHashSet chosen(num_edges * 2);
+  graph::EdgeList out;
+  // Rejection sampling; the attempt cap guards against saturation of the
+  // heavy head (top-weight vertex pairs already all present).
+  const std::uint64_t max_attempts = 20 * num_edges + 1000;
+  for (std::uint64_t attempt = 0;
+       attempt < max_attempts && out.size() < num_edges; ++attempt) {
+    const auto u = static_cast<VertexId>(sampler.Sample(rng));
+    const auto v = static_cast<VertexId>(sampler.Sample(rng));
+    if (u == v) continue;
+    const Edge e(u, v);
+    if (!chosen.Insert(e.Key())) continue;
+    out.Add(e);
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace tristream

@@ -1,0 +1,29 @@
+// Chung–Lu random graphs with power-law expected degrees: the stand-in for
+// the paper's very skewed, triangle-poor datasets (Youtube-like regime with
+// large Δ and large mΔ/τ).
+
+#ifndef TRISTREAM_GEN_CHUNG_LU_H_
+#define TRISTREAM_GEN_CHUNG_LU_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace gen {
+
+/// Samples a simple graph with roughly `num_edges` edges where vertex v is
+/// chosen with probability proportional to (v+1)^(-1/(exponent-1)) on each
+/// endpoint (expected degrees follow a power law with the given exponent,
+/// typically in (2, 3]). Duplicate and self pairs are rejected, so the
+/// result can fall slightly short of num_edges on saturated weight heads;
+/// the actual count is the size of the returned list. Arrival order is the
+/// (random) generation order.
+graph::EdgeList ChungLuPowerLaw(VertexId num_vertices, std::uint64_t num_edges,
+                                double exponent, std::uint64_t seed);
+
+}  // namespace gen
+}  // namespace tristream
+
+#endif  // TRISTREAM_GEN_CHUNG_LU_H_

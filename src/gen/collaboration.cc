@@ -1,0 +1,56 @@
+#include "gen/collaboration.h"
+
+#include <cmath>
+#include <vector>
+
+#include "gen/weighted_sampler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+
+graph::EdgeList Collaboration(const CollaborationOptions& options,
+                              std::uint64_t seed) {
+  TRISTREAM_CHECK(options.num_authors >= 2);
+  Rng rng(seed);
+  std::vector<double> weights(options.num_authors);
+  for (VertexId a = 0; a < options.num_authors; ++a) {
+    weights[a] =
+        std::pow(static_cast<double>(a) + 1.0, -options.zipf_exponent);
+  }
+  const DiscreteSampler author_sampler(weights);
+
+  // Per-paper extra-author count: geometric-ish with the requested mean,
+  // truncated at max_extra_authors.
+  const double p_more =
+      options.mean_extra_authors / (1.0 + options.mean_extra_authors);
+
+  graph::EdgeList out;
+  std::vector<VertexId> team;
+  for (std::uint64_t paper = 0; paper < options.num_papers; ++paper) {
+    std::uint32_t team_size = 2;
+    while (team_size - 2 < options.max_extra_authors && rng.Coin(p_more)) {
+      ++team_size;
+    }
+    team.clear();
+    int attempts = 0;
+    while (team.size() < team_size && attempts < 200) {
+      ++attempts;
+      const auto a = static_cast<VertexId>(author_sampler.Sample(rng));
+      bool duplicate = false;
+      for (VertexId existing : team) duplicate |= (existing == a);
+      if (!duplicate) team.push_back(a);
+    }
+    for (std::size_t i = 0; i < team.size(); ++i) {
+      for (std::size_t j = i + 1; j < team.size(); ++j) {
+        out.Add(team[i], team[j]);
+      }
+    }
+  }
+  out.MakeSimple();
+  return out;
+}
+
+}  // namespace gen
+}  // namespace tristream

@@ -1,0 +1,43 @@
+#include "gen/erdos_renyi.h"
+
+#include "util/flat_hash_map.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+
+graph::EdgeList GnmRandom(VertexId num_vertices, std::uint64_t num_edges,
+                          std::uint64_t seed) {
+  const std::uint64_t n = num_vertices;
+  TRISTREAM_CHECK(n >= 2 || num_edges == 0);
+  TRISTREAM_CHECK(num_edges <= n * (n - 1) / 2)
+      << "more edges than a simple graph admits";
+  Rng rng(seed);
+  FlatHashSet chosen(num_edges * 2);
+  graph::EdgeList out;
+  while (out.size() < num_edges) {
+    const auto u = static_cast<VertexId>(rng.UniformBelow(n));
+    const auto v = static_cast<VertexId>(rng.UniformBelow(n));
+    if (u == v) continue;
+    const Edge e(u, v);
+    if (!chosen.Insert(e.Key())) continue;
+    out.Add(e);
+  }
+  return out;
+}
+
+graph::EdgeList GnpRandom(VertexId num_vertices, double edge_probability,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  graph::EdgeList out;
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (VertexId v = u + 1; v < num_vertices; ++v) {
+      if (rng.Coin(edge_probability)) out.Add(u, v);
+    }
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace tristream

@@ -1,0 +1,28 @@
+// Uniform random simple graphs.
+
+#ifndef TRISTREAM_GEN_ERDOS_RENYI_H_
+#define TRISTREAM_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace gen {
+
+/// G(n, m): exactly `num_edges` distinct edges chosen uniformly among the
+/// C(n,2) possibilities, in random arrival order. CHECK-fails when
+/// num_edges exceeds C(n,2).
+graph::EdgeList GnmRandom(VertexId num_vertices, std::uint64_t num_edges,
+                          std::uint64_t seed);
+
+/// G(n, p): each possible edge present independently with probability p.
+/// Intended for tests (O(n^2) time).
+graph::EdgeList GnpRandom(VertexId num_vertices, double edge_probability,
+                          std::uint64_t seed);
+
+}  // namespace gen
+}  // namespace tristream
+
+#endif  // TRISTREAM_GEN_ERDOS_RENYI_H_

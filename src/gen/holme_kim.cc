@@ -1,0 +1,83 @@
+#include "gen/holme_kim.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/flat_hash_map.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+namespace {
+
+// Attempts per edge before giving up (avoids livelock on tiny graphs).
+constexpr int kMaxAttempts = 64;
+
+}  // namespace
+
+graph::EdgeList HolmeKim(VertexId num_vertices, std::uint32_t edges_per_vertex,
+                         double triad_probability, std::uint64_t seed) {
+  TRISTREAM_CHECK(edges_per_vertex >= 1);
+  TRISTREAM_CHECK(triad_probability >= 0.0 && triad_probability <= 1.0);
+  const VertexId seed_size =
+      std::min<VertexId>(num_vertices, edges_per_vertex + 1);
+  Rng rng(seed);
+  graph::EdgeList out;
+  std::vector<std::vector<VertexId>> adjacency(num_vertices);
+  // `targets` holds every vertex once per incident edge; a uniform pick is
+  // a degree-proportional (preferential) pick.
+  std::vector<VertexId> targets;
+
+  auto add_edge = [&](VertexId a, VertexId b) {
+    out.Add(a, b);
+    adjacency[a].push_back(b);
+    adjacency[b].push_back(a);
+    targets.push_back(a);
+    targets.push_back(b);
+  };
+
+  // Seed clique so preferential attachment has somewhere to point.
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) add_edge(u, v);
+  }
+
+  FlatHashSet picked;  // neighbors already chosen by the arriving vertex
+  for (VertexId v = seed_size; v < num_vertices; ++v) {
+    picked.Clear();
+    const std::uint32_t budget = std::min<std::uint64_t>(edges_per_vertex, v);
+    VertexId prev_target = kInvalidVertex;
+    for (std::uint32_t k = 0; k < budget; ++k) {
+      VertexId chosen = kInvalidVertex;
+      for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+        VertexId candidate = kInvalidVertex;
+        if (k > 0 && prev_target != kInvalidVertex &&
+            !adjacency[prev_target].empty() && rng.Coin(triad_probability)) {
+          // Triad-closure step: a random neighbor of the previous target.
+          const auto& nbrs = adjacency[prev_target];
+          candidate = nbrs[rng.UniformBelow(nbrs.size())];
+        } else {
+          candidate = targets[rng.UniformBelow(targets.size())];
+        }
+        if (candidate == v || picked.Contains(candidate)) continue;
+        chosen = candidate;
+        break;
+      }
+      if (chosen == kInvalidVertex) break;
+      picked.Insert(chosen);
+      add_edge(v, chosen);
+      prev_target = chosen;
+    }
+  }
+  return out;
+}
+
+graph::EdgeList BarabasiAlbert(VertexId num_vertices,
+                               std::uint32_t edges_per_vertex,
+                               std::uint64_t seed) {
+  return HolmeKim(num_vertices, edges_per_vertex, /*triad_probability=*/0.0,
+                  seed);
+}
+
+}  // namespace gen
+}  // namespace tristream

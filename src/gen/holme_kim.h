@@ -1,0 +1,34 @@
+// Preferential attachment with tunable triadic closure (Holme–Kim model),
+// the stand-in family for the paper's social-media datasets: power-law
+// degrees with a controllable triangle density.
+
+#ifndef TRISTREAM_GEN_HOLME_KIM_H_
+#define TRISTREAM_GEN_HOLME_KIM_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace gen {
+
+/// Holme–Kim scale-free graph. Each arriving vertex attaches
+/// `edges_per_vertex` edges: the first by preferential attachment; each
+/// subsequent one with probability `triad_probability` to a random neighbor
+/// of the previous target (closing a triangle), otherwise again by
+/// preferential attachment. With triad_probability = 0 this is exactly
+/// Barabási–Albert. Edges arrive in generation order; shuffle for an
+/// arbitrary-order stream.
+graph::EdgeList HolmeKim(VertexId num_vertices, std::uint32_t edges_per_vertex,
+                         double triad_probability, std::uint64_t seed);
+
+/// Barabási–Albert preferential attachment (Holme–Kim with no closure).
+graph::EdgeList BarabasiAlbert(VertexId num_vertices,
+                               std::uint32_t edges_per_vertex,
+                               std::uint64_t seed);
+
+}  // namespace gen
+}  // namespace tristream
+
+#endif  // TRISTREAM_GEN_HOLME_KIM_H_

@@ -1,0 +1,38 @@
+#include "gen/index_lower_bound.h"
+
+#include "util/logging.h"
+
+namespace tristream {
+namespace gen {
+
+graph::EdgeList IndexLowerBoundGraph(const std::vector<bool>& bits,
+                                     std::size_t k, bool append_query) {
+  const std::size_t n = bits.size();
+  TRISTREAM_CHECK(k >= 1 && k <= n) << "index k must be in [1, n]";
+  const VertexId stride = static_cast<VertexId>(n) + 1;
+  auto a = [stride](std::size_t i) { return static_cast<VertexId>(i); };
+  auto b = [stride](std::size_t i) {
+    return stride + static_cast<VertexId>(i);
+  };
+  auto c = [stride](std::size_t i) {
+    return 2 * stride + static_cast<VertexId>(i);
+  };
+
+  graph::EdgeList out;
+  // Alice: the anchor triangle on index 0 ...
+  out.Add(a(0), b(0));
+  out.Add(b(0), c(0));
+  out.Add(c(0), a(0));
+  // ... and one (a_i, b_i) edge per set bit.
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (bits[i - 1]) out.Add(a(i), b(i));
+  }
+  if (append_query) {
+    out.Add(b(k), c(k));
+    out.Add(c(k), a(k));
+  }
+  return out;
+}
+
+}  // namespace gen
+}  // namespace tristream

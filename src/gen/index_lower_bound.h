@@ -1,0 +1,31 @@
+// The lower-bound construction G* of Theorem 3.13.
+//
+// Alice encodes a bit vector x ∈ {0,1}^n into a graph on vertex groups
+// {a_i}, {b_i}, {c_i}: a fixed triangle (a0, b0, c0) and an edge (a_i, b_i)
+// for every set bit. Bob appends (b_k, c_k) and (c_k, a_k); the final graph
+// has 2 triangles iff x_k = 1, and its T2 count is 0, separating the
+// adjacency-stream model from the incidence-stream model. Used by tests to
+// verify the construction's properties and by documentation examples.
+
+#ifndef TRISTREAM_GEN_INDEX_LOWER_BOUND_H_
+#define TRISTREAM_GEN_INDEX_LOWER_BOUND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace gen {
+
+/// Builds G*: Alice's edges from `bits`, then (when `append_query` is true)
+/// Bob's two edges for index `k` (1-based, k <= bits.size()). Vertex layout:
+/// a_i = i, b_i = (n+1) + i, c_i = 2(n+1) + i for i in [0, n].
+graph::EdgeList IndexLowerBoundGraph(const std::vector<bool>& bits,
+                                     std::size_t k, bool append_query);
+
+}  // namespace gen
+}  // namespace tristream
+
+#endif  // TRISTREAM_GEN_INDEX_LOWER_BOUND_H_

@@ -1,0 +1,73 @@
+#include "gen/triangle_regular.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+namespace {
+
+void AddK4(graph::EdgeList& out, VertexId base) {
+  for (VertexId i = 0; i < 4; ++i) {
+    for (VertexId j = i + 1; j < 4; ++j) out.Add(base + i, base + j);
+  }
+}
+
+void AddPrism(graph::EdgeList& out, VertexId base) {
+  // Two triangles {0,1,2} and {3,4,5} joined by a perfect matching.
+  out.Add(base + 0, base + 1);
+  out.Add(base + 1, base + 2);
+  out.Add(base + 0, base + 2);
+  out.Add(base + 3, base + 4);
+  out.Add(base + 4, base + 5);
+  out.Add(base + 3, base + 5);
+  out.Add(base + 0, base + 3);
+  out.Add(base + 1, base + 4);
+  out.Add(base + 2, base + 5);
+}
+
+}  // namespace
+
+Result<graph::EdgeList> TriangleRegular3(VertexId num_vertices,
+                                         std::uint64_t num_triangles,
+                                         std::uint64_t seed) {
+  const std::uint64_t n = num_vertices, tau = num_triangles;
+  if (tau > n || 3 * tau < n || (n - tau) % 4 != 0 || (3 * tau - n) % 8 != 0) {
+    return Status::InvalidArgument(
+        "no K4/prism mix realizes (n, tau): need tau <= n <= 3*tau, "
+        "(n-tau) % 4 == 0 and (3*tau-n) % 8 == 0");
+  }
+  const std::uint64_t prisms = (n - tau) / 4;
+  const std::uint64_t k4s = (3 * tau - n) / 8;
+
+  graph::EdgeList out;
+  VertexId base = 0;
+  for (std::uint64_t i = 0; i < k4s; ++i, base += 4) AddK4(out, base);
+  for (std::uint64_t i = 0; i < prisms; ++i, base += 6) AddPrism(out, base);
+
+  // Random arrival order and a random vertex relabeling so blocks are not
+  // contiguous in either ids or time.
+  Rng rng(seed);
+  std::vector<VertexId> relabel(base);
+  for (VertexId v = 0; v < base; ++v) relabel[v] = v;
+  std::shuffle(relabel.begin(), relabel.end(), rng);
+  std::vector<Edge> edges;
+  edges.reserve(out.size());
+  for (const Edge& e : out.edges()) {
+    edges.emplace_back(relabel[e.u], relabel[e.v]);
+  }
+  std::shuffle(edges.begin(), edges.end(), rng);
+  return graph::EdgeList(std::move(edges));
+}
+
+graph::EdgeList PaperSyn3Regular(std::uint64_t seed) {
+  auto result = TriangleRegular3(2000, 1000, seed);
+  TRISTREAM_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+}  // namespace gen
+}  // namespace tristream

@@ -1,0 +1,38 @@
+// Exact reconstruction of the paper's "Syn 3-reg" baseline dataset
+// (Sec. 4.2): a 3-regular graph with n = 2000 vertices, m = 3000 edges and
+// exactly tau = 1000 triangles, i.e. mΔ/τ = 9.
+//
+// A 3-regular graph with independently tunable (n, τ) can be assembled from
+// two disjoint building blocks:
+//   * K4   — 4 vertices, 6 edges, 3-regular, 4 triangles;
+//   * prism (K3 x K2) — 6 vertices, 9 edges, 3-regular, 2 triangles.
+// Solving 4a + 6b = n and 4a + 2b = τ gives b = (n - τ)/4 and
+// a = (3τ - n)/8; for the paper's parameters a = 125 K4s and b = 250 prisms.
+
+#ifndef TRISTREAM_GEN_TRIANGLE_REGULAR_H_
+#define TRISTREAM_GEN_TRIANGLE_REGULAR_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace gen {
+
+/// Builds a 3-regular graph with exactly `num_vertices` vertices and
+/// `num_triangles` triangles out of disjoint K4 and prism blocks, edges in
+/// random arrival order. Fails when no (K4, prism) mix realizes the pair:
+/// requires n <= 3τ, τ <= n, (n − τ) % 4 == 0 and (3τ − n) % 8 == 0.
+Result<graph::EdgeList> TriangleRegular3(VertexId num_vertices,
+                                         std::uint64_t num_triangles,
+                                         std::uint64_t seed);
+
+/// The paper's exact Syn 3-reg instance: n=2000, m=3000, τ=1000.
+graph::EdgeList PaperSyn3Regular(std::uint64_t seed);
+
+}  // namespace gen
+}  // namespace tristream
+
+#endif  // TRISTREAM_GEN_TRIANGLE_REGULAR_H_

@@ -1,0 +1,69 @@
+#include "gen/uniform_degree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/flat_hash_map.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+
+graph::EdgeList UniformDegreeGraph(VertexId num_vertices,
+                                   std::uint32_t min_degree,
+                                   std::uint32_t max_degree,
+                                   std::uint64_t seed) {
+  TRISTREAM_CHECK(min_degree <= max_degree);
+  TRISTREAM_CHECK(max_degree < num_vertices)
+      << "degrees must be realizable in a simple graph";
+  Rng rng(seed);
+  std::vector<VertexId> stubs;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const auto degree =
+        static_cast<std::uint32_t>(rng.UniformInt(min_degree, max_degree));
+    for (std::uint32_t i = 0; i < degree; ++i) stubs.push_back(v);
+  }
+  std::shuffle(stubs.begin(), stubs.end(), rng);
+
+  FlatHashSet chosen(stubs.size());
+  graph::EdgeList out;
+  // Erased configuration model: pair consecutive stubs, drop violations.
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    const VertexId u = stubs[i], v = stubs[i + 1];
+    if (u == v) continue;
+    const Edge e(u, v);
+    if (!chosen.Insert(e.Key())) continue;
+    out.Add(e);
+  }
+  return out;
+}
+
+graph::EdgeList ClusteredUniformDegreeGraph(VertexId num_vertices,
+                                            std::uint32_t clique_size,
+                                            std::uint32_t background_min,
+                                            std::uint32_t background_max,
+                                            std::uint64_t seed) {
+  TRISTREAM_CHECK(clique_size >= 2);
+  graph::EdgeList out;
+  // Disjoint cliques over consecutive vertex blocks.
+  for (VertexId base = 0; base + clique_size <= num_vertices;
+       base += clique_size) {
+    for (VertexId i = 0; i < clique_size; ++i) {
+      for (VertexId j = i + 1; j < clique_size; ++j) {
+        out.Add(base + i, base + j);
+      }
+    }
+  }
+  // Configuration-model background on top (collisions with clique edges
+  // are removed by the final MakeSimple; they are rare).
+  const graph::EdgeList background =
+      UniformDegreeGraph(num_vertices, background_min, background_max,
+                         seed ^ 0xbac09c0de5ULL);
+  for (const Edge& e : background.edges()) out.Add(e);
+  out.MakeSimple();
+  return out;
+}
+
+}  // namespace gen
+}  // namespace tristream

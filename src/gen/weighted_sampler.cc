@@ -1,0 +1,30 @@
+#include "gen/weighted_sampler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tristream {
+namespace gen {
+
+DiscreteSampler::DiscreteSampler(const std::vector<double>& weights) {
+  cumulative_.reserve(weights.size());
+  double running = 0.0;
+  for (double w : weights) {
+    TRISTREAM_CHECK(w >= 0.0) << "negative weight";
+    running += w;
+    cumulative_.push_back(running);
+  }
+  TRISTREAM_CHECK(running > 0.0) << "weights must have positive sum";
+}
+
+std::size_t DiscreteSampler::Sample(Rng& rng) const {
+  const double target = rng.UniformReal() * cumulative_.back();
+  const auto it =
+      std::upper_bound(cumulative_.begin(), cumulative_.end(), target);
+  const std::size_t idx = it - cumulative_.begin();
+  return std::min(idx, cumulative_.size() - 1);
+}
+
+}  // namespace gen
+}  // namespace tristream

@@ -1,0 +1,41 @@
+// Sampling from a fixed discrete distribution (cumulative-sum method).
+// Shared by the Chung–Lu and collaboration-graph generators, which draw
+// vertices proportionally to heavy-tailed weight sequences.
+
+#ifndef TRISTREAM_GEN_WEIGHTED_SAMPLER_H_
+#define TRISTREAM_GEN_WEIGHTED_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+
+/// Draws indices i with probability weights[i] / Σ weights. O(log n) per
+/// sample via binary search over the cumulative distribution.
+class DiscreteSampler {
+ public:
+  /// Builds the sampler. Weights must be non-negative with a positive sum.
+  explicit DiscreteSampler(const std::vector<double>& weights);
+
+  /// Samples one index.
+  std::size_t Sample(Rng& rng) const;
+
+  /// Number of categories.
+  std::size_t size() const { return cumulative_.size(); }
+
+  /// Total weight mass.
+  double total_weight() const {
+    return cumulative_.empty() ? 0.0 : cumulative_.back();
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+}  // namespace gen
+}  // namespace tristream
+
+#endif  // TRISTREAM_GEN_WEIGHTED_SAMPLER_H_

@@ -1,0 +1,52 @@
+#include "graph/csr.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tristream {
+namespace graph {
+
+Csr Csr::FromEdgeList(const EdgeList& edges) {
+  Csr csr;
+  csr.num_vertices_ = edges.VertexUniverse();
+  csr.offsets_.assign(csr.num_vertices_ + 1, 0);
+  for (const Edge& e : edges.edges()) {
+    TRISTREAM_CHECK(!e.self_loop()) << "self-loop in CSR input";
+    ++csr.offsets_[e.u + 1];
+    ++csr.offsets_[e.v + 1];
+  }
+  for (std::size_t v = 1; v < csr.offsets_.size(); ++v) {
+    csr.offsets_[v] += csr.offsets_[v - 1];
+  }
+  csr.adjacency_.resize(edges.size() * 2);
+  std::vector<std::uint64_t> cursor(csr.offsets_.begin(),
+                                    csr.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    csr.adjacency_[cursor[e.u]++] = e.v;
+    csr.adjacency_[cursor[e.v]++] = e.u;
+  }
+  for (VertexId v = 0; v < csr.num_vertices_; ++v) {
+    std::sort(csr.adjacency_.begin() + csr.offsets_[v],
+              csr.adjacency_.begin() + csr.offsets_[v + 1]);
+  }
+  return csr;
+}
+
+std::uint64_t Csr::MaxDegree() const {
+  std::uint64_t best = 0;
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+bool Csr::HasEdge(VertexId u, VertexId v) const {
+  if (u >= num_vertices_ || v >= num_vertices_) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace graph
+}  // namespace tristream

@@ -1,0 +1,62 @@
+// Compressed-sparse-row adjacency for the exact (offline) algorithms.
+//
+// The streaming estimators never materialize adjacency; CSR exists so that
+// ground truth (exact triangle counts, wedges, cliques, tangle coefficient)
+// can be computed for tests and for the accuracy columns of the benchmark
+// tables.
+
+#ifndef TRISTREAM_GRAPH_CSR_H_
+#define TRISTREAM_GRAPH_CSR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace graph {
+
+/// Immutable sorted-adjacency view of a simple undirected graph.
+class Csr {
+ public:
+  /// Builds adjacency from a simple edge list. CHECK-fails on self-loops;
+  /// duplicate edges must have been removed (use EdgeList::MakeSimple).
+  static Csr FromEdgeList(const EdgeList& edges);
+
+  /// Number of vertex ids in the universe [0, n).
+  VertexId num_vertices() const { return num_vertices_; }
+
+  /// Number of undirected edges m.
+  std::uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Sorted neighbor ids of v.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    return {adjacency_.data() + offsets_[v],
+            adjacency_.data() + offsets_[v + 1]};
+  }
+
+  /// Degree of v.
+  std::uint64_t Degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Maximum degree Δ.
+  std::uint64_t MaxDegree() const;
+
+  /// True when {u, v} is an edge (binary search over the smaller list).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+ private:
+  Csr() = default;
+
+  VertexId num_vertices_ = 0;
+  std::vector<std::uint64_t> offsets_;   // size n+1
+  std::vector<VertexId> adjacency_;      // size 2m, sorted per vertex
+};
+
+}  // namespace graph
+}  // namespace tristream
+
+#endif  // TRISTREAM_GRAPH_CSR_H_

@@ -1,0 +1,40 @@
+#include "graph/degree_stats.h"
+
+#include <algorithm>
+
+#include "graph/csr.h"
+#include "graph/exact.h"
+
+namespace tristream {
+namespace graph {
+
+GraphSummary Summarize(const EdgeList& edges, bool with_triangles) {
+  GraphSummary out;
+  out.num_edges = edges.size();
+  const auto degrees = edges.Degrees();
+  for (std::uint64_t d : degrees) {
+    if (d == 0) continue;
+    ++out.num_vertices;
+    out.max_degree = std::max(out.max_degree, d);
+    out.wedges += d * (d - 1) / 2;
+    out.degree_histogram.Add(d);
+  }
+  if (with_triangles) {
+    const Csr csr = Csr::FromEdgeList(edges);
+    out.triangles = CountTriangles(csr);
+    if (out.triangles > 0) {
+      out.m_delta_over_tau =
+          static_cast<double>(out.num_edges) *
+          static_cast<double>(out.max_degree) /
+          static_cast<double>(out.triangles);
+    }
+    if (out.wedges > 0) {
+      out.transitivity = 3.0 * static_cast<double>(out.triangles) /
+                         static_cast<double>(out.wedges);
+    }
+  }
+  return out;
+}
+
+}  // namespace graph
+}  // namespace tristream

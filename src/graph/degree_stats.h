@@ -1,0 +1,35 @@
+// Whole-graph summary in the shape of the paper's Figure 3 table:
+// n, m, Δ, τ, mΔ/τ, plus the degree-frequency histogram panel.
+
+#ifndef TRISTREAM_GRAPH_DEGREE_STATS_H_
+#define TRISTREAM_GRAPH_DEGREE_STATS_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/histogram.h"
+
+namespace tristream {
+namespace graph {
+
+/// One row of Figure 3 (left panel) plus the degree histogram (right panel).
+struct GraphSummary {
+  std::uint64_t num_vertices = 0;      // n: vertices with degree >= 1
+  std::uint64_t num_edges = 0;         // m
+  std::uint64_t max_degree = 0;        // Δ
+  std::uint64_t triangles = 0;         // τ
+  std::uint64_t wedges = 0;            // ζ
+  double m_delta_over_tau = 0.0;       // mΔ/τ, the paper's accuracy predictor
+  double transitivity = 0.0;           // κ = 3τ/ζ
+  Histogram degree_histogram;          // frequency vs degree
+};
+
+/// Computes the summary. When `with_triangles` is false the τ-dependent
+/// fields stay zero (useful for very large inputs where only the degree
+/// panel is needed).
+GraphSummary Summarize(const EdgeList& edges, bool with_triangles = true);
+
+}  // namespace graph
+}  // namespace tristream
+
+#endif  // TRISTREAM_GRAPH_DEGREE_STATS_H_

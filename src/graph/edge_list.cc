@@ -1,0 +1,68 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+
+#include "util/flat_hash_map.h"
+
+namespace tristream {
+namespace graph {
+
+VertexId EdgeList::VertexUniverse() const {
+  VertexId max_id = 0;
+  bool any = false;
+  for (const Edge& e : edges_) {
+    max_id = std::max({max_id, e.u, e.v});
+    any = true;
+  }
+  return any ? max_id + 1 : 0;
+}
+
+std::uint64_t EdgeList::CountActiveVertices() const {
+  FlatHashSet seen(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    seen.Insert(e.u);
+    seen.Insert(e.v);
+  }
+  return seen.size();
+}
+
+std::size_t EdgeList::MakeSimple() {
+  FlatHashSet seen(edges_.size());
+  std::size_t kept = 0;
+  for (const Edge& e : edges_) {
+    if (e.self_loop()) continue;
+    if (!seen.Insert(e.Key())) continue;
+    edges_[kept++] = e;
+  }
+  const std::size_t removed = edges_.size() - kept;
+  edges_.resize(kept);
+  return removed;
+}
+
+bool EdgeList::IsSimple() const {
+  FlatHashSet seen(edges_.size());
+  for (const Edge& e : edges_) {
+    if (e.self_loop()) return false;
+    if (!seen.Insert(e.Key())) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> EdgeList::Degrees() const {
+  std::vector<std::uint64_t> deg(VertexUniverse(), 0);
+  for (const Edge& e : edges_) {
+    ++deg[e.u];
+    ++deg[e.v];
+  }
+  return deg;
+}
+
+std::uint64_t EdgeList::MaxDegree() const {
+  const auto deg = Degrees();
+  std::uint64_t best = 0;
+  for (std::uint64_t d : deg) best = std::max(best, d);
+  return best;
+}
+
+}  // namespace graph
+}  // namespace tristream

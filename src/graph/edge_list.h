@@ -1,0 +1,70 @@
+// Edge-list container and simple-graph cleaning.
+//
+// The streaming algorithms assume the input graph is simple (paper Sec. 1:
+// "We assume that the input graph is simple (no parallel edges and no
+// self-loops)"). EdgeList is the offline container used by generators,
+// ground-truth algorithms, and stream construction; MakeSimple() enforces
+// the simplicity contract while preserving first-arrival order, which is
+// what a deduplicating stream ingester would produce.
+
+#ifndef TRISTREAM_GRAPH_EDGE_LIST_H_
+#define TRISTREAM_GRAPH_EDGE_LIST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tristream {
+namespace graph {
+
+/// Ordered list of undirected edges. Order is meaningful: an EdgeList is
+/// also a concrete arrival order for the adjacency-stream model.
+class EdgeList {
+ public:
+  EdgeList() = default;
+
+  /// Takes ownership of `edges` as the initial content (arrival order).
+  explicit EdgeList(std::vector<Edge> edges) : edges_(std::move(edges)) {}
+
+  /// Appends an edge at the end of the arrival order.
+  void Add(Edge e) { edges_.push_back(e); }
+  void Add(VertexId u, VertexId v) { edges_.emplace_back(u, v); }
+
+  /// Number of edges (m).
+  std::size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& operator[](std::size_t i) const { return edges_[i]; }
+
+  /// Largest vertex id referenced plus one; 0 when empty. Generators emit
+  /// dense ids so this equals the vertex-universe size.
+  VertexId VertexUniverse() const;
+
+  /// Number of distinct vertices incident to at least one edge (the paper's
+  /// n column in Figure 3).
+  std::uint64_t CountActiveVertices() const;
+
+  /// Removes self-loops and duplicate (parallel) edges in place, keeping the
+  /// first occurrence of each edge and preserving relative order. Returns
+  /// the number of edges removed.
+  std::size_t MakeSimple();
+
+  /// True when the list contains no self-loops and no duplicates.
+  bool IsSimple() const;
+
+  /// Degree of every vertex in [0, VertexUniverse()).
+  std::vector<std::uint64_t> Degrees() const;
+
+  /// Maximum degree Δ; 0 when empty.
+  std::uint64_t MaxDegree() const;
+
+ private:
+  std::vector<Edge> edges_;
+};
+
+}  // namespace graph
+}  // namespace tristream
+
+#endif  // TRISTREAM_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,266 @@
+#include "graph/exact.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace tristream {
+namespace graph {
+namespace {
+
+/// Degree-ordered forward orientation: neighbors of v with higher rank than
+/// v, sorted by vertex id. Orienting every edge from lower to higher rank
+/// makes each triangle discoverable exactly once from its lowest-rank edge.
+struct ForwardAdjacency {
+  std::vector<std::uint64_t> offsets;  // size n+1
+  std::vector<VertexId> targets;       // size m
+
+  std::span<const VertexId> Out(VertexId v) const {
+    return {targets.data() + offsets[v], targets.data() + offsets[v + 1]};
+  }
+};
+
+ForwardAdjacency BuildForward(const Csr& csr) {
+  const VertexId n = csr.num_vertices();
+  // rank comparison: by (degree, id) ascending.
+  auto lower_rank = [&csr](VertexId a, VertexId b) {
+    const auto da = csr.Degree(a), db = csr.Degree(b);
+    return da != db ? da < db : a < b;
+  };
+  ForwardAdjacency fwd;
+  fwd.offsets.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : csr.Neighbors(v)) {
+      if (lower_rank(v, u)) ++fwd.offsets[v + 1];
+    }
+  }
+  for (std::size_t v = 1; v <= n; ++v) fwd.offsets[v] += fwd.offsets[v - 1];
+  fwd.targets.resize(csr.num_edges());
+  std::vector<std::uint64_t> cursor(fwd.offsets.begin(),
+                                    fwd.offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId u : csr.Neighbors(v)) {
+      if (lower_rank(v, u)) fwd.targets[cursor[v]++] = u;
+    }
+  }
+  // Neighbors(v) is id-sorted, so each out-list is already id-sorted.
+  return fwd;
+}
+
+/// Intersects two ascending id lists, invoking fn on every common element.
+template <typename Fn>
+void IntersectSorted(std::span<const VertexId> a, std::span<const VertexId> b,
+                     Fn&& fn) {
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      fn(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t CountTriangles(const Csr& csr) {
+  const ForwardAdjacency fwd = BuildForward(csr);
+  std::uint64_t count = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (VertexId u : fwd.Out(v)) {
+      IntersectSorted(fwd.Out(v), fwd.Out(u),
+                      [&count](VertexId) { ++count; });
+    }
+  }
+  return count;
+}
+
+void EnumerateTriangles(
+    const Csr& csr,
+    const std::function<void(VertexId, VertexId, VertexId)>& fn) {
+  const ForwardAdjacency fwd = BuildForward(csr);
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (VertexId u : fwd.Out(v)) {
+      IntersectSorted(fwd.Out(v), fwd.Out(u), [&](VertexId w) {
+        VertexId t[3] = {v, u, w};
+        std::sort(t, t + 3);
+        fn(t[0], t[1], t[2]);
+      });
+    }
+  }
+}
+
+std::uint64_t CountWedges(const Csr& csr) {
+  std::uint64_t wedges = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    const std::uint64_t d = csr.Degree(v);
+    wedges += d * (d - 1) / 2;
+  }
+  return wedges;
+}
+
+double Transitivity(const Csr& csr) {
+  const std::uint64_t wedges = CountWedges(csr);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(csr)) /
+         static_cast<double>(wedges);
+}
+
+std::uint64_t CountTwoEdgeTriples(const Csr& csr) {
+  return CountWedges(csr) - 3 * CountTriangles(csr);
+}
+
+std::uint64_t Count4Cliques(const Csr& csr) {
+  std::uint64_t count = 0;
+  Enumerate4Cliques(csr,
+                    [&count](VertexId, VertexId, VertexId, VertexId) {
+                      ++count;
+                    });
+  return count;
+}
+
+void Enumerate4Cliques(
+    const Csr& csr,
+    const std::function<void(VertexId, VertexId, VertexId, VertexId)>& fn) {
+  const ForwardAdjacency fwd = BuildForward(csr);
+  std::vector<VertexId> common;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    for (VertexId u : fwd.Out(v)) {
+      common.clear();
+      IntersectSorted(fwd.Out(v), fwd.Out(u),
+                      [&common](VertexId w) { common.push_back(w); });
+      // Every pair inside `common` that is itself an edge closes a 4-clique
+      // whose two lowest-rank vertices are v and u.
+      for (std::size_t i = 0; i < common.size(); ++i) {
+        for (std::size_t j = i + 1; j < common.size(); ++j) {
+          if (csr.HasEdge(common[i], common[j])) {
+            VertexId q[4] = {v, u, common[i], common[j]};
+            std::sort(q, q + 4);
+            fn(q[0], q[1], q[2], q[3]);
+          }
+        }
+      }
+    }
+  }
+}
+
+StreamOrderStats ComputeStreamOrderStats(const EdgeList& stream) {
+  TRISTREAM_CHECK(stream.IsSimple()) << "stream stats need a simple stream";
+  const std::size_t m = stream.size();
+  StreamOrderStats out;
+  out.c.assign(m, 0);
+  out.s.assign(m, 0);
+
+  // c(e_i): sweep backwards keeping, per vertex, the number of later edges
+  // incident to it. An edge adjacent to e_i = {u,v} is incident to exactly
+  // one of u, v (the only edge incident to both would be {u,v} itself).
+  std::vector<std::uint64_t> later_degree(stream.VertexUniverse(), 0);
+  for (std::size_t i = m; i-- > 0;) {
+    const Edge& e = stream[i];
+    out.c[i] = later_degree[e.u] + later_degree[e.v];
+    ++later_degree[e.u];
+    ++later_degree[e.v];
+    out.wedge_count += out.c[i];
+  }
+
+  // Triangle-dependent quantities need the edge -> position index.
+  FlatHashMap<EdgeIndex> pos = BuildEdgePositionIndex(stream);
+  const Csr csr = Csr::FromEdgeList(stream);
+  EnumerateTriangles(csr, [&](VertexId a, VertexId b, VertexId c) {
+    const EdgeIndex pab = *pos.Find(Edge(a, b).Key());
+    const EdgeIndex pac = *pos.Find(Edge(a, c).Key());
+    const EdgeIndex pbc = *pos.Find(Edge(b, c).Key());
+    const EdgeIndex first = std::min({pab, pac, pbc});
+    ++out.triangle_count;
+    ++out.s[first];
+    out.tangle_sum += out.c[first];
+  });
+  out.tangle_coefficient =
+      out.triangle_count == 0
+          ? 0.0
+          : static_cast<double>(out.tangle_sum) /
+                static_cast<double>(out.triangle_count);
+  return out;
+}
+
+CliqueTypeCounts Count4CliqueTypes(const EdgeList& stream) {
+  TRISTREAM_CHECK(stream.IsSimple()) << "type counts need a simple stream";
+  FlatHashMap<EdgeIndex> pos = BuildEdgePositionIndex(stream);
+  const Csr csr = Csr::FromEdgeList(stream);
+  CliqueTypeCounts out;
+  Enumerate4Cliques(csr, [&](VertexId a, VertexId b, VertexId c, VertexId d) {
+    const VertexId vs[4] = {a, b, c, d};
+    // Collect the six edges with positions and find the first two arrivals.
+    EdgeIndex first = kInvalidEdgeIndex, second = kInvalidEdgeIndex;
+    Edge fe, se;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        const Edge e(vs[i], vs[j]);
+        const EdgeIndex p = *pos.Find(e.Key());
+        if (p < first) {
+          second = first;
+          se = fe;
+          first = p;
+          fe = e;
+        } else if (p < second) {
+          second = p;
+          se = e;
+        }
+      }
+    }
+    if (fe.Adjacent(se)) {
+      ++out.type1;
+    } else {
+      ++out.type2;
+    }
+  });
+  return out;
+}
+
+FlatHashMap<EdgeIndex> BuildEdgePositionIndex(const EdgeList& stream) {
+  FlatHashMap<EdgeIndex> pos(stream.size());
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    pos[stream[i].Key()] = i;
+  }
+  return pos;
+}
+
+std::uint64_t SufficientEstimatorsThm33(std::uint64_t m,
+                                        std::uint64_t max_degree,
+                                        std::uint64_t tau, double epsilon,
+                                        double delta) {
+  if (tau == 0) return 0;
+  const double r = 6.0 / (epsilon * epsilon) * static_cast<double>(m) *
+                   static_cast<double>(max_degree) /
+                   static_cast<double>(tau) * std::log(2.0 / delta);
+  return static_cast<std::uint64_t>(std::ceil(r));
+}
+
+double ErrorBoundThm33(std::uint64_t m, std::uint64_t max_degree,
+                       std::uint64_t tau, std::uint64_t r, double delta) {
+  if (tau == 0 || r == 0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(6.0 * static_cast<double>(m) *
+                   static_cast<double>(max_degree) * std::log(2.0 / delta) /
+                   (static_cast<double>(tau) * static_cast<double>(r)));
+}
+
+std::uint64_t SufficientEstimatorsThm34(std::uint64_t m,
+                                        double tangle_coefficient,
+                                        std::uint64_t tau, double epsilon,
+                                        double delta) {
+  if (tau == 0) return 0;
+  const double r = 48.0 / (epsilon * epsilon) * static_cast<double>(m) *
+                   tangle_coefficient / static_cast<double>(tau) *
+                   std::log(1.0 / delta);
+  return static_cast<std::uint64_t>(std::ceil(r));
+}
+
+}  // namespace graph
+}  // namespace tristream

@@ -1,0 +1,119 @@
+// Exact (offline) graph statistics: the ground truth that the streaming
+// estimators are measured against, plus the stream-order quantities the
+// paper defines in Sec. 2 (c(e)), Sec. 3.2.1 (tangle coefficient), and
+// Sec. 5.1 (Type I / Type II 4-clique partition).
+
+#ifndef TRISTREAM_GRAPH_EXACT_H_
+#define TRISTREAM_GRAPH_EXACT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/edge_list.h"
+#include "util/flat_hash_map.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace graph {
+
+/// Exact number of triangles τ(G). Compact-forward algorithm over a
+/// degree-ordered orientation, O(m^{3/2}).
+std::uint64_t CountTriangles(const Csr& csr);
+
+/// Calls `fn(u, v, w)` once per triangle, vertices in ascending id order.
+void EnumerateTriangles(
+    const Csr& csr,
+    const std::function<void(VertexId, VertexId, VertexId)>& fn);
+
+/// Exact number of wedges (connected triples / length-2 paths):
+/// ζ(G) = Σ_v C(deg(v), 2).
+std::uint64_t CountWedges(const Csr& csr);
+
+/// Transitivity coefficient κ(G) = 3τ(G)/ζ(G) (Newman–Watts–Strogatz,
+/// paper Sec. 3.5). Returns 0 when the graph has no wedges.
+double Transitivity(const Csr& csr);
+
+/// Number of vertex triples spanning exactly two edges:
+/// T2(G) = ζ(G) − 3τ(G) (used by the paper's lower-bound discussion).
+std::uint64_t CountTwoEdgeTriples(const Csr& csr);
+
+/// Exact number of 4-cliques τ4(G). For every degree-ordered edge (u,v),
+/// pairs inside N+(u) ∩ N+(v) that are themselves edges.
+std::uint64_t Count4Cliques(const Csr& csr);
+
+/// Calls `fn(a, b, c, d)` once per 4-clique, vertices in ascending id order.
+void Enumerate4Cliques(
+    const Csr& csr,
+    const std::function<void(VertexId, VertexId, VertexId, VertexId)>& fn);
+
+/// Quantities that depend on the arrival order of a concrete stream.
+struct StreamOrderStats {
+  /// c[i] = |N(e_i)|: the number of edges adjacent to e_i arriving after it
+  /// (paper Sec. 2). This is exactly the value the level-1 counter of
+  /// neighborhood sampling converges to when r1 = e_i.
+  std::vector<std::uint64_t> c;
+
+  /// s[i] = number of triangles whose first edge (in stream order) is e_i.
+  std::vector<std::uint64_t> s;
+
+  /// ζ(G) = Σ_i c[i] (Claim 3.9).
+  std::uint64_t wedge_count = 0;
+
+  /// τ(G).
+  std::uint64_t triangle_count = 0;
+
+  /// Σ_{t ∈ T(G)} C(t) where C(t) = c(first edge of t). The tangle
+  /// coefficient is this sum divided by τ(G).
+  std::uint64_t tangle_sum = 0;
+
+  /// γ(G) = tangle_sum / τ(G) (Sec. 3.2.1); 0 when the graph is
+  /// triangle-free.
+  double tangle_coefficient = 0.0;
+};
+
+/// Computes all stream-order statistics for the given arrival order.
+/// The stream must be simple.
+StreamOrderStats ComputeStreamOrderStats(const EdgeList& stream);
+
+/// 4-clique population split by the adjacency of their first two stream
+/// edges (paper Sec. 5.1): Type I when f1 and f2 share a vertex, Type II
+/// when they are vertex-disjoint.
+struct CliqueTypeCounts {
+  std::uint64_t type1 = 0;
+  std::uint64_t type2 = 0;
+  std::uint64_t total() const { return type1 + type2; }
+};
+
+/// Classifies every 4-clique of the stream by Type. The stream must be
+/// simple.
+CliqueTypeCounts Count4CliqueTypes(const EdgeList& stream);
+
+/// Edge-key -> stream-position index for order queries in tests and exact
+/// stream analyses.
+FlatHashMap<EdgeIndex> BuildEdgePositionIndex(const EdgeList& stream);
+
+/// The (ε, δ) sufficient-estimator count of Theorem 3.3:
+/// r = ceil(6/ε² · mΔ/τ · ln(2/δ)). Returns 0 when τ = 0.
+std::uint64_t SufficientEstimatorsThm33(std::uint64_t m,
+                                        std::uint64_t max_degree,
+                                        std::uint64_t tau, double epsilon,
+                                        double delta);
+
+/// Inverse direction used for the Figure 5 bound curve: the ε guaranteed by
+/// Theorem 3.3 when running r estimators. Returns +inf when τ = 0 or r = 0.
+double ErrorBoundThm33(std::uint64_t m, std::uint64_t max_degree,
+                       std::uint64_t tau, std::uint64_t r, double delta);
+
+/// Theorem 3.4 variant with the tangle coefficient:
+/// r = ceil(48/ε² · mγ/τ · ln(1/δ)).
+std::uint64_t SufficientEstimatorsThm34(std::uint64_t m,
+                                        double tangle_coefficient,
+                                        std::uint64_t tau, double epsilon,
+                                        double delta);
+
+}  // namespace graph
+}  // namespace tristream
+
+#endif  // TRISTREAM_GRAPH_EXACT_H_

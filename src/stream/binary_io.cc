@@ -1,0 +1,147 @@
+#include "stream/binary_io.h"
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace tristream {
+namespace stream {
+namespace {
+
+constexpr char kMagic[4] = {'T', 'R', 'I', 'S'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 16;
+
+std::string Errno(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+}  // namespace
+
+Status WriteBinaryEdges(const std::string& path,
+                        const graph::EdgeList& edges) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError(Errno("cannot open", path));
+  Status status = Status::Ok();
+  const std::uint64_t count = edges.size();
+  if (std::fwrite(kMagic, 1, 4, f) != 4 ||
+      std::fwrite(&kVersion, sizeof(kVersion), 1, f) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, f) != 1) {
+    status = Status::IoError(Errno("cannot write header to", path));
+  }
+  if (status.ok()) {
+    std::vector<std::uint32_t> buffer;
+    buffer.reserve(2 << 16);
+    std::size_t written = 0;
+    for (const Edge& e : edges.edges()) {
+      buffer.push_back(e.u);
+      buffer.push_back(e.v);
+      if (buffer.size() == (2 << 16)) {
+        written += std::fwrite(buffer.data(), sizeof(std::uint32_t),
+                               buffer.size(), f) /
+                   2;
+        buffer.clear();
+      }
+    }
+    if (!buffer.empty()) {
+      written += std::fwrite(buffer.data(), sizeof(std::uint32_t),
+                             buffer.size(), f) /
+                 2;
+    }
+    if (written != count) {
+      status = Status::IoError(Errno("short write to", path));
+    }
+  }
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = Status::IoError(Errno("cannot close", path));
+  }
+  return status;
+}
+
+Result<graph::EdgeList> ReadBinaryEdges(const std::string& path) {
+  auto opened = BinaryFileEdgeStream::Open(path);
+  if (!opened.ok()) return opened.status();
+  BinaryFileEdgeStream& stream = **opened;
+  graph::EdgeList out;
+  std::vector<Edge> batch;
+  while (stream.NextBatch(1 << 16, &batch) > 0) {
+    for (const Edge& e : batch) out.Add(e);
+  }
+  if (out.size() != stream.total_edges()) {
+    return Status::CorruptData("edge file '" + path +
+                               "' truncated: header promises " +
+                               std::to_string(stream.total_edges()) +
+                               " edges, got " + std::to_string(out.size()));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<BinaryFileEdgeStream>> BinaryFileEdgeStream::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError(Errno("cannot open", path));
+  char magic[4];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (std::fread(magic, 1, 4, f) != 4 ||
+      std::fread(&version, sizeof(version), 1, f) != 1 ||
+      std::fread(&count, sizeof(count), 1, f) != 1) {
+    std::fclose(f);
+    return Status::CorruptData("edge file '" + path + "': header too short");
+  }
+  if (std::memcmp(magic, kMagic, 4) != 0) {
+    std::fclose(f);
+    return Status::CorruptData("edge file '" + path + "': bad magic");
+  }
+  if (version != kVersion) {
+    std::fclose(f);
+    return Status::CorruptData("edge file '" + path +
+                               "': unsupported version " +
+                               std::to_string(version));
+  }
+  return std::unique_ptr<BinaryFileEdgeStream>(
+      new BinaryFileEdgeStream(f, count, path));
+}
+
+BinaryFileEdgeStream::BinaryFileEdgeStream(std::FILE* file,
+                                           std::uint64_t total_edges,
+                                           std::string path)
+    : file_(file), total_edges_(total_edges), path_(std::move(path)) {
+  io_timer_.Restart();
+  io_timer_.Pause();
+}
+
+BinaryFileEdgeStream::~BinaryFileEdgeStream() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+std::size_t BinaryFileEdgeStream::NextBatch(std::size_t max_edges,
+                                            std::vector<Edge>* batch) {
+  batch->clear();
+  const std::uint64_t remaining = total_edges_ - delivered_;
+  const std::size_t want =
+      static_cast<std::size_t>(std::min<std::uint64_t>(max_edges, remaining));
+  if (want == 0) return 0;
+  std::vector<std::uint32_t> raw(want * 2);
+  io_timer_.Resume();
+  const std::size_t got =
+      std::fread(raw.data(), sizeof(std::uint32_t), raw.size(), file_);
+  io_timer_.Pause();
+  const std::size_t edges = got / 2;
+  batch->reserve(edges);
+  for (std::size_t i = 0; i < edges; ++i) {
+    batch->emplace_back(raw[2 * i], raw[2 * i + 1]);
+  }
+  delivered_ += edges;
+  return edges;
+}
+
+void BinaryFileEdgeStream::Reset() {
+  std::fseek(file_, kHeaderBytes, SEEK_SET);
+  delivered_ = 0;
+  io_timer_.Restart();
+  io_timer_.Pause();
+}
+
+}  // namespace stream
+}  // namespace tristream

@@ -1,0 +1,51 @@
+// Stream-side simplicity enforcement.
+//
+// The paper's algorithms assume a simple input graph. Real feeds (and
+// SNAP text files, which list both edge directions) contain duplicates
+// and self-loops; DedupFilter is the standard front-end that admits each
+// undirected edge once, at O(#distinct edges) memory -- the unavoidable
+// cost of exact online deduplication, paid by the ingest layer rather
+// than the O(1)-per-estimator counters behind it.
+
+#ifndef TRISTREAM_STREAM_DEDUP_H_
+#define TRISTREAM_STREAM_DEDUP_H_
+
+#include <cstdint>
+
+#include "util/flat_hash_map.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace stream {
+
+/// Admits each undirected edge once; rejects self-loops and repeats.
+class DedupFilter {
+ public:
+  explicit DedupFilter(std::size_t expected_edges = 1 << 12)
+      : seen_(expected_edges) {}
+
+  /// Returns true when `e` is a new, valid simple edge (and records it).
+  bool Admit(const Edge& e) {
+    ++offered_;
+    if (e.self_loop() || !e.valid()) return false;
+    return seen_.Insert(e.Key());
+  }
+
+  /// Edges offered so far (admitted + rejected).
+  std::uint64_t offered() const { return offered_; }
+
+  /// Distinct simple edges admitted.
+  std::uint64_t admitted() const { return seen_.size(); }
+
+  /// Memory held by the filter.
+  std::size_t MemoryBytes() const { return seen_.MemoryBytes(); }
+
+ private:
+  FlatHashSet seen_;
+  std::uint64_t offered_ = 0;
+};
+
+}  // namespace stream
+}  // namespace tristream
+
+#endif  // TRISTREAM_STREAM_DEDUP_H_

@@ -1,0 +1,30 @@
+#include "stream/edge_stream.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace tristream {
+namespace stream {
+
+std::size_t MemoryEdgeStream::NextBatch(std::size_t max_edges,
+                                        std::vector<Edge>* batch) {
+  batch->clear();
+  const std::size_t remaining = edges_->size() - cursor_;
+  const std::size_t take = std::min(max_edges, remaining);
+  batch->insert(batch->end(), edges_->edges().begin() + cursor_,
+                edges_->edges().begin() + cursor_ + take);
+  cursor_ += take;
+  return take;
+}
+
+graph::EdgeList ShuffleStreamOrder(const graph::EdgeList& edges,
+                                   std::uint64_t seed) {
+  std::vector<Edge> shuffled = edges.edges();
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  return graph::EdgeList(std::move(shuffled));
+}
+
+}  // namespace stream
+}  // namespace tristream

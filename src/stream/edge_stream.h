@@ -1,0 +1,70 @@
+// The adjacency-stream abstraction.
+//
+// The paper's model (Sec. 1): a simple graph presented as a sequence of
+// edges in arbitrary, possibly adversarial order. EdgeStream is the pull
+// interface the counters consume -- batched, because the bulk algorithm
+// (Sec. 3.3) and the paper's own experimental setup ("the algorithm
+// receives edges in bulk, e.g. block reads from disk") are batch-oriented.
+// A batch size of 1 degenerates to pure per-edge streaming.
+
+#ifndef TRISTREAM_STREAM_EDGE_STREAM_H_
+#define TRISTREAM_STREAM_EDGE_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace stream {
+
+/// Pull-based edge source. Implementations are single-pass but resettable
+/// (the paper's algorithms are strictly one-pass; Reset exists for
+/// multi-trial experiments).
+class EdgeStream {
+ public:
+  virtual ~EdgeStream() = default;
+
+  /// Appends up to `max_edges` next edges to `*batch` (which is cleared
+  /// first) and returns the number delivered; 0 signals end of stream.
+  virtual std::size_t NextBatch(std::size_t max_edges,
+                                std::vector<Edge>* batch) = 0;
+
+  /// Restarts the stream from the first edge.
+  virtual void Reset() = 0;
+
+  /// Total edges delivered since construction/Reset.
+  virtual std::uint64_t edges_delivered() const = 0;
+
+  /// Cumulative wall-clock seconds spent on I/O (0 for in-memory sources).
+  /// The paper reports I/O time separately from processing time (Table 3).
+  virtual double io_seconds() const { return 0.0; }
+};
+
+/// In-memory stream over an EdgeList's arrival order.
+class MemoryEdgeStream : public EdgeStream {
+ public:
+  explicit MemoryEdgeStream(const graph::EdgeList& edges)
+      : edges_(&edges) {}
+
+  std::size_t NextBatch(std::size_t max_edges,
+                        std::vector<Edge>* batch) override;
+  void Reset() override { cursor_ = 0; }
+  std::uint64_t edges_delivered() const override { return cursor_; }
+
+ private:
+  const graph::EdgeList* edges_;
+  std::uint64_t cursor_ = 0;
+};
+
+/// Returns a copy of `edges` in a uniformly random arrival order
+/// (deterministic per seed). This is how benches turn a generated graph
+/// into an "arbitrary order" adjacency stream.
+graph::EdgeList ShuffleStreamOrder(const graph::EdgeList& edges,
+                                   std::uint64_t seed);
+
+}  // namespace stream
+}  // namespace tristream
+
+#endif  // TRISTREAM_STREAM_EDGE_STREAM_H_

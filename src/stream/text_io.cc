@@ -1,0 +1,104 @@
+#include "stream/text_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+
+namespace tristream {
+namespace stream {
+namespace {
+
+const char* SkipSpace(const char* p, const char* end) {
+  while (p < end && (*p == ' ' || *p == '\t' || *p == '\r')) ++p;
+  return p;
+}
+
+/// Parses an unsigned integer; returns nullptr on failure or overflow of
+/// the VertexId range.
+const char* ParseVertex(const char* p, const char* end, VertexId* out) {
+  if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
+    return nullptr;
+  }
+  std::uint64_t value = 0;
+  while (p < end && std::isdigit(static_cast<unsigned char>(*p))) {
+    value = value * 10 + static_cast<std::uint64_t>(*p - '0');
+    if (value > std::numeric_limits<VertexId>::max()) return nullptr;
+    ++p;
+  }
+  *out = static_cast<VertexId>(value);
+  return p;
+}
+
+}  // namespace
+
+Result<graph::EdgeList> ParseTextEdges(const std::string& content) {
+  graph::EdgeList out;
+  const char* p = content.data();
+  const char* const end = p + content.size();
+  std::size_t line_number = 0;
+  while (p < end) {
+    ++line_number;
+    const char* line_end = static_cast<const char*>(
+        std::memchr(p, '\n', static_cast<std::size_t>(end - p)));
+    if (line_end == nullptr) line_end = end;
+    const char* cursor = SkipSpace(p, line_end);
+    if (cursor == line_end || *cursor == '#' || *cursor == '%') {
+      p = line_end + 1;
+      continue;  // blank or comment line
+    }
+    VertexId u = 0, v = 0;
+    cursor = ParseVertex(cursor, line_end, &u);
+    if (cursor == nullptr) {
+      return Status::CorruptData("text edge list: bad source id on line " +
+                                 std::to_string(line_number));
+    }
+    cursor = SkipSpace(cursor, line_end);
+    cursor = ParseVertex(cursor, line_end, &v);
+    if (cursor == nullptr) {
+      return Status::CorruptData("text edge list: bad target id on line " +
+                                 std::to_string(line_number));
+    }
+    if (SkipSpace(cursor, line_end) != line_end) {
+      return Status::CorruptData(
+          "text edge list: trailing garbage on line " +
+          std::to_string(line_number));
+    }
+    out.Add(u, v);
+    p = line_end + 1;
+  }
+  return out;
+}
+
+Result<graph::EdgeList> ReadTextEdges(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::string content;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    content.append(buffer, got);
+  }
+  std::fclose(f);
+  return ParseTextEdges(content);
+}
+
+Status WriteTextEdges(const std::string& path, const graph::EdgeList& edges) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  std::fprintf(f, "# tristream edge list: %zu edges\n", edges.size());
+  for (const Edge& e : edges.edges()) {
+    std::fprintf(f, "%u\t%u\n", e.u, e.v);
+  }
+  if (std::fclose(f) != 0) {
+    return Status::IoError("cannot close '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace stream
+}  // namespace tristream

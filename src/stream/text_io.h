@@ -1,0 +1,35 @@
+// SNAP-style text edge-list parsing and writing.
+//
+// The paper's datasets come from the SNAP repository, whose files are
+// whitespace-separated "u v" lines with '#' comment headers. This parser
+// accepts that format so the original files drop straight in when
+// available; generators use it for human-inspectable fixtures.
+
+#ifndef TRISTREAM_STREAM_TEXT_IO_H_
+#define TRISTREAM_STREAM_TEXT_IO_H_
+
+#include <string>
+
+#include "graph/edge_list.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace stream {
+
+/// Parses whitespace-separated vertex-id pairs, one edge per line. Lines
+/// starting with '#' or '%' (after leading whitespace) and blank lines are
+/// skipped. Self-loops and duplicates are kept verbatim -- callers decide
+/// whether to EdgeList::MakeSimple(), matching SNAP files that list both
+/// directions of each edge.
+Result<graph::EdgeList> ParseTextEdges(const std::string& content);
+
+/// Reads and parses a text edge-list file.
+Result<graph::EdgeList> ReadTextEdges(const std::string& path);
+
+/// Writes "u<TAB>v" lines with a small comment header.
+Status WriteTextEdges(const std::string& path, const graph::EdgeList& edges);
+
+}  // namespace stream
+}  // namespace tristream
+
+#endif  // TRISTREAM_STREAM_TEXT_IO_H_

@@ -1,0 +1,83 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tristream {
+
+std::uint64_t Histogram::total() const {
+  std::uint64_t sum = 0;
+  for (const auto& [value, count] : counts_) sum += count;
+  return sum;
+}
+
+std::uint64_t Histogram::max_value() const {
+  if (counts_.empty()) return 0;
+  return counts_.rbegin()->first;
+}
+
+std::uint64_t Histogram::CountOf(std::uint64_t value) const {
+  const auto it = counts_.find(value);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double Histogram::MeanValue() const {
+  const std::uint64_t n = total();
+  if (n == 0) return 0.0;
+  double weighted = 0.0;
+  for (const auto& [value, count] : counts_) {
+    weighted += static_cast<double>(value) * static_cast<double>(count);
+  }
+  return weighted / static_cast<double>(n);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>> Histogram::Sorted()
+    const {
+  return {counts_.begin(), counts_.end()};
+}
+
+std::string Histogram::ToCsv() const {
+  std::ostringstream os;
+  os << "value,count\n";
+  for (const auto& [value, count] : counts_) {
+    os << value << ',' << count << '\n';
+  }
+  return os.str();
+}
+
+std::string Histogram::ToAsciiPlot(std::size_t columns,
+                                   std::size_t rows) const {
+  if (counts_.empty() || columns == 0 || rows == 0) return "(empty)\n";
+  const std::uint64_t vmax = max_value();
+  const double bin_width =
+      std::max(1.0, static_cast<double>(vmax + 1) / static_cast<double>(columns));
+  std::vector<std::uint64_t> bins(columns, 0);
+  for (const auto& [value, count] : counts_) {
+    auto bin = static_cast<std::size_t>(static_cast<double>(value) / bin_width);
+    bin = std::min(bin, columns - 1);
+    bins[bin] += count;
+  }
+  double log_max = 0.0;
+  for (std::uint64_t b : bins) {
+    if (b > 0) log_max = std::max(log_max, std::log10(static_cast<double>(b)));
+  }
+  std::ostringstream os;
+  // Rows top (high frequency) to bottom.
+  for (std::size_t row = 0; row < rows; ++row) {
+    const double threshold =
+        log_max * static_cast<double>(rows - row - 1) / static_cast<double>(rows);
+    os << "freq 1e" << static_cast<int>(std::ceil(threshold)) << " |";
+    for (std::size_t cb = 0; cb < columns; ++cb) {
+      const double lg =
+          bins[cb] > 0 ? std::log10(static_cast<double>(bins[cb])) : -1.0;
+      os << (lg >= threshold && bins[cb] > 0 ? '*' : ' ');
+    }
+    os << '\n';
+  }
+  os << "          +" << std::string(columns, '-') << "\n";
+  os << "           degree 0 .. " << vmax << " (" << columns << " bins)\n";
+  return os.str();
+}
+
+}  // namespace tristream

@@ -1,0 +1,61 @@
+// Exact frequency histogram over integer values (e.g. vertex degrees).
+//
+// Figure 3 of the paper plots, for every dataset, frequency (log scale)
+// versus degree. Histogram collects exact integer counts and can render the
+// series as CSV rows or a coarse ASCII plot for bench output.
+
+#ifndef TRISTREAM_UTIL_HISTOGRAM_H_
+#define TRISTREAM_UTIL_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tristream {
+
+/// Exact counts per integer value, with summary accessors.
+class Histogram {
+ public:
+  /// Adds one observation of `value`.
+  void Add(std::uint64_t value) { ++counts_[value]; }
+
+  /// Adds `weight` observations of `value`.
+  void Add(std::uint64_t value, std::uint64_t weight) {
+    counts_[value] += weight;
+  }
+
+  /// Total number of observations.
+  std::uint64_t total() const;
+
+  /// Number of distinct values observed.
+  std::size_t distinct() const { return counts_.size(); }
+
+  /// Largest observed value (0 when empty).
+  std::uint64_t max_value() const;
+
+  /// Count for an exact value (0 when unobserved).
+  std::uint64_t CountOf(std::uint64_t value) const;
+
+  /// Mean of the observations.
+  double MeanValue() const;
+
+  /// (value, count) pairs in ascending value order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> Sorted() const;
+
+  /// CSV rendering: "value,count\n" rows, ascending.
+  std::string ToCsv() const;
+
+  /// Coarse ASCII frequency-vs-value plot with log-scaled frequencies,
+  /// bucketing values into `columns` equal-width bins (mirrors the Figure 3
+  /// panels). Returns a multi-line string.
+  std::string ToAsciiPlot(std::size_t columns = 60,
+                          std::size_t rows = 12) const;
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+};
+
+}  // namespace tristream
+
+#endif  // TRISTREAM_UTIL_HISTOGRAM_H_

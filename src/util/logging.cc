@@ -1,0 +1,31 @@
+#include "util/logging.h"
+
+namespace tristream {
+namespace {
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line) {
+  // Keep only the basename for readability.
+  std::string path(file);
+  const std::size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) path = path.substr(slash + 1);
+  stream_ << "[" << SeverityTag(severity) << " " << path << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() { std::cerr << stream_.str() << std::endl; }
+
+}  // namespace tristream

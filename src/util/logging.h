@@ -1,0 +1,87 @@
+// CHECK/DCHECK invariant macros and a minimal severity logger.
+//
+// CHECK aborts on contract violation with a source location and message;
+// it is for programmer errors, not recoverable conditions (use Status for
+// those). DCHECK compiles out in NDEBUG builds except where noted.
+
+#ifndef TRISTREAM_UTIL_LOGGING_H_
+#define TRISTREAM_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tristream {
+namespace internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+enum class LogSeverity { kInfo, kWarning, kError };
+
+/// Stream-style logger: LOG(kInfo) << "message"; writes a line to stderr.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+#define TRISTREAM_LOG(severity)                                         \
+  ::tristream::LogMessage(::tristream::LogSeverity::severity, __FILE__, \
+                          __LINE__)
+
+#define TRISTREAM_CHECK(cond)                                             \
+  if (cond) {                                                             \
+  } else /* NOLINT */                                                     \
+    ::tristream::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+
+#define TRISTREAM_CHECK_EQ(a, b) TRISTREAM_CHECK((a) == (b))
+#define TRISTREAM_CHECK_NE(a, b) TRISTREAM_CHECK((a) != (b))
+#define TRISTREAM_CHECK_LT(a, b) TRISTREAM_CHECK((a) < (b))
+#define TRISTREAM_CHECK_LE(a, b) TRISTREAM_CHECK((a) <= (b))
+#define TRISTREAM_CHECK_GT(a, b) TRISTREAM_CHECK((a) > (b))
+#define TRISTREAM_CHECK_GE(a, b) TRISTREAM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define TRISTREAM_DCHECK(cond) \
+  if (true) {                  \
+  } else                       \
+    ::tristream::internal::CheckFailStream(__FILE__, __LINE__, #cond)
+#else
+#define TRISTREAM_DCHECK(cond) TRISTREAM_CHECK(cond)
+#endif
+
+}  // namespace tristream
+
+#endif  // TRISTREAM_UTIL_LOGGING_H_

@@ -1,0 +1,64 @@
+// Single-slot reservoir sampling.
+//
+// Both sampling levels of the paper's neighborhood sampling are classic
+// one-item reservoirs: the i-th eligible item replaces the current sample
+// with probability 1/i, which keeps the sample uniform over all items seen.
+// ReservoirSlot packages that primitive (item + eligible-count) so the
+// estimator code reads like the paper's pseudocode.
+
+#ifndef TRISTREAM_UTIL_RESERVOIR_H_
+#define TRISTREAM_UTIL_RESERVOIR_H_
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace tristream {
+
+/// Uniform sample of one item from a stream of unknown length.
+template <typename T>
+class ReservoirSlot {
+ public:
+  /// Offers the next eligible item; returns true when the item was taken as
+  /// the new sample (probability exactly 1/count after the call).
+  bool Offer(const T& item, Rng& rng) {
+    ++count_;
+    if (rng.CoinOneIn(count_)) {
+      item_ = item;
+      return true;
+    }
+    return false;
+  }
+
+  /// Number of items offered so far. After observation, the held sample is
+  /// uniform over those items.
+  std::uint64_t count() const { return count_; }
+
+  /// True when at least one item was offered.
+  bool has_value() const { return count_ > 0; }
+
+  /// The current sample. Meaningful only when has_value().
+  const T& value() const { return item_; }
+
+  /// Resets to the empty state.
+  void Reset() {
+    count_ = 0;
+    item_ = T();
+  }
+
+  /// Installs `item` as the sample and restarts the eligible-count at
+  /// `count`. Used by the bulk engine when it re-derives reservoir state
+  /// directly (paper Sec. 3.3 steps 1-2).
+  void ForceSet(const T& item, std::uint64_t count) {
+    item_ = item;
+    count_ = count;
+  }
+
+ private:
+  T item_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace tristream
+
+#endif  // TRISTREAM_UTIL_RESERVOIR_H_

@@ -1,0 +1,142 @@
+// Deterministic pseudo-random utilities.
+//
+// The paper's algorithms are built from two primitives (Sec. 2):
+//   coin(p)      -- heads with probability p,
+//   randInt(a,b) -- uniform integer in [a, b],
+// both assumed O(1). Rng provides these on top of xoshiro256** seeded
+// through SplitMix64, plus the geometric-gap sampler used by the paper's
+// level-1 maintenance optimization (Sec. 4: "generating a few geometric
+// random variables representing the gaps between the 1's in the vector").
+//
+// Everything is deterministic given the seed; tests and benches rely on it.
+
+#ifndef TRISTREAM_UTIL_RNG_H_
+#define TRISTREAM_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace tristream {
+
+/// SplitMix64 step: advances `state` and returns the next output. Used to
+/// expand a single 64-bit seed into xoshiro's 256-bit state and as a cheap
+/// stateless mixer.
+inline std::uint64_t SplitMix64Next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna), a fast 256-bit-state generator with
+/// good statistical quality; more than adequate for sampling estimators.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator deterministically from a single 64-bit value.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { Reseed(seed); }
+
+  /// Re-seeds in place.
+  void Reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64Next(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// UniformRandomBitGenerator interface (usable with <random> adapters).
+  result_type operator()() { return Next(); }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift rejection
+  /// method (unbiased). Requires bound > 0.
+  std::uint64_t UniformBelow(std::uint64_t bound) {
+    TRISTREAM_DCHECK(bound > 0);
+    // 128-bit multiply; rejection keeps the result exactly uniform.
+    std::uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// randInt(a, b) of the paper: uniform integer in the closed range [a, b].
+  std::uint64_t UniformInt(std::uint64_t a, std::uint64_t b) {
+    TRISTREAM_DCHECK(a <= b);
+    return a + UniformBelow(b - a + 1);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of randomness.
+  double UniformReal() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// coin(p) of the paper: true ("heads") with probability p.
+  bool Coin(double p) { return UniformReal() < p; }
+
+  /// coin(1/i) specialized to an integer denominator: true with probability
+  /// exactly 1/denominator. This is the reservoir-sampling primitive of
+  /// Algorithm 1 and avoids floating-point rounding entirely.
+  bool CoinOneIn(std::uint64_t denominator) {
+    return UniformBelow(denominator) == 0;
+  }
+
+  /// Number of independent Bernoulli(p) failures before the first success
+  /// (a Geometric(p) variate with support {0, 1, 2, ...}). Used for the
+  /// skip-based level-1 resampling of Sec. 4: instead of flipping a coin per
+  /// estimator, jump directly between the estimators whose coin lands heads.
+  /// Requires 0 < p <= 1.
+  std::uint64_t GeometricSkip(double p) {
+    TRISTREAM_DCHECK(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    double u = UniformReal();
+    // Guard against log(0).
+    if (u <= 0.0) u = 0x1.0p-53;
+    const double skip = std::floor(std::log(u) / std::log1p(-p));
+    // Clamp pathological float results into the valid range.
+    if (skip < 0.0) return 0;
+    if (skip >= 9.2e18) return std::numeric_limits<std::uint64_t>::max();
+    return static_cast<std::uint64_t>(skip);
+  }
+
+  /// Derives an independent generator (e.g. one per estimator block) from
+  /// this generator's stream.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace tristream
+
+#endif  // TRISTREAM_UTIL_RNG_H_

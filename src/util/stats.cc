@@ -1,0 +1,86 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tristream {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(values.begin(), values.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+double MedianOfMeans(const std::vector<double>& values, std::size_t groups) {
+  if (values.empty()) return 0.0;
+  if (groups <= 1 || values.size() <= groups) return Mean(values);
+  std::vector<double> means;
+  means.reserve(groups);
+  const std::size_t n = values.size();
+  // Contiguous nearly equal partition: group g covers [g*n/groups,
+  // (g+1)*n/groups).
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::size_t begin = g * n / groups;
+    const std::size_t end = (g + 1) * n / groups;
+    if (begin == end) continue;
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) sum += values[i];
+    means.push_back(sum / static_cast<double>(end - begin));
+  }
+  return Median(std::move(means));
+}
+
+double RelativeErrorPercent(double estimate, double truth) {
+  if (truth == 0.0) {
+    return estimate == 0.0 ? 0.0 : std::numeric_limits<double>::infinity();
+  }
+  return 100.0 * std::abs(estimate - truth) / std::abs(truth);
+}
+
+DeviationSummary SummarizeDeviations(const std::vector<double>& estimates,
+                                     double truth) {
+  DeviationSummary out;
+  if (estimates.empty()) return out;
+  RunningStats stats;
+  for (double est : estimates) stats.Add(RelativeErrorPercent(est, truth));
+  out.min_percent = stats.min();
+  out.mean_percent = stats.mean();
+  out.max_percent = stats.max();
+  return out;
+}
+
+}  // namespace tristream

@@ -1,0 +1,72 @@
+// Aggregation and summary statistics.
+//
+// Two aggregation schemes from the paper live here:
+//   * plain averaging of unbiased estimates (Theorem 3.3), and
+//   * median-of-means (Theorem 3.4): split the estimates into beta groups,
+//     average within each group, return the median of the group means.
+// Plus the summary statistics the evaluation section reports: mean
+// deviation (relative error), min/max deviation, and medians over trials.
+
+#ifndef TRISTREAM_UTIL_STATS_H_
+#define TRISTREAM_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tristream {
+
+/// Streaming moments: count, mean, variance (Welford), min, max.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `values`; 0 when empty.
+double Mean(const std::vector<double>& values);
+
+/// Median of `values` (averaging the two middle elements for even sizes);
+/// 0 when empty. Does not modify the input.
+double Median(std::vector<double> values);
+
+/// Median-of-means aggregate (Theorem 3.4): partitions `values` into
+/// `groups` nearly equal contiguous groups, averages each, and returns the
+/// median of the group means. With groups <= 1 this degenerates to Mean().
+double MedianOfMeans(const std::vector<double>& values, std::size_t groups);
+
+/// Relative deviation |estimate - truth| / truth in percent. Returns 0 when
+/// truth == 0 and estimate == 0, and infinity when only truth == 0.
+double RelativeErrorPercent(double estimate, double truth);
+
+/// Summary of relative errors across trials, as reported in the paper's
+/// Table 3 ("min/mean/max dev.").
+struct DeviationSummary {
+  double min_percent = 0.0;
+  double mean_percent = 0.0;
+  double max_percent = 0.0;
+};
+
+/// Builds the min/mean/max relative-error summary of `estimates` against
+/// the exact value `truth`.
+DeviationSummary SummarizeDeviations(const std::vector<double>& estimates,
+                                     double truth);
+
+}  // namespace tristream
+
+#endif  // TRISTREAM_UTIL_STATS_H_

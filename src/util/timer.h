@@ -1,0 +1,62 @@
+// Wall-clock timing.
+//
+// The paper measures and reports wall-clock time (gettimeofday) for total
+// runtime and, separately, I/O time (Table 3). WallTimer is a steady-clock
+// stopwatch with pause/resume so a stream reader can accumulate pure I/O
+// time across batches.
+
+#ifndef TRISTREAM_UTIL_TIMER_H_
+#define TRISTREAM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace tristream {
+
+/// Steady-clock stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets accumulated time to zero and starts running.
+  void Restart() {
+    accumulated_ = Duration::zero();
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  /// Pauses accumulation. No-op when already paused.
+  void Pause() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Resumes accumulation. No-op when already running.
+  void Resume() {
+    if (running_) return;
+    running_ = true;
+    start_ = Clock::now();
+  }
+
+  /// Accumulated seconds (includes the currently running span).
+  double Seconds() const {
+    Duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration<double>(total).count();
+  }
+
+  /// Accumulated milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  using Duration = Clock::duration;
+
+  Duration accumulated_ = Duration::zero();
+  Clock::time_point start_;
+  bool running_ = false;
+};
+
+}  // namespace tristream
+
+#endif  // TRISTREAM_UTIL_TIMER_H_

@@ -1,0 +1,131 @@
+// Core value types shared by every tristream module.
+//
+// The paper's adjacency-stream model presents a simple graph G = (V, E) as a
+// sequence of undirected edges. We fix the vertex-id width at 32 bits (the
+// largest graph in the paper's evaluation, Orkut, has 3.07M vertices; 32 bits
+// supports 4.29B) and stream positions at 64 bits so streams longer than 2^32
+// edges remain representable.
+
+#ifndef TRISTREAM_UTIL_TYPES_H_
+#define TRISTREAM_UTIL_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace tristream {
+
+/// Identifier of a graph vertex. Dense ids are not required by the streaming
+/// algorithms (the paper stresses that, unlike Buriol et al., neighborhood
+/// sampling needs no advance knowledge of V), but generators emit dense ids.
+using VertexId = std::uint32_t;
+
+/// 0-based position of an edge in the stream.
+using EdgeIndex = std::uint64_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+/// Sentinel for "no stream position".
+inline constexpr EdgeIndex kInvalidEdgeIndex =
+    std::numeric_limits<EdgeIndex>::max();
+
+/// An undirected edge {u, v}. Endpoint order is not meaningful; use Key() or
+/// Normalized() when a canonical form is needed. The streaming algorithms
+/// assume the input graph is simple (no self-loops, no parallel edges), as
+/// the paper does; graph::EdgeList enforces this for offline inputs.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  constexpr Edge() = default;
+  constexpr Edge(VertexId a, VertexId b) : u(a), v(b) {}
+
+  /// True when both endpoints are set.
+  constexpr bool valid() const {
+    return u != kInvalidVertex && v != kInvalidVertex;
+  }
+
+  /// True when the edge is a self-loop (disallowed in simple graphs).
+  constexpr bool self_loop() const { return u == v; }
+
+  /// Returns the same edge with endpoints in ascending order.
+  constexpr Edge Normalized() const {
+    return u <= v ? Edge(u, v) : Edge(v, u);
+  }
+
+  /// Canonical 64-bit key: (min << 32) | max. Two Edge values compare equal
+  /// under unordered-equality iff their keys match.
+  constexpr std::uint64_t Key() const {
+    const VertexId lo = u <= v ? u : v;
+    const VertexId hi = u <= v ? v : u;
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+
+  /// True when `w` is one of the endpoints.
+  constexpr bool Contains(VertexId w) const { return w == u || w == v; }
+
+  /// True when this edge and `other` share at least one endpoint.
+  /// (The paper: "two edges are adjacent if they share a vertex.")
+  constexpr bool Adjacent(const Edge& other) const {
+    return Contains(other.u) || Contains(other.v);
+  }
+
+  /// Returns the endpoint shared with `other`, or kInvalidVertex if none.
+  /// Distinct edges of a simple graph share at most one endpoint.
+  constexpr VertexId SharedVertex(const Edge& other) const {
+    if (other.Contains(u)) return u;
+    if (other.Contains(v)) return v;
+    return kInvalidVertex;
+  }
+
+  /// Returns the endpoint that is not `w`. Requires Contains(w).
+  constexpr VertexId Other(VertexId w) const { return w == u ? v : u; }
+
+  friend constexpr bool operator==(const Edge& a, const Edge& b) {
+    return a.Key() == b.Key();
+  }
+  friend constexpr bool operator!=(const Edge& a, const Edge& b) {
+    return !(a == b);
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Edge& e) {
+  return os << '{' << e.u << ',' << e.v << '}';
+}
+
+/// An edge tagged with its stream position. The bulk algorithm (paper
+/// Sec. 3.3) stores positions alongside sampled edges so that "comes after"
+/// relations can be tested inside and across batches.
+struct StreamEdge {
+  Edge edge;
+  EdgeIndex pos = kInvalidEdgeIndex;
+
+  constexpr StreamEdge() = default;
+  constexpr StreamEdge(Edge e, EdgeIndex p) : edge(e), pos(p) {}
+
+  constexpr bool valid() const { return pos != kInvalidEdgeIndex; }
+
+  friend constexpr bool operator==(const StreamEdge& a, const StreamEdge& b) {
+    return a.pos == b.pos && a.edge == b.edge;
+  }
+};
+
+}  // namespace tristream
+
+template <>
+struct std::hash<tristream::Edge> {
+  std::size_t operator()(const tristream::Edge& e) const noexcept {
+    // SplitMix64 finalizer over the canonical key.
+    std::uint64_t x = e.Key();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+#endif  // TRISTREAM_UTIL_TYPES_H_

@@ -1,0 +1,401 @@
+// Tests for the Sec. 5 extensions: 4-clique counting/sampling (Type I and
+// Type II neighborhood sampling, Theorems 5.5/5.7) and the sliding-window
+// counter (Theorem 5.8).
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/clique_counter.h"
+#include "core/sliding_window.h"
+#include "gen/erdos_renyi.h"
+#include "graph/csr.h"
+#include "graph/exact.h"
+#include "gtest/gtest.h"
+#include "stream/edge_stream.h"
+#include "tests/core/core_test_util.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace core {
+namespace {
+
+graph::EdgeList K4TypeI() {
+  // First two edges share vertex 1 -> the single 4-clique is Type I.
+  graph::EdgeList s;
+  s.Add(0, 1);
+  s.Add(1, 2);
+  s.Add(0, 2);
+  s.Add(0, 3);
+  s.Add(1, 3);
+  s.Add(2, 3);
+  return s;
+}
+
+graph::EdgeList K4TypeII() {
+  // First two edges are disjoint -> the single 4-clique is Type II.
+  graph::EdgeList s;
+  s.Add(0, 1);
+  s.Add(2, 3);
+  s.Add(0, 2);
+  s.Add(0, 3);
+  s.Add(1, 2);
+  s.Add(1, 3);
+  return s;
+}
+
+CliqueCounterOptions CliqueOptions(std::uint64_t r, std::uint64_t seed) {
+  CliqueCounterOptions opt;
+  opt.num_estimators = r;
+  opt.seed = seed;
+  return opt;
+}
+
+// ------------------------------------------------------- Type I sampler
+
+TEST(TypeICliqueSamplerTest, DetectsTypeIK4) {
+  // With m = 6 edges the sampler detects the clique in a measurable
+  // fraction of runs; verify the detection state is always consistent.
+  Rng rng(1);
+  const auto stream = K4TypeI();
+  int detections = 0;
+  for (int trial = 0; trial < 40000; ++trial) {
+    TypeICliqueSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    if (s.has_clique()) {
+      ++detections;
+      EXPECT_EQ(s.clique(), (Clique4{0, 1, 2, 3}));
+      EXPECT_GT(s.Estimate(), 0.0);
+    }
+  }
+  EXPECT_GT(detections, 100);
+}
+
+TEST(TypeICliqueSamplerTest, NeverDetectsTypeIIK4) {
+  // A Type II clique must be invisible to the Type I sampler (its first
+  // two edges are disjoint, so no (r1, r2) wedge can collect all edges).
+  Rng rng(2);
+  const auto stream = K4TypeII();
+  for (int trial = 0; trial < 20000; ++trial) {
+    TypeICliqueSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    EXPECT_FALSE(s.has_clique());
+  }
+}
+
+TEST(TypeICliqueSamplerTest, C1MatchesExactStreamStats) {
+  // c1 must equal the exact c(r1) of Sec. 2 -- same invariant as the
+  // triangle estimator's counter.
+  const auto stream =
+      stream::ShuffleStreamOrder(gen::GnpRandom(14, 0.5, 5), 3);
+  const auto stats = graph::ComputeStreamOrderStats(stream);
+  Rng rng(4);
+  for (int trial = 0; trial < 400; ++trial) {
+    TypeICliqueSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    ASSERT_TRUE(s.r1().valid());
+    EXPECT_EQ(s.c1(), stats.c[static_cast<std::size_t>(s.r1().pos)]);
+  }
+}
+
+TEST(TypeICliqueSamplerTest, C2MatchesExactCandidateCount) {
+  // c2 must equal |{edges after r2 adjacent to r1 or r2}| minus the
+  // closing edge (collected passively, never a level-3 candidate).
+  const auto stream =
+      stream::ShuffleStreamOrder(gen::GnpRandom(14, 0.5, 6), 7);
+  Rng rng(8);
+  for (int trial = 0; trial < 400; ++trial) {
+    TypeICliqueSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    if (!s.r2().valid()) continue;
+    const Edge closer = ClosingEdge(s.r1().edge, s.r2().edge);
+    std::uint64_t expected = 0;
+    for (std::size_t p = static_cast<std::size_t>(s.r2().pos) + 1;
+         p < stream.size(); ++p) {
+      const Edge& e = stream[p];
+      if (e == closer) continue;
+      if (e.Adjacent(s.r1().edge) || e.Adjacent(s.r2().edge)) ++expected;
+    }
+    EXPECT_EQ(s.c2(), expected)
+        << "r1@" << s.r1().pos << " r2@" << s.r2().pos;
+  }
+}
+
+// --------------------------------------------------------------- Type II
+
+TEST(TypeIICliqueSamplerTest, DetectsTypeIIK4) {
+  Rng rng(9);
+  const auto stream = K4TypeII();
+  int detections = 0;
+  for (int trial = 0; trial < 40000; ++trial) {
+    TypeIICliqueSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    if (s.has_clique()) {
+      ++detections;
+      EXPECT_EQ(s.clique(), (Clique4{0, 1, 2, 3}));
+    }
+  }
+  // Detection probability is 2/m² = 2/36; expect about 2222 of 40000.
+  EXPECT_NEAR(detections, 40000.0 * 2.0 / 36.0,
+              5 * std::sqrt(40000.0 * 2.0 / 36.0));
+}
+
+TEST(TypeIICliqueSamplerTest, NeverDetectsTypeIK4) {
+  Rng rng(10);
+  const auto stream = K4TypeI();
+  for (int trial = 0; trial < 20000; ++trial) {
+    TypeIICliqueSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    EXPECT_FALSE(s.has_clique());
+  }
+}
+
+// --------------------------------------------------------- CliqueCounter4
+
+TEST(CliqueCounter4Test, UnbiasedOnPureTypeIInstance) {
+  CliqueCounter4 counter(CliqueOptions(60000, 11));
+  counter.ProcessEdges(K4TypeI().edges());
+  EXPECT_NEAR(counter.EstimateTypeI(), 1.0, 0.35);
+  EXPECT_NEAR(counter.EstimateTypeII(), 0.0, 0.15);
+  EXPECT_NEAR(counter.EstimateCliques(), 1.0, 0.4);
+}
+
+TEST(CliqueCounter4Test, UnbiasedOnPureTypeIIInstance) {
+  CliqueCounter4 counter(CliqueOptions(60000, 12));
+  counter.ProcessEdges(K4TypeII().edges());
+  EXPECT_NEAR(counter.EstimateTypeI(), 0.0, 0.15);
+  EXPECT_NEAR(counter.EstimateTypeII(), 1.0, 0.35);
+}
+
+TEST(CliqueCounter4Test, TypeSplitMatchesExactPartition) {
+  // On K5 with a shuffled order: estimates of each type must match the
+  // exact Type I / Type II partition computed offline.
+  graph::EdgeList k5;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) k5.Add(u, v);
+  }
+  const auto stream = stream::ShuffleStreamOrder(k5, 77);
+  const auto types = graph::Count4CliqueTypes(stream);
+  ASSERT_EQ(types.total(), 5u);
+  CliqueCounter4 counter(CliqueOptions(80000, 13));
+  counter.ProcessEdges(stream.edges());
+  EXPECT_NEAR(counter.EstimateTypeI(), static_cast<double>(types.type1),
+              0.30 * static_cast<double>(types.type1) + 0.3);
+  EXPECT_NEAR(counter.EstimateTypeII(), static_cast<double>(types.type2),
+              0.30 * static_cast<double>(types.type2) + 0.3);
+  EXPECT_NEAR(counter.EstimateCliques(), 5.0, 1.0);
+}
+
+TEST(CliqueCounter4Test, UnbiasedOnRandomGraph) {
+  const auto stream =
+      stream::ShuffleStreamOrder(gen::GnpRandom(14, 0.55, 21), 5);
+  const auto tau4 =
+      graph::Count4Cliques(graph::Csr::FromEdgeList(stream));
+  ASSERT_GT(tau4, 3u);
+  CliqueCounter4 counter(CliqueOptions(60000, 14));
+  counter.ProcessEdges(stream.edges());
+  EXPECT_NEAR(counter.EstimateCliques(), static_cast<double>(tau4),
+              0.3 * static_cast<double>(tau4));
+}
+
+TEST(CliqueCounter4Test, CliqueFreeGraphEstimatesZero) {
+  CliqueCounter4 counter(CliqueOptions(3000, 15));
+  // 5-cycle: no 4-cliques (no triangles even).
+  for (VertexId v = 0; v < 5; ++v) counter.ProcessEdge(Edge(v, (v + 1) % 5));
+  EXPECT_EQ(counter.EstimateCliques(), 0.0);
+}
+
+TEST(CliqueCounter4Test, SampleCliquesReturnsRealCliques) {
+  graph::EdgeList two_cliques = K4TypeI();
+  // Second, disjoint K4 over vertices 10..13.
+  two_cliques.Add(10, 11);
+  two_cliques.Add(12, 13);
+  two_cliques.Add(10, 12);
+  two_cliques.Add(10, 13);
+  two_cliques.Add(11, 12);
+  two_cliques.Add(11, 13);
+  CliqueCounter4 counter(CliqueOptions(150000, 16));
+  counter.ProcessEdges(two_cliques.edges());
+  auto sample = counter.SampleCliques(10, /*max_degree_bound=*/3);
+  ASSERT_TRUE(sample.ok()) << sample.status();
+  const auto csr = graph::Csr::FromEdgeList(two_cliques);
+  int low = 0, high = 0;
+  for (const Clique4& q : *sample) {
+    const VertexId vs[4] = {q.a, q.b, q.c, q.d};
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) {
+        EXPECT_TRUE(csr.HasEdge(vs[i], vs[j]));
+      }
+    }
+    (q.a < 10 ? low : high) += 1;
+  }
+  EXPECT_EQ(low + high, 10);
+}
+
+TEST(CliqueCounter4Test, SampleCliquesErrorPaths) {
+  CliqueCounter4 counter(CliqueOptions(100, 17));
+  auto r0 = counter.SampleCliques(1, 3);
+  EXPECT_EQ(r0.status().code(), StatusCode::kFailedPrecondition);  // no edges
+  counter.ProcessEdges(K4TypeI().edges());
+  EXPECT_EQ(counter.SampleCliques(1, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  auto too_many = counter.SampleCliques(1000, 3);
+  EXPECT_EQ(too_many.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ----------------------------------------------------------- SlidingWindow
+
+SlidingWindowOptions WindowOptions(std::uint64_t w, std::uint64_t r,
+                                   std::uint64_t seed) {
+  SlidingWindowOptions opt;
+  opt.window_size = w;
+  opt.num_estimators = r;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(SlidingWindowTest, WindowBiggerThanStreamBehavesLikePlainCounter) {
+  const auto stream = CanonicalStream();
+  SlidingWindowTriangleCounter counter(WindowOptions(1000, 60000, 1));
+  counter.ProcessEdges(stream.edges());
+  EXPECT_EQ(counter.window_edge_count(), stream.size());
+  EXPECT_NEAR(counter.EstimateTriangles(), 5.0, 0.4);
+  EXPECT_NEAR(counter.EstimateWedges(), 23.0, 1.2);
+}
+
+TEST(SlidingWindowTest, EstimatesTrianglesOfWindowSuffixOnly) {
+  // Stream = random graph twice (relabeled): the window must only see the
+  // suffix. Compare against the exact count of the last w edges.
+  const auto part1 = stream::ShuffleStreamOrder(gen::GnpRandom(18, 0.5, 2), 3);
+  const auto part2 = stream::ShuffleStreamOrder(gen::GnpRandom(18, 0.5, 9), 4);
+  graph::EdgeList full;
+  for (const Edge& e : part1.edges()) full.Add(e);
+  for (const Edge& e : part2.edges()) full.Add(e.u + 100, e.v + 100);
+
+  const std::uint64_t w = part2.size();
+  SlidingWindowTriangleCounter counter(WindowOptions(w, 50000, 5));
+  counter.ProcessEdges(full.edges());
+
+  graph::EdgeList window_slice;
+  for (std::size_t p = full.size() - w; p < full.size(); ++p) {
+    window_slice.Add(full[p]);
+  }
+  const auto tau_window = static_cast<double>(
+      graph::CountTriangles(graph::Csr::FromEdgeList(window_slice)));
+  ASSERT_GT(tau_window, 0.0);
+  EXPECT_NEAR(counter.EstimateTriangles(), tau_window, 0.2 * tau_window);
+}
+
+TEST(SlidingWindowTest, TriangleRichPrefixFullyExpires) {
+  // Triangle-rich prefix followed by a long triangle-free suffix: once the
+  // window lies inside the suffix the estimate must be exactly zero.
+  SlidingWindowTriangleCounter counter(WindowOptions(50, 2000, 6));
+  const auto prefix = gen::GnpRandom(12, 0.8, 7);  // dense, many triangles
+  counter.ProcessEdges(prefix.edges());
+  for (VertexId i = 0; i < 60; ++i) {
+    counter.ProcessEdge(Edge(1000 + 2 * i, 1001 + 2 * i));  // matching
+  }
+  EXPECT_EQ(counter.EstimateTriangles(), 0.0);
+}
+
+TEST(SlidingWindowTest, ChainIsSuffixMinimaStructure) {
+  SlidingWindowTriangleCounter counter(WindowOptions(64, 50, 8));
+  const auto stream =
+      stream::ShuffleStreamOrder(gen::GnmRandom(60, 300, 10), 11);
+  counter.ProcessEdges(stream.edges());
+  const std::uint64_t oldest =
+      counter.edges_seen() - counter.window_edge_count();
+  for (std::size_t est = 0; est < 50; ++est) {
+    const auto& chain = counter.chain(est);
+    ASSERT_FALSE(chain.empty());
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      EXPECT_GE(chain[i].edge.pos, oldest);
+      EXPECT_LT(chain[i].edge.pos, counter.edges_seen());
+      if (i > 0) {
+        EXPECT_GT(chain[i].edge.pos, chain[i - 1].edge.pos);
+        EXPECT_GT(chain[i].priority, chain[i - 1].priority);
+      }
+    }
+    // The stream's last edge is always a suffix minimum of itself.
+    EXPECT_EQ(chain.back().edge.pos, counter.edges_seen() - 1);
+  }
+}
+
+TEST(SlidingWindowTest, HeadIsUniformOverWindow) {
+  // After the stream settles, each estimator's head must be uniform over
+  // the w window positions (chi-square across estimators).
+  constexpr std::uint64_t kWindow = 16;
+  constexpr std::uint64_t kEstimators = 32000;
+  SlidingWindowTriangleCounter counter(
+      WindowOptions(kWindow, kEstimators, 9));
+  // Use a path graph: content irrelevant for this test.
+  for (VertexId i = 0; i < 200; ++i) counter.ProcessEdge(Edge(i, i + 1));
+  const std::uint64_t oldest = counter.edges_seen() - kWindow;
+  std::vector<int> head_counts(kWindow, 0);
+  for (std::size_t est = 0; est < kEstimators; ++est) {
+    const auto pos = counter.chain(est).front().edge.pos;
+    ASSERT_GE(pos, oldest);
+    ++head_counts[static_cast<std::size_t>(pos - oldest)];
+  }
+  const double expected = static_cast<double>(kEstimators) / kWindow;
+  double chi2 = 0.0;
+  for (int c : head_counts) {
+    const double diff = c - expected;
+    chi2 += diff * diff / expected;
+  }
+  // 99.9% critical value for 15 dof is 37.7.
+  EXPECT_LT(chi2, 45.0);
+}
+
+TEST(SlidingWindowTest, ChainLevel2InvariantsHold) {
+  // Every chain node's (r2, c, triangle) must match exact recomputation
+  // over the edges that arrived after it.
+  const auto stream =
+      stream::ShuffleStreamOrder(gen::GnpRandom(15, 0.5, 12), 13);
+  SlidingWindowTriangleCounter counter(WindowOptions(40, 200, 14));
+  counter.ProcessEdges(stream.edges());
+  for (std::size_t est = 0; est < 200; ++est) {
+    for (const auto& node : counter.chain(est)) {
+      std::uint64_t expected_c = 0;
+      for (std::size_t p = static_cast<std::size_t>(node.edge.pos) + 1;
+           p < stream.size(); ++p) {
+        if (stream[p].Adjacent(node.edge.edge)) ++expected_c;
+      }
+      EXPECT_EQ(node.c, expected_c);
+      if (node.c > 0) {
+        ASSERT_TRUE(node.r2.valid());
+        EXPECT_GT(node.r2.pos, node.edge.pos);
+        EXPECT_TRUE(node.r2.edge.Adjacent(node.edge.edge));
+        const Edge closer = ClosingEdge(node.edge.edge, node.r2.edge);
+        bool exists_after = false;
+        for (std::size_t p = static_cast<std::size_t>(node.r2.pos) + 1;
+             p < stream.size(); ++p) {
+          exists_after |= (stream[p] == closer);
+        }
+        EXPECT_EQ(node.has_triangle, exists_after);
+      }
+    }
+  }
+}
+
+TEST(SlidingWindowTest, MeanChainLengthIsLogarithmic) {
+  // Expected chain length over a window of w edges is H_w ≈ ln w + 0.58.
+  constexpr std::uint64_t kWindow = 1024;
+  SlidingWindowTriangleCounter counter(WindowOptions(kWindow, 400, 15));
+  for (VertexId i = 0; i < 5000; ++i) counter.ProcessEdge(Edge(i, i + 1));
+  const double expected = std::log(static_cast<double>(kWindow)) + 0.5772;
+  EXPECT_NEAR(counter.MeanChainLength(), expected, 1.5);
+}
+
+TEST(SlidingWindowTest, EmptyStreamSafe) {
+  SlidingWindowTriangleCounter counter(WindowOptions(10, 50, 16));
+  EXPECT_EQ(counter.window_edge_count(), 0u);
+  EXPECT_EQ(counter.EstimateTriangles(), 0.0);
+  EXPECT_EQ(counter.EstimateWedges(), 0.0);
+  EXPECT_EQ(counter.MeanChainLength(), 0.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tristream

@@ -1,0 +1,275 @@
+// Tests for Algorithm 1 (NSAMP-TRIANGLE) and the naive r-estimator
+// counter: state invariants, the exact sampling law of Lemma 3.1, and the
+// unbiasedness of the τ̃ (Lemma 3.2) and ζ̃ (Lemma 3.10) estimators.
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/neighborhood_sampler.h"
+#include "core/triangle_counter.h"
+#include "gen/erdos_renyi.h"
+#include "graph/csr.h"
+#include "graph/exact.h"
+#include "gtest/gtest.h"
+#include "stream/edge_stream.h"
+#include "tests/core/core_test_util.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace core {
+namespace {
+
+// ------------------------------------------------------- wedge helpers
+
+TEST(WedgeHelpersTest, TriangleFromWedge) {
+  const Triangle t = TriangleFromWedge(Edge(5, 2), Edge(5, 9));
+  EXPECT_EQ(t, (Triangle{2, 5, 9}));
+}
+
+TEST(WedgeHelpersTest, ClosingEdgeJoinsFreeEndpoints) {
+  EXPECT_EQ(ClosingEdge(Edge(1, 2), Edge(2, 3)), Edge(1, 3));
+  EXPECT_EQ(ClosingEdge(Edge(7, 4), Edge(9, 7)), Edge(4, 9));
+}
+
+// ----------------------------------------------------------- Algorithm 1
+
+TEST(NeighborhoodSamplerTest, EmptyStateBeforeEdges) {
+  NeighborhoodSampler s;
+  EXPECT_EQ(s.edges_seen(), 0u);
+  EXPECT_FALSE(s.r1().valid());
+  EXPECT_FALSE(s.has_triangle());
+  EXPECT_EQ(s.TriangleEstimate(), 0.0);
+  EXPECT_EQ(s.WedgeEstimate(), 0.0);
+}
+
+TEST(NeighborhoodSamplerTest, FirstEdgeAlwaysSampled) {
+  Rng rng(3);
+  for (int trial = 0; trial < 32; ++trial) {
+    NeighborhoodSampler s;
+    s.Process(Edge(4, 7), rng);
+    EXPECT_TRUE(s.r1().valid());
+    EXPECT_EQ(s.r1().edge, Edge(4, 7));
+    EXPECT_EQ(s.r1().pos, 0u);
+    EXPECT_EQ(s.c(), 0u);
+  }
+}
+
+TEST(NeighborhoodSamplerTest, ResetClearsEverything) {
+  Rng rng(4);
+  NeighborhoodSampler s;
+  const auto stream = CanonicalStream();
+  for (const Edge& e : stream.edges()) s.Process(e, rng);
+  s.Reset();
+  EXPECT_EQ(s.edges_seen(), 0u);
+  EXPECT_FALSE(s.r1().valid());
+  EXPECT_FALSE(s.r2().valid());
+  EXPECT_EQ(s.c(), 0u);
+  EXPECT_FALSE(s.has_triangle());
+}
+
+TEST(NeighborhoodSamplerTest, InvariantsOnCanonicalStream) {
+  const auto stream = CanonicalStream();
+  const auto stats = graph::ComputeStreamOrderStats(stream);
+  ASSERT_EQ(stats.c, CanonicalC());
+  Rng rng(11);
+  for (int trial = 0; trial < 500; ++trial) {
+    NeighborhoodSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    ExpectStateInvariants(stream, stats.c, s.r1(), s.r2(), s.c(),
+                          s.has_triangle());
+  }
+}
+
+// Parameterized invariant sweep over random graphs, orders, and seeds.
+class SamplerInvariantSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SamplerInvariantSweep, InvariantsHoldOnRandomStream) {
+  const std::uint64_t seed = GetParam();
+  graph::EdgeList graph_edges = gen::GnmRandom(40, 200, seed);
+  const auto stream = stream::ShuffleStreamOrder(graph_edges, seed * 31 + 7);
+  const auto stats = graph::ComputeStreamOrderStats(stream);
+  Rng rng(seed * 1000 + 1);
+  for (int trial = 0; trial < 60; ++trial) {
+    NeighborhoodSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    ExpectStateInvariants(stream, stats.c, s.r1(), s.r2(), s.c(),
+                          s.has_triangle());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SamplerInvariantSweep,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(NeighborhoodSamplerTest, JointLawMatchesLemma31) {
+  // Lemma 3.1 (generalized to the full state): Pr[r1 = e_i] = 1/m, and
+  // conditioned on that, Pr[r2 = e_j] = 1/c(e_i) for e_j ∈ N(e_i).
+  // Empirically verify the whole joint distribution on the canonical
+  // stream with a chi-square test.
+  const auto stream = CanonicalStream();
+  const auto c_exact = CanonicalC();
+  const std::size_t m = stream.size();
+  constexpr int kTrials = 120000;
+  Rng rng(2718);
+  std::map<std::pair<EdgeIndex, EdgeIndex>, int> counts;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    NeighborhoodSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    const EdgeIndex p1 = s.r1().pos;
+    const EdgeIndex p2 = s.r2().valid() ? s.r2().pos : kInvalidEdgeIndex;
+    ++counts[{p1, p2}];
+  }
+  double chi2 = 0.0;
+  int cells = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (c_exact[i] == 0) {
+      const double expected = static_cast<double>(kTrials) / m;
+      const double diff = counts[{i, kInvalidEdgeIndex}] - expected;
+      chi2 += diff * diff / expected;
+      ++cells;
+      continue;
+    }
+    for (std::size_t j = i + 1; j < m; ++j) {
+      if (!stream[j].Adjacent(stream[i])) continue;
+      const double expected = static_cast<double>(kTrials) /
+                              (static_cast<double>(m) *
+                               static_cast<double>(c_exact[i]));
+      const double diff = counts[{i, j}] - expected;
+      chi2 += diff * diff / expected;
+      ++cells;
+    }
+  }
+  // Every observed (r1, r2) pair must be a theoretically possible cell.
+  int total_in_cells = 0;
+  for (const auto& [key, count] : counts) total_in_cells += count;
+  EXPECT_EQ(total_in_cells, kTrials);
+  // 99.9% chi-square critical values: 24 dof -> 51.2, 30 dof -> 59.7.
+  EXPECT_GT(cells, 10);
+  EXPECT_LT(chi2, 65.0) << "joint (r1,r2) law deviates from Lemma 3.1";
+}
+
+TEST(NeighborhoodSamplerTest, TriangleEstimateUnbiasedOnCanonicalStream) {
+  // E[τ̃] = τ = 5; per-estimator second moment = m·Σ C(t) = 9·17 = 153.
+  const auto stream = CanonicalStream();
+  constexpr int kTrials = 200000;
+  Rng rng(31415);
+  double sum = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    NeighborhoodSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    sum += s.TriangleEstimate();
+  }
+  const double mean = sum / kTrials;
+  const double sigma_mean = std::sqrt(153.0 / kTrials);
+  EXPECT_NEAR(mean, 5.0, 5 * sigma_mean);
+}
+
+TEST(NeighborhoodSamplerTest, WedgeEstimateUnbiasedOnCanonicalStream) {
+  // E[ζ̃] = ζ = 23 (Lemma 3.10); ζ̃ = m·c(r1) with c <= 8, so Var <= (9·8)².
+  const auto stream = CanonicalStream();
+  constexpr int kTrials = 200000;
+  Rng rng(9265);
+  double sum = 0.0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    NeighborhoodSampler s;
+    for (const Edge& e : stream.edges()) s.Process(e, rng);
+    sum += s.WedgeEstimate();
+  }
+  const double mean = sum / kTrials;
+  const double sigma_mean = std::sqrt(72.0 * 72.0 / kTrials);
+  EXPECT_NEAR(mean, 23.0, 5 * sigma_mean);
+}
+
+// -------------------------------------------------- NaiveTriangleCounter
+
+TriangleCounterOptions SmallOptions(std::uint64_t r, std::uint64_t seed) {
+  TriangleCounterOptions opt;
+  opt.num_estimators = r;
+  opt.seed = seed;
+  return opt;
+}
+
+TEST(NaiveTriangleCounterTest, ZeroEdgesEstimatesZero) {
+  NaiveTriangleCounter counter(SmallOptions(100, 1));
+  EXPECT_EQ(counter.EstimateTriangles(), 0.0);
+  EXPECT_EQ(counter.EstimateWedges(), 0.0);
+  EXPECT_EQ(counter.EstimateTransitivity(), 0.0);
+}
+
+TEST(NaiveTriangleCounterTest, TriangleFreeStreamEstimatesZeroTriangles) {
+  NaiveTriangleCounter counter(SmallOptions(500, 2));
+  // A star has wedges but no triangles.
+  for (VertexId leaf = 1; leaf <= 20; ++leaf) {
+    counter.ProcessEdge(Edge(0, leaf));
+  }
+  EXPECT_EQ(counter.EstimateTriangles(), 0.0);
+  EXPECT_GT(counter.EstimateWedges(), 0.0);
+  EXPECT_EQ(counter.EstimateTransitivity(), 0.0);
+}
+
+TEST(NaiveTriangleCounterTest, AccurateOnCanonicalStream) {
+  NaiveTriangleCounter counter(SmallOptions(60000, 3));
+  counter.ProcessEdges(CanonicalStream().edges());
+  EXPECT_EQ(counter.edges_processed(), 9u);
+  EXPECT_NEAR(counter.EstimateTriangles(), 5.0, 0.3);
+  EXPECT_NEAR(counter.EstimateWedges(), 23.0, 1.0);
+  // κ = 3τ/ζ = 15/23 ≈ 0.652.
+  EXPECT_NEAR(counter.EstimateTransitivity(), 15.0 / 23.0, 0.07);
+}
+
+TEST(NaiveTriangleCounterTest, DeterministicPerSeed) {
+  NaiveTriangleCounter a(SmallOptions(1000, 77));
+  NaiveTriangleCounter b(SmallOptions(1000, 77));
+  const auto stream = CanonicalStream();
+  a.ProcessEdges(stream.edges());
+  b.ProcessEdges(stream.edges());
+  EXPECT_EQ(a.EstimateTriangles(), b.EstimateTriangles());
+  EXPECT_EQ(a.EstimateWedges(), b.EstimateWedges());
+}
+
+TEST(NaiveTriangleCounterTest, AccurateOnRandomGraph) {
+  const auto graph_edges = gen::GnmRandom(60, 500, 5);
+  const auto stream = stream::ShuffleStreamOrder(graph_edges, 55);
+  const auto csr = graph::Csr::FromEdgeList(stream);
+  const auto tau = graph::CountTriangles(csr);
+  const auto zeta = graph::CountWedges(csr);
+  ASSERT_GT(tau, 0u);
+
+  NaiveTriangleCounter counter(SmallOptions(40000, 6));
+  counter.ProcessEdges(stream.edges());
+  EXPECT_NEAR(counter.EstimateTriangles(), static_cast<double>(tau),
+              0.15 * static_cast<double>(tau));
+  EXPECT_NEAR(counter.EstimateWedges(), static_cast<double>(zeta),
+              0.10 * static_cast<double>(zeta));
+  const double kappa = graph::Transitivity(csr);
+  EXPECT_NEAR(counter.EstimateTransitivity(), kappa, 0.2 * kappa);
+}
+
+TEST(NaiveTriangleCounterTest, MedianOfMeansAlsoConverges) {
+  TriangleCounterOptions opt = SmallOptions(48000, 8);
+  opt.aggregation = Aggregation::kMedianOfMeans;
+  opt.median_groups = 12;
+  NaiveTriangleCounter counter(opt);
+  counter.ProcessEdges(CanonicalStream().edges());
+  EXPECT_NEAR(counter.EstimateTriangles(), 5.0, 0.8);
+}
+
+TEST(NaiveTriangleCounterTest, Theorem33GuaranteeHolds) {
+  // Run with the r from Theorem 3.3 at (ε=0.5, δ=0.2): estimate within
+  // 50% of τ (the theorem holds w.p. 0.8; the fixed seed makes this
+  // deterministic and it passes with margin).
+  const auto stream = CanonicalStream();
+  const auto summary_csr = graph::Csr::FromEdgeList(stream);
+  const auto tau = graph::CountTriangles(summary_csr);
+  const std::uint64_t r = graph::SufficientEstimatorsThm33(
+      stream.size(), summary_csr.MaxDegree(), tau, 0.5, 0.2);
+  NaiveTriangleCounter counter(SmallOptions(r, 9));
+  counter.ProcessEdges(stream.edges());
+  EXPECT_NEAR(counter.EstimateTriangles(), static_cast<double>(tau),
+              0.5 * static_cast<double>(tau));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tristream

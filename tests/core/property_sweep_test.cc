@@ -1,0 +1,191 @@
+// Deeper property sweeps: mid-stream invariants (not just end-of-stream),
+// invariants on realistic dataset stand-ins, window edge cases, and
+// uniformity of the 4-clique sampler across types.
+
+#include <algorithm>
+#include <map>
+
+#include "core/clique_counter.h"
+#include "core/sliding_window.h"
+#include "core/triangle_counter.h"
+#include "gen/datasets.h"
+#include "gen/erdos_renyi.h"
+#include "graph/exact.h"
+#include "gtest/gtest.h"
+#include "stream/edge_stream.h"
+#include "tests/core/core_test_util.h"
+
+namespace tristream {
+namespace core {
+namespace {
+
+TEST(MidStreamInvariantsTest, BulkStateIsCorrectAtEveryPrefix) {
+  // The estimator state must satisfy the deterministic invariants after
+  // *every* flushed prefix, not only at the end -- this catches bugs where
+  // a batch partially corrupts state that a later batch happens to mask.
+  const auto stream =
+      stream::ShuffleStreamOrder(gen::GnmRandom(30, 160, 3), 5);
+  TriangleCounterOptions options;
+  options.num_estimators = 150;
+  options.seed = 7;
+  options.batch_size = 13;
+  TriangleCounter counter(options);
+
+  graph::EdgeList prefix;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    counter.ProcessEdge(stream[i]);
+    prefix.Add(stream[i]);
+    if ((i + 1) % 29 != 0 && i + 1 != stream.size()) continue;
+    counter.Flush();
+    const auto stats = graph::ComputeStreamOrderStats(prefix);
+    for (const EstimatorState& st : counter.estimators()) {
+      ExpectStateInvariants(
+          prefix, stats.c, StreamEdge(st.r1, st.r1_pos),
+          st.has_r2() ? StreamEdge(st.r2, st.r2_pos) : StreamEdge(), st.c,
+          st.has_triangle);
+    }
+  }
+}
+
+class DatasetInvariantSweep
+    : public ::testing::TestWithParam<gen::DatasetId> {};
+
+TEST_P(DatasetInvariantSweep, BulkInvariantsOnStandIns) {
+  // Invariants on realistic degree distributions (power law, clique
+  // unions, near-regular), not just Erdos-Renyi noise.
+  const auto stream = [&] {
+    auto el = gen::MakeDataset(GetParam(), 0.01, 3);
+    // Trim to keep the exact recomputation cheap.
+    std::vector<Edge> edges(el.edges().begin(),
+                            el.edges().begin() +
+                                std::min<std::size_t>(el.size(), 4000));
+    return graph::EdgeList(std::move(edges));
+  }();
+  const auto stats = graph::ComputeStreamOrderStats(stream);
+  TriangleCounterOptions options;
+  options.num_estimators = 400;
+  options.seed = 11;
+  options.batch_size = 512;
+  TriangleCounter counter(options);
+  counter.ProcessEdges(stream.edges());
+  for (const EstimatorState& st : counter.estimators()) {
+    ExpectStateInvariants(
+        stream, stats.c, StreamEdge(st.r1, st.r1_pos),
+        st.has_r2() ? StreamEdge(st.r2, st.r2_pos) : StreamEdge(), st.c,
+        st.has_triangle);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(StandIns, DatasetInvariantSweep,
+                         ::testing::Values(gen::DatasetId::kAmazon,
+                                           gen::DatasetId::kDblp,
+                                           gen::DatasetId::kYoutube,
+                                           gen::DatasetId::kSynDRegular,
+                                           gen::DatasetId::kHepTh,
+                                           gen::DatasetId::kSyn3Regular));
+
+TEST(WindowEdgeCasesTest, WindowOfOneEdgeNeverHoldsTriangles) {
+  SlidingWindowOptions options;
+  options.window_size = 1;
+  options.num_estimators = 64;
+  options.seed = 3;
+  SlidingWindowTriangleCounter counter(options);
+  const auto stream = CanonicalStream();
+  for (const Edge& e : stream.edges()) {
+    counter.ProcessEdge(e);
+    EXPECT_EQ(counter.window_edge_count(), 1u);
+    EXPECT_EQ(counter.EstimateTriangles(), 0.0);
+    EXPECT_EQ(counter.EstimateWedges(), 0.0);  // c is 0 for a 1-edge window
+  }
+}
+
+TEST(WindowEdgeCasesTest, WindowTransitivityMatchesExactWhenCovering) {
+  SlidingWindowOptions options;
+  options.window_size = 100;
+  options.num_estimators = 60000;
+  options.seed = 5;
+  SlidingWindowTriangleCounter counter(options);
+  const auto stream = CanonicalStream();
+  counter.ProcessEdges(stream.edges());
+  // κ of the canonical stream = 3·5/23.
+  EXPECT_NEAR(counter.EstimateTransitivity(), 15.0 / 23.0, 0.08);
+}
+
+TEST(CliqueSamplerUniformityTest, TypesDoNotBiasTheUniformSample) {
+  // Two disjoint K4s forced into opposite types by arrival order; the
+  // uniform sampler must draw both equally often despite their capture
+  // probabilities differing structurally.
+  graph::EdgeList stream;
+  // Type I K4 on {0..3}: first two edges adjacent.
+  stream.Add(0, 1);
+  stream.Add(1, 2);
+  // Type II K4 on {10..13}: first two edges disjoint.
+  stream.Add(10, 11);
+  stream.Add(12, 13);
+  // Remaining edges interleaved.
+  stream.Add(0, 2);
+  stream.Add(10, 12);
+  stream.Add(0, 3);
+  stream.Add(10, 13);
+  stream.Add(1, 3);
+  stream.Add(11, 12);
+  stream.Add(2, 3);
+  stream.Add(11, 13);
+  const auto types = graph::Count4CliqueTypes(stream);
+  ASSERT_EQ(types.type1, 1u);
+  ASSERT_EQ(types.type2, 1u);
+
+  CliqueCounterOptions options;
+  options.num_estimators = 250000;
+  options.seed = 77;
+  CliqueCounter4 counter(options);
+  counter.ProcessEdges(stream.edges());
+  auto sample = counter.SampleCliques(300, /*max_degree_bound=*/3);
+  ASSERT_TRUE(sample.ok()) << sample.status();
+  int type1_draws = 0, type2_draws = 0;
+  for (const Clique4& q : *sample) {
+    (q.a < 10 ? type1_draws : type2_draws) += 1;
+  }
+  // Binomial(300, 1/2): 5 sigma ~ 43.
+  EXPECT_NEAR(type1_draws, 150, 45);
+  EXPECT_NEAR(type2_draws, 150, 45);
+}
+
+TEST(AggregationEdgeCasesTest, MedianOfMeansOnAllZeroEstimators) {
+  TriangleCounterOptions options;
+  options.num_estimators = 5000;
+  options.seed = 5;
+  options.aggregation = Aggregation::kMedianOfMeans;
+  TriangleCounter counter(options);
+  // Triangle-free stream.
+  for (VertexId i = 0; i < 50; ++i) counter.ProcessEdge(Edge(i, i + 100));
+  EXPECT_EQ(counter.EstimateTriangles(), 0.0);
+}
+
+TEST(BatchBoundaryTest, TriangleSplitExactlyAcrossBatches) {
+  // Wedge in batch 1, closer as the first edge of batch 2: the Q table
+  // hand-off across batches must catch it.
+  TriangleCounterOptions options;
+  options.num_estimators = 20000;
+  options.seed = 9;
+  options.batch_size = 2;  // {0,1},{1,2} | {0,2},...
+  TriangleCounter counter(options);
+  counter.ProcessEdge(Edge(0, 1));
+  counter.ProcessEdge(Edge(1, 2));
+  counter.ProcessEdge(Edge(0, 2));
+  counter.Flush();
+  // τ = 1, m = 3; estimate should be near 1.
+  EXPECT_NEAR(counter.EstimateTriangles(), 1.0, 0.15);
+  std::uint64_t holders = 0;
+  for (const EstimatorState& st : counter.estimators()) {
+    holders += st.has_triangle ? 1 : 0;
+  }
+  // Detection prob = 1/(m·C) = 1/(3·2) for r1={0,1}; plus r1={1,2} with
+  // c=1, r2={0,2} closes? {1,2} wedge with {0,2} shares vertex 2, closer
+  // {0,1} arrives before -> no. So only 1/6 of estimators hold.
+  EXPECT_NEAR(static_cast<double>(holders), 20000.0 / 6.0, 250.0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tristream

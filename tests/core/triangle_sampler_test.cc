@@ -1,0 +1,205 @@
+// Tests for uniform triangle sampling (Sec. 3.4): the Lemma 3.7 bias
+// correction, Theorem 3.8 yield, and failure modes.
+
+#include <cmath>
+#include <map>
+
+#include "core/triangle_sampler.h"
+#include "gen/erdos_renyi.h"
+#include "graph/csr.h"
+#include "graph/exact.h"
+#include "gtest/gtest.h"
+#include "tests/core/core_test_util.h"
+
+namespace tristream {
+namespace core {
+namespace {
+
+// Canonical stream: τ = 5 with skewed C(t) values {4,4,4,3,2} and Δ = 5,
+// making it a sharp probe of the bias correction.
+TriangleSamplerOptions CanonicalOptions(std::uint64_t r, std::uint64_t seed) {
+  TriangleSamplerOptions opt;
+  opt.num_estimators = r;
+  opt.seed = seed;
+  opt.max_degree_bound = 5;
+  opt.batch_size = 4;
+  return opt;
+}
+
+TEST(MaxDegreeTrackerTest, TracksRunningMaximum) {
+  MaxDegreeTracker tracker;
+  EXPECT_EQ(tracker.max_degree(), 0u);
+  tracker.Process(Edge(0, 1));
+  EXPECT_EQ(tracker.max_degree(), 1u);
+  tracker.Process(Edge(0, 2));
+  tracker.Process(Edge(0, 3));
+  EXPECT_EQ(tracker.max_degree(), 3u);
+  tracker.Process(Edge(4, 5));
+  EXPECT_EQ(tracker.max_degree(), 3u);
+}
+
+TEST(MaxDegreeTrackerTest, MatchesExactOnCanonicalStream) {
+  MaxDegreeTracker tracker;
+  const auto stream = CanonicalStream();
+  for (const Edge& e : stream.edges()) tracker.Process(e);
+  EXPECT_EQ(tracker.max_degree(), stream.MaxDegree());
+}
+
+TEST(TriangleSamplerTest, SamplesAreRealTriangles) {
+  TriangleSampler sampler(CanonicalOptions(20000, 1));
+  const auto stream = CanonicalStream();
+  sampler.ProcessEdges(stream.edges());
+  auto result = sampler.Sample(50);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto csr = graph::Csr::FromEdgeList(stream);
+  for (const Triangle& t : result->triangles) {
+    EXPECT_TRUE(csr.HasEdge(t.a, t.b));
+    EXPECT_TRUE(csr.HasEdge(t.a, t.c));
+    EXPECT_TRUE(csr.HasEdge(t.b, t.c));
+  }
+  EXPECT_EQ(result->triangles.size(), 50u);
+  EXPECT_GE(result->held, result->accepted);
+}
+
+TEST(TriangleSamplerTest, RawHoldIsBiasedButAcceptedIsUniform) {
+  // The raw neighborhood sample favors triangles with small C(t): the
+  // triangle {2,3,4} (C = 2) is held twice as often as {0,1,2} (C = 4).
+  // After the c/(2Δ) filter every triangle must be equally likely.
+  TriangleSampler sampler(CanonicalOptions(400000, 2));
+  const auto stream = CanonicalStream();
+  sampler.ProcessEdges(stream.edges());
+  auto result = sampler.Sample(15000);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  // Raw-hold bias: Pr[t held] = 1/(9·C(t)). Expected held ratio between
+  // C=2 and C=4 triangles is 2.
+  // (Checked indirectly: total held ≈ r·Σ 1/(9C) = r·(3/36 + 1/27 + 1/18).)
+  const double expected_held =
+      400000.0 * (3.0 / 36.0 + 1.0 / 27.0 + 1.0 / 18.0);
+  EXPECT_NEAR(static_cast<double>(result->held), expected_held,
+              0.05 * expected_held);
+
+  // Acceptance filter: every estimator survives with c/(2Δ), so each
+  // accepted copy is uniform; expected accepted = r·τ/(2mΔ) = r·5/90.
+  const double expected_accepted = 400000.0 * 5.0 / 90.0;
+  EXPECT_NEAR(static_cast<double>(result->accepted), expected_accepted,
+              0.05 * expected_accepted);
+
+  // Chi-square uniformity over the 5 triangles.
+  std::map<std::tuple<VertexId, VertexId, VertexId>, int> counts;
+  for (const Triangle& t : result->triangles) ++counts[{t.a, t.b, t.c}];
+  ASSERT_EQ(counts.size(), 5u) << "some triangle never sampled";
+  const double expected = 15000.0 / 5.0;
+  double chi2 = 0.0;
+  for (const auto& [key, count] : counts) {
+    const double diff = count - expected;
+    chi2 += diff * diff / expected;
+  }
+  // 99.9% critical value for 4 dof is 18.5.
+  EXPECT_LT(chi2, 25.0) << "accepted triangles are not uniform";
+}
+
+TEST(TriangleSamplerTest, Theorem38YieldSufficesForK) {
+  // r >= 4mkΔ·ln(e/δ)/τ guarantees k samples w.p. 1-δ; fixed seed.
+  const auto stream = CanonicalStream();
+  const std::uint64_t k = 5;
+  const double delta = 0.2;
+  const double r_needed = 4.0 * 9.0 * static_cast<double>(k) * 5.0 *
+                          std::log(std::exp(1.0) / delta) / 5.0;
+  TriangleSampler sampler(
+      CanonicalOptions(static_cast<std::uint64_t>(r_needed) + 1, 3));
+  sampler.ProcessEdges(stream.edges());
+  auto result = sampler.Sample(k);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->triangles.size(), k);
+}
+
+TEST(TriangleSamplerTest, FailsCleanlyWhenYieldTooSmall) {
+  TriangleSampler sampler(CanonicalOptions(50, 4));
+  const auto stream = CanonicalStream();
+  sampler.ProcessEdges(stream.edges());
+  auto result = sampler.Sample(50);  // cannot possibly accept 50 of 50
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TriangleSamplerTest, DetectsWrongDegreeBound) {
+  TriangleSamplerOptions opt = CanonicalOptions(5000, 5);
+  opt.max_degree_bound = 1;  // far below the true Δ = 5
+  TriangleSampler sampler(opt);
+  const auto stream = CanonicalStream();
+  sampler.ProcessEdges(stream.edges());
+  auto result = sampler.Sample(1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TriangleSamplerTest, TriangleFreeStreamYieldsNothing) {
+  TriangleSamplerOptions opt;
+  opt.num_estimators = 2000;
+  opt.max_degree_bound = 10;
+  TriangleSampler sampler(opt);
+  for (VertexId leaf = 1; leaf < 10; ++leaf) {
+    sampler.ProcessEdge(Edge(0, leaf));
+  }
+  auto result = sampler.Sample(1);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TriangleSamplerTest, LooseDegreeBoundStaysUniformJustSlower) {
+  // Any Δ upper bound keeps uniformity; only the yield shrinks.
+  TriangleSamplerOptions opt = CanonicalOptions(400000, 6);
+  opt.max_degree_bound = 20;  // 4x the true Δ
+  TriangleSampler sampler(opt);
+  const auto stream = CanonicalStream();
+  sampler.ProcessEdges(stream.edges());
+  auto result = sampler.Sample(2000);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::map<std::tuple<VertexId, VertexId, VertexId>, int> counts;
+  for (const Triangle& t : result->triangles) ++counts[{t.a, t.b, t.c}];
+  ASSERT_EQ(counts.size(), 5u);
+  const double expected = 2000.0 / 5.0;
+  double chi2 = 0.0;
+  for (const auto& [key, count] : counts) {
+    const double diff = count - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 25.0);
+}
+
+TEST(TriangleSamplerTest, PerCopyYieldBoundFormula) {
+  TriangleSampler sampler(CanonicalOptions(100, 7));
+  const auto stream = CanonicalStream();
+  sampler.ProcessEdges(stream.edges());
+  // τ/(2mΔ) = 5/(2·9·5) = 1/18.
+  EXPECT_NEAR(sampler.PerCopyYieldBound(5.0), 1.0 / 18.0, 1e-12);
+}
+
+TEST(TriangleSamplerTest, UniformOnRandomGraphToo) {
+  const auto stream = gen::GnpRandom(25, 0.35, 17);
+  const auto csr = graph::Csr::FromEdgeList(stream);
+  const auto tau = graph::CountTriangles(csr);
+  ASSERT_GT(tau, 10u);
+  TriangleSamplerOptions opt;
+  opt.num_estimators = 600000;
+  opt.seed = 18;
+  opt.max_degree_bound = csr.MaxDegree();
+  TriangleSampler sampler(opt);
+  sampler.ProcessEdges(stream.edges());
+  auto result = sampler.Sample(4000);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::map<std::tuple<VertexId, VertexId, VertexId>, int> counts;
+  for (const Triangle& t : result->triangles) ++counts[{t.a, t.b, t.c}];
+  // With 4000 draws over tau triangles, expect near-complete coverage and
+  // no triangle grossly over-represented.
+  EXPECT_GT(counts.size(), tau * 9 / 10);
+  const double expected = 4000.0 / static_cast<double>(tau);
+  for (const auto& [key, count] : counts) {
+    EXPECT_LT(count, expected * 3.0 + 10.0);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tristream

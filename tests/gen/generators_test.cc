@@ -1,0 +1,349 @@
+// Tests for all workload generators: structural properties (simplicity,
+// sizes, degrees) and the dataset-specific invariants the paper relies on.
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/chung_lu.h"
+#include "gen/collaboration.h"
+#include "gen/datasets.h"
+#include "gen/erdos_renyi.h"
+#include "gen/holme_kim.h"
+#include "gen/index_lower_bound.h"
+#include "gen/triangle_regular.h"
+#include "gen/uniform_degree.h"
+#include "gen/weighted_sampler.h"
+#include "graph/csr.h"
+#include "graph/degree_stats.h"
+#include "graph/exact.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+namespace {
+
+// -------------------------------------------------------- DiscreteSampler
+
+TEST(DiscreteSamplerTest, RespectsWeights) {
+  Rng rng(1);
+  DiscreteSampler sampler({1.0, 3.0});
+  int ones = 0;
+  constexpr int kTrials = 100000;
+  for (int i = 0; i < kTrials; ++i) ones += (sampler.Sample(rng) == 1);
+  EXPECT_NEAR(ones, kTrials * 0.75, 5 * std::sqrt(kTrials * 0.75 * 0.25));
+}
+
+TEST(DiscreteSamplerTest, ZeroWeightNeverSampled) {
+  Rng rng(2);
+  DiscreteSampler sampler({1.0, 0.0, 1.0});
+  for (int i = 0; i < 5000; ++i) EXPECT_NE(sampler.Sample(rng), 1u);
+}
+
+TEST(DiscreteSamplerTest, SizeAndTotal) {
+  DiscreteSampler sampler({0.5, 1.5});
+  EXPECT_EQ(sampler.size(), 2u);
+  EXPECT_DOUBLE_EQ(sampler.total_weight(), 2.0);
+}
+
+// ------------------------------------------------------------ Erdos-Renyi
+
+TEST(GnmRandomTest, ExactEdgeCountAndSimplicity) {
+  const auto el = GnmRandom(100, 500, 7);
+  EXPECT_EQ(el.size(), 500u);
+  EXPECT_TRUE(el.IsSimple());
+  EXPECT_LE(el.VertexUniverse(), 100u);
+}
+
+TEST(GnmRandomTest, Deterministic) {
+  const auto a = GnmRandom(50, 100, 3);
+  const auto b = GnmRandom(50, 100, 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(GnmRandomTest, DifferentSeedsDiffer) {
+  const auto a = GnmRandom(50, 100, 3);
+  const auto b = GnmRandom(50, 100, 4);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) any_diff |= !(a[i] == b[i]);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GnmRandomTest, CompleteGraphPossible) {
+  const auto el = GnmRandom(10, 45, 9);
+  EXPECT_EQ(el.size(), 45u);
+  EXPECT_TRUE(el.IsSimple());
+}
+
+TEST(GnpRandomTest, EdgeDensityNearP) {
+  const auto el = GnpRandom(120, 0.3, 5);
+  const double possible = 120.0 * 119.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(el.size()), 0.3 * possible,
+              5 * std::sqrt(possible * 0.3 * 0.7));
+  EXPECT_TRUE(el.IsSimple());
+}
+
+// --------------------------------------------------------------- HolmeKim
+
+TEST(HolmeKimTest, SimpleAndRightSize) {
+  const auto el = HolmeKim(2000, 4, 0.4, 11);
+  EXPECT_TRUE(el.IsSimple());
+  // Seed clique C(5,2)=10 edges plus ~4 per subsequent vertex.
+  EXPECT_GT(el.size(), 7500u);
+  EXPECT_LE(el.size(), 2000u * 4 + 10);
+  EXPECT_EQ(el.VertexUniverse(), 2000u);
+}
+
+TEST(HolmeKimTest, TriadClosureIncreasesTriangles) {
+  const auto open = BarabasiAlbert(3000, 4, 21);
+  const auto closed = HolmeKim(3000, 4, 0.8, 21);
+  const auto tau_open =
+      graph::CountTriangles(graph::Csr::FromEdgeList(open));
+  const auto tau_closed =
+      graph::CountTriangles(graph::Csr::FromEdgeList(closed));
+  EXPECT_GT(tau_closed, 2 * tau_open);
+}
+
+TEST(HolmeKimTest, PowerLawTail) {
+  // Preferential attachment: Δ far above the mean degree.
+  const auto el = BarabasiAlbert(5000, 3, 31);
+  const double mean_degree = 2.0 * static_cast<double>(el.size()) / 5000.0;
+  EXPECT_GT(static_cast<double>(el.MaxDegree()), 8.0 * mean_degree);
+}
+
+TEST(HolmeKimTest, TinyGraphsDoNotCrash) {
+  for (VertexId n : {1u, 2u, 3u, 5u}) {
+    const auto el = HolmeKim(n, 3, 0.5, 1);
+    EXPECT_TRUE(el.IsSimple());
+  }
+}
+
+// ---------------------------------------------------------------- ChungLu
+
+TEST(ChungLuTest, SimpleAndNearTargetSize) {
+  const auto el = ChungLuPowerLaw(5000, 20000, 2.2, 13);
+  EXPECT_TRUE(el.IsSimple());
+  EXPECT_GE(el.size(), 19000u);
+  EXPECT_LE(el.size(), 20000u);
+}
+
+TEST(ChungLuTest, SkewedDegrees) {
+  const auto el = ChungLuPowerLaw(5000, 20000, 2.05, 17);
+  const double mean_degree = 2.0 * static_cast<double>(el.size()) / 5000.0;
+  EXPECT_GT(static_cast<double>(el.MaxDegree()), 10.0 * mean_degree);
+}
+
+TEST(ChungLuTest, SteeperExponentLessSkew) {
+  const auto heavy = ChungLuPowerLaw(5000, 15000, 2.05, 19);
+  const auto light = ChungLuPowerLaw(5000, 15000, 3.5, 19);
+  EXPECT_GT(heavy.MaxDegree(), light.MaxDegree());
+}
+
+// ---------------------------------------------------------- UniformDegree
+
+TEST(UniformDegreeTest, DegreesWithinBand) {
+  const auto el = UniformDegreeGraph(2000, 10, 20, 23);
+  EXPECT_TRUE(el.IsSimple());
+  const auto deg = el.Degrees();
+  for (std::uint64_t d : deg) EXPECT_LE(d, 20u);
+  // Erased configuration model loses only a tiny fraction of stubs.
+  const double mean =
+      2.0 * static_cast<double>(el.size()) / static_cast<double>(deg.size());
+  EXPECT_GT(mean, 13.5);
+  EXPECT_LT(mean, 15.5);
+}
+
+TEST(ClusteredUniformDegreeTest, DegreeBandAndTriangleRichness) {
+  // The Syn-~d-regular substitute: degrees in [42, 114] (39 clique +
+  // [3, 75] background, minus rare erasures) and tau/m >> 1.
+  const auto el = ClusteredUniformDegreeGraph(4000, 40, 3, 75, 51);
+  EXPECT_TRUE(el.IsSimple());
+  const auto deg = el.Degrees();
+  std::uint64_t in_band = 0;
+  for (std::uint64_t d : deg) {
+    EXPECT_LE(d, 114u);
+    in_band += (d >= 42 && d <= 114);
+  }
+  EXPECT_GT(in_band, 3900u);
+  const auto tau = graph::CountTriangles(graph::Csr::FromEdgeList(el));
+  EXPECT_GT(static_cast<double>(tau),
+            4.0 * static_cast<double>(el.size()));
+  EXPECT_EQ(el.MaxDegree(), 114u);
+}
+
+TEST(ClusteredUniformDegreeTest, PlainConfigModelIsTrianglePoorByContrast) {
+  // Justifies the substitution: the erased configuration model's expected
+  // triangle count is Θ((E[d(d-1)]/E[d])³) -- constant in n -- while the
+  // clustered variant's grows linearly. At equal n and density the
+  // clustered graph must dominate by a wide margin.
+  const auto plain = UniformDegreeGraph(4000, 42, 114, 52);
+  const auto clustered = ClusteredUniformDegreeGraph(4000, 40, 3, 75, 52);
+  const auto tau_plain =
+      graph::CountTriangles(graph::Csr::FromEdgeList(plain));
+  const auto tau_clustered =
+      graph::CountTriangles(graph::Csr::FromEdgeList(clustered));
+  EXPECT_GT(tau_clustered, 5 * tau_plain);
+}
+
+TEST(UniformDegreeTest, RegularCase) {
+  const auto el = UniformDegreeGraph(1000, 6, 6, 29);
+  const auto deg = el.Degrees();
+  std::uint64_t at_target = 0;
+  for (std::uint64_t d : deg) at_target += (d == 6);
+  EXPECT_GT(at_target, 950u);  // nearly 6-regular after erasures
+}
+
+// -------------------------------------------------------- TriangleRegular
+
+TEST(TriangleRegular3Test, PaperInstanceExact) {
+  const auto el = PaperSyn3Regular(37);
+  EXPECT_EQ(el.VertexUniverse(), 2000u);
+  EXPECT_EQ(el.size(), 3000u);
+  EXPECT_TRUE(el.IsSimple());
+  const auto deg = el.Degrees();
+  for (std::uint64_t d : deg) EXPECT_EQ(d, 3u);
+  EXPECT_EQ(graph::CountTriangles(graph::Csr::FromEdgeList(el)), 1000u);
+}
+
+TEST(TriangleRegular3Test, PaperInstanceMDeltaOverTauIs9) {
+  const auto s = graph::Summarize(PaperSyn3Regular(41));
+  EXPECT_DOUBLE_EQ(s.m_delta_over_tau, 9.0);
+}
+
+TEST(TriangleRegular3Test, OtherFeasibleMixes) {
+  // Pure K4s: n = 4a, τ = 4a.
+  auto r = TriangleRegular3(40, 40, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(graph::CountTriangles(graph::Csr::FromEdgeList(r.value())), 40u);
+  // Pure prisms: n = 6b, τ = 2b.
+  r = TriangleRegular3(60, 20, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(graph::CountTriangles(graph::Csr::FromEdgeList(r.value())), 20u);
+}
+
+TEST(TriangleRegular3Test, InfeasiblePairsRejected) {
+  EXPECT_FALSE(TriangleRegular3(10, 100, 1).ok());  // τ > n
+  EXPECT_FALSE(TriangleRegular3(100, 10, 1).ok());  // n > 3τ
+  EXPECT_FALSE(TriangleRegular3(41, 33, 1).ok());   // divisibility
+}
+
+// ---------------------------------------------------------- Collaboration
+
+TEST(CollaborationTest, SimpleWithHighTriangleDensity) {
+  CollaborationOptions opt;
+  opt.num_authors = 3000;
+  opt.num_papers = 6000;
+  const auto el = Collaboration(opt, 43);
+  EXPECT_TRUE(el.IsSimple());
+  const auto csr = graph::Csr::FromEdgeList(el);
+  const auto tau = graph::CountTriangles(csr);
+  // Clique unions produce at least ~1 triangle per edge.
+  EXPECT_GT(static_cast<double>(tau),
+            0.3 * static_cast<double>(el.size()));
+}
+
+TEST(CollaborationTest, BiggerTeamsMoreTriangles) {
+  CollaborationOptions small, large;
+  small.num_authors = large.num_authors = 3000;
+  small.num_papers = large.num_papers = 4000;
+  small.mean_extra_authors = 0.3;
+  large.mean_extra_authors = 3.0;
+  const auto tau_small = graph::CountTriangles(
+      graph::Csr::FromEdgeList(Collaboration(small, 47)));
+  const auto tau_large = graph::CountTriangles(
+      graph::Csr::FromEdgeList(Collaboration(large, 47)));
+  EXPECT_GT(tau_large, tau_small);
+}
+
+// -------------------------------------------------------- IndexLowerBound
+
+TEST(IndexLowerBoundTest, BitOneGivesTwoTriangles) {
+  std::vector<bool> bits{false, true, false};
+  const auto el = IndexLowerBoundGraph(bits, 2, /*append_query=*/true);
+  EXPECT_EQ(graph::CountTriangles(graph::Csr::FromEdgeList(el)), 2u);
+}
+
+TEST(IndexLowerBoundTest, BitZeroGivesOneTriangle) {
+  std::vector<bool> bits{true, false, true};
+  const auto el = IndexLowerBoundGraph(bits, 2, /*append_query=*/true);
+  EXPECT_EQ(graph::CountTriangles(graph::Csr::FromEdgeList(el)), 1u);
+}
+
+TEST(IndexLowerBoundTest, NoQueryLeavesAnchorTriangleOnly) {
+  std::vector<bool> bits{true, true, true, true};
+  const auto el = IndexLowerBoundGraph(bits, 1, /*append_query=*/false);
+  EXPECT_EQ(graph::CountTriangles(graph::Csr::FromEdgeList(el)), 1u);
+}
+
+TEST(IndexLowerBoundTest, T2IsZeroAsTheoremClaims) {
+  // The theorem's separation needs O(1 + T2/τ) = O(1) on G*.
+  std::vector<bool> bits{true, false, true, true, false, true};
+  const auto el = IndexLowerBoundGraph(bits, 3, /*append_query=*/true);
+  const auto csr = graph::Csr::FromEdgeList(el);
+  EXPECT_EQ(graph::CountTwoEdgeTriples(csr), 0u);
+}
+
+// ---------------------------------------------------------------- Datasets
+
+TEST(DatasetsTest, Figure3ListMatchesPaperOrder) {
+  const auto ids = Figure3Datasets();
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_EQ(PaperReference(ids.front()).name, "Amazon");
+  EXPECT_EQ(PaperReference(ids.back()).name, "Syn.~d-reg");
+}
+
+TEST(DatasetsTest, ReferencesMatchFigure3) {
+  EXPECT_EQ(PaperReference(DatasetId::kOrkut).m, 117200000u);
+  EXPECT_EQ(PaperReference(DatasetId::kYoutube).max_degree, 28754u);
+  EXPECT_DOUBLE_EQ(PaperReference(DatasetId::kSyn3Regular).m_delta_over_tau,
+                   9.0);
+  EXPECT_EQ(PaperReference(DatasetId::kHepTh).triangles, 90649u);
+}
+
+TEST(DatasetsTest, AllStandInsAreSimpleAndNonTrivial) {
+  for (DatasetId id : Figure3Datasets()) {
+    const auto el = MakeDataset(id, /*scale=*/0.01, /*seed=*/5);
+    EXPECT_TRUE(el.IsSimple()) << PaperReference(id).name;
+    EXPECT_GT(el.size(), 1000u) << PaperReference(id).name;
+  }
+}
+
+TEST(DatasetsTest, StandInsHaveTriangles) {
+  for (DatasetId id :
+       {DatasetId::kAmazon, DatasetId::kDblp, DatasetId::kHepTh}) {
+    const auto el = MakeDataset(id, 0.02, 7);
+    EXPECT_GT(graph::CountTriangles(graph::Csr::FromEdgeList(el)), 0u)
+        << PaperReference(id).name;
+  }
+}
+
+TEST(DatasetsTest, Syn3RegularIgnoresScale) {
+  const auto el = MakeDataset(DatasetId::kSyn3Regular, 0.5, 3);
+  EXPECT_EQ(el.size(), 3000u);
+}
+
+TEST(DatasetsTest, DeterministicPerSeed) {
+  const auto a = MakeDataset(DatasetId::kAmazon, 0.01, 9);
+  const auto b = MakeDataset(DatasetId::kAmazon, 0.01, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(a.size(), 200); ++i) {
+    EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(DatasetsTest, YoutubeStandInIsTheSkewedOne) {
+  const auto yt = MakeDataset(DatasetId::kYoutube, 0.02, 3);
+  const auto dreg = MakeDataset(DatasetId::kSynDRegular, 0.02, 3);
+  const double yt_mean = 2.0 * static_cast<double>(yt.size()) /
+                         static_cast<double>(yt.CountActiveVertices());
+  const double yt_skew = static_cast<double>(yt.MaxDegree()) / yt_mean;
+  const double dreg_mean = 2.0 * static_cast<double>(dreg.size()) /
+                           static_cast<double>(dreg.CountActiveVertices());
+  const double dreg_skew = static_cast<double>(dreg.MaxDegree()) / dreg_mean;
+  EXPECT_GT(yt_skew, 10.0 * dreg_skew);
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace tristream

@@ -1,0 +1,218 @@
+// Tests for EdgeList, Csr, and GraphSummary.
+
+#include <algorithm>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/degree_stats.h"
+#include "graph/edge_list.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace graph {
+namespace {
+
+EdgeList Triangle() {
+  EdgeList el;
+  el.Add(0, 1);
+  el.Add(1, 2);
+  el.Add(0, 2);
+  return el;
+}
+
+TEST(EdgeListTest, EmptyDefaults) {
+  EdgeList el;
+  EXPECT_TRUE(el.empty());
+  EXPECT_EQ(el.VertexUniverse(), 0u);
+  EXPECT_EQ(el.CountActiveVertices(), 0u);
+  EXPECT_EQ(el.MaxDegree(), 0u);
+  EXPECT_TRUE(el.IsSimple());
+}
+
+TEST(EdgeListTest, AddAndIndex) {
+  EdgeList el;
+  el.Add(Edge(3, 4));
+  el.Add(1, 2);
+  ASSERT_EQ(el.size(), 2u);
+  EXPECT_EQ(el[0], Edge(3, 4));
+  EXPECT_EQ(el[1], Edge(1, 2));
+}
+
+TEST(EdgeListTest, VertexUniverseIsMaxPlusOne) {
+  EdgeList el;
+  el.Add(0, 9);
+  EXPECT_EQ(el.VertexUniverse(), 10u);
+}
+
+TEST(EdgeListTest, ActiveVerticesSkipIsolated) {
+  EdgeList el;
+  el.Add(0, 9);  // vertices 1..8 are isolated
+  EXPECT_EQ(el.CountActiveVertices(), 2u);
+}
+
+TEST(EdgeListTest, MakeSimpleRemovesSelfLoops) {
+  EdgeList el;
+  el.Add(0, 0);
+  el.Add(0, 1);
+  EXPECT_EQ(el.MakeSimple(), 1u);
+  ASSERT_EQ(el.size(), 1u);
+  EXPECT_EQ(el[0], Edge(0, 1));
+}
+
+TEST(EdgeListTest, MakeSimpleRemovesDuplicatesBothOrientations) {
+  EdgeList el;
+  el.Add(0, 1);
+  el.Add(2, 3);
+  el.Add(1, 0);  // duplicate of edge 0 reversed
+  el.Add(0, 1);  // exact duplicate
+  EXPECT_EQ(el.MakeSimple(), 2u);
+  ASSERT_EQ(el.size(), 2u);
+  EXPECT_EQ(el[0], Edge(0, 1));
+  EXPECT_EQ(el[1], Edge(2, 3));
+}
+
+TEST(EdgeListTest, MakeSimplePreservesFirstArrivalOrder) {
+  EdgeList el;
+  el.Add(5, 6);
+  el.Add(1, 2);
+  el.Add(6, 5);
+  el.Add(3, 4);
+  el.MakeSimple();
+  ASSERT_EQ(el.size(), 3u);
+  EXPECT_EQ(el[0], Edge(5, 6));
+  EXPECT_EQ(el[1], Edge(1, 2));
+  EXPECT_EQ(el[2], Edge(3, 4));
+}
+
+TEST(EdgeListTest, IsSimpleDetectsViolations) {
+  EdgeList loops;
+  loops.Add(1, 1);
+  EXPECT_FALSE(loops.IsSimple());
+
+  EdgeList dups;
+  dups.Add(1, 2);
+  dups.Add(2, 1);
+  EXPECT_FALSE(dups.IsSimple());
+
+  EXPECT_TRUE(Triangle().IsSimple());
+}
+
+TEST(EdgeListTest, DegreesOfTriangle) {
+  const auto deg = Triangle().Degrees();
+  ASSERT_EQ(deg.size(), 3u);
+  EXPECT_EQ(deg[0], 2u);
+  EXPECT_EQ(deg[1], 2u);
+  EXPECT_EQ(deg[2], 2u);
+  EXPECT_EQ(Triangle().MaxDegree(), 2u);
+}
+
+TEST(EdgeListTest, StarDegrees) {
+  EdgeList el;
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) el.Add(0, leaf);
+  const auto deg = el.Degrees();
+  EXPECT_EQ(deg[0], 5u);
+  for (VertexId leaf = 1; leaf <= 5; ++leaf) EXPECT_EQ(deg[leaf], 1u);
+  EXPECT_EQ(el.MaxDegree(), 5u);
+}
+
+TEST(CsrTest, TriangleAdjacency) {
+  const Csr csr = Csr::FromEdgeList(Triangle());
+  EXPECT_EQ(csr.num_vertices(), 3u);
+  EXPECT_EQ(csr.num_edges(), 3u);
+  EXPECT_EQ(csr.Degree(0), 2u);
+  const auto n0 = csr.Neighbors(0);
+  ASSERT_EQ(n0.size(), 2u);
+  EXPECT_EQ(n0[0], 1u);
+  EXPECT_EQ(n0[1], 2u);
+}
+
+TEST(CsrTest, NeighborsAreSorted) {
+  EdgeList el;
+  el.Add(0, 5);
+  el.Add(0, 2);
+  el.Add(0, 9);
+  el.Add(0, 1);
+  const Csr csr = Csr::FromEdgeList(el);
+  const auto nbrs = csr.Neighbors(0);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(CsrTest, HasEdgeBothDirections) {
+  const Csr csr = Csr::FromEdgeList(Triangle());
+  EXPECT_TRUE(csr.HasEdge(0, 1));
+  EXPECT_TRUE(csr.HasEdge(1, 0));
+  EXPECT_TRUE(csr.HasEdge(2, 0));
+  EXPECT_FALSE(csr.HasEdge(0, 0));
+}
+
+TEST(CsrTest, HasEdgeOutOfRangeIsFalse) {
+  const Csr csr = Csr::FromEdgeList(Triangle());
+  EXPECT_FALSE(csr.HasEdge(0, 99));
+  EXPECT_FALSE(csr.HasEdge(99, 0));
+}
+
+TEST(CsrTest, MaxDegree) {
+  EdgeList el;
+  el.Add(0, 1);
+  el.Add(0, 2);
+  el.Add(0, 3);
+  el.Add(1, 2);
+  const Csr csr = Csr::FromEdgeList(el);
+  EXPECT_EQ(csr.MaxDegree(), 3u);
+}
+
+TEST(CsrTest, IsolatedVerticesHaveZeroDegree) {
+  EdgeList el;
+  el.Add(0, 4);
+  const Csr csr = Csr::FromEdgeList(el);
+  EXPECT_EQ(csr.Degree(2), 0u);
+  EXPECT_TRUE(csr.Neighbors(2).empty());
+}
+
+TEST(CsrTest, RandomGraphDegreesMatchEdgeList) {
+  Rng rng(7);
+  EdgeList el;
+  for (int i = 0; i < 2000; ++i) {
+    const auto u = static_cast<VertexId>(rng.UniformBelow(100));
+    const auto v = static_cast<VertexId>(rng.UniformBelow(100));
+    if (u != v) el.Add(u, v);
+  }
+  el.MakeSimple();
+  const Csr csr = Csr::FromEdgeList(el);
+  const auto deg = el.Degrees();
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    ASSERT_EQ(csr.Degree(v), deg[v]) << "vertex " << v;
+  }
+  EXPECT_EQ(csr.num_edges(), el.size());
+}
+
+TEST(GraphSummaryTest, TriangleRow) {
+  const GraphSummary s = Summarize(Triangle());
+  EXPECT_EQ(s.num_vertices, 3u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.max_degree, 2u);
+  EXPECT_EQ(s.triangles, 1u);
+  EXPECT_EQ(s.wedges, 3u);
+  EXPECT_DOUBLE_EQ(s.m_delta_over_tau, 6.0);
+  EXPECT_DOUBLE_EQ(s.transitivity, 1.0);
+  EXPECT_EQ(s.degree_histogram.CountOf(2), 3u);
+}
+
+TEST(GraphSummaryTest, WithoutTrianglesSkipsTau) {
+  const GraphSummary s = Summarize(Triangle(), /*with_triangles=*/false);
+  EXPECT_EQ(s.triangles, 0u);
+  EXPECT_EQ(s.num_edges, 3u);
+  EXPECT_EQ(s.wedges, 3u);
+}
+
+TEST(GraphSummaryTest, IsolatedVerticesNotCounted) {
+  EdgeList el;
+  el.Add(0, 9);
+  const GraphSummary s = Summarize(el);
+  EXPECT_EQ(s.num_vertices, 2u);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace tristream

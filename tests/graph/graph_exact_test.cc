@@ -1,0 +1,395 @@
+// Tests for the exact algorithms: triangles, wedges, 4-cliques,
+// stream-order statistics (c(e), tangle coefficient, s(e)), and the
+// Type I / Type II clique partition.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "graph/csr.h"
+#include "graph/exact.h"
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace graph {
+namespace {
+
+std::uint64_t Choose(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  std::uint64_t r = 1;
+  for (std::uint64_t i = 0; i < k; ++i) r = r * (n - i) / (i + 1);
+  return r;
+}
+
+EdgeList CompleteGraph(VertexId n) {
+  EdgeList el;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) el.Add(u, v);
+  }
+  return el;
+}
+
+EdgeList Cycle(VertexId n) {
+  EdgeList el;
+  for (VertexId v = 0; v < n; ++v) el.Add(v, (v + 1) % n);
+  return el;
+}
+
+EdgeList CompleteBipartite(VertexId a, VertexId b) {
+  EdgeList el;
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) el.Add(u, a + v);
+  }
+  return el;
+}
+
+/// Petersen graph: 10 vertices, 15 edges, 3-regular, girth 5 (no triangles).
+EdgeList Petersen() {
+  EdgeList el;
+  for (VertexId v = 0; v < 5; ++v) {
+    el.Add(v, (v + 1) % 5);      // outer cycle
+    el.Add(5 + v, 5 + (v + 2) % 5);  // inner pentagram
+    el.Add(v, 5 + v);            // spokes
+  }
+  return el;
+}
+
+/// Wheel: hub 0 plus cycle 1..n (n >= 4 gives exactly n triangles).
+EdgeList Wheel(VertexId n) {
+  EdgeList el;
+  for (VertexId v = 1; v <= n; ++v) {
+    el.Add(0, v);
+    el.Add(v, v == n ? 1 : v + 1);
+  }
+  return el;
+}
+
+EdgeList RandomGnp(VertexId n, double p, std::uint64_t seed) {
+  Rng rng(seed);
+  EdgeList el;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.Coin(p)) el.Add(u, v);
+    }
+  }
+  return el;
+}
+
+std::uint64_t BruteForceTriangles(const Csr& csr) {
+  std::uint64_t count = 0;
+  const VertexId n = csr.num_vertices();
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (!csr.HasEdge(a, b)) continue;
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (csr.HasEdge(a, c) && csr.HasEdge(b, c)) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::uint64_t BruteForce4Cliques(const Csr& csr) {
+  std::uint64_t count = 0;
+  const VertexId n = csr.num_vertices();
+  for (VertexId a = 0; a < n; ++a) {
+    for (VertexId b = a + 1; b < n; ++b) {
+      if (!csr.HasEdge(a, b)) continue;
+      for (VertexId c = b + 1; c < n; ++c) {
+        if (!csr.HasEdge(a, c) || !csr.HasEdge(b, c)) continue;
+        for (VertexId d = c + 1; d < n; ++d) {
+          if (csr.HasEdge(a, d) && csr.HasEdge(b, d) && csr.HasEdge(c, d)) {
+            ++count;
+          }
+        }
+      }
+    }
+  }
+  return count;
+}
+
+// ------------------------------------------------------------ triangles
+
+TEST(CountTrianglesTest, CompleteGraphs) {
+  for (VertexId n : {3u, 4u, 5u, 6u, 7u, 8u}) {
+    const Csr csr = Csr::FromEdgeList(CompleteGraph(n));
+    EXPECT_EQ(CountTriangles(csr), Choose(n, 3)) << "K" << n;
+  }
+}
+
+TEST(CountTrianglesTest, TriangleFreeGraphs) {
+  EXPECT_EQ(CountTriangles(Csr::FromEdgeList(Cycle(5))), 0u);
+  EXPECT_EQ(CountTriangles(Csr::FromEdgeList(Cycle(8))), 0u);
+  EXPECT_EQ(CountTriangles(Csr::FromEdgeList(CompleteBipartite(3, 3))), 0u);
+  EXPECT_EQ(CountTriangles(Csr::FromEdgeList(Petersen())), 0u);
+}
+
+TEST(CountTrianglesTest, WheelHasNTriangles) {
+  for (VertexId n : {4u, 5u, 10u, 31u}) {
+    EXPECT_EQ(CountTriangles(Csr::FromEdgeList(Wheel(n))), n) << "W" << n;
+  }
+}
+
+TEST(CountTrianglesTest, TriangleCycleIs1) {
+  EXPECT_EQ(CountTriangles(Csr::FromEdgeList(Cycle(3))), 1u);
+}
+
+TEST(CountTrianglesTest, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const EdgeList el = RandomGnp(24, 0.3, seed);
+    const Csr csr = Csr::FromEdgeList(el);
+    EXPECT_EQ(CountTriangles(csr), BruteForceTriangles(csr))
+        << "seed " << seed;
+  }
+}
+
+TEST(EnumerateTrianglesTest, EmitsEachTriangleOnceSorted) {
+  const Csr csr = Csr::FromEdgeList(CompleteGraph(5));
+  std::vector<std::vector<VertexId>> tris;
+  EnumerateTriangles(csr, [&](VertexId a, VertexId b, VertexId c) {
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    tris.push_back({a, b, c});
+  });
+  std::sort(tris.begin(), tris.end());
+  EXPECT_EQ(tris.size(), Choose(5, 3));
+  EXPECT_EQ(std::unique(tris.begin(), tris.end()), tris.end());
+}
+
+// --------------------------------------------------------------- wedges
+
+TEST(CountWedgesTest, KnownValues) {
+  EXPECT_EQ(CountWedges(Csr::FromEdgeList(CompleteGraph(4))), 4u * 3);
+  EXPECT_EQ(CountWedges(Csr::FromEdgeList(Cycle(6))), 6u);
+  EXPECT_EQ(CountWedges(Csr::FromEdgeList(CompleteBipartite(3, 3))), 18u);
+  EXPECT_EQ(CountWedges(Csr::FromEdgeList(Petersen())), 30u);
+}
+
+TEST(TransitivityTest, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(Transitivity(Csr::FromEdgeList(CompleteGraph(6))), 1.0);
+}
+
+TEST(TransitivityTest, TriangleFreeIsZero) {
+  EXPECT_DOUBLE_EQ(Transitivity(Csr::FromEdgeList(Petersen())), 0.0);
+}
+
+TEST(TransitivityTest, EmptyGraphIsZero) {
+  EXPECT_DOUBLE_EQ(Transitivity(Csr::FromEdgeList(EdgeList())), 0.0);
+}
+
+TEST(TwoEdgeTriplesTest, MatchesZetaMinusThreeTau) {
+  // Petersen: no triangles, so T2 = ζ = 30.
+  EXPECT_EQ(CountTwoEdgeTriples(Csr::FromEdgeList(Petersen())), 30u);
+  // K4: every wedge closes, T2 = 0.
+  EXPECT_EQ(CountTwoEdgeTriples(Csr::FromEdgeList(CompleteGraph(4))), 0u);
+}
+
+// ------------------------------------------------------------- 4-cliques
+
+TEST(Count4CliquesTest, CompleteGraphs) {
+  for (VertexId n : {4u, 5u, 6u, 7u}) {
+    const Csr csr = Csr::FromEdgeList(CompleteGraph(n));
+    EXPECT_EQ(Count4Cliques(csr), Choose(n, 4)) << "K" << n;
+  }
+}
+
+TEST(Count4CliquesTest, CliqueFreeGraphs) {
+  EXPECT_EQ(Count4Cliques(Csr::FromEdgeList(Cycle(9))), 0u);
+  EXPECT_EQ(Count4Cliques(Csr::FromEdgeList(Wheel(6))), 0u);
+  EXPECT_EQ(Count4Cliques(Csr::FromEdgeList(Petersen())), 0u);
+}
+
+TEST(Count4CliquesTest, MatchesBruteForceOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const EdgeList el = RandomGnp(18, 0.45, seed + 100);
+    const Csr csr = Csr::FromEdgeList(el);
+    EXPECT_EQ(Count4Cliques(csr), BruteForce4Cliques(csr)) << "seed " << seed;
+  }
+}
+
+TEST(Enumerate4CliquesTest, SortedAndUnique) {
+  const Csr csr = Csr::FromEdgeList(CompleteGraph(6));
+  std::vector<std::vector<VertexId>> cliques;
+  Enumerate4Cliques(csr, [&](VertexId a, VertexId b, VertexId c, VertexId d) {
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_LT(c, d);
+    cliques.push_back({a, b, c, d});
+  });
+  std::sort(cliques.begin(), cliques.end());
+  EXPECT_EQ(cliques.size(), Choose(6, 4));
+  EXPECT_EQ(std::unique(cliques.begin(), cliques.end()), cliques.end());
+}
+
+// --------------------------------------------------- stream-order stats
+
+TEST(StreamOrderStatsTest, HandComputedExample) {
+  // Stream: e0={0,1}, e1={1,2}, e2={0,2}, e3={2,3}, e4={0,3}.
+  // c = [3, 2, 2, 1, 0]; ζ = 8; triangles {0,1,2} (first edge e0, C=3) and
+  // {0,2,3} (first edge e2, C=2); γ = (3+2)/2 = 2.5; s = [1,0,1,0,0].
+  EdgeList stream;
+  stream.Add(0, 1);
+  stream.Add(1, 2);
+  stream.Add(0, 2);
+  stream.Add(2, 3);
+  stream.Add(0, 3);
+  const StreamOrderStats st = ComputeStreamOrderStats(stream);
+  EXPECT_EQ(st.c, (std::vector<std::uint64_t>{3, 2, 2, 1, 0}));
+  EXPECT_EQ(st.wedge_count, 8u);
+  EXPECT_EQ(st.triangle_count, 2u);
+  EXPECT_EQ(st.tangle_sum, 5u);
+  EXPECT_DOUBLE_EQ(st.tangle_coefficient, 2.5);
+  EXPECT_EQ(st.s, (std::vector<std::uint64_t>{1, 0, 1, 0, 0}));
+}
+
+TEST(StreamOrderStatsTest, WedgeCountMatchesClaim39) {
+  // Claim 3.9: Σ_e c(e) = ζ(G) for every arrival order.
+  Rng rng(5);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    EdgeList el = RandomGnp(30, 0.2, seed + 50);
+    std::vector<Edge> edges = el.edges();
+    std::shuffle(edges.begin(), edges.end(), rng);
+    EdgeList stream{std::move(edges)};
+    const StreamOrderStats st = ComputeStreamOrderStats(stream);
+    EXPECT_EQ(st.wedge_count, CountWedges(Csr::FromEdgeList(stream)));
+  }
+}
+
+TEST(StreamOrderStatsTest, TriangleCountOrderInvariant) {
+  Rng rng(6);
+  EdgeList el = RandomGnp(30, 0.25, 77);
+  const std::uint64_t tau = CountTriangles(Csr::FromEdgeList(el));
+  for (int order = 0; order < 5; ++order) {
+    std::vector<Edge> edges = el.edges();
+    std::shuffle(edges.begin(), edges.end(), rng);
+    const StreamOrderStats st = ComputeStreamOrderStats(EdgeList{edges});
+    EXPECT_EQ(st.triangle_count, tau);
+  }
+}
+
+TEST(StreamOrderStatsTest, SumOfSEqualsTau) {
+  Rng rng(8);
+  EdgeList el = RandomGnp(25, 0.3, 11);
+  std::vector<Edge> edges = el.edges();
+  std::shuffle(edges.begin(), edges.end(), rng);
+  const StreamOrderStats st = ComputeStreamOrderStats(EdgeList{edges});
+  std::uint64_t sum_s = 0;
+  for (auto v : st.s) sum_s += v;
+  EXPECT_EQ(sum_s, st.triangle_count);
+}
+
+TEST(StreamOrderStatsTest, TangleBoundedByTwoDelta) {
+  // γ <= 2Δ (paper Sec. 3.2.1).
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const EdgeList el = RandomGnp(30, 0.3, seed + 1);
+    if (CountTriangles(Csr::FromEdgeList(el)) == 0) continue;
+    const StreamOrderStats st = ComputeStreamOrderStats(el);
+    EXPECT_LE(st.tangle_coefficient,
+              2.0 * static_cast<double>(el.MaxDegree()));
+  }
+}
+
+TEST(StreamOrderStatsTest, LastEdgeHasZeroC) {
+  const EdgeList el = CompleteGraph(5);
+  const StreamOrderStats st = ComputeStreamOrderStats(el);
+  EXPECT_EQ(st.c.back(), 0u);
+}
+
+TEST(StreamOrderStatsTest, TriangleFreeHasZeroTangle) {
+  const StreamOrderStats st = ComputeStreamOrderStats(Petersen());
+  EXPECT_EQ(st.triangle_count, 0u);
+  EXPECT_DOUBLE_EQ(st.tangle_coefficient, 0.0);
+}
+
+// -------------------------------------------------------- clique types
+
+TEST(CliqueTypesTest, AdjacentFirstTwoEdgesIsTypeI) {
+  EdgeList stream;
+  stream.Add(0, 1);
+  stream.Add(1, 2);  // shares vertex 1 with f1
+  stream.Add(0, 2);
+  stream.Add(0, 3);
+  stream.Add(1, 3);
+  stream.Add(2, 3);
+  const CliqueTypeCounts tc = Count4CliqueTypes(stream);
+  EXPECT_EQ(tc.type1, 1u);
+  EXPECT_EQ(tc.type2, 0u);
+}
+
+TEST(CliqueTypesTest, DisjointFirstTwoEdgesIsTypeII) {
+  EdgeList stream;
+  stream.Add(0, 1);
+  stream.Add(2, 3);  // disjoint from f1
+  stream.Add(0, 2);
+  stream.Add(0, 3);
+  stream.Add(1, 2);
+  stream.Add(1, 3);
+  const CliqueTypeCounts tc = Count4CliqueTypes(stream);
+  EXPECT_EQ(tc.type1, 0u);
+  EXPECT_EQ(tc.type2, 1u);
+}
+
+TEST(CliqueTypesTest, PartitionSumsToExactCount) {
+  Rng rng(13);
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    EdgeList el = RandomGnp(18, 0.5, seed + 7);
+    std::vector<Edge> edges = el.edges();
+    std::shuffle(edges.begin(), edges.end(), rng);
+    EdgeList stream{edges};
+    const std::uint64_t tau4 = Count4Cliques(Csr::FromEdgeList(stream));
+    const CliqueTypeCounts tc = Count4CliqueTypes(stream);
+    EXPECT_EQ(tc.total(), tau4) << "seed " << seed;
+  }
+}
+
+// ----------------------------------------------------- position index
+
+TEST(EdgePositionIndexTest, LooksUpBothOrientations) {
+  EdgeList stream;
+  stream.Add(3, 7);
+  stream.Add(1, 2);
+  auto idx = BuildEdgePositionIndex(stream);
+  ASSERT_NE(idx.Find(Edge(7, 3).Key()), nullptr);
+  EXPECT_EQ(*idx.Find(Edge(7, 3).Key()), 0u);
+  EXPECT_EQ(*idx.Find(Edge(1, 2).Key()), 1u);
+  EXPECT_EQ(idx.Find(Edge(1, 3).Key()), nullptr);
+}
+
+// ------------------------------------------------------ theorem bounds
+
+TEST(TheoremBoundsTest, Thm33RoundTrip) {
+  // r(ε) then ε(r) must come back to ε (up to ceiling slack).
+  const double eps = 0.1, delta = 0.2;
+  const std::uint64_t r =
+      SufficientEstimatorsThm33(1000, 50, 400, eps, delta);
+  EXPECT_GT(r, 0u);
+  const double eps_back = ErrorBoundThm33(1000, 50, 400, r, delta);
+  EXPECT_LE(eps_back, eps + 1e-9);
+  EXPECT_GT(eps_back, 0.9 * eps);
+}
+
+TEST(TheoremBoundsTest, ZeroTauEdgeCases) {
+  EXPECT_EQ(SufficientEstimatorsThm33(10, 5, 0, 0.1, 0.1), 0u);
+  EXPECT_TRUE(std::isinf(ErrorBoundThm33(10, 5, 0, 100, 0.1)));
+  EXPECT_TRUE(std::isinf(ErrorBoundThm33(10, 5, 10, 0, 0.1)));
+  EXPECT_EQ(SufficientEstimatorsThm34(10, 3.0, 0, 0.1, 0.1), 0u);
+}
+
+TEST(TheoremBoundsTest, MoreEstimatorsTightenTheBound) {
+  const double loose = ErrorBoundThm33(10000, 100, 5000, 1000, 0.2);
+  const double tight = ErrorBoundThm33(10000, 100, 5000, 100000, 0.2);
+  EXPECT_LT(tight, loose);
+}
+
+TEST(TheoremBoundsTest, Thm34ScalesWithTangle) {
+  const std::uint64_t small =
+      SufficientEstimatorsThm34(1000, 2.0, 400, 0.1, 0.1);
+  const std::uint64_t large =
+      SufficientEstimatorsThm34(1000, 20.0, 400, 0.1, 0.1);
+  EXPECT_LT(small, large);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace tristream

@@ -1,0 +1,167 @@
+// End-to-end integration tests: generator -> (disk) stream -> counter ->
+// estimate, crossing every module boundary the way the bench harness and
+// a production consumer would.
+
+#include <cstdio>
+#include <string>
+
+#include "baseline/colorful.h"
+#include "core/sliding_window.h"
+#include "core/triangle_counter.h"
+#include "core/triangle_sampler.h"
+#include "gen/datasets.h"
+#include "graph/csr.h"
+#include "graph/degree_stats.h"
+#include "graph/exact.h"
+#include "gtest/gtest.h"
+#include "stream/binary_io.h"
+#include "stream/edge_stream.h"
+#include "stream/text_io.h"
+
+namespace tristream {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(IntegrationTest, DatasetToBinaryFileToEstimate) {
+  // The Table 3 pipeline in miniature: generate a stand-in, persist it,
+  // stream it back in batches, and land within tolerance of exact.
+  const auto el = gen::MakeDataset(gen::DatasetId::kAmazon, 0.015, 7);
+  const auto summary = graph::Summarize(el);
+  ASSERT_GT(summary.triangles, 100u);
+
+  const std::string path = TempPath("integration_amazon.tris");
+  ASSERT_TRUE(stream::WriteBinaryEdges(path, el).ok());
+
+  core::TriangleCounterOptions options;
+  options.num_estimators = 1 << 16;
+  options.seed = 11;
+  core::TriangleCounter counter(options);
+  auto opened = stream::BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(opened.ok());
+  std::vector<Edge> block;
+  while ((*opened)->NextBatch(8192, &block) > 0) {
+    counter.ProcessEdges(block);
+  }
+  EXPECT_EQ(counter.edges_processed(), el.size());
+  const double tau = static_cast<double>(summary.triangles);
+  EXPECT_NEAR(counter.EstimateTriangles(), tau, 0.25 * tau);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, TextFileRoundTripFeedsCounter) {
+  const auto el = gen::MakeDataset(gen::DatasetId::kSyn3Regular, 1.0, 3);
+  const std::string path = TempPath("integration_edges.txt");
+  ASSERT_TRUE(stream::WriteTextEdges(path, el).ok());
+  auto parsed = stream::ReadTextEdges(path);
+  ASSERT_TRUE(parsed.ok());
+  parsed->MakeSimple();
+  ASSERT_EQ(parsed->size(), el.size());
+
+  core::TriangleCounterOptions options;
+  options.num_estimators = 40000;
+  options.seed = 5;
+  core::TriangleCounter counter(options);
+  counter.ProcessEdges(parsed->edges());
+  EXPECT_NEAR(counter.EstimateTriangles(), 1000.0, 120.0);
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, CounterAndSamplerAgreeOnTheSameStream) {
+  // Counter estimate and sampler yield are two views of the same theory:
+  // expected accepted copies = r·τ/(2mΔ).
+  const auto el = gen::MakeDataset(gen::DatasetId::kHepTh, 0.25, 9);
+  const auto summary = graph::Summarize(el);
+
+  core::TriangleCounterOptions copt;
+  copt.num_estimators = 1 << 16;
+  copt.seed = 21;
+  core::TriangleCounter counter(copt);
+  counter.ProcessEdges(el.edges());
+  const double tau_hat = counter.EstimateTriangles();
+
+  core::TriangleSamplerOptions sopt;
+  sopt.num_estimators = 1 << 17;
+  sopt.seed = 22;
+  sopt.max_degree_bound = summary.max_degree;
+  core::TriangleSampler sampler(sopt);
+  sampler.ProcessEdges(el.edges());
+  auto sample = sampler.Sample(1);
+  ASSERT_TRUE(sample.ok()) << sample.status();
+
+  const double expected_accepted =
+      static_cast<double>(sopt.num_estimators) * tau_hat /
+      (2.0 * static_cast<double>(el.size()) *
+       static_cast<double>(summary.max_degree));
+  EXPECT_NEAR(static_cast<double>(sample->accepted), expected_accepted,
+              0.25 * expected_accepted + 20.0);
+}
+
+TEST(IntegrationTest, WindowedAndWholeStreamCountersCoincideWhenWindowCovers) {
+  const auto el = gen::MakeDataset(gen::DatasetId::kSyn3Regular, 1.0, 13);
+
+  core::TriangleCounterOptions copt;
+  copt.num_estimators = 30000;
+  copt.seed = 31;
+  core::TriangleCounter whole(copt);
+  whole.ProcessEdges(el.edges());
+
+  core::SlidingWindowOptions wopt;
+  wopt.window_size = el.size() + 10;  // window covers everything
+  wopt.num_estimators = 30000;
+  wopt.seed = 32;
+  core::SlidingWindowTriangleCounter windowed(wopt);
+  windowed.ProcessEdges(el.edges());
+
+  EXPECT_NEAR(whole.EstimateTriangles(), windowed.EstimateTriangles(),
+              0.15 * whole.EstimateTriangles() + 30.0);
+}
+
+TEST(IntegrationTest, ThreeEstimatorFamiliesConvergeToSameTruth) {
+  // Neighborhood sampling, colorful sparsification, and exact counting
+  // agree on a mid-size stand-in -- a cross-algorithm consistency check.
+  const auto el = gen::MakeDataset(gen::DatasetId::kDblp, 0.015, 17);
+  const auto tau = static_cast<double>(
+      graph::CountTriangles(graph::Csr::FromEdgeList(el)));
+  ASSERT_GT(tau, 500.0);
+
+  core::TriangleCounterOptions copt;
+  copt.num_estimators = 1 << 17;
+  copt.seed = 41;
+  core::TriangleCounter ours(copt);
+  ours.ProcessEdges(el.edges());
+  EXPECT_NEAR(ours.EstimateTriangles(), tau, 0.2 * tau);
+
+  double colorful_sum = 0.0;
+  constexpr int kColorfulReps = 5;
+  for (int rep = 0; rep < kColorfulReps; ++rep) {
+    baseline::ColorfulTriangleCounter colorful(
+        {.num_colors = 3, .seed = 50 + static_cast<std::uint64_t>(rep)});
+    colorful.ProcessEdges(el.edges());
+    colorful_sum += colorful.EstimateTriangles();
+  }
+  EXPECT_NEAR(colorful_sum / kColorfulReps, tau, 0.25 * tau);
+}
+
+TEST(IntegrationTest, ArrivalOrderDoesNotBiasTheEstimate) {
+  // The adjacency-stream model promises arbitrary-order correctness; the
+  // estimate must hold up under adversarial-ish orders, not just random
+  // ones. Sorted order maximizes neighborhood clustering in time.
+  const auto base = gen::MakeDataset(gen::DatasetId::kSyn3Regular, 1.0, 19);
+  std::vector<Edge> sorted_edges = base.edges();
+  std::sort(sorted_edges.begin(), sorted_edges.end(),
+            [](const Edge& a, const Edge& b) { return a.Key() < b.Key(); });
+  const graph::EdgeList sorted_stream{std::move(sorted_edges)};
+
+  core::TriangleCounterOptions options;
+  options.num_estimators = 60000;
+  options.seed = 61;
+  core::TriangleCounter counter(options);
+  counter.ProcessEdges(sorted_stream.edges());
+  EXPECT_NEAR(counter.EstimateTriangles(), 1000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace tristream

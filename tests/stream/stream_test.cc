@@ -1,0 +1,298 @@
+// Tests for the stream module: memory streams, order shuffling, binary
+// round-trips with corruption handling, and SNAP-style text parsing.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gen/erdos_renyi.h"
+#include "graph/edge_list.h"
+#include "gtest/gtest.h"
+#include "stream/binary_io.h"
+#include "stream/edge_stream.h"
+#include "stream/text_io.h"
+
+namespace tristream {
+namespace stream {
+namespace {
+
+graph::EdgeList SampleEdges() {
+  graph::EdgeList el;
+  el.Add(0, 1);
+  el.Add(1, 2);
+  el.Add(2, 3);
+  el.Add(3, 4);
+  el.Add(4, 0);
+  return el;
+}
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// ------------------------------------------------------ MemoryEdgeStream
+
+TEST(MemoryEdgeStreamTest, DeliversAllEdgesInOrder) {
+  const auto el = SampleEdges();
+  MemoryEdgeStream s(el);
+  std::vector<Edge> batch;
+  std::vector<Edge> all;
+  while (s.NextBatch(2, &batch) > 0) {
+    all.insert(all.end(), batch.begin(), batch.end());
+  }
+  ASSERT_EQ(all.size(), el.size());
+  for (std::size_t i = 0; i < all.size(); ++i) EXPECT_EQ(all[i], el[i]);
+  EXPECT_EQ(s.edges_delivered(), el.size());
+  EXPECT_EQ(s.io_seconds(), 0.0);
+}
+
+TEST(MemoryEdgeStreamTest, BatchBiggerThanStream) {
+  const auto el = SampleEdges();
+  MemoryEdgeStream s(el);
+  std::vector<Edge> batch;
+  EXPECT_EQ(s.NextBatch(100, &batch), el.size());
+  EXPECT_EQ(s.NextBatch(100, &batch), 0u);
+}
+
+TEST(MemoryEdgeStreamTest, ResetRestarts) {
+  const auto el = SampleEdges();
+  MemoryEdgeStream s(el);
+  std::vector<Edge> batch;
+  s.NextBatch(3, &batch);
+  s.Reset();
+  EXPECT_EQ(s.edges_delivered(), 0u);
+  s.NextBatch(1, &batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], el[0]);
+}
+
+TEST(MemoryEdgeStreamTest, BatchSizeOneIsPerEdgeStreaming) {
+  const auto el = SampleEdges();
+  MemoryEdgeStream s(el);
+  std::vector<Edge> batch;
+  std::size_t count = 0;
+  while (s.NextBatch(1, &batch) == 1) ++count;
+  EXPECT_EQ(count, el.size());
+}
+
+// ----------------------------------------------------- ShuffleStreamOrder
+
+TEST(ShuffleStreamOrderTest, PermutationOfInput) {
+  const auto el = gen::GnmRandom(100, 400, 1);
+  const auto shuffled = ShuffleStreamOrder(el, 99);
+  ASSERT_EQ(shuffled.size(), el.size());
+  auto keys_of = [](const graph::EdgeList& l) {
+    std::vector<std::uint64_t> keys;
+    for (const Edge& e : l.edges()) keys.push_back(e.Key());
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(keys_of(shuffled), keys_of(el));
+}
+
+TEST(ShuffleStreamOrderTest, ActuallyPermutes) {
+  const auto el = gen::GnmRandom(100, 400, 1);
+  const auto shuffled = ShuffleStreamOrder(el, 99);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < el.size(); ++i) {
+    moved += !(shuffled[i] == el[i]);
+  }
+  EXPECT_GT(moved, el.size() / 2);
+}
+
+TEST(ShuffleStreamOrderTest, DeterministicPerSeed) {
+  const auto el = gen::GnmRandom(50, 200, 1);
+  const auto a = ShuffleStreamOrder(el, 5);
+  const auto b = ShuffleStreamOrder(el, 5);
+  const auto c = ShuffleStreamOrder(el, 6);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += !(a[i] == c[i]);
+  EXPECT_GT(diff, 0u);
+}
+
+// -------------------------------------------------------------- Binary IO
+
+TEST(BinaryIoTest, RoundTrip) {
+  const auto el = gen::GnmRandom(200, 1000, 2);
+  const std::string path = TempPath("roundtrip.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
+  auto back = ReadBinaryEdges(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), el.size());
+  for (std::size_t i = 0; i < el.size(); ++i) EXPECT_EQ((*back)[i], el[i]);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, EmptyListRoundTrip) {
+  const std::string path = TempPath("empty.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, graph::EdgeList()).ok());
+  auto back = ReadBinaryEdges(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, StreamDeliversBatchesWithIoTiming) {
+  const auto el = gen::GnmRandom(300, 5000, 3);
+  const std::string path = TempPath("batches.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
+  auto opened = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(opened.ok());
+  BinaryFileEdgeStream& s = **opened;
+  EXPECT_EQ(s.total_edges(), el.size());
+  std::vector<Edge> batch;
+  std::uint64_t seen = 0;
+  while (s.NextBatch(512, &batch) > 0) {
+    for (const Edge& e : batch) {
+      ASSERT_EQ(e, el[seen]);
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, el.size());
+  EXPECT_GE(s.io_seconds(), 0.0);
+  EXPECT_LT(s.io_seconds(), 5.0);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, StreamResetReplaysFile) {
+  const auto el = gen::GnmRandom(100, 1000, 4);
+  const std::string path = TempPath("reset.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
+  auto opened = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(opened.ok());
+  BinaryFileEdgeStream& s = **opened;
+  std::vector<Edge> batch;
+  s.NextBatch(700, &batch);
+  s.Reset();
+  EXPECT_EQ(s.edges_delivered(), 0u);
+  s.NextBatch(1, &batch);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0], el[0]);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileIsIoError) {
+  auto r = ReadBinaryEdges(TempPath("does_not_exist.tris"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, BadMagicIsCorruptData) {
+  const std::string path = TempPath("badmagic.tris");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("JUNKJUNKJUNKJUNKJUNK", 1, 20, f);
+  std::fclose(f);
+  auto r = ReadBinaryEdges(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, TruncatedPayloadIsCorruptData) {
+  const auto el = gen::GnmRandom(50, 200, 5);
+  const std::string path = TempPath("trunc.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
+  // Chop off the last 100 bytes.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string content(static_cast<std::size_t>(size), '\0');
+  ASSERT_EQ(std::fread(content.data(), 1, content.size(), f), content.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(content.data(), 1, content.size() - 100, f);
+  std::fclose(f);
+
+  auto r = ReadBinaryEdges(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, HeaderTooShortIsCorruptData) {
+  const std::string path = TempPath("shortheader.tris");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fwrite("TRIS", 1, 4, f);
+  std::fclose(f);
+  auto r = BinaryFileEdgeStream::Open(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- Text IO
+
+TEST(TextIoTest, ParsesSnapStyleContent) {
+  const std::string content =
+      "# Directed graph (each unordered pair of nodes is saved once)\n"
+      "# FromNodeId\tToNodeId\n"
+      "0\t1\n"
+      "1\t2\n"
+      "\n"
+      "% percent comments too\n"
+      "  3 4\n";
+  auto r = ParseTextEdges(content);
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[0], Edge(0, 1));
+  EXPECT_EQ((*r)[1], Edge(1, 2));
+  EXPECT_EQ((*r)[2], Edge(3, 4));
+}
+
+TEST(TextIoTest, KeepsDuplicatesAndLoopsForCallerToClean) {
+  auto r = ParseTextEdges("1 2\n2 1\n3 3\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_FALSE(r->IsSimple());
+  r->MakeSimple();
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(TextIoTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseTextEdges("1 banana\n").ok());
+  EXPECT_FALSE(ParseTextEdges("banana 1\n").ok());
+  EXPECT_FALSE(ParseTextEdges("1 2 3\n").ok());
+  EXPECT_FALSE(ParseTextEdges("1\n").ok());
+}
+
+TEST(TextIoTest, RejectsVertexIdOverflow) {
+  EXPECT_FALSE(ParseTextEdges("1 4294967296\n").ok());  // 2^32
+  EXPECT_TRUE(ParseTextEdges("1 4294967295\n").ok());   // 2^32 - 1 fits
+}
+
+TEST(TextIoTest, EmptyContentIsEmptyList) {
+  auto r = ParseTextEdges("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(TextIoTest, FileRoundTrip) {
+  const auto el = gen::GnmRandom(60, 300, 6);
+  const std::string path = TempPath("edges.txt");
+  ASSERT_TRUE(WriteTextEdges(path, el).ok());
+  auto back = ReadTextEdges(path);
+  ASSERT_TRUE(back.ok()) << back.status();
+  ASSERT_EQ(back->size(), el.size());
+  for (std::size_t i = 0; i < el.size(); ++i) EXPECT_EQ((*back)[i], el[i]);
+  std::remove(path.c_str());
+}
+
+TEST(TextIoTest, MissingFileIsIoError) {
+  auto r = ReadTextEdges(TempPath("missing.txt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(TextIoTest, NoTrailingNewlineStillParses) {
+  auto r = ParseTextEdges("7 9");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], Edge(7, 9));
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace tristream

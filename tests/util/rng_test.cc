@@ -1,0 +1,165 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace tristream {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ReseedRestartsStream) {
+  Rng a(7);
+  const std::uint64_t first = a.Next();
+  a.Next();
+  a.Reseed(7);
+  EXPECT_EQ(a.Next(), first);
+}
+
+TEST(RngTest, UniformBelowStaysInRange) {
+  Rng rng(42);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.UniformBelow(bound), bound);
+  }
+}
+
+TEST(RngTest, UniformIntCoversClosedRange) {
+  Rng rng(42);
+  bool saw_low = false, saw_high = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t x = rng.UniformInt(5, 9);
+    ASSERT_GE(x, 5u);
+    ASSERT_LE(x, 9u);
+    saw_low |= (x == 5);
+    saw_high |= (x == 9);
+  }
+  EXPECT_TRUE(saw_low);
+  EXPECT_TRUE(saw_high);
+}
+
+TEST(RngTest, UniformIntSingletonRange) {
+  Rng rng(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(17, 17), 17u);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.UniformReal();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformBelowIsRoughlyUniform) {
+  // Chi-square over 10 cells, 100k draws: 99.9% critical value for 9 dof
+  // is 27.9; allow generous slack.
+  Rng rng(2024);
+  constexpr int kCells = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kCells, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformBelow(kCells)];
+  const double expected = static_cast<double>(kDraws) / kCells;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 35.0);
+}
+
+TEST(RngTest, CoinMatchesProbability) {
+  Rng rng(9);
+  const double p = 0.3;
+  int heads = 0;
+  constexpr int kTrials = 200000;
+  for (int i = 0; i < kTrials; ++i) heads += rng.Coin(p);
+  // 5-sigma band around the binomial mean.
+  const double sigma = std::sqrt(kTrials * p * (1 - p));
+  EXPECT_NEAR(heads, kTrials * p, 5 * sigma);
+}
+
+TEST(RngTest, CoinOneInMatchesProbability) {
+  Rng rng(10);
+  constexpr int kTrials = 300000;
+  constexpr std::uint64_t kDen = 7;
+  int heads = 0;
+  for (int i = 0; i < kTrials; ++i) heads += rng.CoinOneIn(kDen);
+  const double p = 1.0 / kDen;
+  const double sigma = std::sqrt(kTrials * p * (1 - p));
+  EXPECT_NEAR(heads, kTrials * p, 5 * sigma);
+}
+
+TEST(RngTest, CoinOneInOneAlwaysHeads) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(rng.CoinOneIn(1));
+}
+
+TEST(RngTest, CoinExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Coin(0.0));
+    EXPECT_TRUE(rng.Coin(1.0));
+  }
+}
+
+TEST(RngTest, GeometricSkipMeanMatches) {
+  // Geometric(p) on {0,1,...} has mean (1-p)/p.
+  Rng rng(13);
+  const double p = 0.05;
+  constexpr int kTrials = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += static_cast<double>(rng.GeometricSkip(p));
+  }
+  const double mean = sum / kTrials;
+  const double expected = (1 - p) / p;  // 19
+  EXPECT_NEAR(mean, expected, 0.05 * expected);
+}
+
+TEST(RngTest, GeometricSkipPOneIsZero) {
+  Rng rng(14);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.GeometricSkip(1.0), 0u);
+}
+
+TEST(RngTest, GeometricSkipDistributionMatchesCoinFlips) {
+  // P[skip = 0] must equal p.
+  Rng rng(15);
+  const double p = 0.25;
+  constexpr int kTrials = 200000;
+  int zeros = 0;
+  for (int i = 0; i < kTrials; ++i) zeros += (rng.GeometricSkip(p) == 0);
+  const double sigma = std::sqrt(kTrials * p * (1 - p));
+  EXPECT_NEAR(zeros, kTrials * p, 5 * sigma);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(77);
+  Rng b = a.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, WorksAsUniformRandomBitGenerator) {
+  Rng rng(5);
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace tristream

@@ -1,0 +1,130 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 4.0);
+  EXPECT_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-3.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({5.0}), 5.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_EQ(Median({}), 0.0);
+  EXPECT_DOUBLE_EQ(Median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(MedianTest, RobustToOutlier) {
+  EXPECT_DOUBLE_EQ(Median({1.0, 2.0, 3.0, 4.0, 1e9}), 3.0);
+}
+
+TEST(MedianOfMeansTest, OneGroupIsMean) {
+  const std::vector<double> v{1.0, 2.0, 3.0, 10.0};
+  EXPECT_DOUBLE_EQ(MedianOfMeans(v, 1), Mean(v));
+}
+
+TEST(MedianOfMeansTest, KnownPartition) {
+  // Groups of [1,2], [3,4], [100,0] -> means 1.5, 3.5, 50 -> median 3.5.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0, 100.0, 0.0};
+  EXPECT_DOUBLE_EQ(MedianOfMeans(v, 3), 3.5);
+}
+
+TEST(MedianOfMeansTest, SuppressesHeavyTail) {
+  // One corrupted group cannot drag the median, unlike the mean.
+  std::vector<double> v(90, 10.0);
+  for (int i = 0; i < 10; ++i) v.push_back(1e6);
+  const double mom = MedianOfMeans(v, 10);
+  EXPECT_NEAR(mom, 10.0, 1e-9);
+  EXPECT_GT(Mean(v), 1e4);
+}
+
+TEST(MedianOfMeansTest, MoreGroupsThanValuesFallsBack) {
+  const std::vector<double> v{1.0, 3.0};
+  EXPECT_DOUBLE_EQ(MedianOfMeans(v, 10), 2.0);
+}
+
+TEST(RelativeErrorTest, Basics) {
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(RelativeErrorPercent(100.0, 100.0), 0.0);
+}
+
+TEST(RelativeErrorTest, ZeroTruth) {
+  EXPECT_EQ(RelativeErrorPercent(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(RelativeErrorPercent(1.0, 0.0)));
+}
+
+TEST(SummarizeDeviationsTest, MinMeanMax) {
+  // Errors vs 100: 5%, 10%, 30%.
+  const auto s = SummarizeDeviations({105.0, 90.0, 130.0}, 100.0);
+  EXPECT_DOUBLE_EQ(s.min_percent, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_percent, 15.0);
+  EXPECT_DOUBLE_EQ(s.max_percent, 30.0);
+}
+
+TEST(SummarizeDeviationsTest, EmptyInput) {
+  const auto s = SummarizeDeviations({}, 100.0);
+  EXPECT_EQ(s.mean_percent, 0.0);
+}
+
+TEST(MedianOfMeansTest, ConcentratesLikeTheoryPredicts) {
+  // Sanity check of the Thm 3.4 aggregation route: heavy-tailed unbiased
+  // estimates, median-of-means lands within a few percent.
+  Rng rng(99);
+  std::vector<double> values;
+  values.reserve(48000);
+  // E[X] = 100: X = 1000 w.p. 0.1, else 0.
+  for (int i = 0; i < 48000; ++i) {
+    values.push_back(rng.Coin(0.1) ? 1000.0 : 0.0);
+  }
+  const double mom = MedianOfMeans(values, 12);
+  EXPECT_NEAR(mom, 100.0, 10.0);
+}
+
+}  // namespace
+}  // namespace tristream

@@ -1,0 +1,92 @@
+#include "util/types.h"
+
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace tristream {
+namespace {
+
+TEST(EdgeTest, DefaultIsInvalid) {
+  Edge e;
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(EdgeTest, ValidAfterConstruction) {
+  Edge e(3, 7);
+  EXPECT_TRUE(e.valid());
+  EXPECT_FALSE(e.self_loop());
+}
+
+TEST(EdgeTest, SelfLoopDetected) {
+  Edge e(5, 5);
+  EXPECT_TRUE(e.self_loop());
+}
+
+TEST(EdgeTest, NormalizedOrdersEndpoints) {
+  EXPECT_EQ(Edge(9, 2).Normalized().u, 2u);
+  EXPECT_EQ(Edge(9, 2).Normalized().v, 9u);
+  EXPECT_EQ(Edge(2, 9).Normalized().u, 2u);
+}
+
+TEST(EdgeTest, EqualityIsUnordered) {
+  EXPECT_EQ(Edge(1, 2), Edge(2, 1));
+  EXPECT_NE(Edge(1, 2), Edge(1, 3));
+}
+
+TEST(EdgeTest, KeyIsCanonical) {
+  EXPECT_EQ(Edge(1, 2).Key(), Edge(2, 1).Key());
+  EXPECT_NE(Edge(1, 2).Key(), Edge(1, 3).Key());
+  EXPECT_EQ(Edge(1, 2).Key(), (std::uint64_t{1} << 32) | 2u);
+}
+
+TEST(EdgeTest, ContainsEndpoints) {
+  Edge e(4, 9);
+  EXPECT_TRUE(e.Contains(4));
+  EXPECT_TRUE(e.Contains(9));
+  EXPECT_FALSE(e.Contains(5));
+}
+
+TEST(EdgeTest, AdjacencyMatchesPaperDefinition) {
+  // "two edges are adjacent to each other if they share a vertex"
+  EXPECT_TRUE(Edge(1, 2).Adjacent(Edge(2, 3)));
+  EXPECT_TRUE(Edge(1, 2).Adjacent(Edge(3, 1)));
+  EXPECT_TRUE(Edge(1, 2).Adjacent(Edge(1, 2)));
+  EXPECT_FALSE(Edge(1, 2).Adjacent(Edge(3, 4)));
+}
+
+TEST(EdgeTest, SharedVertex) {
+  EXPECT_EQ(Edge(1, 2).SharedVertex(Edge(2, 3)), 2u);
+  EXPECT_EQ(Edge(1, 2).SharedVertex(Edge(1, 9)), 1u);
+  EXPECT_EQ(Edge(1, 2).SharedVertex(Edge(3, 4)), kInvalidVertex);
+}
+
+TEST(EdgeTest, OtherEndpoint) {
+  Edge e(6, 11);
+  EXPECT_EQ(e.Other(6), 11u);
+  EXPECT_EQ(e.Other(11), 6u);
+}
+
+TEST(EdgeTest, HashAgreesWithEquality) {
+  std::hash<Edge> h;
+  EXPECT_EQ(h(Edge(1, 2)), h(Edge(2, 1)));
+  std::unordered_set<Edge> set;
+  set.insert(Edge(1, 2));
+  set.insert(Edge(2, 1));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(StreamEdgeTest, DefaultInvalid) {
+  StreamEdge se;
+  EXPECT_FALSE(se.valid());
+}
+
+TEST(StreamEdgeTest, CarriesPosition) {
+  StreamEdge se(Edge(1, 2), 42);
+  EXPECT_TRUE(se.valid());
+  EXPECT_EQ(se.pos, 42u);
+  EXPECT_EQ(se.edge, Edge(2, 1));
+}
+
+}  // namespace
+}  // namespace tristream

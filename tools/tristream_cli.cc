@@ -1,0 +1,274 @@
+// tristream command-line tool: stream graphs from files or generators
+// through the library without writing any code.
+//
+//   tristream_cli generate --dataset dblp --scale 0.02 --output g.tris
+//   tristream_cli stats    --input g.tris
+//   tristream_cli count    --input g.tris --estimators 131072 [--threads 2]
+//   tristream_cli window   --input g.tris --window 100000
+//   tristream_cli sample   --input g.tris -k 10 --max-degree 500
+//   tristream_cli convert  --input edges.txt --output edges.tris
+//
+// Inputs ending in ".tris" use the binary format; anything else is parsed
+// as SNAP-style text (duplicates and self-loops are filtered on ingest).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/parallel_counter.h"
+#include "core/sliding_window.h"
+#include "core/triangle_counter.h"
+#include "core/triangle_sampler.h"
+#include "gen/datasets.h"
+#include "graph/degree_stats.h"
+#include "stream/binary_io.h"
+#include "stream/dedup.h"
+#include "stream/text_io.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace tristream;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: tristream_cli <command> [flags]\n"
+      "commands:\n"
+      "  generate --dataset NAME --output FILE [--scale F] [--seed N]\n"
+      "           NAME: amazon dblp youtube livejournal orkut syndreg\n"
+      "                 hepth syn3reg\n"
+      "  stats    --input FILE\n"
+      "  count    --input FILE [--estimators N] [--seed N] [--batch W]\n"
+      "           [--threads T] [--median-of-means]\n"
+      "  window   --input FILE --window W [--estimators N] [--seed N]\n"
+      "  sample   --input FILE -k K --max-degree D [--estimators N]\n"
+      "  convert  --input FILE --output FILE\n");
+  return 2;
+}
+
+/// Minimal flag map: --name value pairs (plus -k).
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) {
+      key = key.substr(2);
+    } else if (key == "-k") {
+      key = "k";
+    } else {
+      std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    if (key == "median-of-means") {
+      flags[key] = "1";
+      continue;
+    }
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+      std::exit(2);
+    }
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+std::uint64_t FlagU64(const std::map<std::string, std::string>& flags,
+                      const std::string& name, std::uint64_t fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback
+                           : std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double FlagDouble(const std::map<std::string, std::string>& flags,
+                  const std::string& name, double fallback) {
+  const auto it = flags.find(name);
+  return it == flags.end() ? fallback
+                           : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Loads an edge list from .tris (binary) or text, enforcing simplicity.
+graph::EdgeList LoadEdges(const std::string& path) {
+  Result<graph::EdgeList> loaded =
+      EndsWith(path, ".tris") ? stream::ReadBinaryEdges(path)
+                              : stream::ReadTextEdges(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load '%s': %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    std::exit(1);
+  }
+  stream::DedupFilter filter(loaded->size());
+  graph::EdgeList clean;
+  for (const Edge& e : loaded->edges()) {
+    if (filter.Admit(e)) clean.Add(e);
+  }
+  if (clean.size() != loaded->size()) {
+    std::fprintf(stderr, "note: filtered %zu duplicate/self-loop edges\n",
+                 loaded->size() - clean.size());
+  }
+  return clean;
+}
+
+Result<gen::DatasetId> DatasetByName(const std::string& name) {
+  if (name == "amazon") return gen::DatasetId::kAmazon;
+  if (name == "dblp") return gen::DatasetId::kDblp;
+  if (name == "youtube") return gen::DatasetId::kYoutube;
+  if (name == "livejournal") return gen::DatasetId::kLiveJournal;
+  if (name == "orkut") return gen::DatasetId::kOrkut;
+  if (name == "syndreg") return gen::DatasetId::kSynDRegular;
+  if (name == "hepth") return gen::DatasetId::kHepTh;
+  if (name == "syn3reg") return gen::DatasetId::kSyn3Regular;
+  return Status::InvalidArgument("unknown dataset '" + name + "'");
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("dataset");
+  const auto out = flags.find("output");
+  if (it == flags.end() || out == flags.end()) return Usage();
+  auto id = DatasetByName(it->second);
+  if (!id.ok()) {
+    std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  const double scale = FlagDouble(flags, "scale", 0.02);
+  const auto seed = FlagU64(flags, "seed", 1);
+  const auto el = gen::MakeDataset(*id, scale, seed);
+  if (Status s = stream::WriteBinaryEdges(out->second, el); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu edges to %s\n", el.size(), out->second.c_str());
+  return 0;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("input");
+  if (it == flags.end()) return Usage();
+  const auto el = LoadEdges(it->second);
+  const auto s = graph::Summarize(el);
+  std::printf("n (active vertices) : %llu\n",
+              static_cast<unsigned long long>(s.num_vertices));
+  std::printf("m (edges)           : %llu\n",
+              static_cast<unsigned long long>(s.num_edges));
+  std::printf("max degree          : %llu\n",
+              static_cast<unsigned long long>(s.max_degree));
+  std::printf("triangles (exact)   : %llu\n",
+              static_cast<unsigned long long>(s.triangles));
+  std::printf("wedges              : %llu\n",
+              static_cast<unsigned long long>(s.wedges));
+  std::printf("transitivity        : %.6f\n", s.transitivity);
+  std::printf("m*maxdeg/triangles  : %.1f\n", s.m_delta_over_tau);
+  return 0;
+}
+
+int CmdCount(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("input");
+  if (it == flags.end()) return Usage();
+  const auto el = LoadEdges(it->second);
+  core::ParallelCounterOptions options;
+  options.num_estimators = FlagU64(flags, "estimators", 1 << 17);
+  options.num_threads =
+      static_cast<std::uint32_t>(FlagU64(flags, "threads", 1));
+  options.seed = FlagU64(flags, "seed", 1);
+  options.batch_size = static_cast<std::size_t>(FlagU64(flags, "batch", 0));
+  if (flags.count("median-of-means")) {
+    options.aggregation = core::Aggregation::kMedianOfMeans;
+  }
+  core::ParallelTriangleCounter counter(options);
+  WallTimer timer;
+  counter.ProcessEdges(el.edges());
+  const double tau = counter.EstimateTriangles();
+  const double secs = timer.Seconds();
+  std::printf("edges           : %llu\n",
+              static_cast<unsigned long long>(counter.edges_processed()));
+  std::printf("triangles (est) : %.0f\n", tau);
+  std::printf("wedges (est)    : %.0f\n", counter.EstimateWedges());
+  std::printf("transitivity    : %.6f\n", counter.EstimateTransitivity());
+  std::printf("time            : %.3f s  (%.2f M edges/s, %u shard(s))\n",
+              secs, static_cast<double>(el.size()) / secs / 1e6,
+              counter.num_shards());
+  return 0;
+}
+
+int CmdWindow(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("input");
+  if (it == flags.end() || !flags.count("window")) return Usage();
+  const auto el = LoadEdges(it->second);
+  core::SlidingWindowOptions options;
+  options.window_size = FlagU64(flags, "window", 1 << 16);
+  options.num_estimators = FlagU64(flags, "estimators", 4096);
+  options.seed = FlagU64(flags, "seed", 1);
+  core::SlidingWindowTriangleCounter counter(options);
+  counter.ProcessEdges(el.edges());
+  std::printf("window edges        : %llu\n",
+              static_cast<unsigned long long>(counter.window_edge_count()));
+  std::printf("window triangles    : %.0f\n", counter.EstimateTriangles());
+  std::printf("window transitivity : %.6f\n",
+              counter.EstimateTransitivity());
+  std::printf("mean chain length   : %.2f\n", counter.MeanChainLength());
+  return 0;
+}
+
+int CmdSample(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("input");
+  if (it == flags.end() || !flags.count("max-degree")) return Usage();
+  const auto el = LoadEdges(it->second);
+  core::TriangleSamplerOptions options;
+  options.num_estimators = FlagU64(flags, "estimators", 1 << 18);
+  options.seed = FlagU64(flags, "seed", 1);
+  options.max_degree_bound = FlagU64(flags, "max-degree", 0);
+  core::TriangleSampler sampler(options);
+  sampler.ProcessEdges(el.edges());
+  const auto k = FlagU64(flags, "k", 1);
+  auto result = sampler.Sample(k);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("held=%llu accepted=%llu\n",
+              static_cast<unsigned long long>(result->held),
+              static_cast<unsigned long long>(result->accepted));
+  for (const core::Triangle& t : result->triangles) {
+    std::printf("{%u, %u, %u}\n", t.a, t.b, t.c);
+  }
+  return 0;
+}
+
+int CmdConvert(const std::map<std::string, std::string>& flags) {
+  const auto in = flags.find("input");
+  const auto out = flags.find("output");
+  if (in == flags.end() || out == flags.end()) return Usage();
+  const auto el = LoadEdges(in->second);
+  const Status s = EndsWith(out->second, ".tris")
+                       ? stream::WriteBinaryEdges(out->second, el)
+                       : stream::WriteTextEdges(out->second, el);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu edges to %s\n", el.size(), out->second.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "count") return CmdCount(flags);
+  if (command == "window") return CmdWindow(flags);
+  if (command == "sample") return CmdSample(flags);
+  if (command == "convert") return CmdConvert(flags);
+  return Usage();
+}
