@@ -1,0 +1,147 @@
+// Parallel-substrate scaling sweep: ingest throughput of the sharded
+// counter at 1..8 threads, pooled/pipelined execution vs the legacy
+// spawn-a-thread-per-shard-per-batch baseline at equal batch size.
+//
+// This is an engineering benchmark (no paper figure): it tracks the
+// per-edge constant the pipeline attacks -- thread-creation cost per
+// batch and the ingest/absorb serialization. Estimates are asserted
+// bit-identical between substrates for each (seed, threads) pair, so the
+// sweep doubles as a determinism check.
+//
+// The default operating point uses small batches on purpose: that is the
+// regime where the per-batch substrate cost (thread creation, wakeup,
+// barrier) dominates per-edge work, which is the constant this bench
+// exists to track. Crank TRISTREAM_BENCH_BATCH up to measure the
+// compute-bound regime instead.
+//
+// Output: human-readable table on stderr, one machine-readable JSON
+// document on stdout (for BENCH_*.json trajectory tracking). Extra knobs
+// on top of the standard bench env vars:
+//   TRISTREAM_BENCH_R        total estimators        (default 4096)
+//   TRISTREAM_BENCH_BATCH    shared batch size w     (default 64)
+//   TRISTREAM_BENCH_THREADS  max thread count swept  (default 8)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/parallel_counter.h"
+
+namespace {
+
+using namespace tristream;
+
+struct Measurement {
+  std::uint32_t threads = 0;
+  bool pipelined = false;
+  double median_seconds = 0.0;
+  double meps = 0.0;  // million edges/second, ingest + final flush
+  double triangles = 0.0;
+  double wedges = 0.0;
+};
+
+Measurement RunOne(const bench::DatasetInstance& instance, std::uint64_t r,
+                   std::size_t batch, std::uint32_t threads, bool pipeline,
+                   int trials) {
+  std::vector<double> seconds;
+  Measurement out;
+  out.threads = threads;
+  out.pipelined = pipeline;
+  for (int trial = 0; trial < trials; ++trial) {
+    core::ParallelCounterOptions options;
+    options.num_estimators = r;
+    options.num_threads = threads;
+    options.seed = bench::BenchSeed() * 7919 + 13;  // fixed across modes
+    options.batch_size = batch;
+    options.use_pipeline = pipeline;
+    core::ParallelTriangleCounter counter(options);
+    WallTimer timer;
+    counter.ProcessEdges(instance.stream.edges());
+    counter.Flush();
+    seconds.push_back(timer.Seconds());
+    out.triangles = counter.EstimateTriangles();
+    out.wedges = counter.EstimateWedges();
+  }
+  out.median_seconds = Median(seconds);
+  if (out.median_seconds > 0.0) {
+    out.meps = static_cast<double>(instance.stream.size()) /
+               out.median_seconds / 1e6;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tristream;
+  const std::uint64_t r = bench::EnvU64("TRISTREAM_BENCH_R", 4096);
+  const std::size_t batch =
+      static_cast<std::size_t>(bench::EnvU64("TRISTREAM_BENCH_BATCH", 64));
+  const std::uint32_t max_threads = static_cast<std::uint32_t>(
+      bench::EnvU64("TRISTREAM_BENCH_THREADS", 8));
+  const int trials = bench::BenchTrials();
+
+  std::fprintf(stderr,
+               "parallel scaling sweep: pooled pipeline vs spawn-per-batch\n"
+               "r=%llu batch=%zu trials=%d scale=%.3g\n",
+               static_cast<unsigned long long>(r), batch, trials,
+               bench::BenchScale());
+
+  const auto instance = bench::MakeInstance(gen::DatasetId::kDblp);
+  std::fprintf(stderr, "dataset=dblp edges=%zu (%llu batches/run)\n\n",
+               instance.stream.size(),
+               static_cast<unsigned long long>(
+                   (instance.stream.size() + batch - 1) / batch));
+  std::fprintf(stderr, "%8s | %10s | %12s | %12s | %9s\n", "threads", "mode",
+               "seconds", "Medges/s", "vs spawn");
+
+  std::vector<Measurement> results;
+  bool bit_identical = true;
+  for (std::uint32_t threads = 1; threads <= max_threads; threads *= 2) {
+    const Measurement spawn =
+        RunOne(instance, r, batch, threads, /*pipeline=*/false, trials);
+    const Measurement pooled =
+        RunOne(instance, r, batch, threads, /*pipeline=*/true, trials);
+    // Same (seed, threads) => the substrates must agree to the last bit.
+    if (spawn.triangles != pooled.triangles ||
+        spawn.wedges != pooled.wedges) {
+      bit_identical = false;
+      std::fprintf(stderr, "ERROR: estimates diverge at %u threads!\n",
+                   threads);
+    }
+    for (const Measurement& m : {spawn, pooled}) {
+      std::fprintf(stderr, "%8u | %10s | %12.4f | %12.2f | %8.2fx\n",
+                   m.threads, m.pipelined ? "pipeline" : "spawn",
+                   m.median_seconds, m.meps,
+                   spawn.median_seconds > 0.0
+                       ? spawn.median_seconds / m.median_seconds
+                       : 0.0);
+    }
+    results.push_back(spawn);
+    results.push_back(pooled);
+  }
+
+  // Machine-readable trajectory record.
+  std::printf("{\n");
+  std::printf("  \"bench\": \"parallel_scaling\",\n");
+  std::printf("  \"dataset\": \"dblp\",\n");
+  std::printf("  \"edges\": %zu,\n", instance.stream.size());
+  std::printf("  \"estimators\": %llu,\n",
+              static_cast<unsigned long long>(r));
+  std::printf("  \"batch_size\": %zu,\n", batch);
+  std::printf("  \"trials\": %d,\n", trials);
+  std::printf("  \"bit_identical\": %s,\n", bit_identical ? "true" : "false");
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::printf("    {\"threads\": %u, \"mode\": \"%s\", "
+                "\"seconds\": %.6f, \"meps\": %.4f}%s\n",
+                m.threads, m.pipelined ? "pipeline" : "spawn",
+                m.median_seconds, m.meps,
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return bit_identical ? 0 : 1;
+}

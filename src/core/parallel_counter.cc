@@ -42,48 +42,95 @@ ParallelTriangleCounter::ParallelTriangleCounter(
                     : static_cast<std::size_t>(8 * options.num_estimators /
                                                threads);
   if (batch_size_ == 0) batch_size_ = 1;
-  pending_.reserve(batch_size_);
+  buffers_[0].reserve(batch_size_);
+  if (options.use_pipeline) {
+    buffers_[1].reserve(batch_size_);
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+}
+
+ParallelTriangleCounter::~ParallelTriangleCounter() {
+  // The pool's destructor drains any in-flight generation before the
+  // buffers and shards it references go away (member order guarantees
+  // pool_ is destroyed first).
 }
 
 void ParallelTriangleCounter::ProcessEdge(const Edge& e) {
-  pending_.push_back(e);
-  if (pending_.size() >= batch_size_) ApplyPendingParallel();
+  buffers_[fill_].push_back(e);
+  if (buffers_[fill_].size() >= batch_size_) DispatchFillBuffer();
 }
 
 void ParallelTriangleCounter::ProcessEdges(std::span<const Edge> edges) {
-  for (const Edge& e : edges) {
-    pending_.push_back(e);
-    if (pending_.size() >= batch_size_) ApplyPendingParallel();
+  std::size_t offset = 0;
+  while (offset < edges.size()) {
+    std::vector<Edge>& fill = buffers_[fill_];
+    const std::size_t take = std::min(edges.size() - offset,
+                                      batch_size_ - fill.size());
+    fill.insert(fill.end(), edges.begin() + offset,
+                edges.begin() + offset + take);
+    offset += take;
+    if (fill.size() >= batch_size_) DispatchFillBuffer();
   }
 }
 
 void ParallelTriangleCounter::Flush() {
-  if (!pending_.empty()) ApplyPendingParallel();
+  if (!buffers_[fill_].empty()) DispatchFillBuffer();
+  WaitForInFlight();
 }
 
-void ParallelTriangleCounter::ApplyPendingParallel() {
-  std::span<const Edge> batch(pending_);
+void ParallelTriangleCounter::DispatchFillBuffer() {
+  std::vector<Edge>& batch = buffers_[fill_];
+  if (pool_ != nullptr) {
+    // Pipelined: hand the filled buffer to the workers and keep ingesting
+    // into the other buffer, which the barrier below proves is free.
+    WaitForInFlight();
+    // The batch travels through a member, not a lambda capture: a
+    // this-only closure fits std::function's small-buffer optimization,
+    // keeping the per-batch dispatch allocation-free.
+    inflight_view_ = std::span<const Edge>(batch);
+    pool_->Dispatch([this](std::size_t slot) {
+      shards_[slot]->ProcessEdges(inflight_view_);
+      shards_[slot]->Flush();
+    });
+    in_flight_ = true;
+    dispatched_edges_ += batch.size();
+    fill_ ^= 1;
+    buffers_[fill_].clear();
+    return;
+  }
+  // Legacy substrate: one fresh thread per shard per batch, joined before
+  // returning (no ingest/absorb overlap).
+  std::span<const Edge> view(batch);
   if (shards_.size() == 1) {
-    shards_[0]->ProcessEdges(batch);
+    shards_[0]->ProcessEdges(view);
     shards_[0]->Flush();
   } else {
     std::vector<std::thread> workers;
     workers.reserve(shards_.size());
     for (auto& shard : shards_) {
-      workers.emplace_back([&shard, batch] {
-        shard->ProcessEdges(batch);
+      workers.emplace_back([&shard, view] {
+        shard->ProcessEdges(view);
         shard->Flush();
       });
     }
     for (std::thread& worker : workers) worker.join();
   }
-  applied_edges_ += pending_.size();
-  pending_.clear();
+  dispatched_edges_ += batch.size();
+  batch.clear();
+}
+
+void ParallelTriangleCounter::WaitForInFlight() {
+  if (pool_ != nullptr && in_flight_) {
+    pool_->Wait();
+    in_flight_ = false;
+  }
 }
 
 std::vector<double> ParallelTriangleCounter::Gather(
     std::vector<double> (TriangleCounter::*per_estimator)()) {
-  Flush();
+  // Contract: caller flushed first — nothing in flight, nothing buffered.
+  TRISTREAM_DCHECK(!in_flight_);
+  TRISTREAM_DCHECK(buffers_[fill_].empty());
   std::vector<double> all;
   all.reserve(options_.num_estimators);
   for (auto& shard : shards_) {
@@ -94,18 +141,23 @@ std::vector<double> ParallelTriangleCounter::Gather(
 }
 
 double ParallelTriangleCounter::EstimateTriangles() {
+  Flush();
   return AggregateEstimates(
       Gather(&TriangleCounter::PerEstimatorTriangleEstimates),
       options_.aggregation, options_.median_groups);
 }
 
 double ParallelTriangleCounter::EstimateWedges() {
+  Flush();
   return AggregateEstimates(
       Gather(&TriangleCounter::PerEstimatorWedgeEstimates),
       options_.aggregation, options_.median_groups);
 }
 
 double ParallelTriangleCounter::EstimateTransitivity() {
+  // One barrier serves both reads: after this Flush the shards are
+  // frozen, and the nested Estimate* flushes are no-ops.
+  Flush();
   const double wedges = EstimateWedges();
   if (wedges <= 0.0) return 0.0;
   return 3.0 * EstimateTriangles() / wedges;

@@ -11,18 +11,44 @@
 // theorems carry over verbatim, and estimates aggregate across the union
 // of shards.
 //
+// Execution substrate (pipeline/barrier protocol)
+// -----------------------------------------------
+// In the default pipelined mode the counter owns a persistent
+// util::ThreadPool with one slot per shard and two edge buffers:
+//
+//   caller thread:   fill buffer A  | fill buffer B   | fill buffer A ...
+//   pool workers:                   | absorb buffer A | absorb buffer B ...
+//
+// When the fill buffer reaches the batch size w, the counter (1) waits for
+// the in-flight generation, if any, to complete (the pool's generation
+// barrier -- this is what keeps batch N+1 strictly after batch N on every
+// shard), then (2) dispatches the filled buffer to all shards and
+// immediately starts filling the other buffer. Shard k is touched only by
+// pool slot k between Dispatch and Wait, and only by the caller otherwise,
+// so shards need no locking. Flush() dispatches any partial batch and then
+// waits -- a full barrier, after which estimates may be read.
+//
+// Because the generation barrier preserves exactly the batch boundaries
+// and per-shard batch order of the serial path, pipelining changes *when*
+// work happens but not *what* each shard computes: estimates are
+// bit-identical to the legacy spawn-per-batch mode (and to a single
+// TriangleCounter per shard fed the same batches) for a fixed
+// (seed, num_threads) pair.
+//
 // Determinism: runs are reproducible for a fixed (seed, num_threads) pair
-// (shard seeds derive from both).
+// (shard seeds derive from both; the execution mode does not affect them).
 
 #ifndef TRISTREAM_CORE_PARALLEL_COUNTER_H_
 #define TRISTREAM_CORE_PARALLEL_COUNTER_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "core/triangle_counter.h"
+#include "util/thread_pool.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -39,22 +65,30 @@ struct ParallelCounterOptions {
   std::uint32_t median_groups = 12;
   /// Shared batch size w (0 = 8 * num_estimators / num_threads per shard).
   std::size_t batch_size = 0;
+  /// Pipelined execution on a persistent thread pool (double-buffered
+  /// batches; see the file comment). false selects the legacy
+  /// spawn-a-thread-per-shard-per-batch path, kept for substrate
+  /// benchmarking (bench_parallel_scaling) and differential testing;
+  /// estimates are bit-identical either way.
+  bool use_pipeline = true;
 };
 
 /// Estimator-sharded bulk triangle counter.
 class ParallelTriangleCounter {
  public:
   explicit ParallelTriangleCounter(const ParallelCounterOptions& options);
+  ~ParallelTriangleCounter();
 
   /// Buffers one edge; full batches fan out to all shards in parallel.
   void ProcessEdge(const Edge& e);
   void ProcessEdges(std::span<const Edge> edges);
 
-  /// Absorbs buffered edges on all shards now.
+  /// Absorbs buffered edges on all shards and waits for them (full
+  /// barrier; afterwards estimates reflect everything pushed so far).
   void Flush();
 
   std::uint64_t edges_processed() const {
-    return applied_edges_ + pending_.size();
+    return dispatched_edges_ + buffers_[fill_].size();
   }
 
   /// Aggregated estimates over the union of all shards' estimators.
@@ -67,16 +101,37 @@ class ParallelTriangleCounter {
     return static_cast<std::uint32_t>(shards_.size());
   }
 
+  /// True when running on the persistent pool (false = spawn-per-batch).
+  bool pipelined() const { return pool_ != nullptr; }
+
  private:
-  void ApplyPendingParallel();
+  /// Hands the current fill buffer to all shards and (in pipelined mode)
+  /// returns as soon as the workers own it, swapping fill buffers.
+  void DispatchFillBuffer();
+
+  /// Blocks until no batch is in flight on the pool.
+  void WaitForInFlight();
+
+  /// Concatenated per-estimator values across shards. Caller must Flush()
+  /// first; this reads shard state directly.
   std::vector<double> Gather(
       std::vector<double> (TriangleCounter::*per_estimator)());
 
   ParallelCounterOptions options_;
   std::vector<std::unique_ptr<TriangleCounter>> shards_;
-  std::vector<Edge> pending_;
+  /// Double buffer: buffers_[fill_] is being filled by the caller; the
+  /// other buffer may be in flight on the pool.
+  std::array<std::vector<Edge>, 2> buffers_;
+  /// View of the in-flight batch, published to workers via Dispatch's
+  /// mutex (written only while the pool is idle).
+  std::span<const Edge> inflight_view_;
+  int fill_ = 0;
   std::size_t batch_size_;
-  std::uint64_t applied_edges_ = 0;
+  std::uint64_t dispatched_edges_ = 0;
+  bool in_flight_ = false;
+  /// Declared last: its destructor drains in-flight work while shards_ and
+  /// buffers_ are still alive.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace core

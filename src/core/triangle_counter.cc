@@ -82,7 +82,9 @@ TriangleCounter::TriangleCounter(const TriangleCounterOptions& options)
                       ? options.batch_size
                       : static_cast<std::size_t>(8 * options.num_estimators)),
       rng_(options.seed),
-      states_(options.num_estimators),
+      cold_(options.num_estimators),
+      r1_pos_(options.num_estimators, kInvalidEdgeIndex),
+      c_(options.num_estimators, 0),
       deg_(1024),
       level1_(1024),
       level2_(1024),
@@ -121,7 +123,20 @@ void TriangleCounter::Flush() {
 void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
   const std::uint64_t m_before = applied_edges_;
   const std::uint64_t w = batch.size();
-  const std::uint64_t r = states_.size();
+  const std::uint64_t r = cold_.size();
+
+  // Pre-size the scratch tables to their per-batch worst case so no
+  // rehash happens mid-batch: deg_ holds at most 2w vertices, L at most
+  // min(r, w) batch indices, P at most min(r, 2w) event keys (each edge
+  // fires two EVENTBs), Q at most r awaited closers. Reserve() only ever
+  // grows, so after the first full-size batch these are no-ops. The cap
+  // bounds eager memory for pathologically large batches; past it the
+  // tables fall back to growing on demand.
+  constexpr std::uint64_t kMaxEagerReserve = std::uint64_t{1} << 22;
+  deg_.Reserve(std::min(2 * w, kMaxEagerReserve));
+  level1_.Reserve(std::min(std::min(w, r), kMaxEagerReserve));
+  level2_.Reserve(std::min(std::min(2 * w, r), kMaxEagerReserve));
+  closers_.Reserve(std::min(r, kMaxEagerReserve));
 
   // ---------------------------------------------------------------------
   // Step 1 -- level-1 resampling. Keep the current edge with probability
@@ -134,12 +149,12 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
   std::fill(beta_v_.begin(), beta_v_.end(), 0u);
 
   auto replace_level1 = [&](std::uint64_t est_idx, std::uint64_t batch_idx) {
-    EstimatorState& st = states_[est_idx];
+    ColdState& st = cold_[est_idx];
     st.r1 = batch[batch_idx];
-    st.r1_pos = m_before + batch_idx;
+    r1_pos_[est_idx] = m_before + batch_idx;
     st.r2 = Edge();
     st.r2_pos = kInvalidEdgeIndex;
-    st.c = 0;
+    c_[est_idx] = 0;
     st.has_triangle = false;
     // Chain-head convention for all three tables: a stored value of 0 means
     // "empty" (operator[] default-constructs to 0), otherwise head-1 is the
@@ -180,7 +195,7 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
         const std::uint32_t* head = level1_.Find(j);
         if (head == nullptr || *head == 0) return;
         for (std::uint32_t i = *head - 1; i != kNil; i = chain_next_[i]) {
-          const EstimatorState& st = states_[i];
+          const ColdState& st = cold_[i];
           beta_u_[i] = *deg_.Find(st.r1.u);
           beta_v_[i] = *deg_.Find(st.r1.v);
         }
@@ -199,7 +214,7 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
   std::uint64_t pending_assignments = 0;
 
   auto subscribe_closer = [&](std::uint32_t est_idx) {
-    const EstimatorState& st = states_[est_idx];
+    const ColdState& st = cold_[est_idx];
     const std::uint64_t key = ClosingEdge(st.r1, st.r2).Key();
     std::uint32_t& head = closers_[key];
     closer_next_[est_idx] = head == 0 ? kNil : head - 1;
@@ -207,16 +222,18 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
   };
 
   for (std::uint64_t i = 0; i < r; ++i) {
-    EstimatorState& st = states_[i];
+    ColdState& st = cold_[i];
     st.r2_pending = false;
-    if (!st.has_r1()) continue;  // impossible once w >= 1, kept for safety
+    if (r1_pos_[i] == kInvalidEdgeIndex) {
+      continue;  // no r1 yet: impossible once w >= 1, kept for safety
+    }
     const std::uint32_t* du = deg_.Find(st.r1.u);
     const std::uint32_t* dv = deg_.Find(st.r1.v);
     const std::uint64_t a = (du != nullptr ? *du : 0) - beta_u_[i];
     const std::uint64_t b = (dv != nullptr ? *dv : 0) - beta_v_[i];
-    const std::uint64_t c_minus = st.c;
+    const std::uint64_t c_minus = c_[i];
     const std::uint64_t c_total = c_minus + a + b;
-    st.c = c_total;
+    c_[i] = c_total;
     if (a + b == 0) {
       // No in-batch neighbors: nothing to sample, no closer can arrive.
       continue;
@@ -224,7 +241,9 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
     const std::uint64_t phi = rng_.UniformInt(1, c_total);
     if (phi <= c_minus) {
       // Keep the current r2; its wedge may still be closed by a batch edge.
-      if (st.has_r2() && !st.has_triangle) subscribe_closer(i);
+      if (st.r2_pos != kInvalidEdgeIndex && !st.has_triangle) {
+        subscribe_closer(i);
+      }
       continue;
     }
     // Algorithm 3: translate the draw into the EVENTB that identifies the
@@ -264,7 +283,7 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
         const std::uint64_t pos = m_before + j;
         (void)pos;
         for (std::uint32_t i = *head - 1; i != kNil; i = closer_next_[i]) {
-          EstimatorState& st = states_[i];
+          ColdState& st = cold_[i];
           TRISTREAM_DCHECK(st.r2_pos < pos);
           st.has_triangle = true;
         }
@@ -274,7 +293,7 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
         std::uint32_t* head = level2_.Find(PackEventKey(v, d));
         if (head == nullptr || *head == 0) return;
         for (std::uint32_t i = *head - 1; i != kNil; i = chain_next_[i]) {
-          EstimatorState& st = states_[i];
+          ColdState& st = cold_[i];
           TRISTREAM_DCHECK(st.r2_pending);
           st.r2 = e;
           st.r2_pos = m_before + j;
@@ -291,10 +310,11 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
 std::vector<double> TriangleCounter::PerEstimatorTriangleEstimates() {
   Flush();
   std::vector<double> values;
-  values.reserve(states_.size());
+  values.reserve(cold_.size());
   const auto m = static_cast<double>(applied_edges_);
-  for (const EstimatorState& st : states_) {
-    values.push_back(st.has_triangle ? static_cast<double>(st.c) * m : 0.0);
+  for (std::size_t i = 0; i < cold_.size(); ++i) {
+    values.push_back(cold_[i].has_triangle ? static_cast<double>(c_[i]) * m
+                                           : 0.0);
   }
   return values;
 }
@@ -302,10 +322,10 @@ std::vector<double> TriangleCounter::PerEstimatorTriangleEstimates() {
 std::vector<double> TriangleCounter::PerEstimatorWedgeEstimates() {
   Flush();
   std::vector<double> values;
-  values.reserve(states_.size());
+  values.reserve(c_.size());
   const auto m = static_cast<double>(applied_edges_);
-  for (const EstimatorState& st : states_) {
-    values.push_back(static_cast<double>(st.c) * m);
+  for (const std::uint64_t c : c_) {
+    values.push_back(static_cast<double>(c) * m);
   }
   return values;
 }
@@ -326,13 +346,28 @@ double TriangleCounter::EstimateTransitivity() {
 
 const std::vector<EstimatorState>& TriangleCounter::estimators() {
   Flush();
-  return states_;
+  snapshot_.resize(cold_.size());
+  for (std::size_t i = 0; i < cold_.size(); ++i) {
+    EstimatorState& st = snapshot_[i];
+    st.r1 = cold_[i].r1;
+    st.r2 = cold_[i].r2;
+    st.r1_pos = r1_pos_[i];
+    st.r2_pos = cold_[i].r2_pos;
+    st.c = c_[i];
+    st.has_triangle = cold_[i].has_triangle;
+    st.r2_pending = cold_[i].r2_pending;
+  }
+  return snapshot_;
 }
 
 TriangleCounter::MemoryStats TriangleCounter::ApproxMemoryUsage() const {
   MemoryStats stats;
   stats.per_estimator_bytes = sizeof(EstimatorState);
-  stats.estimator_bytes = states_.capacity() * sizeof(EstimatorState);
+  stats.estimator_bytes =
+      cold_.capacity() * sizeof(ColdState) +
+      r1_pos_.capacity() * sizeof(EdgeIndex) +
+      c_.capacity() * sizeof(std::uint64_t) +
+      snapshot_.capacity() * sizeof(EstimatorState);
   stats.batch_scratch_bytes =
       pending_.capacity() * sizeof(Edge) + deg_.MemoryBytes() +
       level1_.MemoryBytes() + level2_.MemoryBytes() + closers_.MemoryBytes() +

@@ -67,6 +67,9 @@ double AggregateEstimates(const std::vector<double>& values,
                           std::uint32_t median_groups);
 
 /// The full state of one bulk estimator (the paper's est_i). 48 bytes.
+/// This is the *snapshot* view returned by TriangleCounter::estimators();
+/// internally the engine stores the hot fields (r1_pos, c) in separate
+/// arrays (SoA) so the per-batch sweeps touch fewer cache lines.
 struct EstimatorState {
   Edge r1;                                    // level-1 edge
   Edge r2;                                    // level-2 edge
@@ -148,6 +151,8 @@ class TriangleCounter {
 
   /// Estimator states (flushes first). Primarily for tests and for the
   /// uniform triangle sampler, which consumes (c, triangle) pairs.
+  /// Materialized from the internal SoA layout on each call; the reference
+  /// stays valid until the next non-const member call.
   const std::vector<EstimatorState>& estimators();
 
   /// Raw per-estimator unbiased values (flushes first). Exposed so
@@ -169,12 +174,29 @@ class TriangleCounter {
   MemoryStats ApproxMemoryUsage() const;
 
  private:
+  /// Cold per-estimator fields, touched only when an estimator resamples
+  /// or completes a level-2 event. The hot fields of EstimatorState --
+  /// r1_pos (the has_r1 test of the level-1 sweep) and c (read and written
+  /// for every estimator in the Step-2b candidate-count pass and swept by
+  /// both estimate gathers) -- live in the r1_pos_/c_ arrays instead, so
+  /// those loops stream over 8-byte entries rather than 48-byte structs.
+  struct ColdState {
+    Edge r1;                               // level-1 edge
+    Edge r2;                               // level-2 edge
+    EdgeIndex r2_pos = kInvalidEdgeIndex;  // stream position of r2
+    bool has_triangle = false;             // wedge r1r2 closed?
+    bool r2_pending = false;               // batch-transient marker
+  };
+
   void ApplyBatch(std::span<const Edge> batch);
 
   TriangleCounterOptions options_;
   std::size_t batch_size_;
   Rng rng_;
-  std::vector<EstimatorState> states_;
+  std::vector<ColdState> cold_;      // SoA: cold estimator fields
+  std::vector<EdgeIndex> r1_pos_;    // SoA: stream position of r1 (hot)
+  std::vector<std::uint64_t> c_;     // SoA: |N(r1)| so far (hot)
+  std::vector<EstimatorState> snapshot_;  // lazily built by estimators()
   std::vector<Edge> pending_;
   std::uint64_t applied_edges_ = 0;
 

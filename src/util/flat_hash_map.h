@@ -103,6 +103,14 @@ class FlatHashMap {
   /// Bytes of heap memory held by the table.
   std::size_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
 
+  /// Test-only: jumps the epoch counter so the wrap path of Clear() can be
+  /// exercised without 2^32 real clears. Discards all live entries.
+  void SetEpochForTesting(std::uint32_t epoch) {
+    for (auto& slot : slots_) slot.epoch = 0;
+    size_ = 0;
+    epoch_ = epoch == 0 ? 1 : epoch;
+  }
+
  private:
   struct Slot {
     std::uint64_t key = 0;

@@ -1,0 +1,71 @@
+#include "util/thread_pool.h"
+
+#include "util/logging.h"
+
+namespace tristream {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t slot = 0; slot < num_threads; ++slot) {
+    workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Dispatch(std::function<void(std::size_t)> task) {
+  TRISTREAM_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    task_ = std::move(task);
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+bool ThreadPool::idle() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return remaining_ == 0;
+}
+
+void ThreadPool::WorkerLoop(std::size_t slot) {
+  std::uint64_t seen_generation = 0;
+  while (true) {
+    std::function<void(std::size_t)> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this, seen_generation] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = task_;  // copy: all slots share one callable per generation
+    }
+    task(slot);
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (--remaining_ == 0) {
+        lock.unlock();
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace tristream

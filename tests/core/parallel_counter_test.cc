@@ -108,6 +108,75 @@ TEST(ParallelCounterTest, TransitivityMatchesSerial) {
   EXPECT_NEAR(counter.EstimateTransitivity(), kappa, 0.15 * kappa);
 }
 
+TEST(ParallelCounterTest, PipelinedBitIdenticalToSpawnPerBatch) {
+  // The pooled/pipelined substrate must be a pure scheduling change: for a
+  // fixed (seed, num_threads) the estimates are bit-identical to the
+  // legacy spawn-a-thread-per-batch path, across thread counts (including
+  // more threads than this machine has cores).
+  const auto stream =
+      stream::ShuffleStreamOrder(gen::GnmRandom(70, 600, 11), 31);
+  for (std::uint32_t threads : {1u, 2u, 8u}) {
+    ParallelCounterOptions pipelined = POptions(12000, threads, 424242);
+    pipelined.use_pipeline = true;
+    pipelined.batch_size = 500;  // several batches plus a partial tail
+    ParallelCounterOptions spawned = pipelined;
+    spawned.use_pipeline = false;
+    ParallelTriangleCounter a(pipelined);
+    ParallelTriangleCounter b(spawned);
+    EXPECT_TRUE(a.pipelined());
+    EXPECT_FALSE(b.pipelined());
+    a.ProcessEdges(stream.edges());
+    b.ProcessEdges(stream.edges());
+    EXPECT_EQ(a.EstimateTriangles(), b.EstimateTriangles())
+        << threads << " threads";
+    EXPECT_EQ(a.EstimateWedges(), b.EstimateWedges()) << threads
+                                                      << " threads";
+    EXPECT_EQ(a.EstimateTransitivity(), b.EstimateTransitivity());
+    EXPECT_EQ(a.edges_processed(), b.edges_processed());
+  }
+}
+
+TEST(ParallelCounterTest, PipelinedDeterministicAcrossRunsAndPushShapes) {
+  // Same (seed, threads) twice -> bit-identical, and single-edge pushes
+  // must land on the same batch boundaries as span pushes.
+  const auto stream = CanonicalStream();
+  for (std::uint32_t threads : {1u, 2u, 8u}) {
+    ParallelCounterOptions opt = POptions(4096, threads, 99);
+    opt.batch_size = 3;
+    ParallelTriangleCounter a(opt);
+    ParallelTriangleCounter b(opt);
+    ParallelTriangleCounter c(opt);
+    a.ProcessEdges(stream.edges());
+    b.ProcessEdges(stream.edges());
+    for (const Edge& e : stream.edges()) c.ProcessEdge(e);
+    EXPECT_EQ(a.EstimateTriangles(), b.EstimateTriangles());
+    EXPECT_EQ(a.EstimateTriangles(), c.EstimateTriangles());
+    EXPECT_EQ(a.EstimateWedges(), c.EstimateWedges());
+  }
+}
+
+TEST(ParallelCounterTest, FlushIsAFullBarrierMidStream) {
+  // Estimates read mid-stream (forcing a flush of a partial batch) must
+  // match between substrates too, and continuing afterwards must as well.
+  const auto stream =
+      stream::ShuffleStreamOrder(gen::GnmRandom(40, 300, 3), 17);
+  ParallelCounterOptions pipelined = POptions(6000, 2, 7);
+  pipelined.batch_size = 128;
+  ParallelCounterOptions spawned = pipelined;
+  spawned.use_pipeline = false;
+  ParallelTriangleCounter a(pipelined);
+  ParallelTriangleCounter b(spawned);
+  const std::span<const Edge> edges(stream.edges());
+  const std::size_t half = edges.size() / 2;  // not a batch multiple
+  a.ProcessEdges(edges.subspan(0, half));
+  b.ProcessEdges(edges.subspan(0, half));
+  EXPECT_EQ(a.EstimateTriangles(), b.EstimateTriangles());
+  a.ProcessEdges(edges.subspan(half));
+  b.ProcessEdges(edges.subspan(half));
+  EXPECT_EQ(a.EstimateTriangles(), b.EstimateTriangles());
+  EXPECT_EQ(a.EstimateWedges(), b.EstimateWedges());
+}
+
 TEST(ParallelCounterTest, ShardDistributionMatchesSerialEngine) {
   // Mean per-estimator c and triangle rate must agree with a serial
   // counter at the same total r (independent seeds; statistical bound).

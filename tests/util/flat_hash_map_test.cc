@@ -149,6 +149,61 @@ TEST(FlatHashMapTest, AdversarialCollidingKeys) {
   EXPECT_EQ(map.Find(301 * kStride), nullptr);
 }
 
+TEST(FlatHashMapTest, ReserveThenInsertDoesNotRehash) {
+  // The bulk engine pre-sizes its scratch tables per batch; Reserve(n)
+  // must guarantee n inserts without a capacity change (MemoryBytes is a
+  // direct function of capacity, so it must stay frozen).
+  constexpr std::size_t kN = 10000;
+  FlatHashMap<std::uint64_t> map;
+  map.Reserve(kN);
+  const std::size_t bytes_before = map.MemoryBytes();
+  for (std::uint64_t i = 0; i < kN; ++i) map[i * 2654435761u + 3] = i;
+  EXPECT_EQ(map.size(), kN);
+  EXPECT_EQ(map.MemoryBytes(), bytes_before);
+  // Reserve for fewer entries than present must be a no-op, and the table
+  // must still behave after a Clear() + refill cycle at that capacity.
+  map.Reserve(kN / 2);
+  EXPECT_EQ(map.MemoryBytes(), bytes_before);
+  map.Clear();
+  for (std::uint64_t i = 0; i < kN; ++i) map[i] = i;
+  EXPECT_EQ(map.MemoryBytes(), bytes_before);
+  EXPECT_EQ(*map.Find(kN - 1), kN - 1);
+}
+
+TEST(FlatHashMapTest, ReserveOnEmptyPreservesEntriesAcrossGrowth) {
+  FlatHashMap<std::uint64_t> map(4);
+  for (std::uint64_t i = 0; i < 8; ++i) map[i] = i + 100;
+  map.Reserve(4096);  // grow with live entries: all must survive the rehash
+  EXPECT_EQ(map.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    ASSERT_NE(map.Find(i), nullptr);
+    EXPECT_EQ(*map.Find(i), i + 100);
+  }
+}
+
+TEST(FlatHashMapTest, ClearEpochWrapResetsSlots) {
+  // Clear() is O(1) epoch bumping until the 32-bit epoch wraps, at which
+  // point every slot must be physically reset or entries from epoch 1
+  // would spuriously resurrect. Jump to the last epoch and force the wrap.
+  // Pre-size the table: a rehash would reset the epoch and dodge the wrap.
+  FlatHashMap<int> map(256);
+  map.SetEpochForTesting(0xffffffffu);
+  const std::size_t bytes_before = map.MemoryBytes();
+  for (std::uint64_t i = 0; i < 100; ++i) map[i] = static_cast<int>(i);
+  EXPECT_EQ(map.size(), 100u);
+  ASSERT_EQ(map.MemoryBytes(), bytes_before);  // no rehash: epoch still max
+  map.Clear();  // wraps: must not leave any slot looking live
+  EXPECT_TRUE(map.empty());
+  for (std::uint64_t i = 0; i < 100; ++i) EXPECT_EQ(map.Find(i), nullptr);
+  // The wrapped table must be fully usable again.
+  for (std::uint64_t i = 50; i < 150; ++i) map[i] = static_cast<int>(i * 3);
+  EXPECT_EQ(map.size(), 100u);
+  EXPECT_EQ(*map.Find(149), 447);
+  EXPECT_EQ(map.Find(0), nullptr);
+  map.Clear();  // post-wrap clears take the cheap path again
+  EXPECT_TRUE(map.empty());
+}
+
 TEST(FlatHashMapTest, MemoryBytesGrowsWithCapacity) {
   FlatHashMap<std::uint64_t> small(4);
   FlatHashMap<std::uint64_t> big(1 << 16);

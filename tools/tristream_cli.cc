@@ -42,7 +42,7 @@ int Usage() {
       "                 hepth syn3reg\n"
       "  stats    --input FILE\n"
       "  count    --input FILE [--estimators N] [--seed N] [--batch W]\n"
-      "           [--threads T] [--median-of-means]\n"
+      "           [--threads T] [--pipeline 0|1] [--median-of-means]\n"
       "  window   --input FILE --window W [--estimators N] [--seed N]\n"
       "  sample   --input FILE -k K --max-degree D [--estimators N]\n"
       "  convert  --input FILE --output FILE\n");
@@ -179,6 +179,9 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
       static_cast<std::uint32_t>(FlagU64(flags, "threads", 1));
   options.seed = FlagU64(flags, "seed", 1);
   options.batch_size = static_cast<std::size_t>(FlagU64(flags, "batch", 0));
+  // --pipeline 0 selects the legacy spawn-per-batch substrate (estimates
+  // are bit-identical; only throughput differs).
+  options.use_pipeline = FlagU64(flags, "pipeline", 1) != 0;
   if (flags.count("median-of-means")) {
     options.aggregation = core::Aggregation::kMedianOfMeans;
   }
@@ -192,9 +195,10 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   std::printf("triangles (est) : %.0f\n", tau);
   std::printf("wedges (est)    : %.0f\n", counter.EstimateWedges());
   std::printf("transitivity    : %.6f\n", counter.EstimateTransitivity());
-  std::printf("time            : %.3f s  (%.2f M edges/s, %u shard(s))\n",
+  std::printf("time            : %.3f s  (%.2f M edges/s, %u shard(s), %s)\n",
               secs, static_cast<double>(el.size()) / secs / 1e6,
-              counter.num_shards());
+              counter.num_shards(),
+              counter.pipelined() ? "pipelined" : "spawn-per-batch");
   return 0;
 }
 
