@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_incidence_test.dir/tests/baseline/incidence_test.cc.o"
+  "CMakeFiles/baseline_incidence_test.dir/tests/baseline/incidence_test.cc.o.d"
+  "baseline_incidence_test"
+  "baseline_incidence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_incidence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bulk.dir/bench/bench_ablation_bulk.cc.o"
+  "CMakeFiles/bench_ablation_bulk.dir/bench/bench_ablation_bulk.cc.o.d"
+  "bench_ablation_bulk"
+  "bench_ablation_bulk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bulk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

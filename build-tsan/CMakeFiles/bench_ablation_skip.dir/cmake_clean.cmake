@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_skip.dir/bench/bench_ablation_skip.cc.o"
+  "CMakeFiles/bench_ablation_skip.dir/bench/bench_ablation_skip.cc.o.d"
+  "bench_ablation_skip"
+  "bench_ablation_skip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_skip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tangle.dir/bench/bench_ablation_tangle.cc.o"
+  "CMakeFiles/bench_ablation_tangle.dir/bench/bench_ablation_tangle.cc.o.d"
+  "bench_ablation_tangle"
+  "bench_ablation_tangle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tangle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

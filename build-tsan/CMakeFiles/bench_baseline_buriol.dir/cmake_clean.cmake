@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_buriol.dir/bench/bench_baseline_buriol.cc.o"
+  "CMakeFiles/bench_baseline_buriol.dir/bench/bench_baseline_buriol.cc.o.d"
+  "bench_baseline_buriol"
+  "bench_baseline_buriol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_buriol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

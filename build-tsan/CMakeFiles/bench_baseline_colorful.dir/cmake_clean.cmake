@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_colorful.dir/bench/bench_baseline_colorful.cc.o"
+  "CMakeFiles/bench_baseline_colorful.dir/bench/bench_baseline_colorful.cc.o.d"
+  "bench_baseline_colorful"
+  "bench_baseline_colorful.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_colorful.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_cliques.dir/bench/bench_ext_cliques.cc.o"
+  "CMakeFiles/bench_ext_cliques.dir/bench/bench_ext_cliques.cc.o.d"
+  "bench_ext_cliques"
+  "bench_ext_cliques.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_cliques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_incidence.dir/bench/bench_ext_incidence.cc.o"
+  "CMakeFiles/bench_ext_incidence.dir/bench/bench_ext_incidence.cc.o.d"
+  "bench_ext_incidence"
+  "bench_ext_incidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_incidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

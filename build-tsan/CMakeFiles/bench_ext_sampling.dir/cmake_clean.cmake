@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sampling.dir/bench/bench_ext_sampling.cc.o"
+  "CMakeFiles/bench_ext_sampling.dir/bench/bench_ext_sampling.cc.o.d"
+  "bench_ext_sampling"
+  "bench_ext_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sliding.dir/bench/bench_ext_sliding.cc.o"
+  "CMakeFiles/bench_ext_sliding.dir/bench/bench_ext_sliding.cc.o.d"
+  "bench_ext_sliding"
+  "bench_ext_sliding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sliding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_transitivity.dir/bench/bench_ext_transitivity.cc.o"
+  "CMakeFiles/bench_ext_transitivity.dir/bench/bench_ext_transitivity.cc.o.d"
+  "bench_ext_transitivity"
+  "bench_ext_transitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_transitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

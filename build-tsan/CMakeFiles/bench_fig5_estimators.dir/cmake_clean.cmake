@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_estimators.dir/bench/bench_fig5_estimators.cc.o"
+  "CMakeFiles/bench_fig5_estimators.dir/bench/bench_fig5_estimators.cc.o.d"
+  "bench_fig5_estimators"
+  "bench_fig5_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

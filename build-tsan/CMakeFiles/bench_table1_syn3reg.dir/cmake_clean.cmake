@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_syn3reg.dir/bench/bench_table1_syn3reg.cc.o"
+  "CMakeFiles/bench_table1_syn3reg.dir/bench/bench_table1_syn3reg.cc.o.d"
+  "bench_table1_syn3reg"
+  "bench_table1_syn3reg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_syn3reg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

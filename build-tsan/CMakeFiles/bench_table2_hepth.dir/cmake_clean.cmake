@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_hepth.dir/bench/bench_table2_hepth.cc.o"
+  "CMakeFiles/bench_table2_hepth.dir/bench/bench_table2_hepth.cc.o.d"
+  "bench_table2_hepth"
+  "bench_table2_hepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_hepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_bulk_counter_test.dir/tests/core/bulk_counter_test.cc.o"
+  "CMakeFiles/core_bulk_counter_test.dir/tests/core/bulk_counter_test.cc.o.d"
+  "core_bulk_counter_test"
+  "core_bulk_counter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_bulk_counter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_neighborhood_sampler_test.dir/tests/core/neighborhood_sampler_test.cc.o"
+  "CMakeFiles/core_neighborhood_sampler_test.dir/tests/core/neighborhood_sampler_test.cc.o.d"
+  "core_neighborhood_sampler_test"
+  "core_neighborhood_sampler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_neighborhood_sampler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_property_sweep_test.dir/tests/core/property_sweep_test.cc.o"
+  "CMakeFiles/core_property_sweep_test.dir/tests/core/property_sweep_test.cc.o.d"
+  "core_property_sweep_test"
+  "core_property_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_property_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

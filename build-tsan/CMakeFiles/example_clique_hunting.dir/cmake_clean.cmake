@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_clique_hunting.dir/examples/clique_hunting.cc.o"
+  "CMakeFiles/example_clique_hunting.dir/examples/clique_hunting.cc.o.d"
+  "example_clique_hunting"
+  "example_clique_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_clique_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_clique_hunting.
+# This may be replaced when dependencies are built.

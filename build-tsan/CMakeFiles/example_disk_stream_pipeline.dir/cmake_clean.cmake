@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_disk_stream_pipeline.dir/examples/disk_stream_pipeline.cc.o"
+  "CMakeFiles/example_disk_stream_pipeline.dir/examples/disk_stream_pipeline.cc.o.d"
+  "example_disk_stream_pipeline"
+  "example_disk_stream_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_disk_stream_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_live_stream_monitor.dir/examples/live_stream_monitor.cc.o"
+  "CMakeFiles/example_live_stream_monitor.dir/examples/live_stream_monitor.cc.o.d"
+  "example_live_stream_monitor"
+  "example_live_stream_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_live_stream_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

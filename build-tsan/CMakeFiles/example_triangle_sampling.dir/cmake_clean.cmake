@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_triangle_sampling.dir/examples/triangle_sampling.cc.o"
+  "CMakeFiles/example_triangle_sampling.dir/examples/triangle_sampling.cc.o.d"
+  "example_triangle_sampling"
+  "example_triangle_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_triangle_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

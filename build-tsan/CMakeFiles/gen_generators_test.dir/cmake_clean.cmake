@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gen_generators_test.dir/tests/gen/generators_test.cc.o"
+  "CMakeFiles/gen_generators_test.dir/tests/gen/generators_test.cc.o.d"
+  "gen_generators_test"
+  "gen_generators_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gen_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/buriol.cc" "CMakeFiles/tristream.dir/src/baseline/buriol.cc.o" "gcc" "CMakeFiles/tristream.dir/src/baseline/buriol.cc.o.d"
+  "/root/repo/src/baseline/colorful.cc" "CMakeFiles/tristream.dir/src/baseline/colorful.cc.o" "gcc" "CMakeFiles/tristream.dir/src/baseline/colorful.cc.o.d"
+  "/root/repo/src/baseline/incidence.cc" "CMakeFiles/tristream.dir/src/baseline/incidence.cc.o" "gcc" "CMakeFiles/tristream.dir/src/baseline/incidence.cc.o.d"
+  "/root/repo/src/baseline/jowhari_ghodsi.cc" "CMakeFiles/tristream.dir/src/baseline/jowhari_ghodsi.cc.o" "gcc" "CMakeFiles/tristream.dir/src/baseline/jowhari_ghodsi.cc.o.d"
+  "/root/repo/src/core/clique_counter.cc" "CMakeFiles/tristream.dir/src/core/clique_counter.cc.o" "gcc" "CMakeFiles/tristream.dir/src/core/clique_counter.cc.o.d"
+  "/root/repo/src/core/neighborhood_sampler.cc" "CMakeFiles/tristream.dir/src/core/neighborhood_sampler.cc.o" "gcc" "CMakeFiles/tristream.dir/src/core/neighborhood_sampler.cc.o.d"
+  "/root/repo/src/core/parallel_counter.cc" "CMakeFiles/tristream.dir/src/core/parallel_counter.cc.o" "gcc" "CMakeFiles/tristream.dir/src/core/parallel_counter.cc.o.d"
+  "/root/repo/src/core/sliding_window.cc" "CMakeFiles/tristream.dir/src/core/sliding_window.cc.o" "gcc" "CMakeFiles/tristream.dir/src/core/sliding_window.cc.o.d"
+  "/root/repo/src/core/triangle_counter.cc" "CMakeFiles/tristream.dir/src/core/triangle_counter.cc.o" "gcc" "CMakeFiles/tristream.dir/src/core/triangle_counter.cc.o.d"
+  "/root/repo/src/core/triangle_sampler.cc" "CMakeFiles/tristream.dir/src/core/triangle_sampler.cc.o" "gcc" "CMakeFiles/tristream.dir/src/core/triangle_sampler.cc.o.d"
+  "/root/repo/src/gen/chung_lu.cc" "CMakeFiles/tristream.dir/src/gen/chung_lu.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/chung_lu.cc.o.d"
+  "/root/repo/src/gen/collaboration.cc" "CMakeFiles/tristream.dir/src/gen/collaboration.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/collaboration.cc.o.d"
+  "/root/repo/src/gen/datasets.cc" "CMakeFiles/tristream.dir/src/gen/datasets.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/datasets.cc.o.d"
+  "/root/repo/src/gen/erdos_renyi.cc" "CMakeFiles/tristream.dir/src/gen/erdos_renyi.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/erdos_renyi.cc.o.d"
+  "/root/repo/src/gen/holme_kim.cc" "CMakeFiles/tristream.dir/src/gen/holme_kim.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/holme_kim.cc.o.d"
+  "/root/repo/src/gen/index_lower_bound.cc" "CMakeFiles/tristream.dir/src/gen/index_lower_bound.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/index_lower_bound.cc.o.d"
+  "/root/repo/src/gen/triangle_regular.cc" "CMakeFiles/tristream.dir/src/gen/triangle_regular.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/triangle_regular.cc.o.d"
+  "/root/repo/src/gen/uniform_degree.cc" "CMakeFiles/tristream.dir/src/gen/uniform_degree.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/uniform_degree.cc.o.d"
+  "/root/repo/src/gen/weighted_sampler.cc" "CMakeFiles/tristream.dir/src/gen/weighted_sampler.cc.o" "gcc" "CMakeFiles/tristream.dir/src/gen/weighted_sampler.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "CMakeFiles/tristream.dir/src/graph/csr.cc.o" "gcc" "CMakeFiles/tristream.dir/src/graph/csr.cc.o.d"
+  "/root/repo/src/graph/degree_stats.cc" "CMakeFiles/tristream.dir/src/graph/degree_stats.cc.o" "gcc" "CMakeFiles/tristream.dir/src/graph/degree_stats.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "CMakeFiles/tristream.dir/src/graph/edge_list.cc.o" "gcc" "CMakeFiles/tristream.dir/src/graph/edge_list.cc.o.d"
+  "/root/repo/src/graph/exact.cc" "CMakeFiles/tristream.dir/src/graph/exact.cc.o" "gcc" "CMakeFiles/tristream.dir/src/graph/exact.cc.o.d"
+  "/root/repo/src/stream/binary_io.cc" "CMakeFiles/tristream.dir/src/stream/binary_io.cc.o" "gcc" "CMakeFiles/tristream.dir/src/stream/binary_io.cc.o.d"
+  "/root/repo/src/stream/edge_stream.cc" "CMakeFiles/tristream.dir/src/stream/edge_stream.cc.o" "gcc" "CMakeFiles/tristream.dir/src/stream/edge_stream.cc.o.d"
+  "/root/repo/src/stream/text_io.cc" "CMakeFiles/tristream.dir/src/stream/text_io.cc.o" "gcc" "CMakeFiles/tristream.dir/src/stream/text_io.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "CMakeFiles/tristream.dir/src/util/histogram.cc.o" "gcc" "CMakeFiles/tristream.dir/src/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/tristream.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/tristream.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/stats.cc" "CMakeFiles/tristream.dir/src/util/stats.cc.o" "gcc" "CMakeFiles/tristream.dir/src/util/stats.cc.o.d"
+  "/root/repo/src/util/status.cc" "CMakeFiles/tristream.dir/src/util/status.cc.o" "gcc" "CMakeFiles/tristream.dir/src/util/status.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/tristream.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/tristream.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tristream_cli.dir/tools/tristream_cli.cc.o"
+  "CMakeFiles/tristream_cli.dir/tools/tristream_cli.cc.o.d"
+  "tristream_cli"
+  "tristream_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tristream_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_types_test.dir/tests/util/types_test.cc.o"
+  "CMakeFiles/util_types_test.dir/tests/util/types_test.cc.o.d"
+  "util_types_test"
+  "util_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
