@@ -6,6 +6,7 @@
 
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace tristream {
 namespace core {
@@ -26,6 +27,7 @@ ParallelTriangleCounter::ParallelTriangleCounter(
   Rng seeder(options.seed ^ (0x517a9dULL * threads));
   const std::uint64_t base = options.num_estimators / threads;
   const std::uint64_t remainder = options.num_estimators % threads;
+  std::uint64_t first = 0;
   for (std::uint32_t t = 0; t < threads; ++t) {
     TriangleCounterOptions shard_opt;
     shard_opt.num_estimators = base + (t < remainder ? 1 : 0);
@@ -36,7 +38,13 @@ ParallelTriangleCounter::ParallelTriangleCounter(
     // shards see identical batch boundaries.
     shard_opt.batch_size = std::numeric_limits<std::size_t>::max();
     shards_.push_back(std::make_unique<TriangleCounter>(shard_opt));
+    shard_first_.push_back(first);
+    first += shard_opt.num_estimators;
   }
+  partials_.resize(shards_.size());
+  partial_groups_ = options.aggregation == Aggregation::kMedianOfMeans
+                        ? options.median_groups
+                        : 0;
   batch_size_ = options.batch_size != 0
                     ? options.batch_size
                     : static_cast<std::size_t>(8 * options.num_estimators /
@@ -73,6 +81,29 @@ void ParallelTriangleCounter::ProcessEdges(std::span<const Edge> edges) {
   }
 }
 
+void ParallelTriangleCounter::ProcessStream(stream::EdgeStream& source) {
+  // Dispatch any partially filled buffer first so previously pushed edges
+  // keep their stream order ahead of the source's.
+  if (!buffers_[fill_].empty()) DispatchFillBuffer();
+  const bool stable = source.stable_views();
+  while (true) {
+    // Stable sources (mmap, in-memory) yield spans into their own storage
+    // that outlive the dispatch; others fill the idle double buffer --
+    // buffers_[fill_] is free by the pipeline invariant, and DispatchView
+    // swaps it out before the next fetch. Either way the fetch (disk
+    // read / page fault) runs while the workers absorb the previous
+    // batch.
+    std::vector<Edge>* scratch = stable ? nullptr : &buffers_[fill_];
+    const std::span<const Edge> view =
+        source.NextBatchView(batch_size_, scratch);
+    if (view.empty()) break;
+    DispatchView(view);
+    // The legacy substrate finished synchronously without swapping
+    // buffers; empty the scratch so its edges are not re-dispatched.
+    if (scratch != nullptr && pool_ == nullptr) scratch->clear();
+  }
+}
+
 void ParallelTriangleCounter::Flush() {
   if (!buffers_[fill_].empty()) DispatchFillBuffer();
   WaitForInFlight();
@@ -80,27 +111,33 @@ void ParallelTriangleCounter::Flush() {
 
 void ParallelTriangleCounter::DispatchFillBuffer() {
   std::vector<Edge>& batch = buffers_[fill_];
+  DispatchView(std::span<const Edge>(batch));
+  // Pipelined dispatch already swapped to (and cleared) the other buffer;
+  // the legacy path finished synchronously, so reuse this one.
+  if (pool_ == nullptr) batch.clear();
+}
+
+void ParallelTriangleCounter::DispatchView(std::span<const Edge> view) {
+  aggregates_valid_ = false;
   if (pool_ != nullptr) {
-    // Pipelined: hand the filled buffer to the workers and keep ingesting
-    // into the other buffer, which the barrier below proves is free.
+    // Pipelined: hand the view to the workers and return to ingesting.
     WaitForInFlight();
     // The batch travels through a member, not a lambda capture: a
     // this-only closure fits std::function's small-buffer optimization,
     // keeping the per-batch dispatch allocation-free.
-    inflight_view_ = std::span<const Edge>(batch);
+    inflight_view_ = view;
     pool_->Dispatch([this](std::size_t slot) {
       shards_[slot]->ProcessEdges(inflight_view_);
       shards_[slot]->Flush();
     });
     in_flight_ = true;
-    dispatched_edges_ += batch.size();
+    dispatched_edges_ += view.size();
     fill_ ^= 1;
     buffers_[fill_].clear();
     return;
   }
   // Legacy substrate: one fresh thread per shard per batch, joined before
   // returning (no ingest/absorb overlap).
-  std::span<const Edge> view(batch);
   if (shards_.size() == 1) {
     shards_[0]->ProcessEdges(view);
     shards_[0]->Flush();
@@ -115,8 +152,7 @@ void ParallelTriangleCounter::DispatchFillBuffer() {
     }
     for (std::thread& worker : workers) worker.join();
   }
-  dispatched_edges_ += batch.size();
-  batch.clear();
+  dispatched_edges_ += view.size();
 }
 
 void ParallelTriangleCounter::WaitForInFlight() {
@@ -126,41 +162,89 @@ void ParallelTriangleCounter::WaitForInFlight() {
   }
 }
 
-std::vector<double> ParallelTriangleCounter::Gather(
-    std::vector<double> (TriangleCounter::*per_estimator)()) {
-  // Contract: caller flushed first — nothing in flight, nothing buffered.
+void ParallelTriangleCounter::EnsureAggregates() {
+  Flush();
+  if (aggregates_valid_) return;
+  // Contract after Flush: nothing in flight, nothing buffered.
   TRISTREAM_DCHECK(!in_flight_);
   TRISTREAM_DCHECK(buffers_[fill_].empty());
-  std::vector<double> all;
-  all.reserve(options_.num_estimators);
-  for (auto& shard : shards_) {
-    std::vector<double> part = ((*shard).*per_estimator)();
-    all.insert(all.end(), part.begin(), part.end());
+  if (pool_ != nullptr) {
+    // The reduction generation: slot k folds shard k on its own worker,
+    // so reading an estimate costs the caller O(shards), not O(r).
+    pool_->Dispatch([this](std::size_t slot) {
+      partials_[slot] = shards_[slot]->ComputePartials(
+          shard_first_[slot], options_.num_estimators, partial_groups_);
+    });
+    pool_->Wait();
+  } else {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      partials_[s] = shards_[s]->ComputePartials(
+          shard_first_[s], options_.num_estimators, partial_groups_);
+    }
   }
-  return all;
+
+  const bool grouped = partial_groups_ > 1 &&
+                       options_.num_estimators > partial_groups_;
+  if (!grouped) {
+    // Mean (Theorem 3.3): combine shard sums in shard order.
+    double triangle_sum = 0.0;
+    double wedge_sum = 0.0;
+    std::uint64_t count = 0;
+    for (const auto& p : partials_) {
+      triangle_sum += p.triangle_sum;
+      wedge_sum += p.wedge_sum;
+      count += p.count;
+    }
+    TRISTREAM_DCHECK(count == options_.num_estimators);
+    const auto n = static_cast<double>(count);
+    cached_triangles_ = count == 0 ? 0.0 : triangle_sum / n;
+    cached_wedges_ = count == 0 ? 0.0 : wedge_sum / n;
+  } else {
+    // Median-of-means (Theorem 3.4): per-group sums accumulate across the
+    // shards that straddle each group, in shard order; the group geometry
+    // matches util::MedianOfMeans over the concatenated estimator vector.
+    const std::size_t groups = partial_groups_;
+    std::vector<double> triangle_sums(groups, 0.0);
+    std::vector<double> wedge_sums(groups, 0.0);
+    std::vector<std::uint64_t> counts(groups, 0);
+    for (const auto& p : partials_) {
+      for (std::size_t j = 0; j < p.group_counts.size(); ++j) {
+        triangle_sums[p.first_group + j] += p.triangle_group_sums[j];
+        wedge_sums[p.first_group + j] += p.wedge_group_sums[j];
+        counts[p.first_group + j] += p.group_counts[j];
+      }
+    }
+    std::vector<double> triangle_means;
+    std::vector<double> wedge_means;
+    triangle_means.reserve(groups);
+    wedge_means.reserve(groups);
+    for (std::size_t g = 0; g < groups; ++g) {
+      if (counts[g] == 0) continue;  // empty partition cell, as in MoM
+      const auto size = static_cast<double>(counts[g]);
+      triangle_means.push_back(triangle_sums[g] / size);
+      wedge_means.push_back(wedge_sums[g] / size);
+    }
+    cached_triangles_ = Median(std::move(triangle_means));
+    cached_wedges_ = Median(std::move(wedge_means));
+  }
+  aggregates_valid_ = true;
 }
 
 double ParallelTriangleCounter::EstimateTriangles() {
-  Flush();
-  return AggregateEstimates(
-      Gather(&TriangleCounter::PerEstimatorTriangleEstimates),
-      options_.aggregation, options_.median_groups);
+  EnsureAggregates();
+  return cached_triangles_;
 }
 
 double ParallelTriangleCounter::EstimateWedges() {
-  Flush();
-  return AggregateEstimates(
-      Gather(&TriangleCounter::PerEstimatorWedgeEstimates),
-      options_.aggregation, options_.median_groups);
+  EnsureAggregates();
+  return cached_wedges_;
 }
 
 double ParallelTriangleCounter::EstimateTransitivity() {
-  // One barrier serves both reads: after this Flush the shards are
-  // frozen, and the nested Estimate* flushes are no-ops.
-  Flush();
-  const double wedges = EstimateWedges();
-  if (wedges <= 0.0) return 0.0;
-  return 3.0 * EstimateTriangles() / wedges;
+  // One reduction generation serves all three estimate reads.
+  EnsureAggregates();
+  if (cached_wedges_ <= 0.0) return 0.0;
+  return 3.0 * cached_triangles_ / cached_wedges_;
 }
 
 }  // namespace core

@@ -35,8 +35,22 @@
 // TriangleCounter per shard fed the same batches) for a fixed
 // (seed, num_threads) pair.
 //
+// Zero-copy ingest: ProcessStream() pulls an stream::EdgeStream directly.
+// Sources with stable views (mmap'd TRIS files, in-memory lists) have
+// their spans dispatched to the shards with no staging copy, and the
+// producer thread prefaults the next batch's pages while the workers
+// absorb the current one -- I/O overlapped with estimator work.
+//
+// Estimate reads: rather than concatenating r per-estimator doubles on
+// the caller, each worker folds its own shard's mean / median-of-means
+// partials (TriangleCounter::ComputePartials) in one extra pool
+// generation; the caller combines O(shards + groups) partials. Group
+// boundaries replicate util::MedianOfMeans over the virtual concatenated
+// vector, so the aggregate is the same statistic regardless of sharding.
+//
 // Determinism: runs are reproducible for a fixed (seed, num_threads) pair
-// (shard seeds derive from both; the execution mode does not affect them).
+// (shard seeds derive from both; neither the execution mode nor the
+// ingest path affects them).
 
 #ifndef TRISTREAM_CORE_PARALLEL_COUNTER_H_
 #define TRISTREAM_CORE_PARALLEL_COUNTER_H_
@@ -48,6 +62,7 @@
 #include <vector>
 
 #include "core/triangle_counter.h"
+#include "stream/edge_stream.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
 
@@ -83,6 +98,18 @@ class ParallelTriangleCounter {
   void ProcessEdge(const Edge& e);
   void ProcessEdges(std::span<const Edge> edges);
 
+  /// Pulls `source` to exhaustion in batch_size-sized batches. Sources
+  /// with stable views (MmapEdgeStream, MemoryEdgeStream) are dispatched
+  /// zero-copy: each span goes straight to the shards while the producer
+  /// thread fetches (and, for mmap, page-faults) the next batch -- the
+  /// pipelined overlap of I/O and absorption. Other sources fill the
+  /// counter's double buffers directly, still overlapping read with
+  /// absorb, just with one copy. Batch boundaries are the same as feeding
+  /// the identical edge sequence through ProcessEdges, so estimates are
+  /// bit-identical across ingest paths for a fixed (seed, num_threads).
+  /// The source must stay alive until the next Flush().
+  void ProcessStream(stream::EdgeStream& source);
+
   /// Absorbs buffered edges on all shards and waits for them (full
   /// barrier; afterwards estimates reflect everything pushed so far).
   void Flush();
@@ -109,16 +136,31 @@ class ParallelTriangleCounter {
   /// returns as soon as the workers own it, swapping fill buffers.
   void DispatchFillBuffer();
 
+  /// Dispatches an arbitrary view (a fill buffer or a mapped span) to all
+  /// shards. Pipelined mode returns as soon as the workers own it; the
+  /// view must stay valid until the next barrier.
+  void DispatchView(std::span<const Edge> view);
+
   /// Blocks until no batch is in flight on the pool.
   void WaitForInFlight();
 
-  /// Concatenated per-estimator values across shards. Caller must Flush()
-  /// first; this reads shard state directly.
-  std::vector<double> Gather(
-      std::vector<double> (TriangleCounter::*per_estimator)());
+  /// Ensures cached_triangles_/cached_wedges_ reflect everything pushed so
+  /// far: Flush(), then one extra pool generation in which every worker
+  /// reduces its own shard (TriangleCounter::ComputePartials) and an
+  /// O(shards + median_groups) combine on the caller. One barrier thus
+  /// serves all three estimate reads.
+  void EnsureAggregates();
 
   ParallelCounterOptions options_;
   std::vector<std::unique_ptr<TriangleCounter>> shards_;
+  /// Global index of each shard's first estimator (prefix sums of shard
+  /// sizes), fixing the median-of-means group geometry.
+  std::vector<std::uint64_t> shard_first_;
+  /// Per-slot reduction results, written by pool workers during the
+  /// aggregation generation (slot k writes only partials_[k]).
+  std::vector<TriangleCounter::EstimatorPartials> partials_;
+  /// Median-of-means group count in effect (0 = mean aggregation).
+  std::uint32_t partial_groups_ = 0;
   /// Double buffer: buffers_[fill_] is being filled by the caller; the
   /// other buffer may be in flight on the pool.
   std::array<std::vector<Edge>, 2> buffers_;
@@ -129,6 +171,9 @@ class ParallelTriangleCounter {
   std::size_t batch_size_;
   std::uint64_t dispatched_edges_ = 0;
   bool in_flight_ = false;
+  bool aggregates_valid_ = false;
+  double cached_triangles_ = 0.0;
+  double cached_wedges_ = 0.0;
   /// Declared last: its destructor drains in-flight work while shards_ and
   /// buffers_ are still alive.
   std::unique_ptr<ThreadPool> pool_;

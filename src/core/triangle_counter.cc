@@ -330,6 +330,54 @@ std::vector<double> TriangleCounter::PerEstimatorWedgeEstimates() {
   return values;
 }
 
+TriangleCounter::EstimatorPartials TriangleCounter::ComputePartials(
+    std::uint64_t global_first, std::uint64_t global_count,
+    std::uint32_t median_groups) {
+  Flush();
+  EstimatorPartials out;
+  const std::size_t r = cold_.size();
+  out.count = r;
+  const auto m = static_cast<double>(applied_edges_);
+  // Degenerate groupings collapse to the mean, matching MedianOfMeans.
+  const bool grouped = median_groups > 1 && global_count > median_groups;
+  const std::uint64_t n = global_count;
+  const std::uint64_t groups = median_groups;
+  // Global group of index i is the g with g*n/G <= i < (g+1)*n/G (the
+  // contiguous nearly-equal partition of util::MedianOfMeans). Start at
+  // the group containing global_first and walk forward with the index.
+  std::uint64_t g = 0;
+  std::uint64_t g_end = 0;
+  if (grouped) {
+    g = global_first * groups / n;  // floor => g*n/G <= global_first
+    while ((g + 1) * n / groups <= global_first) ++g;
+    g_end = (g + 1) * n / groups;
+    out.first_group = static_cast<std::size_t>(g);
+  }
+  for (std::size_t i = 0; i < r; ++i) {
+    const double wedge = static_cast<double>(c_[i]) * m;
+    const double triangle = cold_[i].has_triangle ? wedge : 0.0;
+    out.triangle_sum += triangle;
+    out.wedge_sum += wedge;
+    if (grouped) {
+      const std::uint64_t global_index = global_first + i;
+      while (global_index >= g_end) {
+        ++g;
+        g_end = (g + 1) * n / groups;
+      }
+      const std::size_t local = static_cast<std::size_t>(g) - out.first_group;
+      if (local >= out.group_counts.size()) {
+        out.triangle_group_sums.resize(local + 1, 0.0);
+        out.wedge_group_sums.resize(local + 1, 0.0);
+        out.group_counts.resize(local + 1, 0);
+      }
+      out.triangle_group_sums[local] += triangle;
+      out.wedge_group_sums[local] += wedge;
+      ++out.group_counts[local];
+    }
+  }
+  return out;
+}
+
 double TriangleCounter::EstimateTriangles() {
   return AggregateEstimates(PerEstimatorTriangleEstimates(),
                             options_.aggregation, options_.median_groups);

@@ -155,11 +155,44 @@ class TriangleCounter {
   /// stays valid until the next non-const member call.
   const std::vector<EstimatorState>& estimators();
 
-  /// Raw per-estimator unbiased values (flushes first). Exposed so
-  /// multi-shard wrappers (core::ParallelTriangleCounter) can aggregate
-  /// across shards in one pass.
+  /// Raw per-estimator unbiased values (flushes first). Exposed for tests
+  /// and single-shard consumers; multi-shard wrappers should prefer
+  /// ComputePartials, which reduces without materializing r doubles.
   std::vector<double> PerEstimatorTriangleEstimates();
   std::vector<double> PerEstimatorWedgeEstimates();
+
+  /// Shard-local reduction of the per-estimator unbiased values, for
+  /// multi-shard wrappers (core::ParallelTriangleCounter): each shard
+  /// folds its own estimators -- on its own worker thread -- and the
+  /// caller combines O(shards) partials instead of concatenating r
+  /// doubles. Covers both aggregation rules in one pass:
+  ///   * mean (Theorem 3.3): triangle_sum / wedge_sum over `count`;
+  ///   * median-of-means (Theorem 3.4): per-group partial sums against the
+  ///     *global* contiguous partition of util::MedianOfMeans -- group g
+  ///     covers global estimator indices [g*n/G, (g+1)*n/G) where n =
+  ///     `global_count`, G = `median_groups` -- so group boundaries are
+  ///     identical to aggregating the concatenated vector, whichever
+  ///     shards a group straddles.
+  struct EstimatorPartials {
+    std::uint64_t count = 0;      // estimators reduced (this shard's r)
+    double triangle_sum = 0.0;    // Σ per-estimator triangle values
+    double wedge_sum = 0.0;       // Σ per-estimator wedge values
+    /// First global group this shard's range overlaps; the vectors below
+    /// cover consecutive groups starting there. Empty when the caller
+    /// requested a mean-only reduction (median_groups == 0).
+    std::size_t first_group = 0;
+    std::vector<double> triangle_group_sums;
+    std::vector<double> wedge_group_sums;
+    std::vector<std::uint64_t> group_counts;
+  };
+
+  /// Reduces this shard's estimators, which occupy global indices
+  /// [global_first, global_first + r) of a `global_count`-estimator
+  /// ensemble. `median_groups` == 0 (or a degenerate grouping, G <= 1 or
+  /// global_count <= G) skips the per-group sums. Flushes first.
+  EstimatorPartials ComputePartials(std::uint64_t global_first,
+                                    std::uint64_t global_count,
+                                    std::uint32_t median_groups);
 
   /// Effective batch size w in use.
   std::size_t batch_size() const { return batch_size_; }

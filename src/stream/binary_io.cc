@@ -6,54 +6,50 @@
 
 namespace tristream {
 namespace stream {
-namespace {
-
-constexpr char kMagic[4] = {'T', 'R', 'I', 'S'};
-constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kHeaderBytes = 16;
-
-std::string Errno(const std::string& what, const std::string& path) {
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
   return what + " '" + path + "': " + std::strerror(errno);
 }
-
-}  // namespace
 
 Status WriteBinaryEdges(const std::string& path,
                         const graph::EdgeList& edges) {
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::IoError(Errno("cannot open", path));
+  if (f == nullptr) return Status::IoError(ErrnoMessage("cannot open", path));
   Status status = Status::Ok();
   const std::uint64_t count = edges.size();
-  if (std::fwrite(kMagic, 1, 4, f) != 4 ||
-      std::fwrite(&kVersion, sizeof(kVersion), 1, f) != 1 ||
+  if (std::fwrite(kTrisMagic, 1, 4, f) != 4 ||
+      std::fwrite(&kTrisVersion, sizeof(kTrisVersion), 1, f) != 1 ||
       std::fwrite(&count, sizeof(count), 1, f) != 1) {
-    status = Status::IoError(Errno("cannot write header to", path));
+    status = Status::IoError(ErrnoMessage("cannot write header to", path));
   }
   if (status.ok()) {
     std::vector<std::uint32_t> buffer;
     buffer.reserve(2 << 16);
-    std::size_t written = 0;
+    // Count raw u32 elements, not pairs: a short fwrite can end on an odd
+    // element, which a pair count computed as fwrite(...)/2 would round
+    // away and report as a complete write.
+    std::uint64_t elements_written = 0;
     for (const Edge& e : edges.edges()) {
       buffer.push_back(e.u);
       buffer.push_back(e.v);
       if (buffer.size() == (2 << 16)) {
-        written += std::fwrite(buffer.data(), sizeof(std::uint32_t),
-                               buffer.size(), f) /
-                   2;
+        elements_written += std::fwrite(buffer.data(), sizeof(std::uint32_t),
+                                        buffer.size(), f);
         buffer.clear();
+        if (std::ferror(f)) break;
       }
     }
-    if (!buffer.empty()) {
-      written += std::fwrite(buffer.data(), sizeof(std::uint32_t),
-                             buffer.size(), f) /
-                 2;
+    if (!buffer.empty() && !std::ferror(f)) {
+      elements_written += std::fwrite(buffer.data(), sizeof(std::uint32_t),
+                                      buffer.size(), f);
     }
-    if (written != count) {
-      status = Status::IoError(Errno("short write to", path));
+    if (elements_written != 2 * count || std::ferror(f)) {
+      status = Status::IoError(ErrnoMessage("short write to", path));
     }
   }
+  // fclose flushes the stdio buffer; a flush failure (e.g. disk full) must
+  // surface even when every fwrite "succeeded" into the buffer.
   if (std::fclose(f) != 0 && status.ok()) {
-    status = Status::IoError(Errno("cannot close", path));
+    status = Status::IoError(ErrnoMessage("cannot close", path));
   }
   return status;
 }
@@ -67,6 +63,9 @@ Result<graph::EdgeList> ReadBinaryEdges(const std::string& path) {
   while (stream.NextBatch(1 << 16, &batch) > 0) {
     for (const Edge& e : batch) out.Add(e);
   }
+  // A read failure and a truncated file both end the batch loop early;
+  // distinguish them so disk faults are not reported as file corruption.
+  if (!stream.status().ok()) return stream.status();
   if (out.size() != stream.total_edges()) {
     return Status::CorruptData("edge file '" + path +
                                "' truncated: header promises " +
@@ -79,21 +78,27 @@ Result<graph::EdgeList> ReadBinaryEdges(const std::string& path) {
 Result<std::unique_ptr<BinaryFileEdgeStream>> BinaryFileEdgeStream::Open(
     const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IoError(Errno("cannot open", path));
+  if (f == nullptr) return Status::IoError(ErrnoMessage("cannot open", path));
   char magic[4];
   std::uint32_t version = 0;
   std::uint64_t count = 0;
   if (std::fread(magic, 1, 4, f) != 4 ||
       std::fread(&version, sizeof(version), 1, f) != 1 ||
       std::fread(&count, sizeof(count), 1, f) != 1) {
+    // ferror distinguishes an unreadable file (a directory, a failing
+    // device) from a well-formed-but-short one.
+    const bool read_error = std::ferror(f) != 0;
     std::fclose(f);
+    if (read_error) {
+      return Status::IoError(ErrnoMessage("cannot read header of", path));
+    }
     return Status::CorruptData("edge file '" + path + "': header too short");
   }
-  if (std::memcmp(magic, kMagic, 4) != 0) {
+  if (std::memcmp(magic, kTrisMagic, 4) != 0) {
     std::fclose(f);
     return Status::CorruptData("edge file '" + path + "': bad magic");
   }
-  if (version != kVersion) {
+  if (version != kTrisVersion) {
     std::fclose(f);
     return Status::CorruptData("edge file '" + path +
                                "': unsupported version " +
@@ -127,6 +132,21 @@ std::size_t BinaryFileEdgeStream::NextBatch(std::size_t max_edges,
   const std::size_t got =
       std::fread(raw.data(), sizeof(std::uint32_t), raw.size(), file_);
   io_timer_.Pause();
+  if (got != raw.size() && status_.ok()) {
+    // A short read inside the promised payload is never a clean end of
+    // stream: ferror means the device failed, EOF means the file is
+    // shorter than its header claims. Either way streaming consumers
+    // must not mistake the delivered prefix for the whole stream.
+    if (std::ferror(file_) != 0) {
+      status_ =
+          Status::IoError(ErrnoMessage("read failed mid-stream in", path_));
+    } else {
+      status_ = Status::CorruptData(
+          "edge file '" + path_ + "' truncated: header promises " +
+          std::to_string(total_edges_) + " edges, payload ends at " +
+          std::to_string(delivered_ + got / 2));
+    }
+  }
   const std::size_t edges = got / 2;
   batch->reserve(edges);
   for (std::size_t i = 0; i < edges; ++i) {
@@ -137,8 +157,10 @@ std::size_t BinaryFileEdgeStream::NextBatch(std::size_t max_edges,
 }
 
 void BinaryFileEdgeStream::Reset() {
-  std::fseek(file_, kHeaderBytes, SEEK_SET);
+  std::clearerr(file_);
+  std::fseek(file_, static_cast<long>(kTrisHeaderBytes), SEEK_SET);
   delivered_ = 0;
+  status_ = Status::Ok();
   io_timer_.Restart();
   io_timer_.Pause();
 }

@@ -1,4 +1,5 @@
-// Binary edge-file format and file-backed streaming with I/O accounting.
+// Binary edge-file format ("TRIS") and file-backed streaming with I/O
+// accounting.
 //
 // The paper's experiments stream graphs from a laptop hard drive and report
 // I/O time separately from processing time (Table 3: "median I/O time").
@@ -6,11 +7,25 @@
 // (fixed header + little-endian u32 endpoint pairs) read in blocks, with
 // the read syscalls timed on a dedicated I/O stopwatch.
 //
-// Layout:
+// TRIS format (native little-endian, version 1):
 //   bytes 0..3   magic "TRIS"
 //   bytes 4..7   format version (u32, currently 1)
 //   bytes 8..15  edge count (u64)
-//   then count * 8 bytes of (u32 u, u32 v) pairs.
+//   then count * 8 bytes of (u32 u, u32 v) endpoint pairs, in stream
+//   (arrival) order. The payload is exactly 8 * count bytes; readers treat
+//   a shorter payload -- including an odd-byte tail that ends mid-pair --
+//   as CorruptData, and a read(2)-level failure as IoError.
+//
+// Readers of this format:
+//   * BinaryFileEdgeStream (here): buffered FILE reads, batch = one copy.
+//   * MmapEdgeStream (mmap_io.h): zero-copy batches served as spans into a
+//     memory mapping.
+//   * OpenEdgeSource (edge_source.h): the one-door front end. It sniffs the
+//     first 4 bytes of the file: exactly "TRIS" selects a binary reader
+//     (mmap by default, FILE reads on request); anything else -- including
+//     files shorter than 4 bytes -- is parsed as SNAP-style text
+//     (text_io.h). File extensions play no part in the decision, so
+//     renamed files keep working.
 
 #ifndef TRISTREAM_STREAM_BINARY_IO_H_
 #define TRISTREAM_STREAM_BINARY_IO_H_
@@ -27,6 +42,16 @@
 
 namespace tristream {
 namespace stream {
+
+/// TRIS header constants, shared by the FILE- and mmap-backed readers and
+/// the OpenEdgeSource sniffer.
+inline constexpr char kTrisMagic[4] = {'T', 'R', 'I', 'S'};
+inline constexpr std::uint32_t kTrisVersion = 1;
+inline constexpr std::size_t kTrisHeaderBytes = 16;
+
+/// "<what> '<path>': <strerror(errno)>" -- shared error formatting for the
+/// stream readers/writers.
+std::string ErrnoMessage(const std::string& what, const std::string& path);
 
 /// Writes `edges` to `path` in the tristream binary format.
 Status WriteBinaryEdges(const std::string& path, const graph::EdgeList& edges);
@@ -51,6 +76,11 @@ class BinaryFileEdgeStream : public EdgeStream {
   std::uint64_t edges_delivered() const override { return delivered_; }
   double io_seconds() const override { return io_timer_.Seconds(); }
 
+  /// Sticky: IoError when a read failed mid-stream, CorruptData when the
+  /// payload ended before the header's edge count (a short batch then
+  /// means a damaged prefix, not end of file). Cleared by Reset().
+  Status status() const override { return status_; }
+
   /// Total edges in the file.
   std::uint64_t total_edges() const { return total_edges_; }
 
@@ -62,6 +92,7 @@ class BinaryFileEdgeStream : public EdgeStream {
   std::uint64_t total_edges_;
   std::uint64_t delivered_ = 0;
   std::string path_;
+  Status status_;
   mutable WallTimer io_timer_;
 };
 

@@ -1,0 +1,154 @@
+#include "stream/edge_source.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "graph/edge_list.h"
+#include "stream/binary_io.h"
+#include "stream/mmap_io.h"
+#include "stream/text_io.h"
+#include "util/timer.h"
+
+namespace tristream {
+namespace stream {
+namespace {
+
+/// Memory stream that owns its edges (MemoryEdgeStream only borrows).
+/// Backs the text path of OpenEdgeSource: the whole file is parsed up
+/// front, so batches are stable zero-copy views and io_seconds reports the
+/// one-time load cost.
+class OwningMemoryEdgeStream : public EdgeStream {
+ public:
+  OwningMemoryEdgeStream(graph::EdgeList edges, double load_seconds)
+      : edges_(std::move(edges)),
+        load_seconds_(load_seconds),
+        view_(edges_) {}
+
+  std::size_t NextBatch(std::size_t max_edges,
+                        std::vector<Edge>* batch) override {
+    return view_.NextBatch(max_edges, batch);
+  }
+  std::span<const Edge> NextBatchView(std::size_t max_edges,
+                                      std::vector<Edge>* scratch) override {
+    return view_.NextBatchView(max_edges, scratch);
+  }
+  bool stable_views() const override { return true; }
+  void Reset() override { view_.Reset(); }
+  std::uint64_t edges_delivered() const override {
+    return view_.edges_delivered();
+  }
+  double io_seconds() const override { return load_seconds_; }
+
+ private:
+  graph::EdgeList edges_;
+  double load_seconds_;
+  MemoryEdgeStream view_;
+};
+
+/// Reads the first 4 bytes of `path`. Returns false (with `*error` set)
+/// when the file cannot be opened or read; a file shorter than 4 bytes
+/// yields got < 4 and sniffs as text.
+bool SniffMagic(const std::string& path, char magic[4], std::size_t* got,
+                Status* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *error = Status::IoError("cannot open '" + path + "'");
+    return false;
+  }
+  *got = std::fread(magic, 1, 4, f);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    *error = Status::IoError("cannot read '" + path + "'");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DedupEdgeStream::DedupEdgeStream(std::unique_ptr<EdgeStream> inner,
+                                 std::size_t expected_edges)
+    : inner_(std::move(inner)),
+      filter_(expected_edges),
+      expected_edges_(expected_edges) {}
+
+std::size_t DedupEdgeStream::NextBatch(std::size_t max_edges,
+                                       std::vector<Edge>* batch) {
+  batch->clear();
+  // Keep pulling until at least one edge survives the filter (or the
+  // inner stream ends) so that a run of duplicates cannot masquerade as
+  // end of stream.
+  while (batch->empty()) {
+    const std::span<const Edge> raw =
+        inner_->NextBatchView(max_edges, &scratch_);
+    if (raw.empty()) break;
+    for (const Edge& e : raw) {
+      if (filter_.Admit(e)) batch->push_back(e);
+    }
+  }
+  delivered_ += batch->size();
+  return batch->size();
+}
+
+void DedupEdgeStream::Reset() {
+  inner_->Reset();
+  filter_ = DedupFilter(expected_edges_);
+  delivered_ = 0;
+}
+
+Result<std::unique_ptr<EdgeStream>> OpenEdgeSource(
+    const std::string& path, const EdgeSourceOptions& options,
+    EdgeSourceInfo* info) {
+  char magic[4] = {0, 0, 0, 0};
+  std::size_t got = 0;
+  Status sniff_error = Status::Ok();
+  if (!SniffMagic(path, magic, &got, &sniff_error)) return sniff_error;
+
+  std::unique_ptr<EdgeStream> source;
+  EdgeSourceInfo built;
+  if (got == 4 && std::memcmp(magic, kTrisMagic, 4) == 0) {
+    if (options.prefer_mmap) {
+      auto mapped = MmapEdgeStream::Open(path);
+      if (mapped.ok()) {
+        built.reader = EdgeSourceInfo::Reader::kMmap;
+        built.total_edges = (*mapped)->total_edges();
+        source = std::move(*mapped);
+      } else if (mapped.status().code() == StatusCode::kCorruptData) {
+        // A malformed file is malformed under any reader; only mapping
+        // *infrastructure* failures fall back to FILE reads.
+        return mapped.status();
+      }
+    }
+    if (source == nullptr) {
+      auto opened = BinaryFileEdgeStream::Open(path);
+      if (!opened.ok()) return opened.status();
+      built.reader = EdgeSourceInfo::Reader::kFile;
+      built.total_edges = (*opened)->total_edges();
+      source = std::move(*opened);
+    }
+  } else {
+    WallTimer load_timer;
+    auto parsed = ReadTextEdges(path);
+    if (!parsed.ok()) return parsed.status();
+    built.reader = EdgeSourceInfo::Reader::kText;
+    built.total_edges = parsed->size();
+    source = std::make_unique<OwningMemoryEdgeStream>(std::move(*parsed),
+                                                      load_timer.Seconds());
+  }
+  if (options.dedup) {
+    // Size the filter for the source's real edge count: the default hint
+    // would make the hash set rehash repeatedly on the producer thread.
+    source = std::make_unique<DedupEdgeStream>(
+        std::move(source),
+        std::max<std::size_t>(static_cast<std::size_t>(built.total_edges),
+                              1 << 12));
+  }
+  if (info != nullptr) *info = built;
+  return source;
+}
+
+}  // namespace stream
+}  // namespace tristream

@@ -1,0 +1,109 @@
+// One-door ingest: open any supported edge file as an EdgeStream.
+//
+// Every tool used to pick a reader by file extension, which breaks the
+// moment a file is renamed and leaves each front end to reimplement
+// dedup-on-ingest. OpenEdgeSource sniffs the *content* instead and returns
+// the right stream behind the one interface the counters consume:
+//
+//   first 4 bytes == "TRIS"  ->  binary TRIS reader; MmapEdgeStream
+//                                (zero-copy) by default, BinaryFileEdgeStream
+//                                (buffered FILE reads) when prefer_mmap is
+//                                off or the path cannot be mapped (not a
+//                                regular file);
+//   anything else            ->  SNAP-style text (text_io.h), parsed
+//                                eagerly and served from memory with the
+//                                load time reported as io_seconds().
+//
+// Setting `dedup` wraps the source in a DedupEdgeStream so duplicate edges
+// and self-loops never reach the estimators -- the paper's algorithms
+// assume a simple graph, and SNAP text files list both directions of each
+// edge.
+
+#ifndef TRISTREAM_STREAM_EDGE_SOURCE_H_
+#define TRISTREAM_STREAM_EDGE_SOURCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "stream/dedup.h"
+#include "stream/edge_stream.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace stream {
+
+/// How OpenEdgeSource builds the stream.
+struct EdgeSourceOptions {
+  /// Binary files: serve zero-copy batches from an mmap of the file.
+  /// Falls back to buffered FILE reads when mapping is impossible.
+  bool prefer_mmap = true;
+  /// Wrap the source in a DedupEdgeStream (admit each undirected edge
+  /// once, drop self-loops).
+  bool dedup = false;
+};
+
+/// What OpenEdgeSource actually built (reported through the optional
+/// `info` out-parameter -- prefer_mmap is a preference, not a guarantee).
+struct EdgeSourceInfo {
+  enum class Reader {
+    kMmap,  // zero-copy spans into the mapping
+    kFile,  // buffered FILE reads
+    kText,  // parsed SNAP text served from memory
+  };
+  Reader reader = Reader::kText;
+  /// Edge count promised by the source (header count for binary, parsed
+  /// count for text) -- pre-dedup.
+  std::uint64_t total_edges = 0;
+
+  /// Short label for logs/CLI output.
+  const char* reader_name() const {
+    switch (reader) {
+      case Reader::kMmap: return "mmap";
+      case Reader::kFile: return "read";
+      case Reader::kText: return "text";
+    }
+    return "?";
+  }
+};
+
+/// Filtering adapter: pulls from `inner` and delivers only edges admitted
+/// by a DedupFilter. Batches may come back shorter than requested (the
+/// filter is applied per inner batch); a 0/empty return still means end of
+/// stream. Views are never stable (filtered edges must be compacted).
+class DedupEdgeStream : public EdgeStream {
+ public:
+  explicit DedupEdgeStream(std::unique_ptr<EdgeStream> inner,
+                           std::size_t expected_edges = 1 << 12);
+
+  std::size_t NextBatch(std::size_t max_edges,
+                        std::vector<Edge>* batch) override;
+  void Reset() override;
+  std::uint64_t edges_delivered() const override { return delivered_; }
+  double io_seconds() const override { return inner_->io_seconds(); }
+  Status status() const override { return inner_->status(); }
+
+  /// The wrapped filter (offered/admitted counts, memory).
+  const DedupFilter& filter() const { return filter_; }
+
+ private:
+  std::unique_ptr<EdgeStream> inner_;
+  DedupFilter filter_;
+  std::size_t expected_edges_;
+  std::uint64_t delivered_ = 0;
+  std::vector<Edge> scratch_;
+};
+
+/// Opens `path` as an EdgeStream, sniffing binary TRIS vs. text by magic
+/// (see the table in the file comment). IoError when the file cannot be
+/// opened/read, CorruptData when its contents do not parse. `info`, when
+/// non-null, receives which reader was selected and the source's edge
+/// count (used e.g. to size the dedup filter).
+Result<std::unique_ptr<EdgeStream>> OpenEdgeSource(
+    const std::string& path, const EdgeSourceOptions& options = {},
+    EdgeSourceInfo* info = nullptr);
+
+}  // namespace stream
+}  // namespace tristream
+
+#endif  // TRISTREAM_STREAM_EDGE_SOURCE_H_

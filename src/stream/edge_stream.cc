@@ -18,6 +18,15 @@ std::size_t MemoryEdgeStream::NextBatch(std::size_t max_edges,
   return take;
 }
 
+std::span<const Edge> MemoryEdgeStream::NextBatchView(
+    std::size_t max_edges, std::vector<Edge>* /*scratch*/) {
+  const std::size_t remaining = edges_->size() - cursor_;
+  const std::size_t take = std::min(max_edges, remaining);
+  std::span<const Edge> view(edges_->edges().data() + cursor_, take);
+  cursor_ += take;
+  return view;
+}
+
 graph::EdgeList ShuffleStreamOrder(const graph::EdgeList& edges,
                                    std::uint64_t seed) {
   std::vector<Edge> shuffled = edges.edges();

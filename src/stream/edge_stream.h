@@ -11,9 +11,11 @@
 #define TRISTREAM_STREAM_EDGE_STREAM_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/edge_list.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -31,6 +33,25 @@ class EdgeStream {
   virtual std::size_t NextBatch(std::size_t max_edges,
                                 std::vector<Edge>* batch) = 0;
 
+  /// Zero-copy variant: returns a view of up to `max_edges` next edges; an
+  /// empty span signals end of stream. Sources whose edges already live in
+  /// memory (MemoryEdgeStream, MmapEdgeStream) return a view straight into
+  /// their backing storage; the default shim copies through NextBatch into
+  /// `*scratch` and returns a view of it. Unless stable_views() is true,
+  /// the view is invalidated by the next NextBatch/NextBatchView/Reset call
+  /// (and by any mutation of `*scratch`).
+  virtual std::span<const Edge> NextBatchView(std::size_t max_edges,
+                                              std::vector<Edge>* scratch) {
+    NextBatch(max_edges, scratch);
+    return std::span<const Edge>(*scratch);
+  }
+
+  /// True when every span returned by NextBatchView stays valid until the
+  /// stream is destroyed (not merely until the next call). Pipelined
+  /// consumers (core::ParallelTriangleCounter::ProcessStream) use this to
+  /// dispatch views to workers while already fetching the next batch.
+  virtual bool stable_views() const { return false; }
+
   /// Restarts the stream from the first edge.
   virtual void Reset() = 0;
 
@@ -40,6 +61,12 @@ class EdgeStream {
   /// Cumulative wall-clock seconds spent on I/O (0 for in-memory sources).
   /// The paper reports I/O time separately from processing time (Table 3).
   virtual double io_seconds() const { return 0.0; }
+
+  /// Sticky I/O health. A short batch with ok() status means end of
+  /// stream; a short batch with a non-OK status means the source failed
+  /// mid-read and the edges delivered so far are a prefix, not the whole
+  /// stream. Reset() clears it.
+  virtual Status status() const { return Status::Ok(); }
 };
 
 /// In-memory stream over an EdgeList's arrival order.
@@ -50,6 +77,9 @@ class MemoryEdgeStream : public EdgeStream {
 
   std::size_t NextBatch(std::size_t max_edges,
                         std::vector<Edge>* batch) override;
+  std::span<const Edge> NextBatchView(std::size_t max_edges,
+                                      std::vector<Edge>* scratch) override;
+  bool stable_views() const override { return true; }
   void Reset() override { cursor_ = 0; }
   std::uint64_t edges_delivered() const override { return cursor_; }
 

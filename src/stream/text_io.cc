@@ -81,7 +81,13 @@ Result<graph::EdgeList> ReadTextEdges(const std::string& path) {
   while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
     content.append(buffer, got);
   }
+  // fread returning 0 means EOF *or* error; without this check a mid-file
+  // read fault would silently parse the prefix as a valid smaller graph.
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) {
+    return Status::IoError("read failed on '" + path + "'");
+  }
   return ParseTextEdges(content);
 }
 
@@ -90,14 +96,22 @@ Status WriteTextEdges(const std::string& path, const graph::EdgeList& edges) {
   if (f == nullptr) {
     return Status::IoError("cannot open '" + path + "'");
   }
-  std::fprintf(f, "# tristream edge list: %zu edges\n", edges.size());
+  Status status = Status::Ok();
+  bool write_failed =
+      std::fprintf(f, "# tristream edge list: %zu edges\n", edges.size()) < 0;
   for (const Edge& e : edges.edges()) {
-    std::fprintf(f, "%u\t%u\n", e.u, e.v);
+    if (write_failed) break;
+    write_failed = std::fprintf(f, "%u\t%u\n", e.u, e.v) < 0;
   }
-  if (std::fclose(f) != 0) {
-    return Status::IoError("cannot close '" + path + "'");
+  // fprintf buffers: a full disk may only surface via ferror after the
+  // stdio flush, so check both before and at fclose.
+  if (write_failed || std::ferror(f) != 0) {
+    status = Status::IoError("write failed on '" + path + "'");
   }
-  return Status::Ok();
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = Status::IoError("cannot close '" + path + "'");
+  }
+  return status;
 }
 
 }  // namespace stream

@@ -223,6 +223,109 @@ TEST(BinaryIoTest, HeaderTooShortIsCorruptData) {
   std::remove(path.c_str());
 }
 
+TEST(BinaryIoTest, UnsupportedVersionIsCorruptData) {
+  const std::string path = TempPath("badversion.tris");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  const std::uint32_t version = kTrisVersion + 7;
+  const std::uint64_t count = 0;
+  std::fwrite(kTrisMagic, 1, 4, f);
+  std::fwrite(&version, sizeof(version), 1, f);
+  std::fwrite(&count, sizeof(count), 1, f);
+  std::fclose(f);
+  auto r = ReadBinaryEdges(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, OddByteTailIsCorruptData) {
+  // A payload that ends mid-pair (half an edge chopped off) must not be
+  // rounded down to a "valid" smaller file.
+  const auto el = gen::GnmRandom(50, 200, 6);
+  const std::string path = TempPath("oddtail.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string content(static_cast<std::size_t>(size), '\0');
+  ASSERT_EQ(std::fread(content.data(), 1, content.size(), f), content.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(content.data(), 1, content.size() - 4, f);
+  std::fclose(f);
+
+  auto r = ReadBinaryEdges(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruptData);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, StreamStatusFlagsTruncationMidStream) {
+  // Streaming consumers never see ReadBinaryEdges' count check, so the
+  // stream itself must refuse to pass off a truncated payload as a clean
+  // end of stream.
+  const auto el = gen::GnmRandom(60, 400, 9);
+  const std::string path = TempPath("stream_trunc.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string content(static_cast<std::size_t>(size), '\0');
+  ASSERT_EQ(std::fread(content.data(), 1, content.size(), f), content.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  std::fwrite(content.data(), 1, content.size() / 2, f);
+  std::fclose(f);
+
+  auto opened = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(opened.ok());  // the header survived the cut
+  std::vector<Edge> batch;
+  std::uint64_t delivered = 0;
+  while ((*opened)->NextBatch(64, &batch) > 0) delivered += batch.size();
+  EXPECT_LT(delivered, el.size());
+  EXPECT_EQ((*opened)->status().code(), StatusCode::kCorruptData);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, ReadingADirectoryIsIoErrorNotCorruptData) {
+  // fread on a directory fails with ferror set; without the ferror check
+  // this reported as "header too short" corruption.
+  auto r = ReadBinaryEdges(std::string(::testing::TempDir()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, WriteToFullDeviceIsIoError) {
+  // /dev/full accepts opens and fails writes with ENOSPC -- the canonical
+  // disk-full simulation. Large enough to force a mid-stream stdio flush,
+  // so the failure surfaces through the fwrite/ferror path, not just the
+  // final fclose.
+  if (std::FILE* probe = std::fopen("/dev/full", "wb")) {
+    std::fclose(probe);
+  } else {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  const auto el = gen::GnmRandom(400, 40000, 7);
+  const Status s = WriteBinaryEdges("/dev/full", el);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(BinaryIoTest, WriteSmallListToFullDeviceIsIoError) {
+  // A list smaller than the stdio buffer only fails at the fclose flush;
+  // that path must report IoError too, not silently succeed.
+  if (std::FILE* probe = std::fopen("/dev/full", "wb")) {
+    std::fclose(probe);
+  } else {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  const Status s = WriteBinaryEdges("/dev/full", SampleEdges());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
 // ---------------------------------------------------------------- Text IO
 
 TEST(TextIoTest, ParsesSnapStyleContent) {
@@ -284,6 +387,28 @@ TEST(TextIoTest, MissingFileIsIoError) {
   auto r = ReadTextEdges(TempPath("missing.txt"));
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(TextIoTest, ReadingADirectoryIsIoError) {
+  // fread returns 0 with ferror set; without the check this parsed the
+  // empty prefix as a valid empty graph.
+  auto r = ReadTextEdges(std::string(::testing::TempDir()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+TEST(TextIoTest, WriteToFullDeviceIsIoError) {
+  if (std::FILE* probe = std::fopen("/dev/full", "wb")) {
+    std::fclose(probe);
+  } else {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  // Big enough that fprintf flushes mid-write; small lists would only
+  // fail at fclose (also covered: both paths must yield IoError).
+  const auto big = gen::GnmRandom(400, 40000, 8);
+  EXPECT_EQ(WriteTextEdges("/dev/full", big).code(), StatusCode::kIoError);
+  EXPECT_EQ(WriteTextEdges("/dev/full", SampleEdges()).code(),
+            StatusCode::kIoError);
 }
 
 TEST(TextIoTest, NoTrailingNewlineStillParses) {

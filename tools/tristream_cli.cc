@@ -8,8 +8,11 @@
 //   tristream_cli sample   --input g.tris -k 10 --max-degree 500
 //   tristream_cli convert  --input edges.txt --output edges.tris
 //
-// Inputs ending in ".tris" use the binary format; anything else is parsed
-// as SNAP-style text (duplicates and self-loops are filtered on ingest).
+// Inputs go through stream::OpenEdgeSource: the format is sniffed from the
+// file's magic bytes (TRIS binary vs. SNAP-style text), not its extension,
+// and duplicates/self-loops are filtered on ingest. Binary inputs are
+// memory-mapped by default; `count --mmap 0` falls back to buffered FILE
+// reads. Output format still follows the extension (".tris" = binary).
 
 #include <cstdio>
 #include <cstdlib>
@@ -25,6 +28,7 @@
 #include "graph/degree_stats.h"
 #include "stream/binary_io.h"
 #include "stream/dedup.h"
+#include "stream/edge_source.h"
 #include "stream/text_io.h"
 #include "util/timer.h"
 
@@ -42,7 +46,8 @@ int Usage() {
       "                 hepth syn3reg\n"
       "  stats    --input FILE\n"
       "  count    --input FILE [--estimators N] [--seed N] [--batch W]\n"
-      "           [--threads T] [--pipeline 0|1] [--median-of-means]\n"
+      "           [--threads T] [--pipeline 0|1] [--mmap 0|1]\n"
+      "           [--median-of-means]\n"
       "  window   --input FILE --window W [--estimators N] [--seed N]\n"
       "  sample   --input FILE -k K --max-degree D [--estimators N]\n"
       "  convert  --input FILE --output FILE\n");
@@ -95,24 +100,37 @@ bool EndsWith(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-/// Loads an edge list from .tris (binary) or text, enforcing simplicity.
-graph::EdgeList LoadEdges(const std::string& path) {
-  Result<graph::EdgeList> loaded =
-      EndsWith(path, ".tris") ? stream::ReadBinaryEdges(path)
-                              : stream::ReadTextEdges(path);
-  if (!loaded.ok()) {
+/// Opens `path` through the one-door ingest front end, exiting with a
+/// diagnostic on failure.
+std::unique_ptr<stream::EdgeStream> OpenSourceOrDie(
+    const std::string& path, const stream::EdgeSourceOptions& options) {
+  auto source = stream::OpenEdgeSource(path, options);
+  if (!source.ok()) {
     std::fprintf(stderr, "cannot load '%s': %s\n", path.c_str(),
-                 loaded.status().ToString().c_str());
+                 source.status().ToString().c_str());
     std::exit(1);
   }
-  stream::DedupFilter filter(loaded->size());
+  return std::move(*source);
+}
+
+/// Loads a whole edge file into memory (format sniffed by magic),
+/// enforcing simplicity.
+graph::EdgeList LoadEdges(const std::string& path) {
+  stream::DedupEdgeStream source(OpenSourceOrDie(path, {}));
   graph::EdgeList clean;
-  for (const Edge& e : loaded->edges()) {
-    if (filter.Admit(e)) clean.Add(e);
+  std::vector<Edge> batch;
+  while (source.NextBatch(1 << 16, &batch) > 0) {
+    for (const Edge& e : batch) clean.Add(e);
   }
-  if (clean.size() != loaded->size()) {
-    std::fprintf(stderr, "note: filtered %zu duplicate/self-loop edges\n",
-                 loaded->size() - clean.size());
+  if (!source.status().ok()) {
+    std::fprintf(stderr, "cannot load '%s': %s\n", path.c_str(),
+                 source.status().ToString().c_str());
+    std::exit(1);
+  }
+  const auto dropped = source.filter().offered() - source.filter().admitted();
+  if (dropped > 0) {
+    std::fprintf(stderr, "note: filtered %llu duplicate/self-loop edges\n",
+                 static_cast<unsigned long long>(dropped));
   }
   return clean;
 }
@@ -172,7 +190,24 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
 int CmdCount(const std::map<std::string, std::string>& flags) {
   const auto it = flags.find("input");
   if (it == flags.end()) return Usage();
-  const auto el = LoadEdges(it->second);
+  // Unlike the offline commands, count never materializes the file: edges
+  // stream from the source straight into the sharded counter, overlapping
+  // I/O with absorption. (The dedup wrapper compacts admitted edges into
+  // the counter's batch buffers, so the mapping is zero-copy up to the
+  // filter; drop dedup-free ingest to the counter itself via the library
+  // API for the fully zero-copy path.)
+  stream::EdgeSourceOptions source_options;
+  source_options.prefer_mmap = FlagU64(flags, "mmap", 1) != 0;
+  source_options.dedup = true;
+  stream::EdgeSourceInfo source_info;
+  auto opened = stream::OpenEdgeSource(it->second, source_options,
+                                       &source_info);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "cannot load '%s': %s\n", it->second.c_str(),
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  const auto source = std::move(*opened);
   core::ParallelCounterOptions options;
   options.num_estimators = FlagU64(flags, "estimators", 1 << 17);
   options.num_threads =
@@ -187,18 +222,27 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   }
   core::ParallelTriangleCounter counter(options);
   WallTimer timer;
-  counter.ProcessEdges(el.edges());
+  counter.ProcessStream(*source);
+  counter.Flush();
+  if (!source->status().ok()) {
+    std::fprintf(stderr, "stream failed mid-read: %s\n",
+                 source->status().ToString().c_str());
+    return 1;
+  }
   const double tau = counter.EstimateTriangles();
   const double secs = timer.Seconds();
+  const auto edges = counter.edges_processed();
   std::printf("edges           : %llu\n",
-              static_cast<unsigned long long>(counter.edges_processed()));
+              static_cast<unsigned long long>(edges));
   std::printf("triangles (est) : %.0f\n", tau);
   std::printf("wedges (est)    : %.0f\n", counter.EstimateWedges());
   std::printf("transitivity    : %.6f\n", counter.EstimateTransitivity());
   std::printf("time            : %.3f s  (%.2f M edges/s, %u shard(s), %s)\n",
-              secs, static_cast<double>(el.size()) / secs / 1e6,
+              secs, static_cast<double>(edges) / secs / 1e6,
               counter.num_shards(),
               counter.pipelined() ? "pipelined" : "spawn-per-batch");
+  std::printf("io time         : %.3f s (%s ingest)\n", source->io_seconds(),
+              source_info.reader_name());
   return 0;
 }
 
