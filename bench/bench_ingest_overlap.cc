@@ -101,7 +101,11 @@ Measurement RunMode(const std::string& mode, const std::string& path,
         }
         source = std::move(*opened);
       }
-      counter.ProcessStream(*source);
+      if (Status s = counter.ProcessStream(*source); !s.ok()) {
+        std::fprintf(stderr, "FATAL: stream failed mid-read: %s\n",
+                     s.ToString().c_str());
+        std::exit(1);
+      }
       counter.Flush();
       out.triangles = counter.EstimateTriangles();
       io_seconds.push_back(source->io_seconds());

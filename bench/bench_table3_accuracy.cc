@@ -34,10 +34,10 @@ Row RunFromDisk(const std::string& path, const DatasetInstance& instance,
     TRISTREAM_CHECK(opened.ok()) << opened.status();
     stream::BinaryFileEdgeStream& file = **opened;
     WallTimer total;
-    std::vector<Edge> block;
-    while (file.NextBatch(counter.batch_size(), &block) > 0) {
-      counter.ProcessEdges(block);
-    }
+    // The checked stream driver: a truncated or unreadable dataset file
+    // must abort the bench, not skew the accuracy table with a prefix.
+    const Status streamed = counter.ProcessStream(file);
+    TRISTREAM_CHECK(streamed.ok()) << streamed;
     estimates.push_back(counter.EstimateTriangles());
     totals.push_back(total.Seconds());
     ios.push_back(file.io_seconds());

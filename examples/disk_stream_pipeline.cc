@@ -50,7 +50,13 @@ int main() {
   core::ParallelTriangleCounter counter(options);
 
   WallTimer total;
-  counter.ProcessStream(source);
+  // The open can succeed and the stream still die mid-read (truncation,
+  // yanked disk): the return status is what separates "estimate of the
+  // whole file" from "estimate of a prefix".
+  if (Status s = counter.ProcessStream(source); !s.ok()) {
+    std::printf("stream failed mid-read: %s\n", s.ToString().c_str());
+    return 1;
+  }
   const double tau_hat = counter.EstimateTriangles();
   const double total_s = total.Seconds();
   const double io_s = source.io_seconds();

@@ -7,31 +7,85 @@
 // sequence-based sliding-window counter tracking the windowed triangle
 // density as it rises and falls, something a whole-stream counter cannot
 // see by design.
+//
+// The plumbing is the live ingest layer, not a synthetic inline loop: a
+// producer thread pushes the traffic through a small bounded
+// stream::QueueEdgeStream (so a monitor that falls behind throttles the
+// producer instead of buffering without bound) and the monitor thread
+// consumes it batch by batch like any other EdgeStream, checking the
+// queue's sticky status at the end -- the same shape as a real deployment
+// where the producer is a network receiver.
 
+#include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "core/sliding_window.h"
-#include "gen/erdos_renyi.h"
+#include "stream/queue_stream.h"
 #include "util/rng.h"
 #include "util/types.h"
 
 namespace {
 
 constexpr std::uint64_t kWindow = 20000;
+constexpr tristream::VertexId kBackgroundPopulation = 200000;
+constexpr tristream::VertexId kBurstPopulation = 300;
+
+// Resamples a self-loop to a neighbor id *inside* the population: bumping
+// to u + 1 unconditionally would mint vertex `population` (one past the
+// max id) whenever u drew the last id.
+tristream::Edge RandomEdge(tristream::Rng& rng,
+                           tristream::VertexId population) {
+  const auto u = static_cast<tristream::VertexId>(
+      rng.UniformBelow(population));
+  auto v = static_cast<tristream::VertexId>(rng.UniformBelow(population));
+  if (v == u) v = (v + 1) % population;
+  return {u, v};
+}
 
 // Background traffic: random sparse interactions among a large population.
 tristream::Edge BackgroundEdge(tristream::Rng& rng) {
-  const auto u = static_cast<tristream::VertexId>(rng.UniformBelow(200000));
-  const auto v = static_cast<tristream::VertexId>(rng.UniformBelow(200000));
-  return {u, v == u ? u + 1 : v};
+  return RandomEdge(rng, kBackgroundPopulation);
 }
 
 // Burst traffic: interactions inside a small, tight community.
 tristream::Edge BurstEdge(tristream::Rng& rng) {
-  const auto u = static_cast<tristream::VertexId>(rng.UniformBelow(300));
-  const auto v = static_cast<tristream::VertexId>(rng.UniformBelow(300));
-  return {u, v == u ? u + 1 : v};
+  return RandomEdge(rng, kBurstPopulation);
 }
+
+// The producer side of the feed: three traffic phases pushed through the
+// queue, then a clean close. (A real producer would Close with an error
+// status when its upstream dies -- that is what keeps a broken feed from
+// reading as a quiet one.)
+void ProduceTraffic(tristream::stream::QueueEdgeStream& feed) {
+  tristream::Rng traffic(17);
+  // Phase 1: background only.
+  for (int i = 0; i < 40000; ++i) {
+    if (!feed.Push(BackgroundEdge(traffic))) return;
+  }
+  // Phase 2: a coordinated burst (e.g. spam ring) mixed into the traffic.
+  for (int i = 0; i < 30000; ++i) {
+    const tristream::Edge e =
+        i % 3 == 0 ? BurstEdge(traffic) : BackgroundEdge(traffic);
+    if (!feed.Push(e)) return;
+  }
+  // Phase 3: burst ends; the window slides clean again.
+  for (int i = 0; i < 60000; ++i) {
+    if (!feed.Push(BackgroundEdge(traffic))) return;
+  }
+  feed.Close();
+}
+
+struct ReportPoint {
+  std::uint64_t at;
+  const char* phase;
+};
+
+constexpr ReportPoint kReports[] = {
+    {40000, "background"}, {50000, "burst"},     {60000, "burst"},
+    {70000, "burst"},      {90000, "cooldown"},  {110000, "cooldown"},
+    {130000, "cooldown"},
+};
 
 }  // namespace
 
@@ -46,7 +100,11 @@ int main() {
   options.seed = 9;
   core::SlidingWindowTriangleCounter monitor(options);
 
-  Rng traffic(17);
+  // Small buffer on purpose: the producer outruns the monitor and spends
+  // most of its time blocked in Push -- bounded memory, live semantics.
+  stream::QueueEdgeStream feed(4096);
+  std::thread producer(ProduceTraffic, std::ref(feed));
+
   std::printf("%10s  %12s  %14s  %s\n", "edge#", "phase", "window tau-hat",
               "alert");
   const auto report = [&monitor](const char* phase) {
@@ -57,21 +115,23 @@ int main() {
                 tau_hat, alert ? "** dense community forming **" : "");
   };
 
-  // Phase 1: background only.
-  for (int i = 0; i < 40000; ++i) monitor.ProcessEdge(BackgroundEdge(traffic));
-  report("background");
-
-  // Phase 2: a coordinated burst (e.g. spam ring) mixed into the traffic.
-  for (int i = 0; i < 30000; ++i) {
-    monitor.ProcessEdge(i % 3 == 0 ? BurstEdge(traffic)
-                                   : BackgroundEdge(traffic));
-    if ((i + 1) % 10000 == 0) report("burst");
+  // Consume the live feed; 1000-edge pops keep the report points aligned
+  // with the phase boundaries when the producer keeps the queue full.
+  std::size_t next_report = 0;
+  std::vector<Edge> batch;
+  while (feed.NextBatch(1000, &batch) > 0) {
+    monitor.ProcessEdges(batch);
+    while (next_report < std::size(kReports) &&
+           monitor.edges_seen() >= kReports[next_report].at) {
+      report(kReports[next_report].phase);
+      ++next_report;
+    }
   }
-
-  // Phase 3: burst ends; the window slides clean again.
-  for (int i = 0; i < 60000; ++i) {
-    monitor.ProcessEdge(BackgroundEdge(traffic));
-    if ((i + 1) % 20000 == 0) report("cooldown");
+  producer.join();
+  if (!feed.status().ok()) {
+    std::printf("\nfeed failed mid-stream: %s\n",
+                feed.status().ToString().c_str());
+    return 1;
   }
 
   std::printf(

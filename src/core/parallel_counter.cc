@@ -81,7 +81,7 @@ void ParallelTriangleCounter::ProcessEdges(std::span<const Edge> edges) {
   }
 }
 
-void ParallelTriangleCounter::ProcessStream(stream::EdgeStream& source) {
+Status ParallelTriangleCounter::ProcessStream(stream::EdgeStream& source) {
   // Dispatch any partially filled buffer first so previously pushed edges
   // keep their stream order ahead of the source's.
   if (!buffers_[fill_].empty()) DispatchFillBuffer();
@@ -102,6 +102,10 @@ void ParallelTriangleCounter::ProcessStream(stream::EdgeStream& source) {
     // buffers; empty the scratch so its edges are not re-dispatched.
     if (scratch != nullptr && pool_ == nullptr) scratch->clear();
   }
+  // A short batch only means end of stream when the source is healthy;
+  // surface a mid-stream failure (truncated file, dead socket, producer
+  // Close(error)) instead of letting a prefix pass as the whole stream.
+  return source.status();
 }
 
 void ParallelTriangleCounter::Flush() {

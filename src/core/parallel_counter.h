@@ -63,6 +63,7 @@
 
 #include "core/triangle_counter.h"
 #include "stream/edge_stream.h"
+#include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
 
@@ -108,7 +109,12 @@ class ParallelTriangleCounter {
   /// the identical edge sequence through ProcessEdges, so estimates are
   /// bit-identical across ingest paths for a fixed (seed, num_threads).
   /// The source must stay alive until the next Flush().
-  void ProcessStream(stream::EdgeStream& source);
+  ///
+  /// Returns the source's sticky status(): OK means the stream ended
+  /// cleanly; anything else means the source failed mid-read and the
+  /// absorbed edges are a *prefix* -- estimates computed anyway describe
+  /// that prefix, not the stream, so callers must check.
+  [[nodiscard]] Status ProcessStream(stream::EdgeStream& source);
 
   /// Absorbs buffered edges on all shards and waits for them (full
   /// barrier; afterwards estimates reflect everything pushed so far).

@@ -75,6 +75,32 @@ DedupEdgeStream::DedupEdgeStream(std::unique_ptr<EdgeStream> inner,
       filter_(expected_edges),
       expected_edges_(expected_edges) {}
 
+bool DedupEdgeStream::FilterOneBatch(std::size_t max_edges,
+                                     std::vector<Edge>* out) {
+  // `out` is empty on entry (both pop paths loop until an edge survives).
+  if (inner_->stable_views()) {
+    // Stable inner (mmap, in-memory): the raw batch is a zero-copy view,
+    // so compacting admitted edges into `out` is the only copy.
+    const std::span<const Edge> raw =
+        inner_->NextBatchView(max_edges, &scratch_);
+    if (raw.empty()) return false;
+    for (const Edge& e : raw) {
+      if (filter_.Admit(e)) out->push_back(e);
+    }
+    return true;
+  }
+  // Non-stable inner (FILE reads, sockets, queues): read straight into
+  // `out` and compact in place -- one copy, where routing through a
+  // staging scratch would pay two.
+  if (inner_->NextBatch(max_edges, out) == 0) return false;
+  std::size_t kept = 0;
+  for (const Edge& e : *out) {
+    if (filter_.Admit(e)) (*out)[kept++] = e;
+  }
+  out->resize(kept);
+  return true;
+}
+
 std::size_t DedupEdgeStream::NextBatch(std::size_t max_edges,
                                        std::vector<Edge>* batch) {
   batch->clear();
@@ -82,21 +108,32 @@ std::size_t DedupEdgeStream::NextBatch(std::size_t max_edges,
   // inner stream ends) so that a run of duplicates cannot masquerade as
   // end of stream.
   while (batch->empty()) {
-    const std::span<const Edge> raw =
-        inner_->NextBatchView(max_edges, &scratch_);
-    if (raw.empty()) break;
-    for (const Edge& e : raw) {
-      if (filter_.Admit(e)) batch->push_back(e);
-    }
+    if (!FilterOneBatch(max_edges, batch)) break;
   }
   delivered_ += batch->size();
   return batch->size();
+}
+
+std::span<const Edge> DedupEdgeStream::NextBatchView(
+    std::size_t max_edges, std::vector<Edge>* /*scratch*/) {
+  // Alternate between two output buffers so the previous view survives
+  // this call (the pipelined consumer dispatches view N to its workers
+  // while fetching view N+1).
+  view_slot_ ^= 1;
+  std::vector<Edge>& out = view_bufs_[view_slot_];
+  out.clear();
+  while (out.empty()) {
+    if (!FilterOneBatch(max_edges, &out)) break;
+  }
+  delivered_ += out.size();
+  return std::span<const Edge>(out);
 }
 
 void DedupEdgeStream::Reset() {
   inner_->Reset();
   filter_ = DedupFilter(expected_edges_);
   delivered_ = 0;
+  for (std::vector<Edge>& buf : view_bufs_) buf.clear();
 }
 
 Result<std::unique_ptr<EdgeStream>> OpenEdgeSource(

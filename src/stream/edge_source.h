@@ -22,6 +22,7 @@
 #ifndef TRISTREAM_STREAM_EDGE_SOURCE_H_
 #define TRISTREAM_STREAM_EDGE_SOURCE_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -78,6 +79,17 @@ class DedupEdgeStream : public EdgeStream {
 
   std::size_t NextBatch(std::size_t max_edges,
                         std::vector<Edge>* batch) override;
+  /// Filters into internal storage instead of the default copy-through
+  /// shim: stable inner views are compacted straight into one buffer
+  /// (one copy total) and non-stable inner batches are compacted *in
+  /// place* after the inner read, dropping the shim's extra per-batch
+  /// copy. `scratch` is ignored. The returned view stays valid across one
+  /// subsequent NextBatchView call (alternating internal buffers) --
+  /// exactly the lifetime the pipelined consumer needs to fetch batch N+1
+  /// while batch N is being absorbed. Batch boundaries are identical to
+  /// NextBatch's.
+  std::span<const Edge> NextBatchView(std::size_t max_edges,
+                                      std::vector<Edge>* scratch) override;
   void Reset() override;
   std::uint64_t edges_delivered() const override { return delivered_; }
   double io_seconds() const override { return inner_->io_seconds(); }
@@ -87,11 +99,18 @@ class DedupEdgeStream : public EdgeStream {
   const DedupFilter& filter() const { return filter_; }
 
  private:
+  /// Pulls one inner batch into `*out` with only admitted edges kept;
+  /// returns false at inner end of stream. Shared by both pop paths.
+  bool FilterOneBatch(std::size_t max_edges, std::vector<Edge>* out);
+
   std::unique_ptr<EdgeStream> inner_;
   DedupFilter filter_;
   std::size_t expected_edges_;
   std::uint64_t delivered_ = 0;
   std::vector<Edge> scratch_;
+  /// Double-buffered output of NextBatchView (see its comment).
+  std::array<std::vector<Edge>, 2> view_bufs_;
+  int view_slot_ = 0;
 };
 
 /// Opens `path` as an EdgeStream, sniffing binary TRIS vs. text by magic

@@ -1,0 +1,110 @@
+#include "stream/queue_stream.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace tristream {
+namespace stream {
+
+QueueEdgeStream::QueueEdgeStream(std::size_t capacity_edges)
+    : capacity_(std::max<std::size_t>(capacity_edges, 1)) {}
+
+bool QueueEdgeStream::Push(const Edge& e) {
+  std::unique_lock<std::mutex> lock(mu_);
+  can_push_.wait(lock,
+                 [this] { return buffer_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  buffer_.push_back(e);
+  // One edge satisfies any waiting pop; no need to wake other producers.
+  can_pop_.notify_one();
+  return true;
+}
+
+std::size_t QueueEdgeStream::Push(std::span<const Edge> edges) {
+  std::size_t pushed = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (pushed < edges.size()) {
+    can_push_.wait(lock,
+                   [this] { return buffer_.size() < capacity_ || closed_; });
+    if (closed_) break;
+    // Admit as much of the run as fits right now; holding the lock for the
+    // whole insert keeps the run contiguous in the stream.
+    const std::size_t room = capacity_ - buffer_.size();
+    const std::size_t take = std::min(room, edges.size() - pushed);
+    buffer_.insert(buffer_.end(), edges.begin() + pushed,
+                   edges.begin() + pushed + take);
+    pushed += take;
+    can_pop_.notify_one();
+  }
+  return pushed;
+}
+
+void QueueEdgeStream::Close(Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A failure report must survive even after a clean close already won the
+  // race (and the first failure wins against later ones).
+  if (status_.ok() && !status.ok()) status_ = std::move(status);
+  if (closed_) return;
+  closed_ = true;
+  can_push_.notify_all();
+  can_pop_.notify_all();
+}
+
+std::size_t QueueEdgeStream::buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size();
+}
+
+bool QueueEdgeStream::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+std::size_t QueueEdgeStream::NextBatch(std::size_t max_edges,
+                                       std::vector<Edge>* batch) {
+  batch->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (buffer_.empty() && !closed_) {
+    // An idle feed is slow I/O, not end of stream: block until a producer
+    // delivers or closes, on the I/O stopwatch.
+    WallTimer wait_timer;
+    can_pop_.wait(lock, [this] { return !buffer_.empty() || closed_; });
+    wait_seconds_ += wait_timer.Seconds();
+  }
+  const std::size_t take = std::min(max_edges, buffer_.size());
+  batch->insert(batch->end(), buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+  delivered_ += take;
+  if (take > 0) can_push_.notify_all();
+  return take;
+}
+
+void QueueEdgeStream::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffer_.clear();
+  closed_ = false;
+  status_ = Status::Ok();
+  delivered_ = 0;
+  wait_seconds_ = 0.0;
+}
+
+std::uint64_t QueueEdgeStream::edges_delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delivered_;
+}
+
+double QueueEdgeStream::io_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wait_seconds_;
+}
+
+Status QueueEdgeStream::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+}  // namespace stream
+}  // namespace tristream

@@ -1,0 +1,109 @@
+// Live in-process ingest: a bounded, blocking edge queue.
+//
+// The paper's headline use case is real-time monitoring of live interaction
+// streams, where edges arrive from producers (network receivers, log
+// tailers, simulators) rather than files. QueueEdgeStream is the bridge:
+// any number of producer threads Push() edges into a bounded buffer and the
+// consumer side is an ordinary EdgeStream, so every counter's ProcessStream
+// driver works unchanged on live traffic.
+//
+// Semantics:
+//   * Bounded + blocking both ways. Push() blocks while the buffer holds
+//     `capacity()` edges (backpressure -- a slow consumer throttles its
+//     producers instead of growing without bound); NextBatch() blocks while
+//     the buffer is empty and the queue is open, so an idle feed looks like
+//     slow I/O, not end of stream. Time spent blocked in NextBatch() is
+//     reported as io_seconds(), mirroring the file readers' read-time
+//     accounting.
+//   * Close(status) ends the stream. Producers report clean EOF with
+//     Close() / Close(Status::Ok()) and failure (disconnect, truncated
+//     frame, upstream error) with Close(some error). Buffered edges are
+//     still drained after Close; once empty, NextBatch returns 0 and
+//     status() is the close status -- the sticky-status contract of
+//     EdgeStream, so a failed feed can never masquerade as a clean prefix.
+//     The queue closes at the first Close() call, but a later non-OK close
+//     still upgrades an OK status (a straggler producer reporting failure
+//     after a clean close must not be silenced).
+//   * Multi-producer, single-consumer. Push may be called from any number
+//     of threads; NextBatch/NextBatchView/Reset must come from one consumer
+//     thread at a time. A span Push is admitted atomically (its edges are
+//     contiguous in the stream) unless it exceeds the whole capacity, in
+//     which case it is admitted in capacity-sized runs that may interleave
+//     with other producers.
+//   * Reset() reopens an emptied queue for reuse (a live feed cannot
+//     replay); the caller must ensure no producer is active across Reset.
+#ifndef TRISTREAM_STREAM_QUEUE_STREAM_H_
+#define TRISTREAM_STREAM_QUEUE_STREAM_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "stream/edge_stream.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace stream {
+
+/// Bounded blocking multi-producer edge queue, consumed as an EdgeStream.
+class QueueEdgeStream : public EdgeStream {
+ public:
+  /// A queue holding at most `capacity_edges` buffered edges (at least 1).
+  explicit QueueEdgeStream(std::size_t capacity_edges = 1 << 16);
+
+  // ------------------------------------------------------- producer side
+
+  /// Appends one edge, blocking while the queue is full. Returns false
+  /// (dropping the edge) when the queue is closed.
+  bool Push(const Edge& e);
+
+  /// Appends a run of edges, blocking as needed. Returns the number
+  /// admitted -- short only when the queue closes mid-push.
+  std::size_t Push(std::span<const Edge> edges);
+
+  /// Closes the queue: producers are unblocked and further pushes fail;
+  /// the consumer drains what is buffered, then sees end of stream with
+  /// `status` as the sticky status(). First close wins, except that a
+  /// non-OK status still replaces an earlier OK one.
+  void Close(Status status = Status::Ok());
+
+  /// Buffer capacity in edges.
+  std::size_t capacity() const { return capacity_; }
+
+  /// Edges currently buffered (racy by nature; for monitoring/tests).
+  std::size_t buffered() const;
+
+  /// True once Close() has been called.
+  bool closed() const;
+
+  // ------------------------------------------------------- consumer side
+
+  std::size_t NextBatch(std::size_t max_edges,
+                        std::vector<Edge>* batch) override;
+  void Reset() override;
+  std::uint64_t edges_delivered() const override;
+  /// Seconds the consumer spent blocked waiting for producers (the live
+  /// analogue of file-read time).
+  double io_seconds() const override;
+  Status status() const override;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable can_push_;  // signals producers: space freed
+  std::condition_variable can_pop_;   // signals consumer: edges or close
+  std::deque<Edge> buffer_;
+  bool closed_ = false;
+  Status status_;
+  std::uint64_t delivered_ = 0;
+  double wait_seconds_ = 0.0;
+};
+
+}  // namespace stream
+}  // namespace tristream
+
+#endif  // TRISTREAM_STREAM_QUEUE_STREAM_H_

@@ -1,0 +1,219 @@
+#include "stream/socket_stream.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "stream/binary_io.h"
+#include "util/logging.h"
+
+namespace tristream {
+namespace stream {
+namespace {
+
+/// "<what>: <strerror(errno)>" for socket-level failures (no path here).
+std::string SocketErrnoMessage(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Full-write loop; MSG_NOSIGNAL keeps a dead peer an IoError instead of a
+/// SIGPIPE. Falls back to write(2) for non-socket fds (pipes in tests).
+Status WriteAll(int fd, const void* data, std::size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < bytes) {
+    ssize_t n = ::send(fd, p + sent, bytes - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, p + sent, bytes - sent);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(SocketErrnoMessage("send on edge socket"));
+    }
+    if (n == 0) {
+      return Status::IoError("edge socket closed mid-send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SocketEdgeStream>> SocketEdgeStream::FromFd(int fd) {
+  if (fd < 0) {
+    return Status::InvalidArgument("SocketEdgeStream needs a valid fd");
+  }
+  return std::unique_ptr<SocketEdgeStream>(new SocketEdgeStream(fd));
+}
+
+SocketEdgeStream::~SocketEdgeStream() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+SocketEdgeStream::ReadResult SocketEdgeStream::ReadExact(void* out,
+                                                         std::size_t bytes) {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  io_timer_.Resume();
+  while (got < bytes) {
+    const ssize_t n = ::read(fd_, p + got, bytes - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      io_timer_.Pause();
+      status_ = Status::IoError(SocketErrnoMessage("read on edge socket"));
+      return ReadResult::kFailed;
+    }
+    if (n == 0) {
+      io_timer_.Pause();
+      if (got == 0) return ReadResult::kCleanEof;
+      // The peer vanished with a frame half-sent: the edges delivered so
+      // far are a prefix of what the producer promised.
+      status_ = Status::CorruptData("edge socket closed mid-frame");
+      return ReadResult::kFailed;
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  io_timer_.Pause();
+  return ReadResult::kOk;
+}
+
+std::size_t SocketEdgeStream::NextBatch(std::size_t max_edges,
+                                        std::vector<Edge>* batch) {
+  batch->clear();
+  if (eof_ || !status_.ok()) return 0;
+  // Fill the batch across frame boundaries: batch boundaries then depend
+  // only on the edge sequence and max_edges, never on how the producer
+  // chunked its sends -- which is what keeps socket ingest bit-identical
+  // to file and memory ingest for a fixed (seed, threads).
+  batch->resize(max_edges);
+  std::size_t filled = 0;
+  while (filled < max_edges) {
+    if (frame_remaining_ == 0) {
+      char header[kTrisHeaderBytes];
+      const ReadResult r = ReadExact(header, sizeof(header));
+      if (r == ReadResult::kCleanEof) {
+        // Orderly shutdown at a frame boundary: genuine end of stream.
+        eof_ = true;
+        break;
+      }
+      if (r == ReadResult::kFailed) break;
+      if (std::memcmp(header, kTrisMagic, 4) != 0) {
+        status_ = Status::CorruptData("edge socket frame has bad magic");
+        break;
+      }
+      std::uint32_t version = 0;
+      std::memcpy(&version, header + 4, sizeof(version));
+      if (version != kTrisVersion) {
+        status_ = Status::CorruptData("edge socket frame has unsupported "
+                                      "version " + std::to_string(version));
+        break;
+      }
+      std::memcpy(&frame_remaining_, header + 8, sizeof(frame_remaining_));
+      continue;  // an n == 0 keep-alive loops straight to the next header
+    }
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(max_edges - filled, frame_remaining_));
+    // Edge is two packed u32s -- the frame payload layout -- so the pairs
+    // land directly in the batch vector with no staging buffer.
+    static_assert(sizeof(Edge) == 8, "frame payload layout");
+    const ReadResult r = ReadExact(batch->data() + filled,
+                                   take * sizeof(Edge));
+    if (r != ReadResult::kOk) {
+      // EOF between the pops of a frame is still mid-frame: the sender
+      // promised frame_remaining_ more edges. ReadExact only knows byte
+      // offsets, so the zero-offset case is classified here.
+      if (r == ReadResult::kCleanEof) {
+        status_ = Status::CorruptData("edge socket closed mid-frame");
+      }
+      break;
+    }
+    frame_remaining_ -= take;
+    filled += take;
+  }
+  batch->resize(filled);
+  delivered_ += filled;
+  return filled;
+}
+
+void SocketEdgeStream::Reset() {
+  TRISTREAM_CHECK(false && "SocketEdgeStream cannot replay a live socket");
+}
+
+Result<TcpListener> ListenOnLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(SocketErrnoMessage("socket"));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const Status s = Status::IoError(SocketErrnoMessage("bind"));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 8) < 0) {
+    const Status s = Status::IoError(SocketErrnoMessage("listen"));
+    ::close(fd);
+    return s;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    const Status s = Status::IoError(SocketErrnoMessage("getsockname"));
+    ::close(fd);
+    return s;
+  }
+  TcpListener listener;
+  listener.fd = fd;
+  listener.port = ntohs(addr.sin_port);
+  return listener;
+}
+
+Result<int> AcceptOne(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;
+    return Status::IoError(SocketErrnoMessage("accept"));
+  }
+}
+
+Result<int> ConnectToLoopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError(SocketErrnoMessage("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr)) < 0) {
+    if (errno == EINTR) continue;
+    const Status s = Status::IoError(SocketErrnoMessage("connect"));
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Status WriteEdgeFrame(int fd, std::span<const Edge> edges) {
+  char header[kTrisHeaderBytes];
+  std::memcpy(header, kTrisMagic, 4);
+  std::memcpy(header + 4, &kTrisVersion, sizeof(kTrisVersion));
+  const std::uint64_t count = edges.size();
+  std::memcpy(header + 8, &count, sizeof(count));
+  TRISTREAM_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
+  static_assert(sizeof(Edge) == 8, "frame payload layout");
+  return WriteAll(fd, edges.data(), edges.size() * sizeof(Edge));
+}
+
+}  // namespace stream
+}  // namespace tristream

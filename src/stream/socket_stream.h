@@ -1,0 +1,125 @@
+// Live network ingest: TRIS-framed edge chunks over a stream socket.
+//
+// The missing half of the live-monitoring workload: a remote producer
+// (collector, packet tap, another tristream process) sends edges over TCP
+// and the receiver consumes them through the same EdgeStream interface the
+// counters already speak. The wire format reuses the TRIS on-disk layout,
+// chunked so the stream can be unbounded:
+//
+//   frame := "TRIS" magic (4) | version u32 | edge count n u64
+//            | n * 8 bytes of (u32 u, u32 v) endpoint pairs
+//
+// i.e. every frame looks exactly like a little TRIS file (binary_io.h), in
+// native little-endian byte order, and a connection carries any number of
+// frames back to back. An n == 0 frame is a keep-alive delivering nothing.
+// Orderly shutdown *between* frames is clean end of stream; everything
+// else is sticky-status() failure, never a silent prefix:
+//
+//   EOF mid-frame (truncated header or payload)  -> CorruptData
+//   bad magic / unsupported version              -> CorruptData
+//   recv(2) error                                -> IoError
+//
+// NextBatch is batch-granular and fills across frame boundaries: a huge
+// frame never forces a huge batch (pops are capped at max_edges) and
+// ragged frames never shrink one (a short batch happens only at end of
+// stream or failure). Batch boundaries are therefore a pure function of
+// the edge sequence and max_edges -- never of how the producer chunked
+// its sends -- which is what keeps socket ingest bit-identical to file
+// and memory ingest for a fixed (seed, threads); max_edges doubles as
+// the consumer's latency bound. Read time accumulates on the
+// io_seconds() stopwatch like the file readers' read time. Live sockets
+// cannot replay; Reset() CHECK-fails.
+//
+// SocketEdgeStream wraps any connected stream-socket fd (TCP, socketpair,
+// UNIX domain), so tests drive it over socketpair(2) and the CLI's `live`
+// command over a loopback TCP accept. The small helpers below cover the
+// listen/connect/frame-writing boilerplate for both.
+
+#ifndef TRISTREAM_STREAM_SOCKET_STREAM_H_
+#define TRISTREAM_STREAM_SOCKET_STREAM_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "stream/edge_stream.h"
+#include "util/status.h"
+#include "util/timer.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace stream {
+
+/// Consumes TRIS-framed edges from a connected stream-socket fd.
+class SocketEdgeStream : public EdgeStream {
+ public:
+  /// Wraps `fd` (which must be a connected stream socket or pipe-like fd);
+  /// takes ownership and closes it on destruction. InvalidArgument when fd
+  /// is negative.
+  static Result<std::unique_ptr<SocketEdgeStream>> FromFd(int fd);
+
+  ~SocketEdgeStream() override;
+  SocketEdgeStream(const SocketEdgeStream&) = delete;
+  SocketEdgeStream& operator=(const SocketEdgeStream&) = delete;
+
+  std::size_t NextBatch(std::size_t max_edges,
+                        std::vector<Edge>* batch) override;
+  /// Live sockets cannot replay; calling Reset is a programmer error.
+  void Reset() override;
+  std::uint64_t edges_delivered() const override { return delivered_; }
+  /// Seconds spent blocked in recv(2).
+  double io_seconds() const override { return io_timer_.Seconds(); }
+  /// Sticky: IoError on a socket read failure, CorruptData on a malformed
+  /// or truncated frame; OK after orderly shutdown at a frame boundary.
+  Status status() const override { return status_; }
+
+  /// Edges the sender promised in the current frame but not yet delivered.
+  std::uint64_t frame_remaining() const { return frame_remaining_; }
+
+ private:
+  explicit SocketEdgeStream(int fd) : fd_(fd) { io_timer_.Pause(); }
+
+  /// Outcome of trying to read an exact byte count off the socket.
+  enum class ReadResult { kOk, kCleanEof, kFailed };
+
+  /// Reads exactly `bytes` into `out`, timing the recv calls. kCleanEof
+  /// only when EOF lands before the first byte; a partial read sets
+  /// status_ (CorruptData) and returns kFailed, as does a read error
+  /// (IoError).
+  ReadResult ReadExact(void* out, std::size_t bytes);
+
+  int fd_;
+  std::uint64_t frame_remaining_ = 0;
+  std::uint64_t delivered_ = 0;
+  bool eof_ = false;
+  Status status_;
+  mutable WallTimer io_timer_;
+};
+
+/// A bound, listening TCP socket (loopback only).
+struct TcpListener {
+  int fd = -1;
+  std::uint16_t port = 0;  // actual port (useful when asked for port 0)
+};
+
+/// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port,
+/// reported back in the result). The caller owns the returned fd.
+Result<TcpListener> ListenOnLoopback(std::uint16_t port);
+
+/// Blocks until one connection arrives on `listen_fd`; returns the
+/// connected fd (caller owns it; the listener stays open).
+Result<int> AcceptOne(int listen_fd);
+
+/// Connects to 127.0.0.1:`port`; returns the connected fd (caller owns).
+Result<int> ConnectToLoopback(std::uint16_t port);
+
+/// Producer-side framing: sends `edges` as one TRIS frame (header +
+/// payload) with a full-write loop. An empty span sends a keep-alive
+/// frame. IoError when the peer is gone or the write fails.
+Status WriteEdgeFrame(int fd, std::span<const Edge> edges);
+
+}  // namespace stream
+}  // namespace tristream
+
+#endif  // TRISTREAM_STREAM_SOCKET_STREAM_H_

@@ -397,7 +397,7 @@ TEST(IngestParityTest, BitIdenticalEstimatesAcrossIngestPaths) {
     };
     auto run_stream = [&](std::unique_ptr<EdgeStream> source) {
       core::ParallelTriangleCounter counter(options);
-      counter.ProcessStream(*source);
+      EXPECT_TRUE(counter.ProcessStream(*source).ok());
       counter.Flush();
       return std::pair(counter.EstimateTriangles(),
                        counter.EstimateWedges());
@@ -440,7 +440,7 @@ TEST(IngestParityTest, MedianOfMeansAlsoBitIdenticalAcrossPaths) {
       EXPECT_TRUE(opened.ok());
       source = std::move(*opened);
     }
-    counter.ProcessStream(*source);
+    EXPECT_TRUE(counter.ProcessStream(*source).ok());
     counter.Flush();
     return std::pair(counter.EstimateTriangles(),
                      counter.EstimateTransitivity());
@@ -478,6 +478,166 @@ TEST(IngestParityTest, PipelineAndSpawnAgreeUnderBothAggregations) {
   }
 }
 
+// ---------------------------------------------- failure propagation
+
+TEST(IngestFailureTest, FileTruncatedAfterHeaderFailsProcessStream) {
+  // The header promises edges that never arrive: ProcessStream must
+  // return the source's failure, not report an estimate of nothing.
+  const auto el = gen::GnmRandom(60, 500, 27);
+  const std::string path = TempPath("fail_after_header.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
+  Truncate(path, 8 * el.size());  // keep exactly the 16-byte header
+
+  auto opened = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(opened.ok());  // the header itself is intact
+  core::ParallelCounterOptions options;
+  options.num_estimators = 256;
+  options.num_threads = 2;
+  options.seed = 5;
+  core::ParallelTriangleCounter counter(options);
+  const Status streamed = counter.ProcessStream(**opened);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.code(), StatusCode::kCorruptData);
+  counter.Flush();
+  EXPECT_EQ(counter.edges_processed(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(IngestFailureTest, MidPayloadTruncationFailsProcessStreamWithPrefix) {
+  const auto el = gen::GnmRandom(80, 1000, 28);
+  const std::string path = TempPath("fail_mid_payload.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
+  Truncate(path, 8 * (el.size() / 2));  // half the payload survives
+
+  auto opened = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(opened.ok());
+  core::ParallelCounterOptions options;
+  options.num_estimators = 256;
+  options.num_threads = 2;
+  options.seed = 5;
+  options.batch_size = 64;
+  core::ParallelTriangleCounter counter(options);
+  const Status streamed = counter.ProcessStream(**opened);
+  ASSERT_FALSE(streamed.ok());
+  EXPECT_EQ(streamed.code(), StatusCode::kCorruptData);
+  counter.Flush();
+  // The surviving prefix was absorbed -- which is exactly why the return
+  // status is the only thing separating it from a clean run.
+  EXPECT_GT(counter.edges_processed(), 0u);
+  EXPECT_LT(counter.edges_processed(), el.size());
+  std::remove(path.c_str());
+}
+
+// --------------------------------------- DedupEdgeStream view parity
+
+TEST(DedupEdgeStreamTest, ViewPathMatchesBatchPathOverStableInner) {
+  graph::EdgeList dirty;
+  for (VertexId i = 0; i < 300; ++i) {
+    dirty.Add(i, i + 1);
+    dirty.Add(i + 1, i);  // duplicate, reversed
+    if (i % 7 == 0) dirty.Add(i, i);  // self-loop
+  }
+  DedupEdgeStream by_batch(std::make_unique<MemoryEdgeStream>(dirty));
+  DedupEdgeStream by_view(std::make_unique<MemoryEdgeStream>(dirty));
+  std::vector<Edge> batch;
+  std::vector<Edge> scratch;
+  // Batch-by-batch parity, not just same union: the real NextBatchView
+  // override must preserve the shim's batch boundaries exactly.
+  while (true) {
+    const std::size_t n = by_batch.NextBatch(64, &batch);
+    const std::span<const Edge> view = by_view.NextBatchView(64, &scratch);
+    ASSERT_EQ(view.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(view[i], batch[i]);
+    if (n == 0) break;
+  }
+  EXPECT_EQ(by_view.edges_delivered(), by_batch.edges_delivered());
+}
+
+TEST(DedupEdgeStreamTest, ViewPathMatchesBatchPathOverFileInner) {
+  graph::EdgeList dirty;
+  for (VertexId i = 0; i < 500; ++i) {
+    dirty.Add(i % 100, (i + 1) % 100);  // heavy duplication
+  }
+  const std::string path = TempPath("dedup_view_file.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, dirty).ok());
+  auto a = BinaryFileEdgeStream::Open(path);
+  auto b = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  DedupEdgeStream by_batch(std::move(*a));
+  DedupEdgeStream by_view(std::move(*b));
+  std::vector<Edge> batch;
+  std::vector<Edge> scratch;
+  while (true) {
+    const std::size_t n = by_batch.NextBatch(37, &batch);
+    const std::span<const Edge> view = by_view.NextBatchView(37, &scratch);
+    ASSERT_EQ(view.size(), n);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(view[i], batch[i]);
+    if (n == 0) break;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(DedupEdgeStreamTest, ViewsSurviveOneSubsequentCall) {
+  // The pipelined consumer dispatches view N to workers while fetching
+  // view N+1; the dedup override must double-buffer to allow it.
+  graph::EdgeList el;
+  for (VertexId i = 0; i < 64; ++i) el.Add(i, i + 1);
+  DedupEdgeStream dedup(std::make_unique<MemoryEdgeStream>(el));
+  std::vector<Edge> scratch;
+  const std::span<const Edge> first = dedup.NextBatchView(16, &scratch);
+  ASSERT_EQ(first.size(), 16u);
+  const std::span<const Edge> second = dedup.NextBatchView(16, &scratch);
+  ASSERT_EQ(second.size(), 16u);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(first[i], Edge(static_cast<VertexId>(i),
+                             static_cast<VertexId>(i) + 1));
+    EXPECT_EQ(second[i], Edge(static_cast<VertexId>(16 + i),
+                              static_cast<VertexId>(16 + i) + 1));
+  }
+}
+
+TEST(DedupEdgeStreamTest, DedupedProcessStreamBitIdenticalAcrossInners) {
+  // End to end through the pipelined counter: the dedup'd stream yields
+  // the same (ragged) filtered batches whatever reader sits underneath,
+  // so estimates must agree to the last bit across mmap, FILE, and
+  // in-memory inners for a fixed (seed, threads).
+  const auto clean = gen::GnmRandom(120, 1500, 29);
+  graph::EdgeList dirty;
+  for (const Edge& e : clean.edges()) {
+    dirty.Add(e);
+    dirty.Add(e.v, e.u);  // every edge arrives twice
+  }
+  const std::string path = TempPath("dedup_counter_parity.tris");
+  ASSERT_TRUE(WriteBinaryEdges(path, dirty).ok());
+
+  core::ParallelCounterOptions options;
+  options.num_estimators = 2048;
+  options.num_threads = 2;
+  options.seed = 616;
+  options.batch_size = 128;
+
+  const auto run = [&options, &clean](std::unique_ptr<EdgeStream> inner) {
+    DedupEdgeStream source(std::move(inner));
+    core::ParallelTriangleCounter counter(options);
+    EXPECT_TRUE(counter.ProcessStream(source).ok());
+    counter.Flush();
+    EXPECT_EQ(counter.edges_processed(), clean.size());  // filter worked
+    return std::pair(counter.EstimateTriangles(), counter.EstimateWedges());
+  };
+
+  auto mapped = MmapEdgeStream::Open(path);
+  ASSERT_TRUE(mapped.ok());
+  auto buffered = BinaryFileEdgeStream::Open(path);
+  ASSERT_TRUE(buffered.ok());
+  const auto via_memory = run(std::make_unique<MemoryEdgeStream>(dirty));
+  const auto via_mmap = run(std::move(*mapped));
+  const auto via_file = run(std::move(*buffered));
+  EXPECT_EQ(via_mmap, via_memory);
+  EXPECT_EQ(via_file, via_memory);
+  std::remove(path.c_str());
+}
+
 TEST(IngestParityTest, ProcessStreamAfterBufferedEdgesKeepsOrder) {
   // Edges pushed before ProcessStream must precede the stream's edges.
   const auto el = gen::GnmRandom(100, 1200, 25);
@@ -498,7 +658,7 @@ TEST(IngestParityTest, ProcessStreamAfterBufferedEdgesKeepsOrder) {
   mixed.ProcessEdges(edges.subspan(0, head));
   auto mapped = MmapEdgeStream::Open(path);
   ASSERT_TRUE(mapped.ok());
-  mixed.ProcessStream(**mapped);
+  EXPECT_TRUE(mixed.ProcessStream(**mapped).ok());
   mixed.Flush();
   EXPECT_EQ(mixed.edges_processed(), el.size());
   EXPECT_GT(mixed.EstimateWedges(), 0.0);

@@ -5,14 +5,23 @@
 //   tristream_cli stats    --input g.tris
 //   tristream_cli count    --input g.tris --estimators 131072 [--threads 2]
 //   tristream_cli window   --input g.tris --window 100000
+//   tristream_cli live     --listen 7433 --window 100000
 //   tristream_cli sample   --input g.tris -k 10 --max-degree 500
 //   tristream_cli convert  --input edges.txt --output edges.tris
 //
-// Inputs go through stream::OpenEdgeSource: the format is sniffed from the
-// file's magic bytes (TRIS binary vs. SNAP-style text), not its extension,
-// and duplicates/self-loops are filtered on ingest. Binary inputs are
-// memory-mapped by default; `count --mmap 0` falls back to buffered FILE
-// reads. Output format still follows the extension (".tris" = binary).
+// File inputs go through stream::OpenEdgeSource: the format is sniffed
+// from the file's magic bytes (TRIS binary vs. SNAP-style text), not its
+// extension, and duplicates/self-loops are filtered on ingest. Binary
+// inputs are memory-mapped by default; `count --mmap 0` falls back to
+// buffered FILE reads. Output format still follows the extension
+// (".tris" = binary).
+//
+// `live` takes no file at all: it accepts one TCP connection on
+// 127.0.0.1:PORT, consumes TRIS-framed edge chunks (socket_stream.h) and
+// tracks the sliding-window triangle estimate as they arrive, printing a
+// progress row every --report edges. A producer failure (disconnect
+// mid-frame, bad frame) exits nonzero -- a live estimate over a silently
+// truncated feed is worse than no estimate.
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,8 +38,11 @@
 #include "stream/binary_io.h"
 #include "stream/dedup.h"
 #include "stream/edge_source.h"
+#include "stream/socket_stream.h"
 #include "stream/text_io.h"
 #include "util/timer.h"
+
+#include <unistd.h>
 
 namespace {
 
@@ -49,6 +61,8 @@ int Usage() {
       "           [--threads T] [--pipeline 0|1] [--mmap 0|1]\n"
       "           [--median-of-means]\n"
       "  window   --input FILE --window W [--estimators N] [--seed N]\n"
+      "  live     --listen PORT --window W [--estimators N] [--seed N]\n"
+      "           [--report EDGES]\n"
       "  sample   --input FILE -k K --max-degree D [--estimators N]\n"
       "  convert  --input FILE --output FILE\n");
   return 2;
@@ -222,11 +236,11 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   }
   core::ParallelTriangleCounter counter(options);
   WallTimer timer;
-  counter.ProcessStream(*source);
+  const Status streamed = counter.ProcessStream(*source);
   counter.Flush();
-  if (!source->status().ok()) {
+  if (!streamed.ok()) {
     std::fprintf(stderr, "stream failed mid-read: %s\n",
-                 source->status().ToString().c_str());
+                 streamed.ToString().c_str());
     return 1;
   }
   const double tau = counter.EstimateTriangles();
@@ -262,6 +276,78 @@ int CmdWindow(const std::map<std::string, std::string>& flags) {
   std::printf("window transitivity : %.6f\n",
               counter.EstimateTransitivity());
   std::printf("mean chain length   : %.2f\n", counter.MeanChainLength());
+  return 0;
+}
+
+int CmdLive(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("listen") || !flags.count("window")) return Usage();
+  core::SlidingWindowOptions options;
+  options.window_size = FlagU64(flags, "window", 1 << 16);
+  options.num_estimators = FlagU64(flags, "estimators", 4096);
+  options.seed = FlagU64(flags, "seed", 1);
+  core::SlidingWindowTriangleCounter counter(options);
+
+  const std::uint64_t port = FlagU64(flags, "listen", 0);
+  if (port > 65535) {
+    std::fprintf(stderr, "--listen %llu is not a valid TCP port\n",
+                 static_cast<unsigned long long>(port));
+    return 2;
+  }
+  auto listener =
+      stream::ListenOnLoopback(static_cast<std::uint16_t>(port));
+  if (!listener.ok()) {
+    std::fprintf(stderr, "cannot listen: %s\n",
+                 listener.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "listening on 127.0.0.1:%u for TRIS frames "
+               "(window=%llu, estimators=%llu)\n",
+               listener->port,
+               static_cast<unsigned long long>(options.window_size),
+               static_cast<unsigned long long>(options.num_estimators));
+  auto accepted = stream::AcceptOne(listener->fd);
+  ::close(listener->fd);  // one producer per run
+  if (!accepted.ok()) {
+    std::fprintf(stderr, "accept failed: %s\n",
+                 accepted.status().ToString().c_str());
+    return 1;
+  }
+  auto source = stream::SocketEdgeStream::FromFd(*accepted);
+  if (!source.ok()) {
+    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
+    return 1;
+  }
+
+  // Consume batch by batch (rather than one ProcessStream call) so the
+  // monitor can report while the producer is still sending.
+  const std::uint64_t report_every = FlagU64(flags, "report", 100000);
+  std::uint64_t next_report = report_every;
+  std::printf("%12s  %16s  %14s\n", "edge#", "window triangles",
+              "transitivity");
+  std::vector<Edge> batch;
+  while ((*source)->NextBatch(4096, &batch) > 0) {
+    counter.ProcessEdges(batch);
+    if (report_every > 0 && counter.edges_seen() >= next_report) {
+      std::printf("%12llu  %16.0f  %14.6f\n",
+                  static_cast<unsigned long long>(counter.edges_seen()),
+                  counter.EstimateTriangles(),
+                  counter.EstimateTransitivity());
+      while (next_report <= counter.edges_seen()) next_report += report_every;
+    }
+  }
+  if (const Status s = (*source)->status(); !s.ok()) {
+    std::fprintf(stderr, "live stream failed after %llu edges: %s\n",
+                 static_cast<unsigned long long>(counter.edges_seen()),
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("feed closed cleanly after %llu edges\n",
+              static_cast<unsigned long long>(counter.edges_seen()));
+  std::printf("window edges        : %llu\n",
+              static_cast<unsigned long long>(counter.window_edge_count()));
+  std::printf("window triangles    : %.0f\n", counter.EstimateTriangles());
+  std::printf("window transitivity : %.6f\n", counter.EstimateTransitivity());
   return 0;
 }
 
@@ -316,6 +402,7 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(flags);
   if (command == "count") return CmdCount(flags);
   if (command == "window") return CmdWindow(flags);
+  if (command == "live") return CmdLive(flags);
   if (command == "sample") return CmdSample(flags);
   if (command == "convert") return CmdConvert(flags);
   return Usage();
