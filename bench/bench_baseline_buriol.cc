@@ -10,6 +10,7 @@
 
 #include "baseline/buriol.h"
 #include "bench/bench_util.h"
+#include "engine/estimators.h"
 
 int main() {
   using namespace tristream;
@@ -28,20 +29,23 @@ int main() {
         gen::DatasetId::kDblp, gen::DatasetId::kYoutube}) {
     DatasetInstance instance = MakeInstance(id);
 
+    // Both contenders run through the unified engine so they see exactly
+    // the same stream conditions -- the fair-comparison point of the
+    // paper's baseline study.
     baseline::BuriolCounter::Options bopt;
     bopt.num_estimators = r;
     bopt.seed = BenchSeed();
     bopt.num_vertices = instance.stream.VertexUniverse();
-    baseline::BuriolCounter buriol(bopt);
-    buriol.ProcessEdges(instance.stream.edges());
+    engine::BuriolStreamEstimator buriol(bopt);
+    RunThroughEngine(buriol, instance.stream);
 
     core::TriangleCounterOptions oopt;
     oopt.num_estimators = r;
     oopt.seed = BenchSeed();
-    core::TriangleCounter ours(oopt);
-    ours.ProcessEdges(instance.stream.edges());
+    engine::BulkEstimator ours(oopt);
+    RunThroughEngine(ours, instance.stream);
     std::uint64_t our_hits = 0;
-    for (const core::EstimatorState& st : ours.estimators()) {
+    for (const core::EstimatorState& st : ours.counter().estimators()) {
       our_hits += st.has_triangle ? 1 : 0;
     }
     const double our_yield =
@@ -49,7 +53,7 @@ int main() {
 
     std::printf("%-14s | %10s | %13.5f%% | %13.5f%% | %12.0f | %12.0f\n",
                 gen::PaperReference(id).name.c_str(), Pretty(r).c_str(),
-                100.0 * buriol.SuccessRate(), 100.0 * our_yield,
+                100.0 * buriol.counter().SuccessRate(), 100.0 * our_yield,
                 buriol.EstimateTriangles(), ours.EstimateTriangles());
     std::printf("%-14s | exact tau = %s\n", "",
                 Pretty(instance.summary.triangles).c_str());

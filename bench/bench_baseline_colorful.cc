@@ -11,6 +11,7 @@
 
 #include "baseline/colorful.h"
 #include "bench/bench_util.h"
+#include "engine/estimators.h"
 
 int main() {
   using namespace tristream;
@@ -34,14 +35,14 @@ int main() {
     std::vector<double> estimates, seconds;
     std::uint64_t kept = 0;
     for (int trial = 0; trial < trials; ++trial) {
-      baseline::ColorfulTriangleCounter counter(
+      engine::ColorfulStreamEstimator estimator(
           {.num_colors = colors,
            .seed = BenchSeed() * 53 + static_cast<std::uint64_t>(trial)});
       WallTimer timer;
-      counter.ProcessEdges(instance.stream.edges());
+      RunThroughEngine(estimator, instance.stream);
       seconds.push_back(timer.Seconds());
-      estimates.push_back(counter.EstimateTriangles());
-      kept = counter.edges_kept();
+      estimates.push_back(estimator.EstimateTriangles());
+      kept = estimator.counter().edges_kept();
     }
     const auto dev = SummarizeDeviations(estimates, tau);
     std::printf("colorful C=%-15u | %9.2f | %9.3f | %8s edges\n", colors,

@@ -1,0 +1,155 @@
+// Engine batch-size autotuning shootout: for every estimator the engine
+// drives, compare the static batch-size default (the estimator's own
+// preference -- e.g. the sharded counter's 8r/threads -- or the engine
+// fallback) against the engine's calibration sweep, and emit what the
+// autotuner picked so its choice is visible in the perf trajectory.
+//
+// The workload is the same dblp stand-in bench_parallel_scaling sweeps
+// (the ROADMAP's autotuning item was opened against that bench's
+// observation that substrate cost dominates below ~1K-edge batches).
+//
+// Knobs on top of the standard bench env vars:
+//   TRISTREAM_BENCH_R       estimators for tsb/bulk        (default 4096)
+//   TRISTREAM_BENCH_BASE_R  estimators for the baselines   (default 512)
+//   TRISTREAM_BENCH_THREADS tsb worker threads             (default 4)
+//   TRISTREAM_BENCH_PROBE   autotune probe edges/candidate (default 16384)
+//
+// Output: human-readable table on stderr, one JSON document on stdout.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
+#include "graph/degree_stats.h"
+#include "stream/edge_stream.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace tristream;
+
+struct Measurement {
+  std::string algo;
+  std::size_t static_batch = 0;
+  double static_meps = 0.0;       // static default, whole run
+  std::size_t tuned_batch = 0;    // the calibration sweep's pick
+  double tuned_meps = 0.0;        // autotuned whole run, calibration included
+  double tuned_steady_meps = 0.0; // pinned at the pick, no calibration --
+                                  // what the pick is worth on a long stream
+};
+
+/// One (algo, mode) measurement: median throughput over the trials, plus
+/// the batch size the engine settled on. `batch_size` != 0 pins the size
+/// (autotune off); otherwise `autotune` selects sweep vs. static default.
+void RunMode(const std::string& algo, const engine::EstimatorConfig& config,
+             const graph::EdgeList& stream, bool autotune,
+             std::size_t batch_size, int trials, std::size_t probe_edges,
+             std::size_t* batch_out, double* meps_out) {
+  std::vector<double> seconds;
+  std::size_t batch = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto estimator = engine::MakeEstimator(algo, config);
+    TRISTREAM_CHECK(estimator.ok()) << estimator.status();
+    engine::StreamEngineOptions options;
+    options.batch_size = batch_size;
+    options.autotune = autotune;
+    options.autotune_probe_edges = probe_edges;
+    engine::StreamEngine eng(options);
+    stream::MemoryEdgeStream source(stream);
+    WallTimer timer;
+    const Status streamed = eng.Run(**estimator, source);
+    TRISTREAM_CHECK(streamed.ok()) << streamed;
+    seconds.push_back(timer.Seconds());
+    batch = eng.metrics().batch_size;
+  }
+  *batch_out = batch;
+  const double median = Median(seconds);
+  *meps_out = median > 0.0
+                  ? static_cast<double>(stream.size()) / median / 1e6
+                  : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tristream::bench;
+  const std::uint64_t r = EnvU64("TRISTREAM_BENCH_R", 4096);
+  const std::uint64_t base_r = EnvU64("TRISTREAM_BENCH_BASE_R", 512);
+  const auto threads =
+      static_cast<std::uint32_t>(EnvU64("TRISTREAM_BENCH_THREADS", 4));
+  const auto probe =
+      static_cast<std::size_t>(EnvU64("TRISTREAM_BENCH_PROBE", 16384));
+  const int trials = BenchTrials();
+
+  std::fprintf(stderr,
+               "engine autotune bench: static default vs calibration sweep\n"
+               "r=%llu base_r=%llu threads=%u probe=%zu trials=%d\n",
+               static_cast<unsigned long long>(r),
+               static_cast<unsigned long long>(base_r), threads, probe,
+               trials);
+  const auto instance = MakeInstance(gen::DatasetId::kDblp);
+  std::fprintf(stderr, "dataset=dblp edges=%zu\n\n", instance.stream.size());
+  std::fprintf(stderr,
+               "%12s | %12s | %10s | %12s | %10s | %10s | %7s\n", "algo",
+               "static w", "Medges/s", "autotuned w", "Medges/s", "steady",
+               "ratio");
+
+  std::vector<Measurement> results;
+  for (const char* algo : {"tsb", "bulk", "buriol", "colorful", "jg",
+                           "first-edge"}) {
+    engine::EstimatorConfig config;
+    const bool core_algo =
+        std::string(algo) == "tsb" || std::string(algo) == "bulk";
+    config.num_estimators = core_algo ? r : base_r;
+    config.num_threads = threads;
+    config.seed = BenchSeed() * 7919 + 13;
+    config.num_vertices = instance.stream.VertexUniverse();
+    config.max_degree_bound = instance.summary.max_degree;
+    Measurement m;
+    m.algo = algo;
+    RunMode(algo, config, instance.stream, /*autotune=*/false,
+            /*batch_size=*/0, trials, probe, &m.static_batch,
+            &m.static_meps);
+    RunMode(algo, config, instance.stream, /*autotune=*/true,
+            /*batch_size=*/0, trials, probe, &m.tuned_batch, &m.tuned_meps);
+    // Steady state at the pick: what the calibrated size is worth once
+    // the one-off calibration prefix amortizes away (long streams).
+    std::size_t steady_batch = 0;
+    RunMode(algo, config, instance.stream, /*autotune=*/false,
+            m.tuned_batch, trials, probe, &steady_batch,
+            &m.tuned_steady_meps);
+    results.push_back(m);
+    std::fprintf(stderr,
+                 "%12s | %12zu | %10.2f | %12zu | %10.2f | %10.2f | %6.2fx\n",
+                 m.algo.c_str(), m.static_batch, m.static_meps,
+                 m.tuned_batch, m.tuned_meps, m.tuned_steady_meps,
+                 m.static_meps > 0.0 ? m.tuned_steady_meps / m.static_meps
+                                     : 0.0);
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"engine_autotune\",\n");
+  std::printf("  \"dataset\": \"dblp\",\n");
+  std::printf("  \"edges\": %zu,\n", instance.stream.size());
+  std::printf("  \"probe_edges\": %zu,\n", probe);
+  std::printf("  \"trials\": %d,\n", trials);
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::printf("    {\"algo\": \"%s\", \"static_batch\": %zu, "
+                "\"static_meps\": %.4f, \"autotune_batch\": %zu, "
+                "\"autotune_meps\": %.4f, \"autotune_steady_meps\": %.4f, "
+                "\"steady_speedup\": %.4f}%s\n",
+                m.algo.c_str(), m.static_batch, m.static_meps,
+                m.tuned_batch, m.tuned_meps, m.tuned_steady_meps,
+                m.static_meps > 0.0 ? m.tuned_steady_meps / m.static_meps
+                                    : 0.0,
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

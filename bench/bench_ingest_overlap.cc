@@ -4,10 +4,10 @@
 //                     EdgeList, then the counter absorbs it -- the paper's
 //                     load-first methodology and the repo's old only path.
 //                     I/O strictly precedes processing.
-//   file_stream       BinaryFileEdgeStream + ProcessStream: buffered FILE
-//                     reads fill the counter's double buffers while the
+//   file_stream       BinaryFileEdgeStream + StreamEngine: buffered FILE
+//                     reads fill the engine's double buffers while the
 //                     workers absorb the previous batch (overlap, 1 copy).
-//   mmap_stream       MmapEdgeStream + ProcessStream: batches are spans
+//   mmap_stream       MmapEdgeStream + StreamEngine: batches are spans
 //                     into the mapping; the producer prefaults the next
 //                     batch's pages while workers absorb (overlap, 0 copy).
 //
@@ -33,6 +33,8 @@
 
 #include "bench/bench_util.h"
 #include "core/parallel_counter.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "gen/erdos_renyi.h"
 #include "stream/binary_io.h"
 #include "stream/edge_stream.h"
@@ -69,7 +71,7 @@ Measurement RunMode(const std::string& mode, const std::string& path,
   out.mode = mode;
   std::uint64_t edges = 0;
   for (int trial = 0; trial < trials; ++trial) {
-    core::ParallelTriangleCounter counter(CounterOptions());
+    engine::ParallelEstimator estimator(CounterOptions());
     WallTimer timer;
     if (mode == "read_then_stream") {
       WallTimer io_timer;
@@ -79,9 +81,9 @@ Measurement RunMode(const std::string& mode, const std::string& path,
         std::exit(1);
       }
       io_seconds.push_back(io_timer.Seconds());
-      counter.ProcessEdges(loaded->edges());
-      counter.Flush();
-      out.triangles = counter.EstimateTriangles();
+      estimator.counter().ProcessEdges(loaded->edges());
+      estimator.Flush();
+      out.triangles = estimator.EstimateTriangles();
     } else {
       std::unique_ptr<stream::EdgeStream> source;
       if (mode == "mmap_stream") {
@@ -101,17 +103,17 @@ Measurement RunMode(const std::string& mode, const std::string& path,
         }
         source = std::move(*opened);
       }
-      if (Status s = counter.ProcessStream(*source); !s.ok()) {
+      engine::StreamEngine eng;
+      if (Status s = eng.Run(estimator, *source); !s.ok()) {
         std::fprintf(stderr, "FATAL: stream failed mid-read: %s\n",
                      s.ToString().c_str());
         std::exit(1);
       }
-      counter.Flush();
-      out.triangles = counter.EstimateTriangles();
-      io_seconds.push_back(source->io_seconds());
+      out.triangles = estimator.EstimateTriangles();
+      io_seconds.push_back(eng.metrics().io_seconds);
     }
     seconds.push_back(timer.Seconds());
-    edges = counter.edges_processed();
+    edges = estimator.edges_processed();
   }
   out.median_seconds = Median(seconds);
   out.median_io_seconds = Median(io_seconds);

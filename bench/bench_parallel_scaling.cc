@@ -28,6 +28,7 @@
 
 #include "bench/bench_util.h"
 #include "core/parallel_counter.h"
+#include "engine/estimators.h"
 
 namespace {
 
@@ -56,13 +57,12 @@ Measurement RunOne(const bench::DatasetInstance& instance, std::uint64_t r,
     options.seed = bench::BenchSeed() * 7919 + 13;  // fixed across modes
     options.batch_size = batch;
     options.use_pipeline = pipeline;
-    core::ParallelTriangleCounter counter(options);
+    engine::ParallelEstimator estimator(options);
     WallTimer timer;
-    counter.ProcessEdges(instance.stream.edges());
-    counter.Flush();
+    bench::RunThroughEngine(estimator, instance.stream, batch);
     seconds.push_back(timer.Seconds());
-    out.triangles = counter.EstimateTriangles();
-    out.wedges = counter.EstimateWedges();
+    out.triangles = estimator.EstimateTriangles();
+    out.wedges = estimator.EstimateWedges();
   }
   out.median_seconds = Median(seconds);
   if (out.median_seconds > 0.0) {

@@ -12,6 +12,7 @@
 
 #include "baseline/jowhari_ghodsi.h"
 #include "bench/bench_util.h"
+#include "engine/estimators.h"
 #include "gen/triangle_regular.h"
 #include "graph/degree_stats.h"
 
@@ -59,11 +60,11 @@ int main() {
       opt.num_estimators = r;
       opt.max_degree_bound = summary.max_degree;
       opt.seed = BenchSeed() * 31 + static_cast<std::uint64_t>(trial);
-      baseline::JowhariGhodsiCounter counter(opt);
+      engine::JowhariGhodsiStreamEstimator estimator(opt);
       WallTimer timer;
-      counter.ProcessEdges(stream.edges());
+      RunThroughEngine(estimator, stream);
       seconds.push_back(timer.Seconds());
-      estimates.push_back(counter.EstimateTriangles());
+      estimates.push_back(estimator.EstimateTriangles());
     }
     const auto dev = SummarizeDeviations(estimates, tau);
     std::printf(" %8.2f %9.3f |", dev.mean_percent, Median(seconds));

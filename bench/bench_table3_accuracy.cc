@@ -9,6 +9,8 @@
 #include <string>
 
 #include "bench/bench_util.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "stream/binary_io.h"
 
 namespace {
@@ -29,18 +31,18 @@ Row RunFromDisk(const std::string& path, const DatasetInstance& instance,
     core::TriangleCounterOptions options;
     options.num_estimators = r;
     options.seed = BenchSeed() * 101 + static_cast<std::uint64_t>(trial);
-    core::TriangleCounter counter(options);
+    engine::BulkEstimator estimator(options);
     auto opened = stream::BinaryFileEdgeStream::Open(path);
     TRISTREAM_CHECK(opened.ok()) << opened.status();
-    stream::BinaryFileEdgeStream& file = **opened;
+    engine::StreamEngine eng;
     WallTimer total;
-    // The checked stream driver: a truncated or unreadable dataset file
+    // The checked engine driver: a truncated or unreadable dataset file
     // must abort the bench, not skew the accuracy table with a prefix.
-    const Status streamed = counter.ProcessStream(file);
+    const Status streamed = eng.Run(estimator, **opened);
     TRISTREAM_CHECK(streamed.ok()) << streamed;
-    estimates.push_back(counter.EstimateTriangles());
+    estimates.push_back(estimator.EstimateTriangles());
     totals.push_back(total.Seconds());
-    ios.push_back(file.io_seconds());
+    ios.push_back(eng.metrics().io_seconds);
   }
   Row row;
   row.dev = SummarizeDeviations(

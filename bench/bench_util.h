@@ -24,11 +24,14 @@
 #include <vector>
 
 #include "core/triangle_counter.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "gen/datasets.h"
 #include "graph/csr.h"
 #include "graph/degree_stats.h"
 #include "graph/edge_list.h"
 #include "stream/edge_stream.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "util/timer.h"
 
@@ -85,6 +88,21 @@ struct TrialResult {
   double throughput_meps = 0.0;   // median million edges per second
 };
 
+/// Drives `estimator` over an in-memory stream through the unified engine
+/// -- the same driver the CLI and tests use, so every bench measures the
+/// production ingest path. Returns the engine's metrics for the run.
+inline engine::StreamEngineMetrics RunThroughEngine(
+    engine::StreamingEstimator& estimator, const graph::EdgeList& stream,
+    std::size_t batch_size = 0) {
+  stream::MemoryEdgeStream source(stream);
+  engine::StreamEngineOptions options;
+  options.batch_size = batch_size;
+  engine::StreamEngine eng(options);
+  const Status streamed = eng.Run(estimator, source);
+  TRISTREAM_CHECK(streamed.ok()) << streamed;  // memory sources cannot fail
+  return eng.metrics();
+}
+
 /// Runs `trials` independent seeded runs of the bulk counter with r
 /// estimators over `instance`, measuring deviation against the exact τ.
 inline TrialResult RunTriangleTrials(const DatasetInstance& instance,
@@ -97,10 +115,10 @@ inline TrialResult RunTriangleTrials(const DatasetInstance& instance,
     options.num_estimators = r;
     options.seed = BenchSeed() * 7919 + static_cast<std::uint64_t>(trial);
     options.batch_size = batch_size;
-    core::TriangleCounter counter(options);
+    engine::BulkEstimator estimator(options);
     WallTimer timer;
-    counter.ProcessEdges(instance.stream.edges());
-    estimates.push_back(counter.EstimateTriangles());
+    RunThroughEngine(estimator, instance.stream);
+    estimates.push_back(estimator.EstimateTriangles());
     seconds.push_back(timer.Seconds());
   }
   TrialResult result;

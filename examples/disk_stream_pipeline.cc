@@ -12,6 +12,8 @@
 #include <string>
 
 #include "core/parallel_counter.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "gen/holme_kim.h"
 #include "graph/csr.h"
 #include "graph/exact.h"
@@ -47,19 +49,19 @@ int main() {
   options.num_estimators = 1 << 17;
   options.num_threads = 2;
   options.seed = 23;
-  core::ParallelTriangleCounter counter(options);
+  engine::ParallelEstimator estimator(options);
 
-  WallTimer total;
+  engine::StreamEngine engine;
   // The open can succeed and the stream still die mid-read (truncation,
   // yanked disk): the return status is what separates "estimate of the
   // whole file" from "estimate of a prefix".
-  if (Status s = counter.ProcessStream(source); !s.ok()) {
+  if (Status s = engine.Run(estimator, source); !s.ok()) {
     std::printf("stream failed mid-read: %s\n", s.ToString().c_str());
     return 1;
   }
-  const double tau_hat = counter.EstimateTriangles();
-  const double total_s = total.Seconds();
-  const double io_s = source.io_seconds();
+  const double tau_hat = estimator.EstimateTriangles();
+  const double total_s = engine.metrics().total_seconds;
+  const double io_s = engine.metrics().io_seconds;
 
   const auto tau = graph::CountTriangles(graph::Csr::FromEdgeList(g));
   std::printf("triangles exact      : %llu\n",

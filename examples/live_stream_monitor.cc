@@ -11,16 +11,20 @@
 // The plumbing is the live ingest layer, not a synthetic inline loop: a
 // producer thread pushes the traffic through a small bounded
 // stream::QueueEdgeStream (so a monitor that falls behind throttles the
-// producer instead of buffering without bound) and the monitor thread
-// consumes it batch by batch like any other EdgeStream, checking the
-// queue's sticky status at the end -- the same shape as a real deployment
-// where the producer is a network receiver.
+// producer instead of buffering without bound) and the monitor side is
+// the unified engine::StreamEngine driving the windowed estimator, with
+// the engine's reporting hook firing the alert rows -- the same shape as
+// a real deployment where the producer is a network receiver. The
+// engine's return status is the queue's sticky status, so a failed feed
+// exits nonzero instead of reading as a quiet one.
 
 #include <cmath>
 #include <cstdio>
 #include <thread>
 
 #include "core/sliding_window.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "stream/queue_stream.h"
 #include "util/rng.h"
 #include "util/types.h"
@@ -98,7 +102,7 @@ int main() {
   options.window_size = kWindow;
   options.num_estimators = 4096;
   options.seed = 9;
-  core::SlidingWindowTriangleCounter monitor(options);
+  engine::SlidingWindowEstimator monitor(options);
 
   // Small buffer on purpose: the producer outruns the monitor and spends
   // most of its time blocked in Push -- bounded memory, live semantics.
@@ -107,36 +111,41 @@ int main() {
 
   std::printf("%10s  %12s  %14s  %s\n", "edge#", "phase", "window tau-hat",
               "alert");
-  const auto report = [&monitor](const char* phase) {
-    const double tau_hat = monitor.EstimateTriangles();
-    const bool alert = tau_hat > 5000.0;
-    std::printf("%10llu  %12s  %14.0f  %s\n",
-                static_cast<unsigned long long>(monitor.edges_seen()), phase,
-                tau_hat, alert ? "** dense community forming **" : "");
-  };
-
-  // Consume the live feed; 1000-edge pops keep the report points aligned
-  // with the phase boundaries when the producer keeps the queue full.
   std::size_t next_report = 0;
-  std::vector<Edge> batch;
-  while (feed.NextBatch(1000, &batch) > 0) {
-    monitor.ProcessEdges(batch);
+
+  // Drive the live feed through the engine; 1000-edge batches keep the
+  // report points aligned with the phase boundaries when the producer
+  // keeps the queue full, and the reporting hook walks the phase table.
+  engine::StreamEngineOptions engine_options;
+  engine_options.batch_size = 1000;
+  engine_options.report_every_edges = 1000;
+  engine_options.on_report = [&next_report](
+                                 engine::StreamingEstimator& est,
+                                 const engine::StreamEngineMetrics&) {
     while (next_report < std::size(kReports) &&
-           monitor.edges_seen() >= kReports[next_report].at) {
-      report(kReports[next_report].phase);
+           est.edges_processed() >= kReports[next_report].at) {
+      const double tau_hat = est.EstimateTriangles();
+      const bool alert = tau_hat > 5000.0;
+      std::printf("%10llu  %12s  %14.0f  %s\n",
+                  static_cast<unsigned long long>(est.edges_processed()),
+                  kReports[next_report].phase, tau_hat,
+                  alert ? "** dense community forming **" : "");
       ++next_report;
     }
-  }
+  };
+  engine::StreamEngine engine(engine_options);
+  const Status streamed = engine.Run(monitor, feed);
   producer.join();
-  if (!feed.status().ok()) {
+  if (!streamed.ok()) {
     std::printf("\nfeed failed mid-stream: %s\n",
-                feed.status().ToString().c_str());
+                streamed.ToString().c_str());
     return 1;
   }
 
   std::printf(
       "\nmean chain length: %.2f (Theorem 5.8 predicts ~ln w = %.2f)\n",
-      monitor.MeanChainLength(), std::log(static_cast<double>(kWindow)));
+      monitor.counter().MeanChainLength(),
+      std::log(static_cast<double>(kWindow)));
   std::printf(
       "\nThe windowed estimate spikes while the burst community is inside\n"
       "the window and returns to ~0 after it slides out -- the real-time\n"

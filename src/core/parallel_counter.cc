@@ -81,31 +81,12 @@ void ParallelTriangleCounter::ProcessEdges(std::span<const Edge> edges) {
   }
 }
 
-Status ParallelTriangleCounter::ProcessStream(stream::EdgeStream& source) {
+void ParallelTriangleCounter::AbsorbBatchView(std::span<const Edge> view) {
   // Dispatch any partially filled buffer first so previously pushed edges
-  // keep their stream order ahead of the source's.
+  // keep their stream order ahead of the view's.
   if (!buffers_[fill_].empty()) DispatchFillBuffer();
-  const bool stable = source.stable_views();
-  while (true) {
-    // Stable sources (mmap, in-memory) yield spans into their own storage
-    // that outlive the dispatch; others fill the idle double buffer --
-    // buffers_[fill_] is free by the pipeline invariant, and DispatchView
-    // swaps it out before the next fetch. Either way the fetch (disk
-    // read / page fault) runs while the workers absorb the previous
-    // batch.
-    std::vector<Edge>* scratch = stable ? nullptr : &buffers_[fill_];
-    const std::span<const Edge> view =
-        source.NextBatchView(batch_size_, scratch);
-    if (view.empty()) break;
-    DispatchView(view);
-    // The legacy substrate finished synchronously without swapping
-    // buffers; empty the scratch so its edges are not re-dispatched.
-    if (scratch != nullptr && pool_ == nullptr) scratch->clear();
-  }
-  // A short batch only means end of stream when the source is healthy;
-  // surface a mid-stream failure (truncated file, dead socket, producer
-  // Close(error)) instead of letting a prefix pass as the whole stream.
-  return source.status();
+  if (view.empty()) return;
+  DispatchView(view);
 }
 
 void ParallelTriangleCounter::Flush() {

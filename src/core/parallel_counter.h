@@ -35,11 +35,12 @@
 // TriangleCounter per shard fed the same batches) for a fixed
 // (seed, num_threads) pair.
 //
-// Zero-copy ingest: ProcessStream() pulls an stream::EdgeStream directly.
-// Sources with stable views (mmap'd TRIS files, in-memory lists) have
-// their spans dispatched to the shards with no staging copy, and the
-// producer thread prefaults the next batch's pages while the workers
-// absorb the current one -- I/O overlapped with estimator work.
+// Zero-copy ingest: engine::StreamEngine drives any stream::EdgeStream
+// through AbsorbBatchView(). Sources with stable views (mmap'd TRIS
+// files, in-memory lists) have their spans dispatched to the shards with
+// no staging copy, and the producer thread prefaults the next batch's
+// pages while the workers absorb the current one -- I/O overlapped with
+// estimator work.
 //
 // Estimate reads: rather than concatenating r per-estimator doubles on
 // the caller, each worker folds its own shard's mean / median-of-means
@@ -62,8 +63,6 @@
 #include <vector>
 
 #include "core/triangle_counter.h"
-#include "stream/edge_stream.h"
-#include "util/status.h"
 #include "util/thread_pool.h"
 #include "util/types.h"
 
@@ -99,22 +98,16 @@ class ParallelTriangleCounter {
   void ProcessEdge(const Edge& e);
   void ProcessEdges(std::span<const Edge> edges);
 
-  /// Pulls `source` to exhaustion in batch_size-sized batches. Sources
-  /// with stable views (MmapEdgeStream, MemoryEdgeStream) are dispatched
-  /// zero-copy: each span goes straight to the shards while the producer
-  /// thread fetches (and, for mmap, page-faults) the next batch -- the
-  /// pipelined overlap of I/O and absorption. Other sources fill the
-  /// counter's double buffers directly, still overlapping read with
-  /// absorb, just with one copy. Batch boundaries are the same as feeding
-  /// the identical edge sequence through ProcessEdges, so estimates are
-  /// bit-identical across ingest paths for a fixed (seed, num_threads).
-  /// The source must stay alive until the next Flush().
-  ///
-  /// Returns the source's sticky status(): OK means the stream ended
-  /// cleanly; anything else means the source failed mid-read and the
-  /// absorbed edges are a *prefix* -- estimates computed anyway describe
-  /// that prefix, not the stream, so callers must check.
-  [[nodiscard]] Status ProcessStream(stream::EdgeStream& source);
+  /// Absorbs `view` as exactly one batch on every shard, with no staging
+  /// copy -- the zero-copy dispatch hook engine::StreamEngine drives
+  /// (after flushing any partially filled ProcessEdge buffer, so
+  /// previously pushed edges keep their stream order ahead of the
+  /// view's). May return while workers are still absorbing; the view
+  /// must stay valid until the next AbsorbBatchView or Flush call. Views
+  /// of at most batch_size() edges reproduce ProcessEdges' batch
+  /// boundaries, keeping estimates bit-identical across ingest paths for
+  /// a fixed (seed, num_threads).
+  void AbsorbBatchView(std::span<const Edge> view);
 
   /// Absorbs buffered edges on all shards and waits for them (full
   /// barrier; afterwards estimates reflect everything pushed so far).
@@ -136,6 +129,10 @@ class ParallelTriangleCounter {
 
   /// True when running on the persistent pool (false = spawn-per-batch).
   bool pipelined() const { return pool_ != nullptr; }
+
+  /// Effective shared batch size w (the resolved 8r/threads default when
+  /// options.batch_size was 0).
+  std::size_t batch_size() const { return batch_size_; }
 
  private:
   /// Hands the current fill buffer to all shards and (in pipelined mode)

@@ -55,21 +55,6 @@ void SlidingWindowTriangleCounter::ProcessEdges(std::span<const Edge> edges) {
   for (const Edge& e : edges) ProcessEdge(e);
 }
 
-Status SlidingWindowTriangleCounter::ProcessStream(
-    stream::EdgeStream& source) {
-  // The chain update is strictly per-edge, so the pull size only bounds
-  // staging memory; 4K edges keeps a live queue's lock traffic amortized.
-  constexpr std::size_t kPullEdges = 4096;
-  std::vector<Edge> scratch;
-  while (true) {
-    const std::span<const Edge> view =
-        source.NextBatchView(kPullEdges, &scratch);
-    if (view.empty()) break;
-    ProcessEdges(view);
-  }
-  return source.status();
-}
-
 std::uint64_t SlidingWindowTriangleCounter::window_edge_count() const {
   return std::min(edges_seen_, options_.window_size);
 }

@@ -21,9 +21,7 @@
 
 #include "core/neighborhood_sampler.h"
 #include "core/triangle_counter.h"
-#include "stream/edge_stream.h"
 #include "util/rng.h"
-#include "util/status.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -49,12 +47,6 @@ class SlidingWindowTriangleCounter {
   /// Processes the next stream edge, expiring anything older than w edges.
   void ProcessEdge(const Edge& e);
   void ProcessEdges(std::span<const Edge> edges);
-
-  /// Pulls `source` to exhaustion (the live-monitoring driver: `source`
-  /// is typically a QueueEdgeStream or SocketEdgeStream) and returns its
-  /// sticky status(): non-OK means the feed failed and the window holds a
-  /// prefix of the intended stream.
-  [[nodiscard]] Status ProcessStream(stream::EdgeStream& source);
 
   /// Total edges ever seen.
   std::uint64_t edges_seen() const { return edges_seen_; }

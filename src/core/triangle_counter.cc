@@ -113,19 +113,6 @@ void TriangleCounter::ProcessEdges(std::span<const Edge> edges) {
   }
 }
 
-Status TriangleCounter::ProcessStream(stream::EdgeStream& source) {
-  // Views into `scratch` are consumed synchronously by ProcessEdges, so a
-  // single staging vector suffices (no pipeline here).
-  std::vector<Edge> scratch;
-  while (true) {
-    const std::span<const Edge> view =
-        source.NextBatchView(batch_size_, &scratch);
-    if (view.empty()) break;
-    ProcessEdges(view);
-  }
-  return source.status();
-}
-
 void TriangleCounter::Flush() {
   if (pending_.empty()) return;
   ApplyBatch(pending_);

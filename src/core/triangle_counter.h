@@ -23,10 +23,8 @@
 #include <vector>
 
 #include "core/neighborhood_sampler.h"
-#include "stream/edge_stream.h"
 #include "util/flat_hash_map.h"
 #include "util/rng.h"
-#include "util/status.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -132,12 +130,6 @@ class TriangleCounter {
 
   /// Buffers a block of edges (absorbing full batches as reached).
   void ProcessEdges(std::span<const Edge> edges);
-
-  /// Pulls `source` to exhaustion in batch_size-sized pulls and returns
-  /// the source's sticky status(): non-OK means the source failed
-  /// mid-read and the absorbed edges are a prefix, not the stream. The
-  /// single-engine analogue of ParallelTriangleCounter::ProcessStream.
-  [[nodiscard]] Status ProcessStream(stream::EdgeStream& source);
 
   /// Absorbs any buffered edges immediately. Estimates call this
   /// implicitly; it exists so callers can bound staleness themselves.

@@ -1,0 +1,88 @@
+// The estimator side of the unified stream engine.
+//
+// The paper's evaluation compares its neighborhood-sampling counter
+// head-to-head against prior streaming estimators (Buriol et al.,
+// colorful counting, Jowhari–Ghodsi) under *identical* stream conditions:
+// same edge order, same batching, same ingest path. StreamingEstimator is
+// the contract that makes that comparison mechanical -- every triangle
+// estimator in the repo (the three core counters and the four baselines)
+// is adapted to this interface (engine/estimators.h) and driven by the
+// single checked engine::StreamEngine, instead of each counter owning its
+// own hand-rolled edge loop.
+//
+// Contract:
+//   * ProcessEdges(view) absorbs the next contiguous run of stream edges
+//     in order. Implementations MAY return before the edges are fully
+//     absorbed (the pipelined sharded counter dispatches the view to its
+//     workers and returns to the caller); the view must therefore stay
+//     valid until the next ProcessEdges or Flush call. The engine's
+//     double-buffered fetch honors exactly that lifetime.
+//   * Flush() is the barrier: after it returns, every edge passed to
+//     ProcessEdges has been absorbed, estimate reads are consistent, and
+//     no previously passed view is referenced anymore.
+//   * Reset() discards all stream state, returning the estimator to its
+//     freshly constructed configuration (same options, same seed), so a
+//     multi-trial experiment can reuse one estimator across runs.
+
+#ifndef TRISTREAM_ENGINE_STREAMING_ESTIMATOR_H_
+#define TRISTREAM_ENGINE_STREAMING_ESTIMATOR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "util/types.h"
+
+namespace tristream {
+namespace engine {
+
+/// One streaming triangle estimator behind the engine's uniform driver.
+class StreamingEstimator {
+ public:
+  virtual ~StreamingEstimator() = default;
+
+  /// Short stable identifier ("tsb", "buriol", ...) for logs and JSON.
+  virtual const char* name() const = 0;
+
+  /// Absorbs the next contiguous run of stream edges, in order. May return
+  /// before absorption completes; `edges` must remain valid until the next
+  /// ProcessEdges or Flush call (see the file comment).
+  virtual void ProcessEdges(std::span<const Edge> edges) = 0;
+
+  /// Barrier: blocks until everything passed to ProcessEdges is absorbed.
+  /// Afterwards estimates are consistent and no view is still referenced.
+  virtual void Flush() = 0;
+
+  /// Returns to the freshly constructed state (same configuration and
+  /// seed, so the same stream replays to the same estimates).
+  virtual void Reset() = 0;
+
+  /// Stream edges absorbed (or buffered) so far.
+  virtual std::uint64_t edges_processed() const = 0;
+
+  // ------------------------------------------------- typed estimates
+  // Triangles are universal; wedges and transitivity exist only where the
+  // algorithm defines them (the neighborhood-sampling family). Callers
+  // gate on has_wedge_estimates() instead of interpreting a 0.
+
+  /// Aggregated estimate of the triangle count τ. Implies Flush().
+  virtual double EstimateTriangles() = 0;
+
+  /// True when the algorithm also estimates wedges ζ and transitivity κ.
+  virtual bool has_wedge_estimates() const { return false; }
+
+  /// Aggregated wedge estimate (0 when unsupported). Implies Flush().
+  virtual double EstimateWedges() { return 0.0; }
+
+  /// Transitivity estimate 3τ̂/ζ̂ (0 when unsupported). Implies Flush().
+  virtual double EstimateTransitivity() { return 0.0; }
+
+  /// Batch size the estimator would pick for itself (its own algorithmic
+  /// operating point, e.g. the bulk counter's w = 8r). 0 means no
+  /// preference: the engine falls back to its default or autotunes.
+  virtual std::size_t preferred_batch_size() const { return 0; }
+};
+
+}  // namespace engine
+}  // namespace tristream
+
+#endif  // TRISTREAM_ENGINE_STREAMING_ESTIMATOR_H_

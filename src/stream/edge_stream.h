@@ -48,8 +48,8 @@ class EdgeStream {
 
   /// True when every span returned by NextBatchView stays valid until the
   /// stream is destroyed (not merely until the next call). Pipelined
-  /// consumers (core::ParallelTriangleCounter::ProcessStream) use this to
-  /// dispatch views to workers while already fetching the next batch.
+  /// consumers (engine::StreamEngine driving the sharded counter) use this
+  /// to dispatch views to workers while already fetching the next batch.
   virtual bool stable_views() const { return false; }
 
   /// Restarts the stream from the first edge.

@@ -16,8 +16,8 @@
 // the io stopwatch, after advising the kernel of sequential access
 // (madvise MADV_SEQUENTIAL doubles the readahead window). The spans stay
 // valid until the stream is destroyed (stable_views() == true), which is
-// what lets core::ParallelTriangleCounter::ProcessStream hand a mapped
-// batch to its workers while already faulting in the next one.
+// what lets engine::StreamEngine hand a mapped batch to the sharded
+// counter's workers while already faulting in the next one.
 
 #ifndef TRISTREAM_STREAM_MMAP_IO_H_
 #define TRISTREAM_STREAM_MMAP_IO_H_

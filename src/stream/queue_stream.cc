@@ -64,12 +64,22 @@ bool QueueEdgeStream::closed() const {
 std::size_t QueueEdgeStream::NextBatch(std::size_t max_edges,
                                        std::vector<Edge>* batch) {
   batch->clear();
+  if (max_edges == 0) return 0;
   std::unique_lock<std::mutex> lock(mu_);
-  if (buffer_.empty() && !closed_) {
-    // An idle feed is slow I/O, not end of stream: block until a producer
-    // delivers or closes, on the I/O stopwatch.
+  // Block until a *full* batch is available (or the queue closes, after
+  // which the remainder drains) -- the same chunking-independence the
+  // socket source gets by filling batches across frames: batch boundaries
+  // are decided by the consumer's request size, never by producer timing,
+  // so estimates are bit-identical to file/memory ingest of the same
+  // edges. A slow feed therefore reads as slow I/O (the wait lands on the
+  // I/O stopwatch), not as a ragged batch. Capped at capacity so a
+  // request larger than the buffer cannot deadlock against blocked
+  // producers.
+  const std::size_t goal = std::min(max_edges, capacity_);
+  if (buffer_.size() < goal && !closed_) {
     WallTimer wait_timer;
-    can_pop_.wait(lock, [this] { return !buffer_.empty() || closed_; });
+    can_pop_.wait(lock,
+                  [this, goal] { return buffer_.size() >= goal || closed_; });
     wait_seconds_ += wait_timer.Seconds();
   }
   const std::size_t take = std::min(max_edges, buffer_.size());

@@ -4,17 +4,21 @@
 // streams, where edges arrive from producers (network receivers, log
 // tailers, simulators) rather than files. QueueEdgeStream is the bridge:
 // any number of producer threads Push() edges into a bounded buffer and the
-// consumer side is an ordinary EdgeStream, so every counter's ProcessStream
-// driver works unchanged on live traffic.
+// consumer side is an ordinary EdgeStream, so the engine::StreamEngine
+// driver runs every estimator unchanged on live traffic.
 //
 // Semantics:
 //   * Bounded + blocking both ways. Push() blocks while the buffer holds
 //     `capacity()` edges (backpressure -- a slow consumer throttles its
-//     producers instead of growing without bound); NextBatch() blocks while
-//     the buffer is empty and the queue is open, so an idle feed looks like
-//     slow I/O, not end of stream. Time spent blocked in NextBatch() is
-//     reported as io_seconds(), mirroring the file readers' read-time
-//     accounting.
+//     producers instead of growing without bound); NextBatch() blocks until
+//     a full batch (min(max_edges, capacity) edges) is buffered or the
+//     queue is closed, so an idle feed looks like slow I/O, not end of
+//     stream, and batch boundaries are decided by the consumer's request
+//     size, never by producer timing -- the same chunking-independence the
+//     socket source provides, making estimates bit-identical to
+//     file/memory ingest of the same edges. Time spent blocked in
+//     NextBatch() is reported as io_seconds(), mirroring the file readers'
+//     read-time accounting.
 //   * Close(status) ends the stream. Producers report clean EOF with
 //     Close() / Close(Status::Ok()) and failure (disconnect, truncated
 //     frame, upstream error) with Close(some error). Buffered edges are

@@ -1,0 +1,134 @@
+// Baseline failure-propagation suite. Before the engine, the baseline
+// counters were only ever fed by hand-rolled ProcessEdges loops, so a
+// truncated file or dead producer silently became an estimate over a
+// prefix. Driven through engine::StreamEngine they inherit the core
+// counters' sticky-status contract: Run() returns the source's failure,
+// and the estimate is known to describe a prefix.
+
+#include "engine/stream_engine.h"
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <thread>
+
+#include "engine/estimators.h"
+#include "gen/erdos_renyi.h"
+#include "graph/edge_list.h"
+#include "gtest/gtest.h"
+#include "stream/binary_io.h"
+#include "stream/edge_source.h"
+#include "stream/queue_stream.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace engine {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+/// Truncates the file at `path` by `cut` bytes.
+void Truncate(const std::string& path, std::size_t cut) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const auto size = static_cast<std::size_t>(std::ftell(f));
+  std::fseek(f, 0, SEEK_SET);
+  std::string content(size, '\0');
+  ASSERT_EQ(std::fread(content.data(), 1, size, f), size);
+  std::fclose(f);
+  std::FILE* w = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(w, nullptr);
+  ASSERT_EQ(std::fwrite(content.data(), 1, size - cut, w), size - cut);
+  ASSERT_EQ(std::fclose(w), 0);
+}
+
+EstimatorConfig BaselineConfig() {
+  EstimatorConfig config;
+  config.num_estimators = 256;
+  config.seed = 17;
+  config.num_vertices = 120;
+  config.max_degree_bound = 64;
+  config.num_colors = 4;
+  return config;
+}
+
+class BaselineFailureTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BaselineFailureTest, TruncatedTrisFileFailsEngineRun) {
+  const auto el = gen::GnmRandom(120, 1600, 44);
+  const std::string path =
+      TempPath(std::string("baseline_trunc_") + GetParam() + ".tris");
+  ASSERT_TRUE(stream::WriteBinaryEdges(path, el).ok());
+  Truncate(path, 8 * (el.size() / 2));  // half the payload survives
+
+  // Through the buffered-FILE reader: the mmap reader rejects a
+  // header/payload mismatch at Open, which would dodge the mid-read path
+  // this test is about.
+  stream::EdgeSourceOptions source_options;
+  source_options.prefer_mmap = false;
+  auto opened = stream::OpenEdgeSource(path, source_options);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+
+  auto estimator = MakeEstimator(GetParam(), BaselineConfig());
+  ASSERT_TRUE(estimator.ok()) << estimator.status();
+  StreamEngine eng;
+  const Status streamed = eng.Run(**estimator, **opened);
+  ASSERT_FALSE(streamed.ok()) << GetParam();
+  EXPECT_EQ(streamed.code(), StatusCode::kCorruptData);
+  // The surviving prefix was absorbed; the non-OK return is what keeps it
+  // from being mistaken for an estimate of the whole file.
+  EXPECT_GT((*estimator)->edges_processed(), 0u);
+  EXPECT_LT((*estimator)->edges_processed(), el.size());
+  std::remove(path.c_str());
+}
+
+TEST_P(BaselineFailureTest, QueueProducerFailureFailsEngineRun) {
+  const auto el = gen::GnmRandom(100, 1200, 45);
+  stream::QueueEdgeStream queue(256);
+  std::thread producer([&queue, &el] {
+    const std::span<const Edge> edges(el.edges());
+    queue.Push(edges.subspan(0, edges.size() / 2));
+    // The feed dies mid-stream: this must never read as a clean EOF.
+    queue.Close(Status::IoError("upstream collector died"));
+  });
+
+  auto estimator = MakeEstimator(GetParam(), BaselineConfig());
+  ASSERT_TRUE(estimator.ok()) << estimator.status();
+  StreamEngine eng;
+  const Status streamed = eng.Run(**estimator, queue);
+  producer.join();
+  ASSERT_FALSE(streamed.ok()) << GetParam();
+  EXPECT_EQ(streamed.code(), StatusCode::kIoError);
+  EXPECT_EQ((*estimator)->edges_processed(), el.size() / 2);  // prefix only
+}
+
+TEST_P(BaselineFailureTest, CleanQueueCloseIsOk) {
+  const auto el = gen::GnmRandom(100, 1200, 46);
+  stream::QueueEdgeStream queue(el.size() + 1);
+  ASSERT_EQ(queue.Push(std::span<const Edge>(el.edges())), el.size());
+  queue.Close();
+
+  auto estimator = MakeEstimator(GetParam(), BaselineConfig());
+  ASSERT_TRUE(estimator.ok()) << estimator.status();
+  StreamEngine eng;
+  EXPECT_TRUE(eng.Run(**estimator, queue).ok());
+  EXPECT_EQ((*estimator)->edges_processed(), el.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Baselines, BaselineFailureTest,
+                         ::testing::Values("buriol", "colorful", "jg",
+                                           "first-edge"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace engine
+}  // namespace tristream

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/parallel_counter.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "gen/erdos_renyi.h"
 #include "graph/edge_list.h"
 #include "gtest/gtest.h"
@@ -396,11 +398,11 @@ TEST(IngestParityTest, BitIdenticalEstimatesAcrossIngestPaths) {
                        counter.EstimateWedges());
     };
     auto run_stream = [&](std::unique_ptr<EdgeStream> source) {
-      core::ParallelTriangleCounter counter(options);
-      EXPECT_TRUE(counter.ProcessStream(*source).ok());
-      counter.Flush();
-      return std::pair(counter.EstimateTriangles(),
-                       counter.EstimateWedges());
+      engine::ParallelEstimator estimator(options);
+      engine::StreamEngine eng;
+      EXPECT_TRUE(eng.Run(estimator, *source).ok());
+      return std::pair(estimator.EstimateTriangles(),
+                       estimator.EstimateWedges());
     };
 
     const auto memory = run_memory();
@@ -429,7 +431,6 @@ TEST(IngestParityTest, MedianOfMeansAlsoBitIdenticalAcrossPaths) {
   options.batch_size = 512;
 
   auto run = [&](bool use_mmap) {
-    core::ParallelTriangleCounter counter(options);
     std::unique_ptr<EdgeStream> source;
     if (use_mmap) {
       auto opened = MmapEdgeStream::Open(path);
@@ -440,10 +441,11 @@ TEST(IngestParityTest, MedianOfMeansAlsoBitIdenticalAcrossPaths) {
       EXPECT_TRUE(opened.ok());
       source = std::move(*opened);
     }
-    EXPECT_TRUE(counter.ProcessStream(*source).ok());
-    counter.Flush();
-    return std::pair(counter.EstimateTriangles(),
-                     counter.EstimateTransitivity());
+    engine::ParallelEstimator estimator(options);
+    engine::StreamEngine eng;
+    EXPECT_TRUE(eng.Run(estimator, *source).ok());
+    return std::pair(estimator.EstimateTriangles(),
+                     estimator.EstimateTransitivity());
   };
   EXPECT_EQ(run(true), run(false));
   std::remove(path.c_str());
@@ -480,8 +482,8 @@ TEST(IngestParityTest, PipelineAndSpawnAgreeUnderBothAggregations) {
 
 // ---------------------------------------------- failure propagation
 
-TEST(IngestFailureTest, FileTruncatedAfterHeaderFailsProcessStream) {
-  // The header promises edges that never arrive: ProcessStream must
+TEST(IngestFailureTest, FileTruncatedAfterHeaderFailsEngineRun) {
+  // The header promises edges that never arrive: the engine run must
   // return the source's failure, not report an estimate of nothing.
   const auto el = gen::GnmRandom(60, 500, 27);
   const std::string path = TempPath("fail_after_header.tris");
@@ -494,16 +496,16 @@ TEST(IngestFailureTest, FileTruncatedAfterHeaderFailsProcessStream) {
   options.num_estimators = 256;
   options.num_threads = 2;
   options.seed = 5;
-  core::ParallelTriangleCounter counter(options);
-  const Status streamed = counter.ProcessStream(**opened);
+  engine::ParallelEstimator estimator(options);
+  engine::StreamEngine eng;
+  const Status streamed = eng.Run(estimator, **opened);
   ASSERT_FALSE(streamed.ok());
   EXPECT_EQ(streamed.code(), StatusCode::kCorruptData);
-  counter.Flush();
-  EXPECT_EQ(counter.edges_processed(), 0u);
+  EXPECT_EQ(estimator.edges_processed(), 0u);
   std::remove(path.c_str());
 }
 
-TEST(IngestFailureTest, MidPayloadTruncationFailsProcessStreamWithPrefix) {
+TEST(IngestFailureTest, MidPayloadTruncationFailsEngineRunWithPrefix) {
   const auto el = gen::GnmRandom(80, 1000, 28);
   const std::string path = TempPath("fail_mid_payload.tris");
   ASSERT_TRUE(WriteBinaryEdges(path, el).ok());
@@ -516,15 +518,15 @@ TEST(IngestFailureTest, MidPayloadTruncationFailsProcessStreamWithPrefix) {
   options.num_threads = 2;
   options.seed = 5;
   options.batch_size = 64;
-  core::ParallelTriangleCounter counter(options);
-  const Status streamed = counter.ProcessStream(**opened);
+  engine::ParallelEstimator estimator(options);
+  engine::StreamEngine eng;
+  const Status streamed = eng.Run(estimator, **opened);
   ASSERT_FALSE(streamed.ok());
   EXPECT_EQ(streamed.code(), StatusCode::kCorruptData);
-  counter.Flush();
   // The surviving prefix was absorbed -- which is exactly why the return
   // status is the only thing separating it from a clean run.
-  EXPECT_GT(counter.edges_processed(), 0u);
-  EXPECT_LT(counter.edges_processed(), el.size());
+  EXPECT_GT(estimator.edges_processed(), 0u);
+  EXPECT_LT(estimator.edges_processed(), el.size());
   std::remove(path.c_str());
 }
 
@@ -597,7 +599,7 @@ TEST(DedupEdgeStreamTest, ViewsSurviveOneSubsequentCall) {
   }
 }
 
-TEST(DedupEdgeStreamTest, DedupedProcessStreamBitIdenticalAcrossInners) {
+TEST(DedupEdgeStreamTest, DedupedEngineRunBitIdenticalAcrossInners) {
   // End to end through the pipelined counter: the dedup'd stream yields
   // the same (ragged) filtered batches whatever reader sits underneath,
   // so estimates must agree to the last bit across mmap, FILE, and
@@ -619,11 +621,12 @@ TEST(DedupEdgeStreamTest, DedupedProcessStreamBitIdenticalAcrossInners) {
 
   const auto run = [&options, &clean](std::unique_ptr<EdgeStream> inner) {
     DedupEdgeStream source(std::move(inner));
-    core::ParallelTriangleCounter counter(options);
-    EXPECT_TRUE(counter.ProcessStream(source).ok());
-    counter.Flush();
-    EXPECT_EQ(counter.edges_processed(), clean.size());  // filter worked
-    return std::pair(counter.EstimateTriangles(), counter.EstimateWedges());
+    engine::ParallelEstimator estimator(options);
+    engine::StreamEngine eng;
+    EXPECT_TRUE(eng.Run(estimator, source).ok());
+    EXPECT_EQ(estimator.edges_processed(), clean.size());  // filter worked
+    return std::pair(estimator.EstimateTriangles(),
+                     estimator.EstimateWedges());
   };
 
   auto mapped = MmapEdgeStream::Open(path);
@@ -638,8 +641,8 @@ TEST(DedupEdgeStreamTest, DedupedProcessStreamBitIdenticalAcrossInners) {
   std::remove(path.c_str());
 }
 
-TEST(IngestParityTest, ProcessStreamAfterBufferedEdgesKeepsOrder) {
-  // Edges pushed before ProcessStream must precede the stream's edges.
+TEST(IngestParityTest, EngineRunAfterBufferedEdgesKeepsOrder) {
+  // Edges pushed before the engine run must precede the stream's edges.
   const auto el = gen::GnmRandom(100, 1200, 25);
   const std::string path = TempPath("parity_mixed.tris");
   const std::span<const Edge> edges(el.edges());
@@ -654,12 +657,12 @@ TEST(IngestParityTest, ProcessStreamAfterBufferedEdgesKeepsOrder) {
   options.seed = 4242;
   options.batch_size = 256;
 
-  core::ParallelTriangleCounter mixed(options);
-  mixed.ProcessEdges(edges.subspan(0, head));
+  engine::ParallelEstimator mixed(options);
+  mixed.counter().ProcessEdges(edges.subspan(0, head));
   auto mapped = MmapEdgeStream::Open(path);
   ASSERT_TRUE(mapped.ok());
-  EXPECT_TRUE(mixed.ProcessStream(**mapped).ok());
-  mixed.Flush();
+  engine::StreamEngine eng;
+  EXPECT_TRUE(eng.Run(mixed, **mapped).ok());
   EXPECT_EQ(mixed.edges_processed(), el.size());
   EXPECT_GT(mixed.EstimateWedges(), 0.0);
   std::remove(path.c_str());

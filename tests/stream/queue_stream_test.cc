@@ -1,7 +1,7 @@
 // Tests for the live bounded-queue edge source: ordering, backpressure,
 // close semantics (clean EOF vs producer failure), multi-producer
 // interleaving (exercised under TSan in CI), and end-to-end failure
-// propagation through the counters' ProcessStream drivers.
+// propagation through the engine::StreamEngine driver.
 
 #include "stream/queue_stream.h"
 
@@ -13,6 +13,8 @@
 
 #include "core/parallel_counter.h"
 #include "core/sliding_window.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "gen/erdos_renyi.h"
 #include "graph/edge_list.h"
 #include "gtest/gtest.h"
@@ -190,7 +192,7 @@ TEST(QueueEdgeStreamTest, ResetReopensAnEmptiedQueue) {
   EXPECT_EQ(all[0], Edge(7, 8));
 }
 
-TEST(QueueEdgeStreamTest, ProcessStreamBitIdenticalToMemoryStream) {
+TEST(QueueEdgeStreamTest, EngineRunBitIdenticalToMemoryStream) {
   // The loopback acceptance contract: edges pushed through the live queue
   // must produce exactly the estimates of the same edges served from
   // memory, for a fixed (seed, threads).
@@ -202,12 +204,12 @@ TEST(QueueEdgeStreamTest, ProcessStreamBitIdenticalToMemoryStream) {
     options.seed = 20260726;
     options.batch_size = 256;
 
-    core::ParallelTriangleCounter from_memory(options);
+    engine::ParallelEstimator from_memory(options);
     MemoryEdgeStream memory(el);
-    ASSERT_TRUE(from_memory.ProcessStream(memory).ok());
-    from_memory.Flush();
+    engine::StreamEngine memory_engine;
+    ASSERT_TRUE(memory_engine.Run(from_memory, memory).ok());
 
-    core::ParallelTriangleCounter from_queue(options);
+    engine::ParallelEstimator from_queue(options);
     QueueEdgeStream queue(512);
     std::thread producer([&queue, &el] {
       // Push in ragged runs to decouple producer chunking from the
@@ -223,9 +225,9 @@ TEST(QueueEdgeStreamTest, ProcessStreamBitIdenticalToMemoryStream) {
       }
       queue.Close();
     });
-    ASSERT_TRUE(from_queue.ProcessStream(queue).ok());
+    engine::StreamEngine queue_engine;
+    ASSERT_TRUE(queue_engine.Run(from_queue, queue).ok());
     producer.join();
-    from_queue.Flush();
 
     EXPECT_EQ(from_queue.EstimateTriangles(), from_memory.EstimateTriangles())
         << threads << " threads";
@@ -234,14 +236,14 @@ TEST(QueueEdgeStreamTest, ProcessStreamBitIdenticalToMemoryStream) {
   }
 }
 
-TEST(QueueEdgeStreamTest, ProducerFailureSurfacesThroughProcessStream) {
+TEST(QueueEdgeStreamTest, ProducerFailureSurfacesThroughEngineRun) {
   const auto el = gen::GnmRandom(120, 2000, 32);
   core::ParallelCounterOptions options;
   options.num_estimators = 1024;
   options.num_threads = 2;
   options.seed = 7;
   options.batch_size = 128;
-  core::ParallelTriangleCounter counter(options);
+  engine::ParallelEstimator estimator(options);
 
   QueueEdgeStream queue(256);
   std::thread producer([&queue, &el] {
@@ -250,12 +252,12 @@ TEST(QueueEdgeStreamTest, ProducerFailureSurfacesThroughProcessStream) {
     // The feed dies mid-stream: this must never read as a clean EOF.
     queue.Close(Status::IoError("upstream collector died"));
   });
-  const Status streamed = counter.ProcessStream(queue);
+  engine::StreamEngine eng;
+  const Status streamed = eng.Run(estimator, queue);
   producer.join();
   ASSERT_FALSE(streamed.ok());
   EXPECT_EQ(streamed.code(), StatusCode::kIoError);
-  counter.Flush();
-  EXPECT_EQ(counter.edges_processed(), el.size() / 2);  // a prefix only
+  EXPECT_EQ(estimator.edges_processed(), el.size() / 2);  // a prefix only
 }
 
 TEST(QueueEdgeStreamTest, SlidingWindowDriverMatchesInlineProcessing) {
@@ -268,15 +270,16 @@ TEST(QueueEdgeStreamTest, SlidingWindowDriverMatchesInlineProcessing) {
   core::SlidingWindowTriangleCounter inline_counter(options);
   inline_counter.ProcessEdges(el.edges());
 
-  core::SlidingWindowTriangleCounter live_counter(options);
+  engine::SlidingWindowEstimator live_counter(options);
   QueueEdgeStream queue(128);
   std::thread producer([&queue, &el] {
     queue.Push(std::span<const Edge>(el.edges()));
     queue.Close();
   });
-  ASSERT_TRUE(live_counter.ProcessStream(queue).ok());
+  engine::StreamEngine eng;
+  ASSERT_TRUE(eng.Run(live_counter, queue).ok());
   producer.join();
-  EXPECT_EQ(live_counter.edges_seen(), el.size());
+  EXPECT_EQ(live_counter.edges_processed(), el.size());
   EXPECT_EQ(live_counter.EstimateTriangles(),
             inline_counter.EstimateTriangles());
   EXPECT_EQ(live_counter.EstimateWedges(), inline_counter.EstimateWedges());

@@ -3,7 +3,8 @@
 // semantics, producer-side framing errors, and the loopback-TCP
 // acceptance contract -- edges sent over a socket must produce estimates
 // bit-identical to the same edges served from memory, and a producer
-// death mid-frame must surface as a non-OK ProcessStream return.
+// death mid-frame must surface as a non-OK engine::StreamEngine::Run
+// return.
 
 #include "stream/socket_stream.h"
 
@@ -15,6 +16,8 @@
 #include <vector>
 
 #include "core/parallel_counter.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "gen/erdos_renyi.h"
 #include "graph/edge_list.h"
 #include "gtest/gtest.h"
@@ -198,7 +201,7 @@ TEST(SocketEdgeStreamTest, WriteFrameToDeadPeerIsIoErrorNotSigpipe) {
   EXPECT_EQ(s.code(), StatusCode::kIoError);
 }
 
-TEST(SocketEdgeStreamTest, LoopbackProcessStreamBitIdenticalToMemory) {
+TEST(SocketEdgeStreamTest, LoopbackEngineRunBitIdenticalToMemory) {
   const auto el = gen::GnmRandom(250, 4000, 41);
   core::ParallelCounterOptions options;
   options.num_estimators = 4096;
@@ -206,10 +209,10 @@ TEST(SocketEdgeStreamTest, LoopbackProcessStreamBitIdenticalToMemory) {
   options.seed = 20260726;
   options.batch_size = 300;
 
-  core::ParallelTriangleCounter from_memory(options);
+  engine::ParallelEstimator from_memory(options);
   MemoryEdgeStream memory(el);
-  ASSERT_TRUE(from_memory.ProcessStream(memory).ok());
-  from_memory.Flush();
+  engine::StreamEngine memory_engine;
+  ASSERT_TRUE(memory_engine.Run(from_memory, memory).ok());
 
   auto listener = ListenOnLoopback(0);  // ephemeral port
   ASSERT_TRUE(listener.ok()) << listener.status();
@@ -235,17 +238,17 @@ TEST(SocketEdgeStreamTest, LoopbackProcessStreamBitIdenticalToMemory) {
   auto source = SocketEdgeStream::FromFd(*accepted);
   ASSERT_TRUE(source.ok());
 
-  core::ParallelTriangleCounter from_socket(options);
-  const Status streamed = from_socket.ProcessStream(**source);
+  engine::ParallelEstimator from_socket(options);
+  engine::StreamEngine socket_engine;
+  const Status streamed = socket_engine.Run(from_socket, **source);
   producer.join();
   ASSERT_TRUE(streamed.ok()) << streamed;
-  from_socket.Flush();
   EXPECT_EQ(from_socket.EstimateTriangles(), from_memory.EstimateTriangles());
   EXPECT_EQ(from_socket.EstimateWedges(), from_memory.EstimateWedges());
   EXPECT_EQ((*source)->edges_delivered(), el.size());
 }
 
-TEST(SocketEdgeStreamTest, ProducerDeathMidFrameFailsProcessStream) {
+TEST(SocketEdgeStreamTest, ProducerDeathMidFrameFailsEngineRun) {
   SocketPair pair;
   const auto edges = MakeEdges(500);
   char header[kTrisHeaderBytes];
@@ -266,12 +269,12 @@ TEST(SocketEdgeStreamTest, ProducerDeathMidFrameFailsProcessStream) {
   options.num_threads = 2;
   options.seed = 3;
   options.batch_size = 100;
-  core::ParallelTriangleCounter counter(options);
-  const Status streamed = counter.ProcessStream(**source);
+  engine::ParallelEstimator estimator(options);
+  engine::StreamEngine eng;
+  const Status streamed = eng.Run(estimator, **source);
   ASSERT_FALSE(streamed.ok());  // never a silent prefix estimate
   EXPECT_EQ(streamed.code(), StatusCode::kCorruptData);
-  counter.Flush();
-  EXPECT_EQ(counter.edges_processed(), 500u);
+  EXPECT_EQ(estimator.edges_processed(), 500u);
 }
 
 }  // namespace

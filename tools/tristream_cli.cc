@@ -4,6 +4,7 @@
 //   tristream_cli generate --dataset dblp --scale 0.02 --output g.tris
 //   tristream_cli stats    --input g.tris
 //   tristream_cli count    --input g.tris --estimators 131072 [--threads 2]
+//   tristream_cli count    --input g.tris --algo colorful --colors 16
 //   tristream_cli window   --input g.tris --window 100000
 //   tristream_cli live     --listen 7433 --window 100000
 //   tristream_cli sample   --input g.tris -k 10 --max-degree 500
@@ -16,6 +17,13 @@
 // buffered FILE reads. Output format still follows the extension
 // (".tris" = binary).
 //
+// `count --algo` selects any estimator behind the unified engine --
+// the paper's algorithm (tsb) or one of the baseline algorithms it is
+// evaluated against -- all driven by the same engine::StreamEngine, so
+// every algorithm sees identical ingest, batching, and failure
+// propagation. `--autotune` replaces the static batch-size default with
+// the engine's calibration sweep.
+//
 // `live` takes no file at all: it accepts one TCP connection on
 // 127.0.0.1:PORT, consumes TRIS-framed edge chunks (socket_stream.h) and
 // tracks the sliding-window triangle estimate as they arrive, printing a
@@ -23,16 +31,17 @@
 // mid-frame, bad frame) exits nonzero -- a live estimate over a silently
 // truncated feed is worse than no estimate.
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
 
-#include "core/parallel_counter.h"
-#include "core/sliding_window.h"
-#include "core/triangle_counter.h"
 #include "core/triangle_sampler.h"
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
 #include "gen/datasets.h"
 #include "graph/degree_stats.h"
 #include "stream/binary_io.h"
@@ -57,9 +66,12 @@ int Usage() {
       "           NAME: amazon dblp youtube livejournal orkut syndreg\n"
       "                 hepth syn3reg\n"
       "  stats    --input FILE\n"
-      "  count    --input FILE [--estimators N] [--seed N] [--batch W]\n"
-      "           [--threads T] [--pipeline 0|1] [--mmap 0|1]\n"
-      "           [--median-of-means]\n"
+      "  count    --input FILE [--algo A] [--estimators N] [--seed N]\n"
+      "           [--batch W] [--autotune] [--threads T] [--pipeline 0|1]\n"
+      "           [--mmap 0|1] [--median-of-means]\n"
+      "           [--vertices N (buriol)] [--max-degree D (jg)]\n"
+      "           [--colors C (colorful)]\n"
+      "           A: tsb (default) bulk buriol colorful jg first-edge\n"
       "  window   --input FILE --window W [--estimators N] [--seed N]\n"
       "  live     --listen PORT --window W [--estimators N] [--seed N]\n"
       "           [--report EDGES]\n"
@@ -68,7 +80,18 @@ int Usage() {
   return 2;
 }
 
-/// Minimal flag map: --name value pairs (plus -k).
+/// How a flag is spelled on the command line (everything is --name except
+/// the sample command's -k).
+std::string FlagSpelling(const std::string& name) {
+  return name == "k" ? "-k" : "--" + name;
+}
+
+/// Flags that take no value.
+bool IsBooleanFlag(const std::string& key) {
+  return key == "median-of-means" || key == "autotune";
+}
+
+/// Minimal flag map: --name value pairs (plus -k and boolean flags).
 std::map<std::string, std::string> ParseFlags(int argc, char** argv,
                                               int first) {
   std::map<std::string, std::string> flags;
@@ -82,12 +105,13 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
       std::fprintf(stderr, "unexpected argument '%s'\n", argv[i]);
       std::exit(2);
     }
-    if (key == "median-of-means") {
+    if (IsBooleanFlag(key)) {
       flags[key] = "1";
       continue;
     }
     if (i + 1 >= argc) {
-      std::fprintf(stderr, "flag --%s needs a value\n", key.c_str());
+      std::fprintf(stderr, "flag %s needs a value\n",
+                   FlagSpelling(key).c_str());
       std::exit(2);
     }
     flags[key] = argv[++i];
@@ -95,18 +119,49 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv,
   return flags;
 }
 
+/// Strict non-negative integer parse. A typo'd or out-of-range value
+/// ("--window 10x", "--listen banana", 21-digit counts) gets a
+/// diagnostic and the usage text instead of being silently misread.
 std::uint64_t FlagU64(const std::map<std::string, std::string>& flags,
                       const std::string& name, std::uint64_t fallback) {
   const auto it = flags.find(name);
-  return it == flags.end() ? fallback
-                           : std::strtoull(it->second.c_str(), nullptr, 10);
+  if (it == flags.end()) return fallback;
+  const std::string& text = it->second;
+  // strtoull alone is too forgiving: it skips whitespace, accepts a sign
+  // (wrapping "-1" to 2^64-1), and stops at the first bad character.
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    std::fprintf(stderr, "flag %s expects a non-negative integer, got '%s'\n",
+                 FlagSpelling(name).c_str(), text.c_str());
+    std::exit(Usage());
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    std::fprintf(stderr, "flag %s value '%s' is out of range\n",
+                 FlagSpelling(name).c_str(), text.c_str());
+    std::exit(Usage());
+  }
+  return value;
 }
 
+/// Strict finite-double parse, same contract as FlagU64.
 double FlagDouble(const std::map<std::string, std::string>& flags,
                   const std::string& name, double fallback) {
   const auto it = flags.find(name);
-  return it == flags.end() ? fallback
-                           : std::strtod(it->second.c_str(), nullptr);
+  if (it == flags.end()) return fallback;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size() ||
+      !std::isfinite(value) || errno == ERANGE) {
+    std::fprintf(stderr, "flag %s expects a finite number, got '%s'\n",
+                 FlagSpelling(name).c_str(), text.c_str());
+    std::exit(Usage());
+  }
+  return value;
 }
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
@@ -204,12 +259,46 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
 int CmdCount(const std::map<std::string, std::string>& flags) {
   const auto it = flags.find("input");
   if (it == flags.end()) return Usage();
-  // Unlike the offline commands, count never materializes the file: edges
-  // stream from the source straight into the sharded counter, overlapping
-  // I/O with absorption. (The dedup wrapper compacts admitted edges into
-  // the counter's batch buffers, so the mapping is zero-copy up to the
-  // filter; drop dedup-free ingest to the counter itself via the library
-  // API for the fully zero-copy path.)
+  const std::string algo =
+      flags.count("algo") ? flags.at("algo") : std::string("tsb");
+  if (algo == "window") {
+    // A windowed estimate describes only the last W edges; printing it in
+    // count's whole-stream format would mislead. The window/live commands
+    // own that output.
+    std::fprintf(stderr,
+                 "count estimates the whole stream; use the 'window' (or "
+                 "'live') command for sliding-window estimates\n");
+    return 2;
+  }
+  engine::EstimatorConfig config;
+  config.num_estimators = FlagU64(flags, "estimators", 1 << 17);
+  config.num_threads =
+      static_cast<std::uint32_t>(FlagU64(flags, "threads", 1));
+  config.seed = FlagU64(flags, "seed", 1);
+  config.batch_size = static_cast<std::size_t>(FlagU64(flags, "batch", 0));
+  // --pipeline 0 selects the legacy spawn-per-batch substrate (estimates
+  // are bit-identical; only throughput differs).
+  config.use_pipeline = FlagU64(flags, "pipeline", 1) != 0;
+  config.num_vertices =
+      static_cast<VertexId>(FlagU64(flags, "vertices", 0));
+  config.max_degree_bound = FlagU64(flags, "max-degree", 0);
+  config.num_colors =
+      static_cast<std::uint32_t>(FlagU64(flags, "colors", 8));
+  if (flags.count("median-of-means")) {
+    config.aggregation = core::Aggregation::kMedianOfMeans;
+  }
+  auto estimator = engine::MakeEstimator(algo, config);
+  if (!estimator.ok()) {
+    std::fprintf(stderr, "%s\n", estimator.status().ToString().c_str());
+    return 2;
+  }
+
+  // count never materializes the file: edges stream from the source
+  // straight into the estimator through the engine, overlapping I/O with
+  // absorption. (The dedup wrapper compacts admitted edges into the
+  // engine's batch buffers, so the mapping is zero-copy up to the filter;
+  // drop dedup-free ingest via the library API for the fully zero-copy
+  // path.)
   stream::EdgeSourceOptions source_options;
   source_options.prefer_mmap = FlagU64(flags, "mmap", 1) != 0;
   source_options.dedup = true;
@@ -222,41 +311,46 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
     return 1;
   }
   const auto source = std::move(*opened);
-  core::ParallelCounterOptions options;
-  options.num_estimators = FlagU64(flags, "estimators", 1 << 17);
-  options.num_threads =
-      static_cast<std::uint32_t>(FlagU64(flags, "threads", 1));
-  options.seed = FlagU64(flags, "seed", 1);
-  options.batch_size = static_cast<std::size_t>(FlagU64(flags, "batch", 0));
-  // --pipeline 0 selects the legacy spawn-per-batch substrate (estimates
-  // are bit-identical; only throughput differs).
-  options.use_pipeline = FlagU64(flags, "pipeline", 1) != 0;
-  if (flags.count("median-of-means")) {
-    options.aggregation = core::Aggregation::kMedianOfMeans;
-  }
-  core::ParallelTriangleCounter counter(options);
-  WallTimer timer;
-  const Status streamed = counter.ProcessStream(*source);
-  counter.Flush();
+
+  engine::StreamEngineOptions engine_options;
+  engine_options.batch_size = config.batch_size;
+  engine_options.autotune = flags.count("autotune") != 0;
+  engine::StreamEngine engine(engine_options);
+  const Status streamed = engine.Run(**estimator, *source);
   if (!streamed.ok()) {
     std::fprintf(stderr, "stream failed mid-read: %s\n",
                  streamed.ToString().c_str());
     return 1;
   }
-  const double tau = counter.EstimateTriangles();
-  const double secs = timer.Seconds();
-  const auto edges = counter.edges_processed();
+  const double tau = (*estimator)->EstimateTriangles();
+  const engine::StreamEngineMetrics& m = engine.metrics();
+  std::printf("algo            : %s\n", (*estimator)->name());
   std::printf("edges           : %llu\n",
-              static_cast<unsigned long long>(edges));
+              static_cast<unsigned long long>(m.edges));
   std::printf("triangles (est) : %.0f\n", tau);
-  std::printf("wedges (est)    : %.0f\n", counter.EstimateWedges());
-  std::printf("transitivity    : %.6f\n", counter.EstimateTransitivity());
-  std::printf("time            : %.3f s  (%.2f M edges/s, %u shard(s), %s)\n",
-              secs, static_cast<double>(edges) / secs / 1e6,
-              counter.num_shards(),
-              counter.pipelined() ? "pipelined" : "spawn-per-batch");
-  std::printf("io time         : %.3f s (%s ingest)\n", source->io_seconds(),
-              source_info.reader_name());
+  if ((*estimator)->has_wedge_estimates()) {
+    std::printf("wedges (est)    : %.0f\n", (*estimator)->EstimateWedges());
+    std::printf("transitivity    : %.6f\n",
+                (*estimator)->EstimateTransitivity());
+  }
+  std::string substrate;
+  if (auto* tsb =
+          dynamic_cast<engine::ParallelEstimator*>(estimator->get())) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), ", %u shard(s), %s",
+                  tsb->counter().num_shards(),
+                  tsb->counter().pipelined() ? "pipelined"
+                                             : "spawn-per-batch");
+    substrate = buf;
+  }
+  std::printf("time            : %.3f s  (%.2f M edges/s%s)\n",
+              m.total_seconds, m.edges_per_second() / 1e6,
+              substrate.c_str());
+  std::printf("batches         : %llu x %zu edges (%s)\n",
+              static_cast<unsigned long long>(m.batches), m.batch_size,
+              m.autotuned ? "autotuned" : "static");
+  std::printf("io/compute time : %.3f s / %.3f s (%s ingest)\n",
+              m.io_seconds, m.compute_seconds, source_info.reader_name());
   return 0;
 }
 
@@ -268,8 +362,15 @@ int CmdWindow(const std::map<std::string, std::string>& flags) {
   options.window_size = FlagU64(flags, "window", 1 << 16);
   options.num_estimators = FlagU64(flags, "estimators", 4096);
   options.seed = FlagU64(flags, "seed", 1);
-  core::SlidingWindowTriangleCounter counter(options);
-  counter.ProcessEdges(el.edges());
+  engine::SlidingWindowEstimator estimator(options);
+  stream::MemoryEdgeStream source(el);
+  engine::StreamEngine engine;
+  if (Status s = engine.Run(estimator, source); !s.ok()) {
+    std::fprintf(stderr, "stream failed mid-read: %s\n",
+                 s.ToString().c_str());
+    return 1;
+  }
+  const core::SlidingWindowTriangleCounter& counter = estimator.counter();
   std::printf("window edges        : %llu\n",
               static_cast<unsigned long long>(counter.window_edge_count()));
   std::printf("window triangles    : %.0f\n", counter.EstimateTriangles());
@@ -285,7 +386,7 @@ int CmdLive(const std::map<std::string, std::string>& flags) {
   options.window_size = FlagU64(flags, "window", 1 << 16);
   options.num_estimators = FlagU64(flags, "estimators", 4096);
   options.seed = FlagU64(flags, "seed", 1);
-  core::SlidingWindowTriangleCounter counter(options);
+  engine::SlidingWindowEstimator estimator(options);
 
   const std::uint64_t port = FlagU64(flags, "listen", 0);
   if (port > 65535) {
@@ -319,27 +420,25 @@ int CmdLive(const std::map<std::string, std::string>& flags) {
     return 1;
   }
 
-  // Consume batch by batch (rather than one ProcessStream call) so the
-  // monitor can report while the producer is still sending.
-  const std::uint64_t report_every = FlagU64(flags, "report", 100000);
-  std::uint64_t next_report = report_every;
+  // The engine's reporting hook replaces the old hand-rolled NextBatch
+  // loop: the monitor reports while the producer is still sending.
   std::printf("%12s  %16s  %14s\n", "edge#", "window triangles",
               "transitivity");
-  std::vector<Edge> batch;
-  while ((*source)->NextBatch(4096, &batch) > 0) {
-    counter.ProcessEdges(batch);
-    if (report_every > 0 && counter.edges_seen() >= next_report) {
-      std::printf("%12llu  %16.0f  %14.6f\n",
-                  static_cast<unsigned long long>(counter.edges_seen()),
-                  counter.EstimateTriangles(),
-                  counter.EstimateTransitivity());
-      while (next_report <= counter.edges_seen()) next_report += report_every;
-    }
-  }
-  if (const Status s = (*source)->status(); !s.ok()) {
+  engine::StreamEngineOptions engine_options;
+  engine_options.report_every_edges = FlagU64(flags, "report", 100000);
+  engine_options.on_report = [](engine::StreamingEstimator& est,
+                                const engine::StreamEngineMetrics&) {
+    std::printf("%12llu  %16.0f  %14.6f\n",
+                static_cast<unsigned long long>(est.edges_processed()),
+                est.EstimateTriangles(), est.EstimateTransitivity());
+  };
+  engine::StreamEngine engine(engine_options);
+  const Status streamed = engine.Run(estimator, **source);
+  const core::SlidingWindowTriangleCounter& counter = estimator.counter();
+  if (!streamed.ok()) {
     std::fprintf(stderr, "live stream failed after %llu edges: %s\n",
                  static_cast<unsigned long long>(counter.edges_seen()),
-                 s.ToString().c_str());
+                 streamed.ToString().c_str());
     return 1;
   }
   std::printf("feed closed cleanly after %llu edges\n",
