@@ -1,0 +1,305 @@
+// Topology-substrate benchmark: what pinning and per-node batch staging
+// buy the sharded counter, plus a measured cross-node memory-latency
+// ratio so the numbers are interpretable on any machine.
+//
+// This is an engineering benchmark (no paper figure). Three sections:
+//
+//   1. Topology report: nodes and cpus as the substrate detected them.
+//   2. Latency probe: a pointer chase over a buffer first-touched on the
+//      first node, timed from a thread pinned to the first node (local)
+//      and to the last node (remote). remote/local ~ 1.0 on single-node
+//      machines, and is the factor NUMA placement is fighting on
+//      multi-node ones -- without it, a "pinning won X%" row cannot be
+//      read across machines.
+//   3. Throughput matrix over the dblp workload: {unpinned, pinned} x
+//      {broadcast, local staging}. On a single-node host the local-
+//      staging rows degrade to broadcast (staging needs >1 node), so the
+//      matrix collapses to pinning cost/benefit; a final
+//      "virtual-staging" row forces a fake 2-node topology to price the
+//      staging copies themselves even on one socket.
+//
+// Estimates are asserted bit-identical across every configuration
+// (placement is scheduling, not semantics); the exit code reflects that
+// assert only -- throughput rows are data, not gates.
+//
+// Output: human-readable table on stderr, one machine-readable JSON
+// document on stdout (for BENCH_*.json trajectory tracking). Extra knobs
+// on top of the standard bench env vars:
+//   TRISTREAM_BENCH_R        total estimators        (default 4096)
+//   TRISTREAM_BENCH_BATCH    shared batch size w     (default 4096)
+//   TRISTREAM_BENCH_THREADS  pool threads            (default 4)
+//   TRISTREAM_BENCH_LATENCY_MB  latency-probe buffer (default 32 MiB)
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/parallel_counter.h"
+#include "engine/estimators.h"
+#include "util/rng.h"
+#include "util/topology.h"
+
+namespace {
+
+using namespace tristream;
+
+struct LatencyResult {
+  double local_ns = 0.0;
+  double remote_ns = 0.0;
+  double ratio = 1.0;
+  bool cross_node = false;  // probe actually crossed nodes
+  bool pinned = false;      // every probe pin was accepted by the kernel
+};
+
+/// Shuffled-cycle pointer chase: each hop is a dependent cache-missing
+/// load, so hops/second is memory latency, not bandwidth.
+double ChaseNsPerHop(const std::vector<std::uint64_t>& next,
+                     std::uint64_t hops) {
+  WallTimer timer;
+  std::uint64_t i = 0;
+  for (std::uint64_t h = 0; h < hops; ++h) i = next[i];
+  const double seconds = timer.Seconds();
+  // Defeat dead-code elimination: the final index depends on every hop,
+  // and a volatile store cannot be removed (an empty fprintf can).
+  static volatile std::uint64_t sink;
+  sink = i;
+  return seconds * 1e9 / static_cast<double>(hops);
+}
+
+/// Runs the pointer chase from a thread pinned to `cpu`; the buffer was
+/// first-touched elsewhere, so this measures that node's view of it.
+/// Best of several repetitions: latency is a floor, so the minimum sheds
+/// scheduler/frequency noise that a mean would fold in.
+double ChaseFromCpu(const std::vector<std::uint64_t>& next, int cpu,
+                    std::uint64_t hops, bool* pin_ok) {
+  double ns = 0.0;
+  std::thread probe([&] {
+    // A rejected pin (restricted cpuset) leaves the chase on an
+    // arbitrary cpu; the caller must then not present the result as a
+    // cross-node measurement.
+    *pin_ok = PinCurrentThreadToCpu(cpu) && *pin_ok;
+    ChaseNsPerHop(next, hops);  // warm-up: page walks, TLB, cpu wake-up
+    ns = ChaseNsPerHop(next, hops);
+    for (int rep = 0; rep < 2; ++rep) {
+      ns = std::min(ns, ChaseNsPerHop(next, hops));
+    }
+  });
+  probe.join();
+  return ns;
+}
+
+LatencyResult MeasureCrossNodeLatency(const Topology& topo) {
+  const std::size_t mb = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             bench::EnvU64("TRISTREAM_BENCH_LATENCY_MB", 32)));
+  const std::size_t entries = mb * (1 << 20) / sizeof(std::uint64_t);
+  const int local_cpu = topo.nodes().front().cpus.front();
+  const int remote_cpu = topo.nodes().back().cpus.front();
+
+  // Build the shuffled cycle on a thread pinned to the first node, so
+  // first-touch places the pages there (deterministic permutation: the
+  // bench seed drives it).
+  bool pin_ok = true;
+  std::vector<std::uint64_t> next;
+  std::thread builder([&] {
+    pin_ok = PinCurrentThreadToCpu(local_cpu) && pin_ok;
+    std::vector<std::uint64_t> order(entries);
+    std::iota(order.begin(), order.end(), 0u);
+    Rng rng(bench::BenchSeed() * 1000003 + 7);
+    for (std::size_t i = entries - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::uint64_t>(i)));
+      std::swap(order[i], order[j]);
+    }
+    next.assign(entries, 0);
+    for (std::size_t i = 0; i + 1 < entries; ++i) {
+      next[order[i]] = order[i + 1];
+    }
+    next[order[entries - 1]] = order[0];
+  });
+  builder.join();
+
+  const std::uint64_t hops = std::max<std::uint64_t>(entries, 1 << 20);
+  LatencyResult out;
+  out.local_ns = ChaseFromCpu(next, local_cpu, hops, &pin_ok);
+  out.remote_ns = ChaseFromCpu(next, remote_cpu, hops, &pin_ok);
+  out.pinned = pin_ok;
+  // Only a ratio measured with every pin in place actually crossed the
+  // interconnect.
+  out.cross_node = topo.num_nodes() > 1 && pin_ok;
+  out.ratio = out.local_ns > 0.0 ? out.remote_ns / out.local_ns : 1.0;
+  return out;
+}
+
+struct Measurement {
+  std::string mode;
+  bool pinned = false;
+  bool local_staging = false;
+  bool virtual_nodes = false;
+  double median_seconds = 0.0;
+  double meps = 0.0;
+  double triangles = 0.0;
+  double wedges = 0.0;
+};
+
+Measurement RunOne(const bench::DatasetInstance& instance, std::uint64_t r,
+                   std::size_t batch, std::uint32_t threads, int trials,
+                   const std::string& mode, bool pin, bool local_staging,
+                   const Topology& override_topo) {
+  Measurement out;
+  out.mode = mode;
+  out.pinned = pin;
+  out.local_staging = local_staging;
+  out.virtual_nodes = !override_topo.empty();
+  std::vector<double> seconds;
+  for (int trial = 0; trial < trials; ++trial) {
+    core::ParallelCounterOptions options;
+    options.num_estimators = r;
+    options.num_threads = threads;
+    options.seed = bench::BenchSeed() * 7919 + 13;  // fixed across modes
+    options.batch_size = batch;
+    options.topology.pin_threads = pin;
+    options.topology.override_topology = override_topo;
+    engine::ParallelEstimator estimator(options);
+    stream::MemoryEdgeStream source(instance.stream);
+    engine::StreamEngineOptions engine_options;
+    engine_options.batch_size = batch;
+    // The memory source has stable views, so local staging only happens
+    // through the opt-in replica; broadcast rows leave it off.
+    engine_options.replicate_stable_views = local_staging;
+    engine::StreamEngine eng(engine_options);
+    WallTimer timer;
+    const Status streamed = eng.Run(estimator, source);
+    seconds.push_back(timer.Seconds());
+    TRISTREAM_CHECK(streamed.ok()) << streamed;
+    out.triangles = estimator.EstimateTriangles();
+    out.wedges = estimator.EstimateWedges();
+  }
+  out.median_seconds = Median(seconds);
+  if (out.median_seconds > 0.0) {
+    out.meps = static_cast<double>(instance.stream.size()) /
+               out.median_seconds / 1e6;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tristream;
+  const std::uint64_t r = bench::EnvU64("TRISTREAM_BENCH_R", 4096);
+  const std::size_t batch =
+      static_cast<std::size_t>(bench::EnvU64("TRISTREAM_BENCH_BATCH", 4096));
+  const std::uint32_t threads = static_cast<std::uint32_t>(
+      bench::EnvU64("TRISTREAM_BENCH_THREADS", 4));
+  const int trials = bench::BenchTrials();
+
+  const Topology topo = Topology::Detect();
+  std::fprintf(stderr,
+               "numa topology sweep: pinning x batch staging on the "
+               "pipelined sharded counter\n"
+               "r=%llu batch=%zu threads=%u trials=%d scale=%.3g\n",
+               static_cast<unsigned long long>(r), batch, threads, trials,
+               bench::BenchScale());
+  std::fprintf(stderr, "topology: %zu node(s), %zu cpu(s)\n",
+               topo.num_nodes(), topo.num_cpus());
+  for (const NumaNode& node : topo.nodes()) {
+    std::fprintf(stderr, "  node%d: %zu cpu(s)\n", node.id,
+                 node.cpus.size());
+  }
+
+  const LatencyResult latency = MeasureCrossNodeLatency(topo);
+  std::fprintf(stderr,
+               "latency probe: local %.1f ns/hop, %s %.1f ns/hop "
+               "(ratio %.2fx)\n",
+               latency.local_ns,
+               latency.cross_node ? "remote" : "same-node rerun",
+               latency.remote_ns, latency.ratio);
+
+  const auto instance = bench::MakeInstance(gen::DatasetId::kDblp);
+  std::fprintf(stderr, "dataset=dblp edges=%zu\n\n", instance.stream.size());
+  std::fprintf(stderr, "%20s | %12s | %12s | %9s\n", "mode", "seconds",
+               "Medges/s", "vs base");
+
+  // The four real configurations, plus the forced-staging diagnostic: a
+  // fake topology splitting the real cpu list in two prices the staging
+  // copies even on one socket (its "nodes" share the socket, so any
+  // slowdown vs pinned-broadcast is pure staging overhead).
+  std::vector<Measurement> results;
+  results.push_back(RunOne(instance, r, batch, threads, trials,
+                           "unpinned-broadcast", false, false, {}));
+  results.push_back(RunOne(instance, r, batch, threads, trials,
+                           "pinned-broadcast", true, false, {}));
+  results.push_back(RunOne(instance, r, batch, threads, trials,
+                           "unpinned-local", false, true, {}));
+  results.push_back(RunOne(instance, r, batch, threads, trials,
+                           "pinned-local", true, true, {}));
+  {
+    std::vector<int> cpus;
+    for (const NumaNode& node : topo.nodes()) {
+      cpus.insert(cpus.end(), node.cpus.begin(), node.cpus.end());
+    }
+    std::vector<NumaNode> halves(2);
+    halves[0].id = 0;
+    halves[1].id = 1;
+    for (std::size_t i = 0; i < cpus.size(); ++i) {
+      halves[i < (cpus.size() + 1) / 2 ? 0 : 1].cpus.push_back(cpus[i]);
+    }
+    if (halves[1].cpus.empty()) halves[1].cpus = halves[0].cpus;
+    results.push_back(RunOne(instance, r, batch, threads, trials,
+                             "virtual-2node-local", true, true,
+                             Topology::FromNodes(std::move(halves))));
+  }
+
+  bool bit_identical = true;
+  const Measurement& base = results.front();
+  for (const Measurement& m : results) {
+    if (m.triangles != base.triangles || m.wedges != base.wedges) {
+      bit_identical = false;
+      std::fprintf(stderr, "ERROR: estimates diverge in mode %s!\n",
+                   m.mode.c_str());
+    }
+    std::fprintf(stderr, "%20s | %12.4f | %12.2f | %8.2fx\n", m.mode.c_str(),
+                 m.median_seconds, m.meps,
+                 base.median_seconds > 0.0
+                     ? base.median_seconds / m.median_seconds
+                     : 0.0);
+  }
+
+  // Machine-readable trajectory record.
+  std::printf("{\n");
+  std::printf("  \"bench\": \"numa_topology\",\n");
+  std::printf("  \"dataset\": \"dblp\",\n");
+  std::printf("  \"edges\": %zu,\n", instance.stream.size());
+  std::printf("  \"estimators\": %llu,\n", static_cast<unsigned long long>(r));
+  std::printf("  \"batch_size\": %zu,\n", batch);
+  std::printf("  \"threads\": %u,\n", threads);
+  std::printf("  \"trials\": %d,\n", trials);
+  std::printf("  \"nodes\": %zu,\n", topo.num_nodes());
+  std::printf("  \"cpus\": %zu,\n", topo.num_cpus());
+  std::printf("  \"latency\": {\"local_ns\": %.2f, \"remote_ns\": %.2f, "
+              "\"remote_over_local\": %.4f, \"cross_node\": %s, "
+              "\"pinned\": %s},\n",
+              latency.local_ns, latency.remote_ns, latency.ratio,
+              latency.cross_node ? "true" : "false",
+              latency.pinned ? "true" : "false");
+  std::printf("  \"bit_identical\": %s,\n", bit_identical ? "true" : "false");
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Measurement& m = results[i];
+    std::printf("    {\"mode\": \"%s\", \"pinned\": %s, "
+                "\"local_staging\": %s, \"virtual_nodes\": %s, "
+                "\"seconds\": %.6f, \"meps\": %.4f}%s\n",
+                m.mode.c_str(), m.pinned ? "true" : "false",
+                m.local_staging ? "true" : "false",
+                m.virtual_nodes ? "true" : "false", m.median_seconds, m.meps,
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return bit_identical ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 // Parallel-substrate scaling sweep: ingest throughput of the sharded
-// counter at 1..8 threads, pooled/pipelined execution vs the legacy
-// spawn-a-thread-per-shard-per-batch baseline at equal batch size.
+// counter at 1..8 threads, pooled/pipelined execution (unpinned and with
+// topology pinning) vs the legacy spawn-a-thread-per-shard-per-batch
+// baseline at equal batch size.
 //
 // This is an engineering benchmark (no paper figure): it tracks the
 // per-edge constant the pipeline attacks -- thread-creation cost per
@@ -37,6 +38,7 @@ using namespace tristream;
 struct Measurement {
   std::uint32_t threads = 0;
   bool pipelined = false;
+  bool pinned = false;
   double median_seconds = 0.0;
   double meps = 0.0;  // million edges/second, ingest + final flush
   double triangles = 0.0;
@@ -45,11 +47,12 @@ struct Measurement {
 
 Measurement RunOne(const bench::DatasetInstance& instance, std::uint64_t r,
                    std::size_t batch, std::uint32_t threads, bool pipeline,
-                   int trials) {
+                   bool pin, int trials) {
   std::vector<double> seconds;
   Measurement out;
   out.threads = threads;
   out.pipelined = pipeline;
+  out.pinned = pin;
   for (int trial = 0; trial < trials; ++trial) {
     core::ParallelCounterOptions options;
     options.num_estimators = r;
@@ -57,6 +60,7 @@ Measurement RunOne(const bench::DatasetInstance& instance, std::uint64_t r,
     options.seed = bench::BenchSeed() * 7919 + 13;  // fixed across modes
     options.batch_size = batch;
     options.use_pipeline = pipeline;
+    options.topology.pin_threads = pin;
     engine::ParallelEstimator estimator(options);
     WallTimer timer;
     bench::RunThroughEngine(estimator, instance.stream, batch);
@@ -100,20 +104,31 @@ int main() {
   std::vector<Measurement> results;
   bool bit_identical = true;
   for (std::uint32_t threads = 1; threads <= max_threads; threads *= 2) {
-    const Measurement spawn =
-        RunOne(instance, r, batch, threads, /*pipeline=*/false, trials);
-    const Measurement pooled =
-        RunOne(instance, r, batch, threads, /*pipeline=*/true, trials);
-    // Same (seed, threads) => the substrates must agree to the last bit.
+    const Measurement spawn = RunOne(instance, r, batch, threads,
+                                     /*pipeline=*/false, /*pin=*/false,
+                                     trials);
+    const Measurement pooled = RunOne(instance, r, batch, threads,
+                                      /*pipeline=*/true, /*pin=*/false,
+                                      trials);
+    // Pinned rows track the topology substrate (PR 5) in the same
+    // trajectory as the PR 1 spawn-vs-pipeline numbers.
+    const Measurement pinned = RunOne(instance, r, batch, threads,
+                                      /*pipeline=*/true, /*pin=*/true,
+                                      trials);
+    // Same (seed, threads) => all substrates must agree to the last bit.
     if (spawn.triangles != pooled.triangles ||
-        spawn.wedges != pooled.wedges) {
+        spawn.wedges != pooled.wedges ||
+        spawn.triangles != pinned.triangles ||
+        spawn.wedges != pinned.wedges) {
       bit_identical = false;
       std::fprintf(stderr, "ERROR: estimates diverge at %u threads!\n",
                    threads);
     }
-    for (const Measurement& m : {spawn, pooled}) {
+    for (const Measurement& m : {spawn, pooled, pinned}) {
       std::fprintf(stderr, "%8u | %10s | %12.4f | %12.2f | %8.2fx\n",
-                   m.threads, m.pipelined ? "pipeline" : "spawn",
+                   m.threads,
+                   !m.pipelined ? "spawn"
+                                : (m.pinned ? "pinned" : "pipeline"),
                    m.median_seconds, m.meps,
                    spawn.median_seconds > 0.0
                        ? spawn.median_seconds / m.median_seconds
@@ -121,6 +136,7 @@ int main() {
     }
     results.push_back(spawn);
     results.push_back(pooled);
+    results.push_back(pinned);
   }
 
   // Machine-readable trajectory record.
@@ -136,10 +152,10 @@ int main() {
   std::printf("  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const Measurement& m = results[i];
-    std::printf("    {\"threads\": %u, \"mode\": \"%s\", "
+    std::printf("    {\"threads\": %u, \"mode\": \"%s\", \"pinned\": %s, "
                 "\"seconds\": %.6f, \"meps\": %.4f}%s\n",
                 m.threads, m.pipelined ? "pipeline" : "spawn",
-                m.median_seconds, m.meps,
+                m.pinned ? "true" : "false", m.median_seconds, m.meps,
                 i + 1 < results.size() ? "," : "");
   }
   std::printf("  ]\n}\n");

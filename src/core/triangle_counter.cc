@@ -280,8 +280,12 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
       [&](std::size_t j, const Edge& e) {  // EVENTA: closing-edge check
         const std::uint32_t* head = closers_.Find(e.Key());
         if (head == nullptr || *head == 0) return;
+#ifndef NDEBUG
+        // Only the DCHECK below reads pos; release builds skip the
+        // computation entirely (the NDEBUG DCHECK never evaluates its
+        // argument).
         const std::uint64_t pos = m_before + j;
-        (void)pos;
+#endif
         for (std::uint32_t i = *head - 1; i != kNil; i = closer_next_[i]) {
           ColdState& st = cold_[i];
           TRISTREAM_DCHECK(st.r2_pos < pos);

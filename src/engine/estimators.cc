@@ -14,6 +14,7 @@ Result<std::unique_ptr<StreamingEstimator>> MakeEstimator(
     o.median_groups = config.median_groups;
     o.batch_size = config.batch_size;
     o.use_pipeline = config.use_pipeline;
+    o.topology = config.topology;
     return std::unique_ptr<StreamingEstimator>(
         std::make_unique<ParallelEstimator>(o));
   }

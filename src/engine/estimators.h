@@ -38,6 +38,7 @@
 #include "core/triangle_counter.h"
 #include "engine/streaming_estimator.h"
 #include "util/status.h"
+#include "util/topology.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -87,6 +88,12 @@ class ParallelEstimator : public StreamingEstimator {
         counter_(std::make_unique<core::ParallelTriangleCounter>(options)) {}
 
   const char* name() const override { return "tsb"; }
+  /// Forwards the source traits so the counter's multi-node staging
+  /// policy can tell stable zero-copy views from engine staging buffers.
+  void BeginStream(const StreamSourceTraits& traits) override {
+    counter_->SetSourceTraits(traits.stable_views,
+                              traits.replicate_stable_views);
+  }
   /// Dispatches the view as one batch to every shard, zero-copy; may
   /// return while workers are still absorbing (the engine keeps the view
   /// alive until the next call, which is all the shards need).
@@ -277,6 +284,9 @@ struct EstimatorConfig {
   /// tsb only: shared batch size w (0 = 8r/threads).
   std::size_t batch_size = 0;
   bool use_pipeline = true;
+  /// tsb only: topology placement (pinning, NUMA detection, per-node
+  /// batch staging); see core::ParallelCounterOptions::topology.
+  TopologyOptions topology;
   /// window only.
   std::uint64_t window_size = 1 << 16;
   /// buriol only: the advance-known vertex universe (required, > 0).

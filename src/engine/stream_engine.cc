@@ -108,6 +108,13 @@ Status StreamEngine::Run(StreamingEstimator& estimator,
                          stream::EdgeStream& source) {
   metrics_ = StreamEngineMetrics{};
   const bool stable_views = source.stable_views();
+  // Announce the source's traits before the first batch so a
+  // placement-aware estimator can pick its staging policy (per-NUMA-node
+  // replicas vs. zero-copy broadcast) for this run's views.
+  StreamSourceTraits traits;
+  traits.stable_views = stable_views;
+  traits.replicate_stable_views = options_.replicate_stable_views;
+  estimator.BeginStream(traits);
   const double io_before = source.io_seconds();
   std::size_t w = options_.batch_size;
   if (w == 0) w = estimator.preferred_batch_size();

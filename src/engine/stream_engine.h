@@ -82,6 +82,18 @@ struct StreamEngineOptions {
   /// {4K, 16K, 64K} plus the estimator's preferred size.
   std::vector<std::size_t> autotune_candidates;
 
+  /// Topology staging opt-in, forwarded to the estimator through
+  /// StreamSourceTraits: a placement-aware estimator (the sharded
+  /// counter) then keeps a per-NUMA-node replica of each *stable* (mmap /
+  /// in-memory) batch instead of broadcasting one mapping across sockets.
+  /// Off by default: the replica costs one copy per node per batch and
+  /// only pays when remote-read bandwidth dominates; non-stable sources
+  /// (file reads, queues, sockets) are staged per node regardless, since
+  /// their batches land in a caller-side buffer anyway. No effect on
+  /// single-node topologies or estimates (staging is placement, not
+  /// semantics).
+  bool replicate_stable_views = false;
+
   /// When nonzero, on_report fires after any batch that crosses a multiple
   /// of this many edges -- the live-monitoring hook (progress rows,
   /// alerting) that used to force callers back onto manual loops.

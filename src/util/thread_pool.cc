@@ -1,14 +1,23 @@
 #include "util/thread_pool.h"
 
 #include "util/logging.h"
+#include "util/topology.h"
 
 namespace tristream {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, ThreadPoolOptions options) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
+  pinned_.assign(num_threads, 0);
   for (std::size_t slot = 0; slot < num_threads; ++slot) {
     workers_.emplace_back([this, slot] { WorkerLoop(slot); });
+    // Pin from here (not from the worker) so pinned_ is fully written
+    // before the constructor returns: no synchronization needed to read
+    // it, and the first dispatched generation already runs on-cpu.
+    if (slot < options.pin_cpus.size() && options.pin_cpus[slot] >= 0) {
+      pinned_[slot] =
+          PinThreadToCpu(workers_.back(), options.pin_cpus[slot]) ? 1 : 0;
+    }
   }
 }
 
@@ -34,6 +43,25 @@ void ThreadPool::Dispatch(std::function<void(std::size_t)> task) {
   work_cv_.notify_all();
 }
 
+void ThreadPool::SetTask(std::function<void(std::size_t)> task) {
+  TRISTREAM_CHECK(task != nullptr);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  task_ = std::move(task);
+}
+
+void ThreadPool::Dispatch() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return remaining_ == 0; });
+    TRISTREAM_CHECK(task_ != nullptr)
+        << "Dispatch() without a published task (SetTask first)";
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+}
+
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
@@ -47,7 +75,6 @@ bool ThreadPool::idle() const {
 void ThreadPool::WorkerLoop(std::size_t slot) {
   std::uint64_t seen_generation = 0;
   while (true) {
-    std::function<void(std::size_t)> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this, seen_generation] {
@@ -55,9 +82,13 @@ void ThreadPool::WorkerLoop(std::size_t slot) {
       });
       if (stop_) return;
       seen_generation = generation_;
-      task = task_;  // copy: all slots share one callable per generation
     }
-    task(slot);
+    // Invoke the shared callable in place: task_ is only (re)assigned
+    // while every worker is idle (remaining_ == 0), and this worker's
+    // decrement below is what lets the controller reach that state, so
+    // the callable cannot change under us. This keeps the per-batch hot
+    // path free of std::function copies on the workers too.
+    task_(slot);
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (--remaining_ == 0) {

@@ -12,6 +12,11 @@
 //     worker runs task(slot) exactly once. Dispatch returns immediately,
 //     so the caller can prepare the next batch while workers run (the
 //     double-buffered pipeline in core::ParallelTriangleCounter).
+//   * SetTask(task) + Dispatch() is the persistent-task mode for hot
+//     dispatch loops: the task is published once and every no-argument
+//     Dispatch() re-runs it for a new generation, so the steady state
+//     (one dispatch per edge batch) never constructs, moves, or
+//     heap-allocates a std::function.
 //   * Wait() blocks until every worker has finished the current generation
 //     (the batch-completion barrier). Dispatch on a busy pool implies
 //     Wait() first, so generations never overlap and slot k's work for
@@ -21,6 +26,14 @@
 // shard-local data needs no locking: it is touched only by its slot between
 // Dispatch and Wait, and only by the caller otherwise (the barrier provides
 // the synchronization edges both ways).
+//
+// Placement: ThreadPoolOptions::pin_cpus binds slot k to a fixed cpu
+// (util::Topology plans one cpu per slot, round-robin across NUMA nodes).
+// Because slot k's shard state is only ever touched by worker k, pinning
+// plus constructing the shard *inside a generation* (a construction
+// dispatch) first-touches its memory on the worker's own node -- the
+// node-local placement the sharded counter relies on. Pinning never
+// affects results, only where the work runs.
 
 #ifndef TRISTREAM_UTIL_THREAD_POOL_H_
 #define TRISTREAM_UTIL_THREAD_POOL_H_
@@ -35,13 +48,24 @@
 
 namespace tristream {
 
+/// Placement configuration for a pool's workers.
+struct ThreadPoolOptions {
+  /// Per-slot cpu binding: slot k is pinned to pin_cpus[k] when that entry
+  /// exists and is >= 0. Missing entries and -1 leave the slot unpinned.
+  /// A pin the kernel rejects (offline/nonexistent cpu) is dropped, not
+  /// fatal -- check pinned(slot).
+  std::vector<int> pin_cpus;
+};
+
 /// Fixed-size persistent worker pool executing one task per slot per
-/// generation. Not itself thread-safe: Dispatch/Wait must come from a
-/// single controller thread (the stream ingest thread).
+/// generation. Not itself thread-safe: Dispatch/Wait/SetTask must come
+/// from a single controller thread (the stream ingest thread).
 class ThreadPool {
  public:
-  /// Starts `num_threads` workers (at least 1).
-  explicit ThreadPool(std::size_t num_threads);
+  /// Starts `num_threads` workers (at least 1), applying any per-slot pins.
+  ThreadPool(std::size_t num_threads, ThreadPoolOptions options);
+  explicit ThreadPool(std::size_t num_threads)
+      : ThreadPool(num_threads, ThreadPoolOptions{}) {}
 
   /// Waits for any in-flight generation, then stops and joins all workers.
   ~ThreadPool();
@@ -52,11 +76,26 @@ class ThreadPool {
   /// Number of worker slots.
   std::size_t size() const { return workers_.size(); }
 
+  /// True when slot k was successfully bound to its requested cpu.
+  bool pinned(std::size_t slot) const { return pinned_[slot] != 0; }
+
   /// Publishes `task` as the next generation and wakes all workers; every
   /// worker runs task(slot_index) once. Returns without waiting for
   /// completion. If the previous generation is still running, blocks until
-  /// it finishes first (generations never overlap).
+  /// it finishes first (generations never overlap). The published task
+  /// also becomes the one Dispatch() reuses.
   void Dispatch(std::function<void(std::size_t)> task);
+
+  /// Stores `task` as the persistent task without running it; subsequent
+  /// Dispatch() calls re-run it, allocation-free. Blocks until the pool is
+  /// idle (the task may not change under a running generation).
+  void SetTask(std::function<void(std::size_t)> task);
+
+  /// Re-dispatches the most recently published task (via SetTask or
+  /// Dispatch(task)) as a new generation -- the hot path: no std::function
+  /// is constructed, moved, or copied. Requires a task to have been
+  /// published.
+  void Dispatch();
 
   /// Blocks until the current generation (if any) has fully completed.
   /// After Wait() returns, all effects of the dispatched tasks are visible
@@ -70,9 +109,14 @@ class ThreadPool {
   void WorkerLoop(std::size_t slot);
 
   std::vector<std::thread> workers_;
+  /// Written once in the constructor, read-only afterwards.
+  std::vector<char> pinned_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // signals workers: new generation/stop
   std::condition_variable done_cv_;  // signals controller: generation done
+  /// The published task. Written only while the pool is idle (all workers
+  /// blocked in wait), so workers may invoke it in place -- no per-worker,
+  /// per-generation copy.
   std::function<void(std::size_t)> task_;
   std::uint64_t generation_ = 0;  // bumped once per Dispatch
   std::size_t remaining_ = 0;     // workers still running this generation

@@ -1,17 +1,20 @@
 // Tests for the persistent worker pool: every slot runs exactly once per
-// generation, Wait() is a real barrier, generations never overlap, and the
+// generation, Wait() is a real barrier, generations never overlap, the
 // pool survives many small generations (the workload shape the parallel
-// counter produces).
+// counter produces), slots can be pinned to cpus, and the persistent-task
+// mode re-runs a published task without reconstructing it.
 
 #include "util/thread_pool.h"
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "util/topology.h"
 
 namespace tristream {
 namespace {
@@ -108,6 +111,99 @@ TEST(ThreadPoolTest, DestructorDrainsInFlightWork) {
     // No Wait(): the destructor must drain the generation before joining.
   }
   EXPECT_EQ(done.load(), 2);
+}
+
+TEST(ThreadPoolTest, PersistentTaskReRunsWithoutRepublishing) {
+  // The hot dispatch path of the parallel counter: publish the absorb
+  // task once, then Dispatch() once per batch with no std::function
+  // traffic at all.
+  constexpr std::size_t kSlots = 3;
+  constexpr std::uint64_t kGenerations = 400;
+  ThreadPool pool(kSlots);
+  std::vector<std::uint64_t> counts(kSlots, 0);
+  pool.SetTask([&counts](std::size_t slot) { ++counts[slot]; });
+  for (std::uint64_t gen = 0; gen < kGenerations; ++gen) pool.Dispatch();
+  pool.Wait();
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    EXPECT_EQ(counts[slot], kGenerations) << "slot " << slot;
+  }
+}
+
+TEST(ThreadPoolTest, DispatchReusesMostRecentlyPublishedTask) {
+  // A one-shot Dispatch(task) (the counter's reduction generation)
+  // replaces the published task; Dispatch() afterwards re-runs the new
+  // one until the next publication.
+  ThreadPool pool(2);
+  std::atomic<int> a{0};
+  std::atomic<int> b{0};
+  pool.SetTask([&a](std::size_t) { ++a; });
+  pool.Dispatch();                           // a: 2
+  pool.Dispatch([&b](std::size_t) { ++b; });  // b: 2
+  pool.Dispatch();                           // b: 4
+  pool.SetTask([&a](std::size_t) { ++a; });
+  pool.Dispatch();                           // a: 4
+  pool.Wait();
+  EXPECT_EQ(a.load(), 4);
+  EXPECT_EQ(b.load(), 4);
+}
+
+TEST(ThreadPoolTest, ConstructionGenerationBuildsSlotOwnedState) {
+  // The parallel counter's placement pattern: a first generation
+  // constructs each slot's state on its own worker (first-touch), later
+  // generations use it, and the caller reads it after the barrier.
+  constexpr std::size_t kSlots = 4;
+  ThreadPool pool(kSlots);
+  std::vector<std::unique_ptr<std::vector<std::uint64_t>>> state(kSlots);
+  pool.Dispatch([&state](std::size_t slot) {
+    state[slot] = std::make_unique<std::vector<std::uint64_t>>(128, 0);
+  });
+  pool.SetTask([&state](std::size_t slot) {
+    for (std::uint64_t& x : *state[slot]) x += slot + 1;
+  });
+  for (int gen = 0; gen < 10; ++gen) pool.Dispatch();
+  pool.Wait();
+  for (std::size_t slot = 0; slot < kSlots; ++slot) {
+    ASSERT_NE(state[slot], nullptr);
+    for (const std::uint64_t x : *state[slot]) {
+      EXPECT_EQ(x, 10 * (slot + 1));
+    }
+  }
+}
+
+TEST(ThreadPoolTest, PinsSlotsToRequestedCpus) {
+  // Pin every slot to a cpu we know is allowed -- the one this test is
+  // running on (a hardcoded cpu 0 would fail under restricted cpusets,
+  // e.g. docker --cpuset-cpus=2,3) -- and verify both the bookkeeping
+  // and where the tasks actually ran.
+  const int here = CurrentCpu();
+  if (here < 0) GTEST_SKIP() << "no affinity API on this platform";
+  ThreadPoolOptions options;
+  options.pin_cpus = {here, here, here};
+  ThreadPool pool(3, options);
+  std::vector<int> ran_on(3, -1);
+  pool.Dispatch([&ran_on](std::size_t slot) {
+    ran_on[slot] = CurrentCpu();
+  });
+  pool.Wait();
+  for (std::size_t slot = 0; slot < 3; ++slot) {
+    EXPECT_TRUE(pool.pinned(slot)) << "slot " << slot;
+    EXPECT_EQ(ran_on[slot], here) << "slot " << slot;
+  }
+}
+
+TEST(ThreadPoolTest, PartialAndInvalidPinsAreGraceful) {
+  // Slots beyond pin_cpus and slots pinned to -1 or an impossible cpu
+  // stay unpinned; the pool still works.
+  ThreadPoolOptions options;
+  options.pin_cpus = {0, -1, 100000};
+  ThreadPool pool(4, options);
+  EXPECT_FALSE(pool.pinned(1));
+  EXPECT_FALSE(pool.pinned(2));
+  EXPECT_FALSE(pool.pinned(3));
+  std::atomic<int> ran{0};
+  pool.Dispatch([&ran](std::size_t) { ++ran; });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 4);
 }
 
 TEST(ThreadPoolTest, ManyGenerationsStress) {

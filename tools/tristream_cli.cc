@@ -68,10 +68,16 @@ int Usage() {
       "  stats    --input FILE\n"
       "  count    --input FILE [--algo A] [--estimators N] [--seed N]\n"
       "           [--batch W] [--autotune] [--threads T] [--pipeline 0|1]\n"
+      "           [--pin 0|1] [--numa auto|off] [--numa-replicate]\n"
       "           [--mmap 0|1] [--median-of-means]\n"
       "           [--vertices N (buriol)] [--max-degree D (jg)]\n"
       "           [--colors C (colorful)]\n"
       "           A: tsb (default) bulk buriol colorful jg first-edge\n"
+      "           --pin 1 binds worker k to its planned core (round-robin\n"
+      "           across NUMA nodes); --numa off forces the single-node\n"
+      "           fallback; --numa-replicate stages a per-node copy of\n"
+      "           stable (mmap) batches too. Placement never changes\n"
+      "           estimates, only where the work runs.\n"
       "  window   --input FILE --window W [--estimators N] [--seed N]\n"
       "  live     --listen PORT --window W [--estimators N] [--seed N]\n"
       "           [--report EDGES]\n"
@@ -88,7 +94,8 @@ std::string FlagSpelling(const std::string& name) {
 
 /// Flags that take no value.
 bool IsBooleanFlag(const std::string& key) {
-  return key == "median-of-means" || key == "autotune";
+  return key == "median-of-means" || key == "autotune" ||
+         key == "numa-replicate";
 }
 
 /// Minimal flag map: --name value pairs (plus -k and boolean flags).
@@ -287,6 +294,21 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   if (flags.count("median-of-means")) {
     config.aggregation = core::Aggregation::kMedianOfMeans;
   }
+  // Topology placement (tsb only): --pin binds worker k to its planned
+  // core; --numa off degrades to the single-node substrate everywhere.
+  config.topology.pin_threads = FlagU64(flags, "pin", 0) != 0;
+  if (flags.count("numa")) {
+    const std::string& numa = flags.at("numa");
+    if (numa == "auto") {
+      config.topology.numa = TopologyOptions::Numa::kAuto;
+    } else if (numa == "off") {
+      config.topology.numa = TopologyOptions::Numa::kOff;
+    } else {
+      std::fprintf(stderr, "flag --numa expects 'auto' or 'off', got '%s'\n",
+                   numa.c_str());
+      return Usage();
+    }
+  }
   auto estimator = engine::MakeEstimator(algo, config);
   if (!estimator.ok()) {
     std::fprintf(stderr, "%s\n", estimator.status().ToString().c_str());
@@ -315,6 +337,7 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   engine::StreamEngineOptions engine_options;
   engine_options.batch_size = config.batch_size;
   engine_options.autotune = flags.count("autotune") != 0;
+  engine_options.replicate_stable_views = flags.count("numa-replicate") != 0;
   engine::StreamEngine engine(engine_options);
   const Status streamed = engine.Run(**estimator, *source);
   if (!streamed.ok()) {
@@ -336,11 +359,12 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   std::string substrate;
   if (auto* tsb =
           dynamic_cast<engine::ParallelEstimator*>(estimator->get())) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), ", %u shard(s), %s",
-                  tsb->counter().num_shards(),
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), ", %u shard(s) on %zu node(s), %s%s",
+                  tsb->counter().num_shards(), tsb->counter().num_nodes(),
                   tsb->counter().pipelined() ? "pipelined"
-                                             : "spawn-per-batch");
+                                             : "spawn-per-batch",
+                  tsb->counter().pinned() ? ", pinned" : "");
     substrate = buf;
   }
   std::printf("time            : %.3f s  (%.2f M edges/s%s)\n",
