@@ -1,0 +1,99 @@
+// Crash-safe estimator checkpoints: the TRICKPT container and its
+// atomic-persistence and resume helpers.
+//
+// Format (version 1), all integers little-endian:
+//
+//   [0..8)   magic "TRICKPT\0"
+//   [8..12)  u32 format version
+//   [12..16) u32 section count
+//   then per section:
+//            u32 section id
+//            u64 payload length
+//            payload bytes
+//            u32 CRC32C of the payload
+//
+// Section 1 ("meta") carries the estimator name, its config fingerprint,
+// the stream position (edges processed) and the engine batch size of the
+// run; section 2 ("state") is the estimator's opaque SaveState blob.
+// Decoding validates everything -- magic, version, section framing, CRCs,
+// name, fingerprint -- before any byte reaches RestoreState, so a torn or
+// bit-flipped file surfaces as CorruptData/InvalidArgument, never as a
+// silently wrong estimate.
+//
+// Persistence is torn-write-proof by construction: the new snapshot is
+// written to `path.tmp` and fsynced before any rename, then the previous
+// generation is kept as `path.prev` and the temp file renamed over `path`.
+// A crash at any instant leaves at least one complete, loadable snapshot;
+// LoadCheckpoint falls back to the previous generation automatically.
+
+#ifndef TRISTREAM_CKPT_CHECKPOINT_H_
+#define TRISTREAM_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engine/streaming_estimator.h"
+#include "stream/edge_stream.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace ckpt {
+
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// The container metadata, available without touching an estimator.
+struct CheckpointInfo {
+  std::string estimator;           // adapter name ("tsb", "bulk", "window")
+  std::uint64_t fingerprint = 0;   // StreamingEstimator::config_fingerprint
+  std::uint64_t edges_processed = 0;  // post-filter stream position
+  std::uint64_t batch_size = 0;    // engine fetch size w of the saved run
+};
+
+/// Serializes `estimator` into a TRICKPT blob. `batch_size` is the engine
+/// fetch size of the running job; resume pulls the stream in the same-sized
+/// batches so batch boundaries -- and hence batch-structured RNG
+/// trajectories -- replay identically.
+Result<std::string> EncodeCheckpoint(engine::StreamingEstimator& estimator,
+                                     std::uint64_t batch_size);
+
+/// Parses and fully validates the container (magic, version, framing, CRCs)
+/// without restoring into any estimator.
+Result<CheckpointInfo> InspectCheckpoint(std::string_view blob);
+
+/// InspectCheckpoint + name/fingerprint match against `estimator` +
+/// RestoreState. On failure the estimator may be partially mutated; Reset
+/// it before reuse.
+Result<CheckpointInfo> DecodeCheckpoint(std::string_view blob,
+                                        engine::StreamingEstimator& estimator);
+
+/// Atomically replaces `path` with `data`: write `path.tmp`, fsync, keep
+/// any existing snapshot as `path.prev`, rename `path.tmp` over `path`.
+Status WriteFileAtomic(const std::string& path, std::string_view data);
+
+/// EncodeCheckpoint + WriteFileAtomic.
+Status SaveCheckpoint(const std::string& path,
+                      engine::StreamingEstimator& estimator,
+                      std::uint64_t batch_size);
+
+/// Loads `path` (falling back to the retained `path.prev` generation when
+/// the primary is missing or corrupt) and restores into `estimator`.
+/// Returns kUnavailable when neither generation exists -- callers treat
+/// that as "no checkpoint yet, start fresh".
+Result<CheckpointInfo> LoadCheckpoint(const std::string& path,
+                                      engine::StreamingEstimator& estimator);
+
+/// Advances `source` until exactly `info.edges_processed` edges have been
+/// delivered, pulling batches of `info.batch_size` so stateful sources
+/// (dedup filters) and batch boundaries replay exactly as in the original
+/// run. InvalidArgument when the stream ends early or the position is not
+/// reachable on this source's batch boundaries.
+Status SkipToCheckpoint(stream::EdgeStream& source, const CheckpointInfo& info);
+
+/// The retained previous-generation path: `path` + ".prev".
+std::string PreviousGenerationPath(const std::string& path);
+
+}  // namespace ckpt
+}  // namespace tristream
+
+#endif  // TRISTREAM_CKPT_CHECKPOINT_H_

@@ -1,0 +1,26 @@
+// CRC32C (Castagnoli) checksums for checkpoint section framing.
+
+#ifndef TRISTREAM_CKPT_CRC32C_H_
+#define TRISTREAM_CKPT_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tristream {
+namespace ckpt {
+
+/// CRC32C of `data`, continuing from `crc` (pass 0 to start a new checksum).
+/// The Castagnoli polynomial detects all single-bit errors and all burst
+/// errors up to 32 bits, which is what makes the checkpoint byte-flip sweep
+/// in tests/ckpt exhaustive rather than probabilistic.
+std::uint32_t Crc32c(const void* data, std::size_t size, std::uint32_t crc = 0);
+
+inline std::uint32_t Crc32c(std::string_view data, std::uint32_t crc = 0) {
+  return Crc32c(data.data(), data.size(), crc);
+}
+
+}  // namespace ckpt
+}  // namespace tristream
+
+#endif  // TRISTREAM_CKPT_CRC32C_H_

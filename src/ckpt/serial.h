@@ -1,0 +1,188 @@
+// Byte-level serialization primitives for estimator checkpoints.
+//
+// ByteSink / ByteSource are the narrow waist between estimators and the
+// checkpoint container (ckpt/checkpoint.h): estimators write their state
+// as a flat little-endian byte string and read it back field by field,
+// with every read bounds-checked so a truncated or oversized blob turns
+// into CorruptData instead of undefined behavior. ConfigFingerprint hashes
+// the configuration knobs that determine an estimator's trajectory, so a
+// snapshot can refuse to restore into a differently-configured estimator.
+
+#ifndef TRISTREAM_CKPT_SERIAL_H_
+#define TRISTREAM_CKPT_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace ckpt {
+
+/// Append-only little-endian byte buffer. All integers are written
+/// fixed-width (no varints): estimator state is dominated by dense per-slot
+/// arrays where fixed framing keeps the offsets trivially auditable.
+class ByteSink {
+ public:
+  void WriteU8(std::uint8_t v) { buffer_.push_back(static_cast<char>(v)); }
+
+  void WriteU32(std::uint32_t v) { WriteLittleEndian(v, 4); }
+
+  void WriteU64(std::uint64_t v) { WriteLittleEndian(v, 8); }
+
+  /// IEEE-754 bit pattern; exact round trip, no text formatting loss.
+  void WriteDouble(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    WriteU64(bits);
+  }
+
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+
+  void WriteBytes(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+
+  /// Length-prefixed (u64) byte string; pairs with ByteSource::ReadBlobView.
+  void WriteBlob(std::string_view blob) {
+    WriteU64(blob.size());
+    buffer_.append(blob.data(), blob.size());
+  }
+
+  const std::string& data() const { return buffer_; }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  void WriteLittleEndian(std::uint64_t v, int bytes) {
+    for (int i = 0; i < bytes; ++i) {
+      buffer_.push_back(static_cast<char>(v & 0xff));
+      v >>= 8;
+    }
+  }
+
+  std::string buffer_;
+};
+
+/// Bounds-checked reader over a byte blob produced by ByteSink. Does not own
+/// the bytes; the underlying buffer must outlive the source (and any views
+/// handed out by ReadBlobView).
+class ByteSource {
+ public:
+  explicit ByteSource(std::string_view data) : data_(data) {}
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  Status ReadU8(std::uint8_t* out) {
+    TRISTREAM_RETURN_IF_ERROR(Require(1));
+    *out = static_cast<std::uint8_t>(data_[pos_++]);
+    return Status::Ok();
+  }
+
+  Status ReadU32(std::uint32_t* out) {
+    std::uint64_t wide;
+    TRISTREAM_RETURN_IF_ERROR(ReadLittleEndian(4, &wide));
+    *out = static_cast<std::uint32_t>(wide);
+    return Status::Ok();
+  }
+
+  Status ReadU64(std::uint64_t* out) { return ReadLittleEndian(8, out); }
+
+  Status ReadDouble(double* out) {
+    std::uint64_t bits;
+    TRISTREAM_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(out, &bits, sizeof(*out));
+    return Status::Ok();
+  }
+
+  Status ReadBool(bool* out) {
+    std::uint8_t byte;
+    TRISTREAM_RETURN_IF_ERROR(ReadU8(&byte));
+    if (byte > 1) {
+      return Status::CorruptData("checkpoint state: boolean byte is " +
+                                 std::to_string(byte));
+    }
+    *out = (byte != 0);
+    return Status::Ok();
+  }
+
+  /// Yields a view of the next `size` bytes without copying.
+  Status ReadView(std::uint64_t size, std::string_view* out) {
+    TRISTREAM_RETURN_IF_ERROR(Require(size));
+    *out = data_.substr(pos_, static_cast<std::size_t>(size));
+    pos_ += static_cast<std::size_t>(size);
+    return Status::Ok();
+  }
+
+  /// Zero-copy counterpart of ByteSink::WriteBlob: yields a view into this
+  /// source's underlying buffer.
+  Status ReadBlobView(std::string_view* out) {
+    std::uint64_t size;
+    TRISTREAM_RETURN_IF_ERROR(ReadU64(&size));
+    return ReadView(size, out);
+  }
+
+ private:
+  Status Require(std::uint64_t bytes) {
+    if (bytes > remaining()) {
+      return Status::CorruptData(
+          "checkpoint state truncated: need " + std::to_string(bytes) +
+          " more bytes, " + std::to_string(remaining()) + " left");
+    }
+    return Status::Ok();
+  }
+
+  Status ReadLittleEndian(int bytes, std::uint64_t* out) {
+    TRISTREAM_RETURN_IF_ERROR(Require(bytes));
+    std::uint64_t v = 0;
+    for (int i = bytes - 1; i >= 0; --i) {
+      v = (v << 8) | static_cast<std::uint8_t>(data_[pos_ + i]);
+    }
+    pos_ += bytes;
+    *out = v;
+    return Status::Ok();
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+/// Order-sensitive 64-bit hash of an estimator's configuration, built on the
+/// SplitMix64 finalizer. Mix every knob that shapes the estimator's RNG
+/// trajectory or state layout (r, seed, shard count, batch size, window);
+/// leave out knobs that only affect placement or reporting.
+class ConfigFingerprint {
+ public:
+  void Mix(std::uint64_t v) {
+    std::uint64_t s = state_ ^ v;
+    state_ = SplitMix64Next(s);
+  }
+
+  void Mix(std::string_view text) {
+    Mix(text.size());
+    std::uint64_t word = 0;
+    int packed = 0;
+    for (char c : text) {
+      word = (word << 8) | static_cast<unsigned char>(c);
+      if (++packed == 8) {
+        Mix(word);
+        word = 0;
+        packed = 0;
+      }
+    }
+    if (packed > 0) Mix(word);
+  }
+
+  std::uint64_t value() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0x7472696b7074ULL;  // "trickpt"
+};
+
+}  // namespace ckpt
+}  // namespace tristream
+
+#endif  // TRISTREAM_CKPT_SERIAL_H_

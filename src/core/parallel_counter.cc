@@ -350,6 +350,70 @@ void ParallelTriangleCounter::EnsureAggregates() {
   aggregates_valid_ = true;
 }
 
+void ParallelTriangleCounter::SaveState(ckpt::ByteSink& sink) {
+  // Quiesce: after the generation barrier no worker touches shard state,
+  // and the fill buffer is only ever touched by the caller. Deliberately
+  // no Flush() -- the partially filled buffer is serialized verbatim so
+  // the resumed run dispatches it at the same boundary the uninterrupted
+  // run would have.
+  WaitForInFlight();
+  sink.WriteU64(dispatched_edges_);
+  sink.WriteU64(shards_.size());
+  for (const auto& shard : shards_) {
+    ckpt::ByteSink blob;
+    shard->SaveState(blob);
+    sink.WriteBlob(blob.data());
+  }
+  const std::vector<Edge>& fill = buffers_[fill_];
+  sink.WriteU64(fill.size());
+  for (const Edge& e : fill) {
+    sink.WriteU32(e.u);
+    sink.WriteU32(e.v);
+  }
+}
+
+Status ParallelTriangleCounter::RestoreState(ckpt::ByteSource& source) {
+  WaitForInFlight();
+  aggregates_valid_ = false;
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&dispatched_edges_));
+  std::uint64_t shard_count = 0;
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&shard_count));
+  if (shard_count != shards_.size()) {
+    return Status::CorruptData(
+        "shard count mismatch: snapshot holds " + std::to_string(shard_count) +
+        " shards, this counter resolved " + std::to_string(shards_.size()) +
+        " (same num_threads required)");
+  }
+  for (auto& shard : shards_) {
+    std::string_view blob;
+    TRISTREAM_RETURN_IF_ERROR(source.ReadBlobView(&blob));
+    ckpt::ByteSource shard_source(blob);
+    TRISTREAM_RETURN_IF_ERROR(shard->RestoreState(shard_source));
+    if (!shard_source.exhausted()) {
+      return Status::CorruptData("shard blob has " +
+                                 std::to_string(shard_source.remaining()) +
+                                 " trailing bytes");
+    }
+  }
+  std::uint64_t fill_count = 0;
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&fill_count));
+  if (fill_count > source.remaining() / 8) {
+    return Status::CorruptData(
+        "fill-buffer edge count " + std::to_string(fill_count) +
+        " exceeds the bytes left in the snapshot");
+  }
+  std::vector<Edge>& fill = buffers_[fill_];
+  fill.clear();
+  fill.reserve(fill_count);
+  for (std::uint64_t i = 0; i < fill_count; ++i) {
+    Edge e;
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&e.u));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&e.v));
+    fill.push_back(e);
+  }
+  return Status::Ok();
+}
+
 double ParallelTriangleCounter::EstimateTriangles() {
   EnsureAggregates();
   return cached_triangles_;

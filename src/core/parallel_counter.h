@@ -185,6 +185,21 @@ class ParallelTriangleCounter {
   /// options.batch_size was 0).
   std::size_t batch_size() const { return batch_size_; }
 
+  /// Serializes the complete stream state as a sequence of per-shard
+  /// blobs plus the partially filled fill buffer. Waits for any in-flight
+  /// batch first (the same generation barrier every dispatch takes), so
+  /// calling between AbsorbBatchView calls is race-free; it does NOT flush
+  /// the fill buffer, which would create a batch boundary an uninterrupted
+  /// run never sees.
+  void SaveState(ckpt::ByteSink& sink);
+
+  /// Restores a SaveState blob. The counter must be configured with the
+  /// same (r, seed, num_threads) as the saver; the shard count is
+  /// re-validated here. Shard state is written in place, preserving each
+  /// shard's NUMA first-touch placement. On failure the state is
+  /// unspecified.
+  Status RestoreState(ckpt::ByteSource& source);
+
  private:
   /// Hands the current fill buffer to all shards and (in pipelined mode)
   /// returns as soon as the workers own it, swapping fill buffers.

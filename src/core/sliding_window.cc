@@ -1,6 +1,7 @@
 #include "core/sliding_window.h"
 
 #include <algorithm>
+#include <array>
 
 #include "util/logging.h"
 #include "util/stats.h"
@@ -103,6 +104,69 @@ double SlidingWindowTriangleCounter::MeanChainLength() const {
     total += static_cast<double>(chain.size());
   }
   return total / static_cast<double>(chains_.size());
+}
+
+void SlidingWindowTriangleCounter::SaveState(ckpt::ByteSink& sink) const {
+  sink.WriteU64(edges_seen_);
+  for (std::uint64_t word : rng_.state()) sink.WriteU64(word);
+  sink.WriteU64(chains_.size());
+  for (const auto& chain : chains_) {
+    sink.WriteU64(chain.size());
+    for (const ChainNode& node : chain) {
+      sink.WriteU32(node.edge.edge.u);
+      sink.WriteU32(node.edge.edge.v);
+      sink.WriteU64(node.edge.pos);
+      sink.WriteDouble(node.priority);
+      sink.WriteU32(node.r2.edge.u);
+      sink.WriteU32(node.r2.edge.v);
+      sink.WriteU64(node.r2.pos);
+      sink.WriteU64(node.c);
+      sink.WriteBool(node.has_triangle);
+    }
+  }
+}
+
+Status SlidingWindowTriangleCounter::RestoreState(ckpt::ByteSource& source) {
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&edges_seen_));
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) {
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&word));
+  }
+  rng_.SetState(rng_state);
+  std::uint64_t chain_count = 0;
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&chain_count));
+  if (chain_count != chains_.size()) {
+    return Status::CorruptData(
+        "estimator count mismatch: snapshot holds " +
+        std::to_string(chain_count) + " chains, this counter is configured "
+        "for " + std::to_string(chains_.size()));
+  }
+  // Serialized ChainNode: 2 edges (8B each + u64 pos) + priority + c + flag.
+  constexpr std::uint64_t kNodeBytes = 2 * 16 + 8 + 8 + 1;
+  for (auto& chain : chains_) {
+    std::uint64_t length = 0;
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&length));
+    if (length > source.remaining() / kNodeBytes) {
+      return Status::CorruptData(
+          "chain length " + std::to_string(length) +
+          " exceeds the bytes left in the snapshot");
+    }
+    chain.clear();
+    for (std::uint64_t i = 0; i < length; ++i) {
+      ChainNode node;
+      TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&node.edge.edge.u));
+      TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&node.edge.edge.v));
+      TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&node.edge.pos));
+      TRISTREAM_RETURN_IF_ERROR(source.ReadDouble(&node.priority));
+      TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&node.r2.edge.u));
+      TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&node.r2.edge.v));
+      TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&node.r2.pos));
+      TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&node.c));
+      TRISTREAM_RETURN_IF_ERROR(source.ReadBool(&node.has_triangle));
+      chain.push_back(node);
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace core

@@ -19,9 +19,11 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "core/neighborhood_sampler.h"
 #include "core/triangle_counter.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -82,6 +84,14 @@ class SlidingWindowTriangleCounter {
   const std::deque<ChainNode>& chain(std::size_t estimator) const {
     return chains_[estimator];
   }
+
+  /// Serializes the complete stream state (stream position, RNG position,
+  /// every estimator's suffix-minima chain with its level-2 state).
+  void SaveState(ckpt::ByteSink& sink) const;
+
+  /// Restores a SaveState blob into a counter configured with the same
+  /// (window, r, seed) options. On failure the state is unspecified.
+  Status RestoreState(ckpt::ByteSource& source);
 
  private:
   SlidingWindowOptions options_;

@@ -1,6 +1,7 @@
 #include "core/triangle_counter.h"
 
 #include <algorithm>
+#include <array>
 
 #include "core/bulk_engine.h"
 #include "util/logging.h"
@@ -410,6 +411,83 @@ const std::vector<EstimatorState>& TriangleCounter::estimators() {
     st.r2_pending = cold_[i].r2_pending;
   }
   return snapshot_;
+}
+
+void TriangleCounter::SaveState(ckpt::ByteSink& sink) const {
+  sink.WriteU64(applied_edges_);
+  for (std::uint64_t word : rng_.state()) sink.WriteU64(word);
+  sink.WriteU64(cold_.size());
+  for (std::size_t i = 0; i < cold_.size(); ++i) {
+    const ColdState& cs = cold_[i];
+    sink.WriteU32(cs.r1.u);
+    sink.WriteU32(cs.r1.v);
+    sink.WriteU64(r1_pos_[i]);
+    sink.WriteU64(c_[i]);
+    sink.WriteU32(cs.r2.u);
+    sink.WriteU32(cs.r2.v);
+    sink.WriteU64(cs.r2_pos);
+    sink.WriteU8(static_cast<std::uint8_t>((cs.has_triangle ? 1 : 0) |
+                                           (cs.r2_pending ? 2 : 0)));
+  }
+  sink.WriteU64(pending_.size());
+  for (const Edge& e : pending_) {
+    sink.WriteU32(e.u);
+    sink.WriteU32(e.v);
+  }
+}
+
+Status TriangleCounter::RestoreState(ckpt::ByteSource& source) {
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&applied_edges_));
+  std::array<std::uint64_t, 4> rng_state;
+  for (std::uint64_t& word : rng_state) {
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&word));
+  }
+  rng_.SetState(rng_state);
+  std::uint64_t count = 0;
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&count));
+  if (count != cold_.size()) {
+    return Status::CorruptData(
+        "estimator count mismatch: snapshot holds " + std::to_string(count) +
+        " estimators, this counter is configured for " +
+        std::to_string(cold_.size()));
+  }
+  // Overwrite the existing arrays in place: they are already sized r, and
+  // for NUMA-bound shards the restore must not disturb their first-touch
+  // page placement.
+  for (std::size_t i = 0; i < cold_.size(); ++i) {
+    ColdState& cs = cold_[i];
+    std::uint8_t flags = 0;
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&cs.r1.u));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&cs.r1.v));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&r1_pos_[i]));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&c_[i]));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&cs.r2.u));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&cs.r2.v));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&cs.r2_pos));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU8(&flags));
+    if (flags > 3) {
+      return Status::CorruptData("estimator " + std::to_string(i) +
+                                 " carries unknown flag bits");
+    }
+    cs.has_triangle = (flags & 1) != 0;
+    cs.r2_pending = (flags & 2) != 0;
+  }
+  std::uint64_t pending_count = 0;
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&pending_count));
+  if (pending_count > source.remaining() / 8) {
+    return Status::CorruptData(
+        "pending-edge count " + std::to_string(pending_count) +
+        " exceeds the bytes left in the snapshot");
+  }
+  pending_.clear();
+  pending_.reserve(pending_count);
+  for (std::uint64_t i = 0; i < pending_count; ++i) {
+    Edge e;
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&e.u));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&e.v));
+    pending_.push_back(e);
+  }
+  return Status::Ok();
 }
 
 TriangleCounter::MemoryStats TriangleCounter::ApproxMemoryUsage() const {

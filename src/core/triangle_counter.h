@@ -22,9 +22,11 @@
 #include <span>
 #include <vector>
 
+#include "ckpt/serial.h"
 #include "core/neighborhood_sampler.h"
 #include "util/flat_hash_map.h"
 #include "util/rng.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -196,6 +198,18 @@ class TriangleCounter {
 
   /// Effective batch size w in use.
   std::size_t batch_size() const { return batch_size_; }
+
+  /// Serializes the complete stream state -- RNG position, the SoA
+  /// estimator arrays, and the partially filled pending batch -- without
+  /// flushing (a flush would absorb a partial batch and perturb the RNG
+  /// trajectory relative to an uninterrupted run).
+  void SaveState(ckpt::ByteSink& sink) const;
+
+  /// Restores a SaveState blob into this counter. The counter must be
+  /// configured with the same (r, seed, batch, skip) options as the saver;
+  /// the estimator count is re-validated here, everything else by the
+  /// caller's config fingerprint. On failure the state is unspecified.
+  Status RestoreState(ckpt::ByteSource& source);
 
   /// Memory accounting, mirroring the paper's Sec. 4.3 discussion
   /// (estimator state vs. transient per-batch working space).

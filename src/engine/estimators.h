@@ -32,6 +32,7 @@
 
 #include "baseline/buriol.h"
 #include "baseline/colorful.h"
+#include "ckpt/serial.h"
 #include "baseline/jowhari_ghodsi.h"
 #include "core/parallel_counter.h"
 #include "core/sliding_window.h"
@@ -70,6 +71,27 @@ class BulkEstimator : public StreamingEstimator {
   }
   std::size_t preferred_batch_size() const override {
     return counter_->batch_size();
+  }
+  bool checkpointable() const override { return true; }
+  /// Everything that shapes the counter's RNG trajectory or state layout;
+  /// the resolved batch size stands in for options_.batch_size == 0.
+  std::uint64_t config_fingerprint() const override {
+    ckpt::ConfigFingerprint fp;
+    fp.Mix(name());
+    fp.Mix(options_.num_estimators);
+    fp.Mix(options_.seed);
+    fp.Mix(static_cast<std::uint64_t>(options_.aggregation));
+    fp.Mix(options_.median_groups);
+    fp.Mix(counter_->batch_size());
+    fp.Mix(options_.use_geometric_skip ? 1 : 0);
+    return fp.value();
+  }
+  Status SaveState(ckpt::ByteSink& sink) override {
+    counter_->SaveState(sink);
+    return Status::Ok();
+  }
+  Status RestoreState(ckpt::ByteSource& source) override {
+    return counter_->RestoreState(source);
   }
 
   core::TriangleCounter& counter() { return *counter_; }
@@ -116,6 +138,29 @@ class ParallelEstimator : public StreamingEstimator {
   std::size_t preferred_batch_size() const override {
     return counter_->batch_size();
   }
+  bool checkpointable() const override { return true; }
+  /// Resolved shard count and batch size are mixed (not the raw options)
+  /// so `--threads 0` cannot silently resolve differently across hosts.
+  /// Placement knobs (pipeline mode, pinning, NUMA staging) are excluded:
+  /// they never change what is computed.
+  std::uint64_t config_fingerprint() const override {
+    ckpt::ConfigFingerprint fp;
+    fp.Mix(name());
+    fp.Mix(options_.num_estimators);
+    fp.Mix(options_.seed);
+    fp.Mix(static_cast<std::uint64_t>(options_.aggregation));
+    fp.Mix(options_.median_groups);
+    fp.Mix(counter_->num_shards());
+    fp.Mix(counter_->batch_size());
+    return fp.value();
+  }
+  Status SaveState(ckpt::ByteSink& sink) override {
+    counter_->SaveState(sink);
+    return Status::Ok();
+  }
+  Status RestoreState(ckpt::ByteSource& source) override {
+    return counter_->RestoreState(source);
+  }
 
   core::ParallelTriangleCounter& counter() { return *counter_; }
 
@@ -153,6 +198,24 @@ class SlidingWindowEstimator : public StreamingEstimator {
   /// The chain update is strictly per-edge; 4K-edge pulls just amortize a
   /// live queue's lock traffic (the old driver's kPullEdges).
   std::size_t preferred_batch_size() const override { return 4096; }
+  bool checkpointable() const override { return true; }
+  std::uint64_t config_fingerprint() const override {
+    ckpt::ConfigFingerprint fp;
+    fp.Mix(name());
+    fp.Mix(options_.window_size);
+    fp.Mix(options_.num_estimators);
+    fp.Mix(options_.seed);
+    fp.Mix(static_cast<std::uint64_t>(options_.aggregation));
+    fp.Mix(options_.median_groups);
+    return fp.value();
+  }
+  Status SaveState(ckpt::ByteSink& sink) override {
+    counter_->SaveState(sink);
+    return Status::Ok();
+  }
+  Status RestoreState(ckpt::ByteSource& source) override {
+    return counter_->RestoreState(source);
+  }
 
   core::SlidingWindowTriangleCounter& counter() { return *counter_; }
 

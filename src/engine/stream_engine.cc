@@ -4,8 +4,10 @@
 #include <iterator>
 #include <limits>
 #include <span>
+#include <string>
 #include <utility>
 
+#include "ckpt/checkpoint.h"
 #include "util/timer.h"
 
 namespace tristream {
@@ -120,6 +122,34 @@ Status StreamEngine::Run(StreamingEstimator& estimator,
   if (w == 0) w = estimator.preferred_batch_size();
   if (w == 0) w = kDefaultBatchSize;
 
+  const bool checkpointing = !options_.checkpoint_path.empty();
+  if (checkpointing) {
+    if (options_.checkpoint_every_edges == 0) {
+      return Status::InvalidArgument(
+          "checkpoint_path is set but checkpoint_every_edges is 0");
+    }
+    if (!estimator.checkpointable()) {
+      return Status::FailedPrecondition(std::string(estimator.name()) +
+                                        " is not checkpointable");
+    }
+    if (options_.autotune && options_.batch_size == 0) {
+      return Status::InvalidArgument(
+          "autotuning changes batch boundaries, which a resumed run cannot "
+          "replay; pin batch_size (or disable autotune) to checkpoint");
+    }
+  }
+  // Resume support: the estimator may arrive mid-stream (RestoreState +
+  // SkipToCheckpoint), in which case metrics_.edges counts only this run's
+  // edges while the snapshot cadence stays anchored to absolute stream
+  // positions.
+  const std::uint64_t ckpt_base = estimator.edges_processed();
+  std::uint64_t next_ckpt = std::numeric_limits<std::uint64_t>::max();
+  if (checkpointing) {
+    next_ckpt =
+        (ckpt_base / options_.checkpoint_every_edges + 1) *
+        options_.checkpoint_every_edges;
+  }
+
   int fill = 0;
   WallTimer total;
   if (options_.autotune && options_.batch_size == 0) {
@@ -141,6 +171,17 @@ Status StreamEngine::Run(StreamingEstimator& estimator,
   }
 
   while (PumpOne(estimator, source, stable_views, w, &fill) != 0) {
+    const std::uint64_t position = ckpt_base + metrics_.edges;
+    if (position >= next_ckpt) {
+      WallTimer ckpt_timer;
+      TRISTREAM_RETURN_IF_ERROR(
+          ckpt::SaveCheckpoint(options_.checkpoint_path, estimator, w));
+      metrics_.checkpoint_seconds += ckpt_timer.Seconds();
+      ++metrics_.checkpoints;
+      while (next_ckpt <= position) {
+        next_ckpt += options_.checkpoint_every_edges;
+      }
+    }
     if (metrics_.edges >= next_report) {
       metrics_.total_seconds = total.Seconds();
       metrics_.io_seconds = source.io_seconds() - io_before;

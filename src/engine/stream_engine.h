@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "engine/streaming_estimator.h"
@@ -58,6 +59,8 @@ struct StreamEngineMetrics {
   double total_seconds = 0.0;    // wall clock, fetch + absorb + flush
   double io_seconds = 0.0;       // source-attributed (reads, waits)
   double compute_seconds = 0.0;  // ingest thread blocked in the estimator
+  std::uint64_t checkpoints = 0;  // snapshots written this run
+  double checkpoint_seconds = 0.0;  // wall clock inside SaveCheckpoint
 
   double edges_per_second() const {
     return total_seconds > 0.0 ? static_cast<double>(edges) / total_seconds
@@ -100,6 +103,17 @@ struct StreamEngineOptions {
   std::uint64_t report_every_edges = 0;
   std::function<void(StreamingEstimator&, const StreamEngineMetrics&)>
       on_report;
+
+  /// When non-empty, the engine writes a crash-safe TRICKPT snapshot of
+  /// the estimator (ckpt::SaveCheckpoint: temp file -> fsync -> atomic
+  /// rename, previous generation retained at `<path>.prev`) after every
+  /// batch that crosses a multiple of checkpoint_every_edges. Snapshots
+  /// are taken *between* batches without flushing, so enabling them never
+  /// perturbs the estimates. Requires a checkpointable() estimator and a
+  /// fixed batch size (autotune changes batch boundaries, which a resumed
+  /// run could not replay).
+  std::string checkpoint_path;
+  std::uint64_t checkpoint_every_edges = 0;
 };
 
 /// Fallback fetch size when neither the caller nor the estimator has an

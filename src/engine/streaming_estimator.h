@@ -29,7 +29,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 
+#include "ckpt/serial.h"
+#include "util/status.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -101,6 +104,42 @@ class StreamingEstimator {
   /// operating point, e.g. the bulk counter's w = 8r). 0 means no
   /// preference: the engine falls back to its default or autotunes.
   virtual std::size_t preferred_batch_size() const { return 0; }
+
+  // ------------------------------------------------- checkpointing
+  // The neighborhood-sampling family serializes its full stream state
+  // (samples, counters, RNG positions, buffered edges) so a killed run can
+  // resume bit-identically; baselines keep the defaults and report
+  // FailedPrecondition. See ckpt/checkpoint.h for the on-disk container.
+
+  /// True when SaveState/RestoreState are implemented. The engine refuses
+  /// to checkpoint estimators that return false.
+  virtual bool checkpointable() const { return false; }
+
+  /// Stable hash of every configuration knob that determines the
+  /// estimator's trajectory (r, seed, shard count, batch size, window...).
+  /// A checkpoint refuses to restore into an estimator whose fingerprint
+  /// differs from the one it was saved with. 0 when not checkpointable.
+  virtual std::uint64_t config_fingerprint() const { return 0; }
+
+  /// Serializes the complete stream state into `sink`. Implementations
+  /// quiesce themselves first (the sharded counter waits for its in-flight
+  /// batch), so it is safe to call between ProcessEdges calls without an
+  /// explicit Flush -- which matters, because Flush on a batch-structured
+  /// counter applies a partial batch and would perturb the RNG trajectory.
+  virtual Status SaveState(ckpt::ByteSink& sink) {
+    (void)sink;
+    return Status::FailedPrecondition(std::string(name()) +
+                                      " is not checkpointable");
+  }
+
+  /// Inverse of SaveState. Call on a freshly constructed (or Reset)
+  /// estimator with the identical configuration; on failure the state is
+  /// unspecified and the estimator must be Reset before reuse.
+  virtual Status RestoreState(ckpt::ByteSource& source) {
+    (void)source;
+    return Status::FailedPrecondition(std::string(name()) +
+                                      " is not checkpointable");
+  }
 };
 
 }  // namespace engine

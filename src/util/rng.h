@@ -13,6 +13,7 @@
 #ifndef TRISTREAM_UTIL_RNG_H_
 #define TRISTREAM_UTIL_RNG_H_
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -128,6 +129,18 @@ class Rng {
   /// Derives an independent generator (e.g. one per estimator block) from
   /// this generator's stream.
   Rng Fork() { return Rng(Next()); }
+
+  /// The full 256-bit generator state. Checkpointing serializes this so a
+  /// restored run draws the exact continuation of the interrupted stream.
+  std::array<std::uint64_t, 4> state() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  /// Installs a state captured by state(); the next Next() picks up exactly
+  /// where the captured generator left off.
+  void SetState(const std::array<std::uint64_t, 4>& state) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
+  }
 
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {

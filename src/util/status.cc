@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kCorruptData:
       return "CorruptData";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -25,6 +25,10 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kCorruptData,
+  // A resource that may legitimately not exist yet (e.g. no checkpoint has
+  // been written). Callers typically treat this as "start fresh", not as a
+  // hard failure.
+  kUnavailable,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -60,6 +64,9 @@ class Status {
   }
   static Status CorruptData(std::string msg) {
     return Status(StatusCode::kCorruptData, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -120,6 +127,22 @@ class Result {
     ::tristream::Status _st = (expr);              \
     if (!_st.ok()) return _st;                     \
   } while (0)
+
+/// Evaluates `expr` (a Result<T>), propagating its error status to the
+/// caller or assigning the unwrapped value to `lhs`. `lhs` may declare a
+/// new variable or assign to an existing one:
+///
+///   TRISTREAM_ASSIGN_OR_RETURN(auto blob, ReadFile(path));
+///   TRISTREAM_ASSIGN_OR_RETURN(info, DecodeCheckpoint(blob, est));
+#define TRISTREAM_ASSIGN_OR_RETURN(lhs, expr)                             \
+  TRISTREAM_ASSIGN_OR_RETURN_IMPL_(                                       \
+      TRISTREAM_STATUS_CONCAT_(tristream_result_, __LINE__), lhs, expr)
+#define TRISTREAM_ASSIGN_OR_RETURN_IMPL_(result, lhs, expr)               \
+  auto result = (expr);                                                   \
+  if (!result.ok()) return result.status();                               \
+  lhs = std::move(result).value()
+#define TRISTREAM_STATUS_CONCAT_(a, b) TRISTREAM_STATUS_CONCAT_IMPL_(a, b)
+#define TRISTREAM_STATUS_CONCAT_IMPL_(a, b) a##b
 
 }  // namespace tristream
 

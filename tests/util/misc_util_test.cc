@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <thread>
 #include <string>
 #include <vector>
@@ -42,6 +43,12 @@ TEST(StatusTest, AllFactoryCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
   EXPECT_EQ(Status::CorruptData("x").code(), StatusCode::kCorruptData);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+}
+
+TEST(StatusTest, UnavailableToString) {
+  EXPECT_EQ(Status::Unavailable("no checkpoint yet").ToString(),
+            "Unavailable: no checkpoint yet");
 }
 
 Status FailsFast() {
@@ -76,6 +83,58 @@ TEST(ResultTest, FunctionReturnStyle) {
   EXPECT_TRUE(MakeName(true).ok());
   EXPECT_EQ(MakeName(true).value(), "fine");
   EXPECT_FALSE(MakeName(false).ok());
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status QuarterInto(int x, int* out) {
+  // Declaration form: the macro introduces the binding.
+  TRISTREAM_ASSIGN_OR_RETURN(const int half, HalveEven(x));
+  // Assignment form: the macro assigns to an existing lvalue.
+  int quarter = -1;
+  TRISTREAM_ASSIGN_OR_RETURN(quarter, HalveEven(half));
+  *out = quarter;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnUnwrapsValues) {
+  int out = 0;
+  ASSERT_TRUE(QuarterInto(20, &out).ok());
+  EXPECT_EQ(out, 5);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesFirstError) {
+  int out = -7;
+  const Status s = QuarterInto(9, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, -7);  // never reached the assignment
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesSecondError) {
+  // 10 halves cleanly to 5, which is odd: the second unwrap fails.
+  int out = -7;
+  EXPECT_EQ(QuarterInto(10, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, -7);
+}
+
+Result<std::unique_ptr<int>> MakeBox(int v) {
+  return std::make_unique<int>(v);
+}
+
+Status UnBox(int* out) {
+  // Move-only payloads must move out of the Result, not copy.
+  TRISTREAM_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(11));
+  *out = *box;
+  return Status::Ok();
+}
+
+TEST(ResultTest, AssignOrReturnMovesValue) {
+  int out = 0;
+  ASSERT_TRUE(UnBox(&out).ok());
+  EXPECT_EQ(out, 11);
 }
 
 // ------------------------------------------------------------- Reservoir

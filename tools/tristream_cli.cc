@@ -39,6 +39,7 @@
 #include <map>
 #include <string>
 
+#include "ckpt/checkpoint.h"
 #include "core/triangle_sampler.h"
 #include "engine/estimators.h"
 #include "engine/stream_engine.h"
@@ -70,9 +71,15 @@ int Usage() {
       "           [--batch W] [--autotune] [--threads T] [--pipeline 0|1]\n"
       "           [--pin 0|1] [--numa auto|off] [--numa-replicate]\n"
       "           [--mmap 0|1] [--median-of-means]\n"
+      "           [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]\n"
       "           [--vertices N (buriol)] [--max-degree D (jg)]\n"
       "           [--colors C (colorful)]\n"
       "           A: tsb (default) bulk buriol colorful jg first-edge\n"
+      "           --checkpoint writes a crash-safe snapshot every N edges\n"
+      "           (default 10000000; previous generation kept at\n"
+      "           PATH.prev); --resume restores one, seeks the input\n"
+      "           forward, and continues to estimates bit-identical to an\n"
+      "           uninterrupted run with the same flags. tsb/bulk only.\n"
       "           --pin 1 binds worker k to its planned core (round-robin\n"
       "           across NUMA nodes); --numa off forces the single-node\n"
       "           fallback; --numa-replicate stages a per-node copy of\n"
@@ -338,6 +345,71 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   engine_options.batch_size = config.batch_size;
   engine_options.autotune = flags.count("autotune") != 0;
   engine_options.replicate_stable_views = flags.count("numa-replicate") != 0;
+
+  const bool has_checkpoint = flags.count("checkpoint") != 0;
+  const bool has_resume = flags.count("resume") != 0;
+  if (flags.count("checkpoint-every") && !has_checkpoint) {
+    std::fprintf(stderr, "--checkpoint-every needs --checkpoint PATH\n");
+    return Usage();
+  }
+  if (has_checkpoint || has_resume) {
+    if (!(*estimator)->checkpointable()) {
+      std::fprintf(stderr,
+                   "algo '%s' is not checkpointable (tsb/bulk only)\n",
+                   (*estimator)->name());
+      return 2;
+    }
+    if (engine_options.autotune) {
+      std::fprintf(stderr,
+                   "--autotune changes batch boundaries, which a resumed "
+                   "run cannot replay; drop it (or pin --batch) to use "
+                   "checkpoints\n");
+      return 2;
+    }
+  }
+  if (has_checkpoint) {
+    engine_options.checkpoint_path = flags.at("checkpoint");
+    engine_options.checkpoint_every_edges =
+        FlagU64(flags, "checkpoint-every", 10000000);
+    if (engine_options.checkpoint_every_edges == 0) {
+      std::fprintf(stderr, "--checkpoint-every must be positive\n");
+      return Usage();
+    }
+  }
+  if (has_resume) {
+    const std::string& resume_path = flags.at("resume");
+    auto info = ckpt::LoadCheckpoint(resume_path, **estimator);
+    if (info.ok()) {
+      // Batch boundaries must replay exactly; the snapshot records the
+      // original run's fetch size, which overrides any default here.
+      if (flags.count("batch") && config.batch_size != info->batch_size) {
+        std::fprintf(stderr,
+                     "--batch %zu conflicts with the checkpoint's batch "
+                     "size %llu\n",
+                     config.batch_size,
+                     static_cast<unsigned long long>(info->batch_size));
+        return 2;
+      }
+      engine_options.batch_size =
+          static_cast<std::size_t>(info->batch_size);
+      if (Status s = ckpt::SkipToCheckpoint(*source, *info); !s.ok()) {
+        std::fprintf(stderr, "cannot seek '%s' to the checkpoint position: "
+                     "%s\n", it->second.c_str(), s.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "resumed from '%s' at edge %llu\n",
+                   resume_path.c_str(),
+                   static_cast<unsigned long long>(info->edges_processed));
+    } else if (info.status().code() == StatusCode::kUnavailable) {
+      std::fprintf(stderr, "%s; starting fresh\n",
+                   info.status().message().c_str());
+    } else {
+      std::fprintf(stderr, "cannot resume from '%s': %s\n",
+                   resume_path.c_str(), info.status().ToString().c_str());
+      return 1;
+    }
+  }
+
   engine::StreamEngine engine(engine_options);
   const Status streamed = engine.Run(**estimator, *source);
   if (!streamed.ok()) {
@@ -348,8 +420,11 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   const double tau = (*estimator)->EstimateTriangles();
   const engine::StreamEngineMetrics& m = engine.metrics();
   std::printf("algo            : %s\n", (*estimator)->name());
+  // The estimator's total, not m.edges: identical on a fresh run, but a
+  // resumed run's metrics cover only the post-resume edges.
   std::printf("edges           : %llu\n",
-              static_cast<unsigned long long>(m.edges));
+              static_cast<unsigned long long>(
+                  (*estimator)->edges_processed()));
   std::printf("triangles (est) : %.0f\n", tau);
   if ((*estimator)->has_wedge_estimates()) {
     std::printf("wedges (est)    : %.0f\n", (*estimator)->EstimateWedges());
@@ -375,6 +450,11 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
               m.autotuned ? "autotuned" : "static");
   std::printf("io/compute time : %.3f s / %.3f s (%s ingest)\n",
               m.io_seconds, m.compute_seconds, source_info.reader_name());
+  if (m.checkpoints > 0) {
+    std::printf("checkpoints     : %llu written (%.3f s)\n",
+                static_cast<unsigned long long>(m.checkpoints),
+                m.checkpoint_seconds);
+  }
   return 0;
 }
 
