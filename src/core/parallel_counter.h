@@ -160,6 +160,11 @@ class ParallelTriangleCounter {
     return dispatched_edges_ + buffers_[fill_].size();
   }
 
+  /// Edges sitting in the fill buffer, not yet dispatched to shards. Zero
+  /// on the engine path (AbsorbBatchView bypasses the buffer), in which
+  /// case Flush() is only a barrier and never perturbs shard batching.
+  std::size_t buffered_edges() const { return buffers_[fill_].size(); }
+
   /// Aggregated estimates over the union of all shards' estimators.
   double EstimateTriangles();
   double EstimateWedges();

@@ -142,6 +142,12 @@ class TriangleCounter {
     return applied_edges_ + pending_.size();
   }
 
+  /// Edges buffered but not yet absorbed. When zero, Flush() is a no-op
+  /// and estimates can be read without perturbing the RNG trajectory --
+  /// the condition serve-mode snapshots check before answering a query
+  /// mid-stream while preserving bit-identity with an unqueried run.
+  std::size_t pending_edges() const { return pending_.size(); }
+
   /// Aggregated estimate of τ(G) over everything pushed so far.
   double EstimateTriangles();
 

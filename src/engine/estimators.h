@@ -72,6 +72,16 @@ class BulkEstimator : public StreamingEstimator {
   std::size_t preferred_batch_size() const override {
     return counter_->batch_size();
   }
+  /// Safe exactly when no partial batch is pending: the counter
+  /// self-batches at its own w, and Flush() on a partial buffer absorbs
+  /// it early, changing the RNG trajectory.
+  bool estimates_nonperturbing() const override {
+    return counter_->pending_edges() == 0;
+  }
+  std::size_t approx_memory_bytes() const override {
+    const auto stats = counter_->ApproxMemoryUsage();
+    return stats.estimator_bytes + stats.batch_scratch_bytes;
+  }
   bool checkpointable() const override { return true; }
   /// Everything that shapes the counter's RNG trajectory or state layout;
   /// the resolved batch size stands in for options_.batch_size == 0.
@@ -138,6 +148,20 @@ class ParallelEstimator : public StreamingEstimator {
   std::size_t preferred_batch_size() const override {
     return counter_->batch_size();
   }
+  /// On the engine path the fill buffer stays empty (views bypass it via
+  /// AbsorbBatchView), so Flush() is a pure barrier and estimates never
+  /// perturb shard batching.
+  bool estimates_nonperturbing() const override {
+    return counter_->buffered_edges() == 0;
+  }
+  /// Coarse: r sampled states (cold + hot + snapshot copies) plus the
+  /// per-shard double-buffered batch staging.
+  std::size_t approx_memory_bytes() const override {
+    return static_cast<std::size_t>(options_.num_estimators) * 3 *
+               sizeof(core::EstimatorState) +
+           static_cast<std::size_t>(counter_->num_shards()) * 2 *
+               counter_->batch_size() * sizeof(Edge);
+  }
   bool checkpointable() const override { return true; }
   /// Resolved shard count and batch size are mixed (not the raw options)
   /// so `--threads 0` cannot silently resolve differently across hosts.
@@ -198,6 +222,11 @@ class SlidingWindowEstimator : public StreamingEstimator {
   /// The chain update is strictly per-edge; 4K-edge pulls just amortize a
   /// live queue's lock traffic (the old driver's kPullEdges).
   std::size_t preferred_batch_size() const override { return 4096; }
+  /// Coarse: the buffered window of edges plus r chain states.
+  std::size_t approx_memory_bytes() const override {
+    return static_cast<std::size_t>(options_.window_size) * sizeof(Edge) +
+           static_cast<std::size_t>(options_.num_estimators) * 64;
+  }
   bool checkpointable() const override { return true; }
   std::uint64_t config_fingerprint() const override {
     ckpt::ConfigFingerprint fp;

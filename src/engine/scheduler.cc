@@ -1,0 +1,145 @@
+#include "engine/scheduler.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace tristream {
+namespace engine {
+
+Scheduler::Scheduler(SchedulerOptions options)
+    : options_(std::move(options)) {}
+
+Scheduler::~Scheduler() { Stop(); }
+
+void Scheduler::Add(Session* session) {
+  TRISTREAM_CHECK(session != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++active_;
+    ready_.push_back(session);
+  }
+  ready_cv_.notify_one();
+}
+
+void Scheduler::PromoteParkedLocked() {
+  for (std::size_t i = 0; i < parked_.size();) {
+    if (parked_[i]->ready()) {
+      ready_.push_back(parked_[i]);
+      parked_[i] = parked_.back();
+      parked_.pop_back();
+      ready_cv_.notify_one();
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Scheduler::Account(Session* session) {
+  bool done = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (session->done()) {
+      done = true;  // reaped: in neither queue; active_ drops below
+    } else if (session->ready()) {
+      ready_.push_back(session);  // back of the queue: FIFO fairness
+      ready_cv_.notify_one();
+    } else {
+      parked_.push_back(session);
+    }
+  }
+  if (done) {
+    // Outside the lock: the callback may Add/Kick, and may destroy the
+    // session's backing state.
+    if (options_.on_session_done) options_.on_session_done(*session);
+    bool idle = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      idle = (--active_ == 0);
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+void Scheduler::Run() {
+  TRISTREAM_CHECK(pool_ == nullptr &&
+                  "inline Run() cannot be mixed with Start()");
+  while (true) {
+    Session* session = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      PromoteParkedLocked();
+      if (!ready_.empty()) {
+        session = ready_.front();
+        ready_.pop_front();
+      } else if (!parked_.empty()) {
+        // Nothing ready and no workers to wait with: step a pending
+        // session anyway and block in its source -- the old monolithic
+        // StreamEngine::Run discipline, which is exactly right when the
+        // caller dedicates this thread to the drive.
+        session = parked_.front();
+        parked_.erase(parked_.begin());
+      } else {
+        break;  // all sessions reaped
+      }
+    }
+    session->Step();
+    Account(session);
+  }
+}
+
+void Scheduler::Start() {
+  TRISTREAM_CHECK(pool_ == nullptr && "Start() called twice");
+  const std::size_t n = std::max<std::size_t>(options_.num_workers, 1);
+  pool_ = std::make_unique<ThreadPool>(n);
+  pool_->Dispatch([this](std::size_t) { WorkerLoop(); });
+}
+
+void Scheduler::Stop() {
+  if (pool_ == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  ready_cv_.notify_all();
+  pool_->Wait();
+  pool_.reset();
+  std::lock_guard<std::mutex> lock(mu_);
+  stop_ = false;
+}
+
+void Scheduler::Kick() {
+  std::lock_guard<std::mutex> lock(mu_);
+  PromoteParkedLocked();
+}
+
+void Scheduler::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return active_ == 0; });
+}
+
+std::size_t Scheduler::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+void Scheduler::WorkerLoop() {
+  while (true) {
+    Session* session = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      ready_cv_.wait(lock, [this] { return stop_ || !ready_.empty(); });
+      if (stop_) return;
+      session = ready_.front();
+      ready_.pop_front();
+    }
+    // Exclusive claim: the session is in neither queue while stepped, so
+    // no other worker can touch it; cooperative sessions bound the
+    // quantum without blocking in their sources.
+    session->Step();
+    Account(session);
+  }
+}
+
+}  // namespace engine
+}  // namespace tristream

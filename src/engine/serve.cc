@@ -1,0 +1,679 @@
+#include "engine/serve.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <span>
+#include <utility>
+
+#include "stream/binary_io.h"
+#include "stream/queue_stream.h"
+#include "stream/socket_stream.h"
+#include "util/logging.h"
+
+namespace tristream {
+namespace engine {
+namespace {
+
+/// epoll user-data ids for the two non-connection fds.
+constexpr std::uint64_t kWakeId = 0;
+constexpr std::uint64_t kListenId = 1;
+
+/// Per-read chunk; also the bound on a paused connection's unparsed
+/// backlog (we stop reading while bytes remain unpushed).
+constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Blocking best-effort full write (refusal diagnostics only: the fd is
+/// fresh, the frame is tiny, and the peer may already be gone).
+void WriteAllBestEffort(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+/// 16-byte header in the shared TRIS shape with an arbitrary magic.
+void WriteFrameHeader(char out[16], const char magic[4],
+                      std::uint64_t count) {
+  std::memcpy(out, magic, 4);
+  std::memcpy(out + 4, &stream::kTrisVersion, sizeof(stream::kTrisVersion));
+  std::memcpy(out + 8, &count, sizeof(count));
+}
+
+}  // namespace
+
+void EncodeSnapshotBody(const SessionSnapshot& snap, char out[40]) {
+  std::memcpy(out, &snap.edges, 8);
+  std::memcpy(out + 8, &snap.triangles, 8);
+  std::memcpy(out + 16, &snap.wedges, 8);
+  std::memcpy(out + 24, &snap.transitivity, 8);
+  std::uint64_t flags = 0;
+  if (snap.has_wedges) flags |= 1;
+  if (snap.final_result) flags |= 2;
+  if (snap.valid) flags |= 4;
+  std::memcpy(out + 32, &flags, 8);
+}
+
+Result<SnapshotWire> DecodeSnapshotBody(const char* data, std::size_t size) {
+  if (size < kSnapshotBodyBytes) {
+    return Status::CorruptData("short TRIR snapshot body");
+  }
+  SnapshotWire wire;
+  std::memcpy(&wire.edges, data, 8);
+  std::memcpy(&wire.triangles, data + 8, 8);
+  std::memcpy(&wire.wedges, data + 16, 8);
+  std::memcpy(&wire.transitivity, data + 24, 8);
+  std::uint64_t flags = 0;
+  std::memcpy(&flags, data + 32, 8);
+  wire.has_wedges = (flags & 1) != 0;
+  wire.final_result = (flags & 2) != 0;
+  wire.valid = (flags & 4) != 0;
+  return wire;
+}
+
+/// Everything the event loop owns about one admitted connection.
+struct Server::Conn {
+  std::uint64_t id = 0;
+  int fd = -1;
+  bool epoll_registered = false;
+
+  std::unique_ptr<StreamingEstimator> estimator;
+  std::unique_ptr<stream::QueueEdgeStream> queue;
+  std::unique_ptr<Session> session;
+
+  /// Unparsed received bytes; [inbuf_off, size) is live. Bounded: reads
+  /// pause while anything here cannot be pushed yet.
+  std::vector<char> inbuf;
+  std::size_t inbuf_off = 0;
+  /// Edges the current TRIS frame still owes (payload parse cursor --
+  /// frames never buffer whole, however large).
+  std::uint64_t frame_edges_remaining = 0;
+
+  std::vector<char> wbuf;
+  std::size_t wbuf_off = 0;
+
+  bool want_read = true;
+  bool want_write = false;
+  bool peer_eof = false;      // read side saw FIN
+  bool read_done = false;     // no more reads (EOF, error, protocol fail)
+  bool queue_closed = false;  // ingest queue Close() issued
+  bool reaped = false;        // session finished; final frame queued
+  bool close_after_flush = false;
+
+  std::size_t memory_charge = 0;
+  std::chrono::steady_clock::time_point last_activity;
+};
+
+Server::Server(ServeOptions options) : options_(std::move(options)) {}
+
+Server::~Server() {
+  Stop();
+  Wait();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+Result<std::uint16_t> Server::Start() {
+  TRISTREAM_CHECK(!started_ && "Server::Start called twice");
+  auto listener = stream::ListenOnLoopback(options_.port);
+  if (!listener.ok()) return listener.status();
+  listen_fd_ = listener->fd;
+  port_ = listener->port;
+  SetNonBlocking(listen_fd_);
+  listener_open_ = true;
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return Status::IoError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::IoError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+
+  SchedulerOptions sched_options;
+  sched_options.num_workers = std::max<std::size_t>(options_.num_workers, 1);
+  sched_options.on_session_done = [this](Session& session) {
+    {
+      std::lock_guard<std::mutex> lock(mail_mu_);
+      done_sessions_.push_back(&session);
+    }
+    WakeLoop();
+  };
+  scheduler_ = std::make_unique<Scheduler>(std::move(sched_options));
+  scheduler_->Start();
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { EventLoop(); });
+  return port_;
+}
+
+void Server::Wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void Server::Stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) WakeLoop();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void Server::WakeLoop() {
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+Server::Conn* Server::FindConn(std::uint64_t id) {
+  for (auto& conn : conns_) {
+    if (conn->id == id) return conn.get();
+  }
+  return nullptr;
+}
+
+Server::Conn* Server::FindConnBySession(const Session* session) {
+  for (auto& conn : conns_) {
+    if (conn->session.get() == session) return conn.get();
+  }
+  return nullptr;
+}
+
+void Server::CloseListener() {
+  if (!listener_open_) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  listener_open_ = false;
+}
+
+void Server::Refuse(int fd, const std::string& message) {
+  std::vector<char> frame(stream::kTrisHeaderBytes + message.size());
+  WriteFrameHeader(frame.data(), kServeErrorMagic, message.size());
+  std::memcpy(frame.data() + stream::kTrisHeaderBytes, message.data(),
+              message.size());
+  WriteAllBestEffort(fd, frame.data(), frame.size());
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.refused;
+}
+
+void Server::HandleAccept() {
+  while (listener_open_) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN (drained) or transient failure: next event retries
+    }
+    // Query replies are 56-byte writes racing client edge bursts; Nagle
+    // would park them behind a delayed ACK and inflate TRIQ latency.
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    ++accepts_;
+    Admit(fd);
+    if (options_.max_accepts != 0 && accepts_ >= options_.max_accepts) {
+      CloseListener();
+      return;
+    }
+  }
+}
+
+void Server::Admit(int fd) {
+  const std::size_t max_sessions =
+      std::max<std::size_t>(options_.max_sessions, 1);
+  if (conns_.size() >= max_sessions) {
+    Refuse(fd, "session limit reached (max_sessions=" +
+                   std::to_string(max_sessions) + "); connection refused");
+    return;
+  }
+  auto estimator = MakeEstimator(options_.algo, options_.config);
+  if (!estimator.ok()) {
+    Refuse(fd, "estimator construction failed: " +
+                   estimator.status().ToString());
+    return;
+  }
+  // Admission charge: estimator state + ingest queue + the session's
+  // double batch buffers + the parse backlog bound. An estimate (the
+  // point is refusing before allocating, not auditing after).
+  std::size_t w = options_.batch_size;
+  if (w == 0) w = (*estimator)->preferred_batch_size();
+  if (w == 0) w = kDefaultBatchSize;
+  const std::size_t charge = (*estimator)->approx_memory_bytes() +
+                             options_.queue_capacity * sizeof(Edge) +
+                             2 * w * sizeof(Edge) + kReadChunkBytes;
+  {
+    std::size_t used = 0;
+    bool over_budget = false;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      used = stats_.memory_used;
+      over_budget = options_.memory_budget_bytes != 0 &&
+                    used + charge > options_.memory_budget_bytes;
+      if (!over_budget) stats_.memory_used += charge;
+    }
+    if (over_budget) {
+      Refuse(fd, "memory budget exceeded: session needs ~" +
+                     std::to_string(charge) + " bytes, " +
+                     std::to_string(used) + " of " +
+                     std::to_string(options_.memory_budget_bytes) +
+                     " in use; connection refused");
+      return;
+    }
+  }
+  auto conn = std::make_unique<Conn>();
+  conn->id = next_id_++;
+  conn->fd = fd;
+  conn->estimator = std::move(*estimator);
+  conn->queue = std::make_unique<stream::QueueEdgeStream>(
+      std::max<std::size_t>(options_.queue_capacity, 1));
+  const std::uint64_t conn_id = conn->id;
+  conn->queue->SetSpaceHook([this, conn_id] {
+    {
+      std::lock_guard<std::mutex> lock(mail_mu_);
+      resume_ids_.push_back(conn_id);
+    }
+    WakeLoop();
+  });
+  SessionOptions session_options;
+  session_options.batch_size = options_.batch_size;
+  session_options.quantum_batches = options_.quantum_batches;
+  session_options.cooperative = true;
+  session_options.report_every_edges = options_.report_every_edges;
+  session_options.on_report = options_.on_report;
+  conn->session = std::make_unique<Session>(*conn->estimator, *conn->queue,
+                                            std::move(session_options));
+  conn->memory_charge = charge;
+  conn->last_activity = std::chrono::steady_clock::now();
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = conn->id;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.memory_used -= charge;
+    ::close(fd);
+    return;
+  }
+  conn->epoll_registered = true;
+
+  Session* session = conn->session.get();
+  conns_.push_back(std::move(conn));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.accepted;
+    stats_.active_sessions = conns_.size();
+  }
+  scheduler_->Add(session);
+}
+
+void Server::UpdateEpoll(Conn& conn) {
+  if (!conn.epoll_registered) return;
+  epoll_event ev{};
+  ev.events = (conn.want_read ? EPOLLIN : 0u) |
+              (conn.want_write ? EPOLLOUT : 0u);
+  ev.data.u64 = conn.id;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void Server::HandleReadable(Conn& conn) {
+  if (conn.read_done || !conn.want_read) return;
+  char buf[kReadChunkBytes];
+  const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+  if (n > 0) {
+    conn.inbuf.insert(conn.inbuf.end(), buf, buf + n);
+    conn.last_activity = std::chrono::steady_clock::now();
+    ParseIngest(conn);
+    return;
+  }
+  if (n == 0) {
+    // Half-close: the client is done sending; the session drains what is
+    // buffered and the final TRIR/TRIE still goes out on our half.
+    conn.peer_eof = true;
+    conn.read_done = true;
+    conn.want_read = false;
+    MaybeFinishIngest(conn);
+    UpdateEpoll(conn);
+    return;
+  }
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+  conn.read_done = true;
+  conn.want_read = false;
+  if (!conn.queue_closed) {
+    conn.queue->Close(Status::IoError(
+        std::string("read on serve connection: ") + std::strerror(errno)));
+    conn.queue_closed = true;
+    scheduler_->Kick();
+  }
+  UpdateEpoll(conn);
+}
+
+void Server::ParseIngest(Conn& conn) {
+  if (conn.queue_closed || conn.reaped) return;
+  bool stalled = false;
+  while (true) {
+    const char* data = conn.inbuf.data() + conn.inbuf_off;
+    const std::size_t avail = conn.inbuf.size() - conn.inbuf_off;
+    if (conn.frame_edges_remaining > 0) {
+      const std::size_t whole = static_cast<std::size_t>(
+          std::min<std::uint64_t>(conn.frame_edges_remaining,
+                                  avail / sizeof(Edge)));
+      if (whole == 0) break;  // need more bytes for even one edge
+      // Stage into aligned Edge storage (inbuf offsets are arbitrary).
+      edge_scratch_.resize(whole);
+      std::memcpy(edge_scratch_.data(), data, whole * sizeof(Edge));
+      const std::size_t admitted = conn.queue->TryPush(
+          std::span<const Edge>(edge_scratch_.data(), whole));
+      if (admitted > 0) {
+        conn.inbuf_off += admitted * sizeof(Edge);
+        conn.frame_edges_remaining -= admitted;
+        scheduler_->Kick();
+      }
+      if (admitted < whole) {
+        // Queue full: backpressure. Park the remainder (bounded -- we
+        // stop reading) until the consumer's space hook resumes us.
+        stalled = true;
+        break;
+      }
+      continue;
+    }
+    if (avail < stream::kTrisHeaderBytes) break;
+    std::uint32_t version = 0;
+    std::memcpy(&version, data + 4, sizeof(version));
+    std::uint64_t count = 0;
+    std::memcpy(&count, data + 8, sizeof(count));
+    if (std::memcmp(data, stream::kTrisMagic, 4) == 0) {
+      if (version != stream::kTrisVersion) {
+        conn.queue->Close(Status::CorruptData(
+            "serve connection sent unsupported frame version " +
+            std::to_string(version)));
+        conn.queue_closed = true;
+        conn.read_done = true;
+        scheduler_->Kick();
+        break;
+      }
+      conn.inbuf_off += stream::kTrisHeaderBytes;
+      conn.frame_edges_remaining = count;  // count == 0 is a keep-alive
+      continue;
+    }
+    if (std::memcmp(data, kServeQueryMagic, 4) == 0) {
+      conn.inbuf_off += stream::kTrisHeaderBytes;
+      // Reply from the cached snapshot immediately -- never a Flush, so a
+      // query cannot stall ingest or perturb the estimate -- and ask the
+      // session to refresh at its next non-perturbing quantum boundary.
+      SendSnapshot(conn, /*request_refresh=*/true);
+      continue;
+    }
+    conn.queue->Close(
+        Status::CorruptData("serve connection sent bad frame magic"));
+    conn.queue_closed = true;
+    conn.read_done = true;
+    scheduler_->Kick();
+    break;
+  }
+  // Compact the consumed prefix.
+  if (conn.inbuf_off == conn.inbuf.size()) {
+    conn.inbuf.clear();
+    conn.inbuf_off = 0;
+  } else if (conn.inbuf_off >= kReadChunkBytes) {
+    conn.inbuf.erase(conn.inbuf.begin(),
+                     conn.inbuf.begin() +
+                         static_cast<std::ptrdiff_t>(conn.inbuf_off));
+    conn.inbuf_off = 0;
+  }
+  conn.want_read = !conn.read_done && !stalled;
+  if (conn.peer_eof) MaybeFinishIngest(conn);
+  UpdateEpoll(conn);
+}
+
+void Server::MaybeFinishIngest(Conn& conn) {
+  if (!conn.peer_eof || conn.queue_closed) return;
+  const std::size_t avail = conn.inbuf.size() - conn.inbuf_off;
+  if (conn.frame_edges_remaining > 0) {
+    if (avail >= sizeof(Edge)) return;  // payload still pushing through
+    conn.queue->Close(
+        Status::CorruptData("serve connection closed mid-frame"));
+  } else if (avail > 0) {
+    // Leftover bytes that never completed a header.
+    conn.queue->Close(
+        Status::CorruptData("serve connection closed mid-frame"));
+  } else {
+    conn.queue->Close(Status::Ok());
+  }
+  conn.queue_closed = true;
+  scheduler_->Kick();
+}
+
+void Server::QueueWrite(Conn& conn, const char* data, std::size_t size) {
+  conn.wbuf.insert(conn.wbuf.end(), data, data + size);
+}
+
+void Server::SendSnapshot(Conn& conn, bool request_refresh) {
+  const SessionSnapshot snap = conn.session->snapshot();
+  char frame[stream::kTrisHeaderBytes + kSnapshotBodyBytes];
+  WriteFrameHeader(frame, kServeSnapshotMagic, kSnapshotBodyBytes);
+  EncodeSnapshotBody(snap, frame + stream::kTrisHeaderBytes);
+  QueueWrite(conn, frame, sizeof(frame));
+  FlushWrites(conn);  // cannot destroy: close_after_flush is a reap state
+  if (request_refresh) {
+    conn.session->RequestSnapshot();
+    scheduler_->Kick();
+  }
+}
+
+void Server::SendError(Conn& conn, const std::string& message) {
+  std::vector<char> frame(stream::kTrisHeaderBytes + message.size());
+  WriteFrameHeader(frame.data(), kServeErrorMagic, message.size());
+  std::memcpy(frame.data() + stream::kTrisHeaderBytes, message.data(),
+              message.size());
+  QueueWrite(conn, frame.data(), frame.size());
+}
+
+bool Server::FlushWrites(Conn& conn) {
+  while (conn.wbuf_off < conn.wbuf.size()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.wbuf.data() + conn.wbuf_off,
+               conn.wbuf.size() - conn.wbuf_off, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.wbuf_off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      conn.want_write = true;
+      UpdateEpoll(conn);
+      return false;
+    }
+    // Peer is gone; nothing left to deliver.
+    conn.wbuf.clear();
+    conn.wbuf_off = 0;
+    break;
+  }
+  conn.wbuf.clear();
+  conn.wbuf_off = 0;
+  conn.want_write = false;
+  if (conn.close_after_flush) {
+    DestroyConn(conn);
+    return true;
+  }
+  UpdateEpoll(conn);
+  return false;
+}
+
+void Server::ReapSession(Session* session) {
+  Conn* conn = FindConnBySession(session);
+  if (conn == nullptr || conn->reaped) return;
+  conn->reaped = true;
+  conn->read_done = true;
+  conn->want_read = false;
+  const Status status = session->status();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (status.ok()) {
+      ++stats_.completed;
+    } else {
+      ++stats_.failed;
+    }
+  }
+  if (status.ok()) {
+    // Session::Finish refreshed the snapshot post-Flush: final answer.
+    const SessionSnapshot snap = conn->session->snapshot();
+    char frame[stream::kTrisHeaderBytes + kSnapshotBodyBytes];
+    WriteFrameHeader(frame, kServeSnapshotMagic, kSnapshotBodyBytes);
+    EncodeSnapshotBody(snap, frame + stream::kTrisHeaderBytes);
+    QueueWrite(*conn, frame, sizeof(frame));
+  } else {
+    SendError(*conn, status.ToString());
+  }
+  conn->close_after_flush = true;
+  if (options_.on_session_end) options_.on_session_end(*session, status);
+  FlushWrites(*conn);  // destroys the conn when the frame drains now
+}
+
+void Server::DestroyConn(Conn& conn) {
+  if (conn.epoll_registered) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  }
+  ::close(conn.fd);
+  const std::uint64_t id = conn.id;
+  const std::size_t charge = conn.memory_charge;
+  conns_.erase(std::find_if(conns_.begin(), conns_.end(),
+                            [id](const std::unique_ptr<Conn>& c) {
+                              return c->id == id;
+                            }));
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.memory_used -= charge;
+  stats_.active_sessions = conns_.size();
+}
+
+void Server::DrainWake() {
+  std::uint64_t drained = 0;
+  while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+  }
+  std::vector<Session*> done;
+  std::vector<std::uint64_t> resume;
+  {
+    std::lock_guard<std::mutex> lock(mail_mu_);
+    done.swap(done_sessions_);
+    resume.swap(resume_ids_);
+  }
+  for (const std::uint64_t id : resume) {
+    Conn* conn = FindConn(id);
+    if (conn != nullptr && !conn->reaped) ParseIngest(*conn);
+  }
+  for (Session* session : done) ReapSession(session);
+}
+
+void Server::SweepIdle() {
+  if (options_.idle_timeout_millis <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto limit = std::chrono::milliseconds(options_.idle_timeout_millis);
+  for (auto& conn : conns_) {
+    if (conn->read_done || conn->reaped || conn->queue_closed) continue;
+    if (now - conn->last_activity < limit) continue;
+    conn->queue->Close(Status::DeadlineExceeded(
+        "serve connection idle for " +
+        std::to_string(options_.idle_timeout_millis) +
+        " ms (receive idle timeout)"));
+    conn->queue_closed = true;
+    conn->read_done = true;
+    conn->want_read = false;
+    UpdateEpoll(*conn);
+    scheduler_->Kick();
+  }
+}
+
+void Server::EventLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (true) {
+    int timeout = -1;
+    if (options_.idle_timeout_millis > 0) {
+      timeout = std::max(10, options_.idle_timeout_millis / 4);
+    }
+    const int n = ::epoll_wait(epoll_fd_, events, kMaxEvents, timeout);
+    if (n < 0 && errno != EINTR) break;
+    for (int i = 0; i < std::max(n, 0); ++i) {
+      const std::uint64_t id = events[i].data.u64;
+      if (id == kWakeId) {
+        DrainWake();
+        continue;
+      }
+      if (id == kListenId) {
+        HandleAccept();
+        continue;
+      }
+      Conn* conn = FindConn(id);
+      if (conn == nullptr) continue;  // reaped earlier this round
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        // Reset / full close: fail the session; the conn survives until
+        // the scheduler reaps it (the final write will just miss).
+        if (!conn->queue_closed) {
+          conn->queue->Close(
+              Status::IoError("serve connection reset by peer"));
+          conn->queue_closed = true;
+          scheduler_->Kick();
+        }
+        conn->read_done = true;
+        conn->want_read = false;
+        // Deregister: a 0-mask fd still reports HUP and would spin us.
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+        conn->epoll_registered = false;
+        continue;
+      }
+      if (events[i].events & EPOLLIN) HandleReadable(*conn);
+      // The conn may have been destroyed inside a handler chain; re-find.
+      conn = FindConn(id);
+      if (conn == nullptr) continue;
+      if (events[i].events & EPOLLOUT) FlushWrites(*conn);
+    }
+    SweepIdle();
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (!listener_open_ && conns_.empty()) break;  // max_accepts drained
+  }
+  // Shutdown: fail whatever is still open, stop the workers, then tear
+  // the connections down (workers must be joined before their sessions'
+  // backing state goes away).
+  CloseListener();
+  for (auto& conn : conns_) {
+    if (!conn->queue_closed) {
+      conn->queue->Close(Status::Unavailable("server shutting down"));
+      conn->queue_closed = true;
+    }
+  }
+  scheduler_->Kick();
+  scheduler_->Stop();
+  while (!conns_.empty()) DestroyConn(*conns_.front());
+}
+
+}  // namespace engine
+}  // namespace tristream

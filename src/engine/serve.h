@@ -1,0 +1,251 @@
+// Multi-tenant serve mode: many TRIS connections, one scheduler.
+//
+// The paper's motivating deployment is continuous monitoring of live
+// interaction streams. `live` mode handled exactly one feed per process;
+// serve mode generalizes it: an epoll event loop accepts any number of
+// TCP connections, maps each to its own engine::Session (own estimator,
+// own bounded ingest queue, own sticky status), and multiplexes all
+// sessions over one engine::Scheduler worker pool. Sessions are fully
+// isolated -- a failed or malicious connection corrupts only its own
+// estimate -- and, for a fixed (seed, r, batch size), each session's
+// estimates are bit-identical to a standalone `count` run over the same
+// edges, because the queue's consumer-side batching makes batch
+// boundaries independent of how the client chunked its sends.
+//
+// Wire protocol: everything reuses the 16-byte TRIS header shape
+// (magic 4B | version u32 | count u64).
+//
+//   client -> server
+//     "TRIS"  count = n edges, payload n * 8B (u32 u, u32 v) -- ingest,
+//             identical to the live/file frame format.
+//     "TRIQ"  count = 0 -- query. The server replies immediately with a
+//             "TRIR" built from the session's cached snapshot; it NEVER
+//             flushes the estimator (a flush mid-batch would perturb the
+//             RNG trajectory and break bit-identity), so a query costs a
+//             frame round-trip, not an ingest stall. The snapshot
+//             refreshes at the session's next non-perturbing quantum
+//             boundary, so an early query can carry valid=0 (no estimate
+//             yet) and repeated queries converge to fresh values.
+//     half-close (shutdown(SHUT_WR)) at a frame boundary = end of
+//             stream; the server finishes the session and replies with a
+//             final "TRIR" before closing.
+//   server -> client
+//     "TRIR"  count = 40, payload: edges u64 | triangles f64 |
+//             wedges f64 | transitivity f64 | flags u64
+//             (bit0 has_wedges, bit1 final, bit2 valid).
+//     "TRIE"  count = message bytes, payload = human-readable diagnostic;
+//             the connection closes after. Sent on admission refusal
+//             (session limit, memory budget) and on session failure
+//             (malformed frame, idle timeout, ...).
+//
+// Backpressure: each connection's edges flow through a bounded
+// QueueEdgeStream. The event loop uses the non-blocking TryPush; when the
+// queue is full it parks the unparsed remainder (bounded) and stops
+// reading that connection -- TCP pushes back on the client -- until the
+// consumer frees space (QueueEdgeStream's space hook pokes the loop's
+// eventfd). The event loop never blocks on any single connection.
+//
+// Admission control: a connection beyond max_sessions, or whose
+// estimated footprint (estimator state + queue + batch buffers) would
+// exceed memory_budget_bytes, is refused with a "TRIE" diagnostic and
+// never constructs a session -- the server degrades by refusing, not by
+// OOMing.
+
+#ifndef TRISTREAM_ENGINE_SERVE_H_
+#define TRISTREAM_ENGINE_SERVE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/estimators.h"
+#include "engine/scheduler.h"
+#include "engine/session.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace engine {
+
+/// Server -> client frame magics (client -> server reuses kTrisMagic).
+inline constexpr char kServeQueryMagic[4] = {'T', 'R', 'I', 'Q'};
+inline constexpr char kServeSnapshotMagic[4] = {'T', 'R', 'I', 'R'};
+inline constexpr char kServeErrorMagic[4] = {'T', 'R', 'I', 'E'};
+
+/// Fixed-layout "TRIR" payload (little-endian, packed by hand -- see
+/// EncodeSnapshotBody/DecodeSnapshotBody).
+struct SnapshotWire {
+  std::uint64_t edges = 0;
+  double triangles = 0.0;
+  double wedges = 0.0;
+  double transitivity = 0.0;
+  bool has_wedges = false;
+  bool final_result = false;
+  bool valid = false;
+};
+
+inline constexpr std::size_t kSnapshotBodyBytes = 40;
+
+/// Serializes a snapshot into the 40-byte TRIR body layout.
+void EncodeSnapshotBody(const SessionSnapshot& snap, char out[40]);
+
+/// Parses a 40-byte TRIR body. CorruptData on a short buffer.
+Result<SnapshotWire> DecodeSnapshotBody(const char* data, std::size_t size);
+
+struct ServeOptions {
+  /// Loopback TCP port to listen on; 0 picks an ephemeral port (reported
+  /// by Start()).
+  std::uint16_t port = 0;
+
+  /// Concurrent session cap; further connects are refused with a TRIE
+  /// diagnostic. 0 behaves as 1.
+  std::size_t max_sessions = 64;
+
+  /// Total estimated footprint across live sessions; a connect whose
+  /// session would push past it is refused with a TRIE diagnostic.
+  /// 0 = no memory admission control.
+  std::size_t memory_budget_bytes = 0;
+
+  /// Per-session ingest queue capacity in edges (the backpressure bound).
+  std::size_t queue_capacity = 1 << 16;
+
+  /// Scheduler worker threads stepping sessions.
+  std::size_t num_workers = 2;
+
+  /// Per-connection receive idle timeout: a connection with no bytes for
+  /// this long fails its session with kDeadlineExceeded (TRIE reply).
+  /// 0 = off.
+  int idle_timeout_millis = 0;
+
+  /// Estimator every session runs ("bulk" by default: serial per session,
+  /// parallelism = sessions x workers; any MakeEstimator algo works).
+  std::string algo = "bulk";
+  EstimatorConfig config;
+
+  /// Per-session drive options (0 = estimator preference / default).
+  std::size_t batch_size = 0;
+  std::size_t quantum_batches = 1;
+
+  /// Stop accepting after this many connections (listener closes); the
+  /// server then exits once the last session drains. 0 = unlimited.
+  /// `live` mode is max_accepts = 1.
+  std::uint64_t max_accepts = 0;
+
+  /// Forwarded to every session (progress rows in live mode). on_report
+  /// runs on a scheduler worker thread.
+  std::uint64_t report_every_edges = 0;
+  std::function<void(StreamingEstimator&, const SessionMetrics&)> on_report;
+
+  /// Invoked on the event-loop thread when a session is reaped, before
+  /// its connection state is destroyed: the final estimates (via
+  /// session.snapshot()/estimator()) and the sticky status. Serve-mode
+  /// observability hook; live mode prints its summary here.
+  std::function<void(Session&, const Status&)> on_session_end;
+};
+
+/// Monitoring counters (racy snapshot; exact once the server is done).
+struct ServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t completed = 0;  // sessions finished with OK status
+  std::uint64_t failed = 0;     // sessions finished with a failure status
+  std::size_t active_sessions = 0;
+  std::size_t memory_used = 0;  // admission-control charge currently held
+};
+
+/// The serve-mode server (see file comment). Start() spawns the scheduler
+/// workers and the event-loop thread; Stop() (or max_accepts draining)
+/// ends it; Wait() joins.
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the listener and starts serving. Returns the actual port.
+  Result<std::uint16_t> Start();
+
+  /// Blocks until the event loop exits: after Stop(), or once max_accepts
+  /// connections have been accepted and every session drained.
+  void Wait();
+
+  /// Asks the loop to shut down: open sessions are failed with
+  /// Unavailable, workers stop after their current quantum. Idempotent.
+  void Stop();
+
+  ServerStats stats() const;
+
+ private:
+  struct Conn;
+
+  void EventLoop();
+  void HandleAccept();
+  void Admit(int fd);
+  /// Best-effort TRIE diagnostic + close for a connection never admitted.
+  void Refuse(int fd, const std::string& message);
+  void HandleReadable(Conn& conn);
+  /// Parses conn.inbuf: TRIS payload -> TryPush, TRIQ -> reply, garbage
+  /// -> fail the session. Pauses reading when the queue pushes back.
+  void ParseIngest(Conn& conn);
+  /// Once the peer half-closed: closes the queue (Ok at a frame boundary,
+  /// CorruptData mid-frame) as soon as every buffered byte is pushed.
+  void MaybeFinishIngest(Conn& conn);
+  void SendSnapshot(Conn& conn, bool request_refresh);
+  void SendError(Conn& conn, const std::string& message);
+  void QueueWrite(Conn& conn, const char* data, std::size_t size);
+  /// Returns true when the conn was destroyed (close-after-flush drained).
+  bool FlushWrites(Conn& conn);
+  void UpdateEpoll(Conn& conn);
+  /// Scheduler reaped this session: send the final TRIR/TRIE, fire
+  /// on_session_end, tear the connection down once writes drain.
+  void ReapSession(Session* session);
+  void DestroyConn(Conn& conn);
+  void DrainWake();
+  void SweepIdle();
+  void CloseListener();
+  void WakeLoop();
+  Conn* FindConn(std::uint64_t id);
+  Conn* FindConnBySession(const Session* session);
+
+  ServeOptions options_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::thread loop_thread_;
+  bool started_ = false;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::uint64_t accepts_ = 0;
+  bool listener_open_ = false;
+
+  /// Owned by the event loop; epoll events carry the connection id
+  /// (immune to fd reuse), found by linear scan -- session counts are
+  /// hundreds, events are 64 KiB apart.
+  std::vector<std::unique_ptr<Conn>> conns_;
+  std::uint64_t next_id_ = 2;  // 0 = wake fd, 1 = listener
+
+  /// Staging for payload bytes -> aligned Edge spans before TryPush.
+  std::vector<Edge> edge_scratch_;
+
+  std::atomic<bool> stop_requested_{false};
+
+  /// Worker/consumer -> event loop mailboxes, signalled via wake_fd_.
+  mutable std::mutex mail_mu_;
+  std::vector<Session*> done_sessions_;    // reaped by the scheduler
+  std::vector<std::uint64_t> resume_ids_;  // queues that freed space
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+};
+
+}  // namespace engine
+}  // namespace tristream
+
+#endif  // TRISTREAM_ENGINE_SERVE_H_

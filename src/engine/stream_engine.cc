@@ -1,209 +1,30 @@
 #include "engine/stream_engine.h"
 
-#include <algorithm>
-#include <iterator>
-#include <limits>
-#include <span>
-#include <string>
 #include <utility>
 
-#include "ckpt/checkpoint.h"
-#include "util/timer.h"
+#include "engine/scheduler.h"
+#include "engine/session.h"
 
 namespace tristream {
 namespace engine {
-namespace {
-
-/// Built-in calibration ladder. Starts past the regime where per-batch
-/// substrate cost dominates (bench_parallel_scaling shows that below ~1K
-/// edges) and stops where the O(r + w) batch cost is within ~2% of its
-/// asymptote, keeping the calibration prefix (~3 batches per candidate)
-/// small relative to real streams; the estimator's own preferred size is
-/// appended so the sweep can never do worse than the static default it
-/// replaces.
-constexpr std::size_t kDefaultLadder[] = {
-    std::size_t{1} << 12, std::size_t{1} << 14, std::size_t{1} << 16};
-
-}  // namespace
 
 StreamEngine::StreamEngine(StreamEngineOptions options)
     : options_(std::move(options)) {}
 
-std::size_t StreamEngine::PumpOne(StreamingEstimator& estimator,
-                                  stream::EdgeStream& source,
-                                  bool stable_views, std::size_t w,
-                                  int* fill) {
-  // Stable sources yield spans into their own storage that outlive the
-  // dispatch; others fill the idle half of the double buffer. Either way
-  // the fetch (disk read, page fault, queue wait) runs while a pipelined
-  // estimator is still absorbing the previous batch.
-  std::vector<Edge>* scratch = stable_views ? nullptr : &buffers_[*fill];
-  const std::span<const Edge> view = source.NextBatchView(w, scratch);
-  if (view.empty()) return 0;
-  WallTimer compute;
-  estimator.ProcessEdges(view);
-  metrics_.compute_seconds += compute.Seconds();
-  metrics_.edges += view.size();
-  ++metrics_.batches;
-  // The estimator may still reference `view` until its next barrier; the
-  // next fetch must not overwrite it, so alternate buffers.
-  *fill ^= 1;
-  return view.size();
-}
-
-std::size_t StreamEngine::Calibrate(StreamingEstimator& estimator,
-                                    stream::EdgeStream& source,
-                                    bool stable_views, int* fill) {
-  std::vector<std::size_t> ladder = options_.autotune_candidates;
-  if (ladder.empty()) {
-    ladder.assign(std::begin(kDefaultLadder), std::end(kDefaultLadder));
-    if (estimator.preferred_batch_size() != 0) {
-      ladder.push_back(estimator.preferred_batch_size());
-    }
-  }
-  for (std::size_t& w : ladder) w = std::max<std::size_t>(w, 1);
-  std::sort(ladder.begin(), ladder.end());
-  ladder.erase(std::unique(ladder.begin(), ladder.end()), ladder.end());
-
-  std::size_t best = ladder.front();
-  double best_eps = -1.0;
-  bool exhausted = false;
-  for (const std::size_t w : ladder) {
-    // One untimed warm-up batch per candidate: the first batch at a new
-    // size pays one-time costs proportional to w (scratch-table growth,
-    // buffer allocation) that the steady state amortizes away; charging
-    // them to the measurement would bias the sweep toward small batches.
-    estimator.Flush();
-    if (PumpOne(estimator, source, stable_views, w, fill) == 0) break;
-    estimator.Flush();
-    // Measure at least two full batches (and at least probe_edges) of
-    // fetch + dispatch + drain at w.
-    const std::size_t goal =
-        std::max(std::max<std::size_t>(options_.autotune_probe_edges, 1),
-                 2 * w);
-    WallTimer timer;
-    std::size_t probed = 0;
-    while (probed < goal) {
-      const std::size_t got = PumpOne(estimator, source, stable_views, w,
-                                      fill);
-      if (got == 0) {
-        exhausted = true;
-        break;
-      }
-      probed += got;
-    }
-    estimator.Flush();
-    const double seconds = timer.Seconds();
-    if (probed > 0 && seconds > 0.0) {
-      const double eps = static_cast<double>(probed) / seconds;
-      if (eps > best_eps) {
-        best_eps = eps;
-        best = w;
-      }
-    }
-    if (exhausted) break;  // stream over: best measured so far wins
-  }
-  return best;
-}
-
 Status StreamEngine::Run(StreamingEstimator& estimator,
                          stream::EdgeStream& source) {
-  metrics_ = StreamEngineMetrics{};
-  const bool stable_views = source.stable_views();
-  // Announce the source's traits before the first batch so a
-  // placement-aware estimator can pick its staging policy (per-NUMA-node
-  // replicas vs. zero-copy broadcast) for this run's views.
-  StreamSourceTraits traits;
-  traits.stable_views = stable_views;
-  traits.replicate_stable_views = options_.replicate_stable_views;
-  estimator.BeginStream(traits);
-  const double io_before = source.io_seconds();
-  std::size_t w = options_.batch_size;
-  if (w == 0) w = estimator.preferred_batch_size();
-  if (w == 0) w = kDefaultBatchSize;
-
-  const bool checkpointing = !options_.checkpoint_path.empty();
-  if (checkpointing) {
-    if (options_.checkpoint_every_edges == 0) {
-      return Status::InvalidArgument(
-          "checkpoint_path is set but checkpoint_every_edges is 0");
-    }
-    if (!estimator.checkpointable()) {
-      return Status::FailedPrecondition(std::string(estimator.name()) +
-                                        " is not checkpointable");
-    }
-    if (options_.autotune && options_.batch_size == 0) {
-      return Status::InvalidArgument(
-          "autotuning changes batch boundaries, which a resumed run cannot "
-          "replay; pin batch_size (or disable autotune) to checkpoint");
-    }
-  }
-  // Resume support: the estimator may arrive mid-stream (RestoreState +
-  // SkipToCheckpoint), in which case metrics_.edges counts only this run's
-  // edges while the snapshot cadence stays anchored to absolute stream
-  // positions.
-  const std::uint64_t ckpt_base = estimator.edges_processed();
-  std::uint64_t next_ckpt = std::numeric_limits<std::uint64_t>::max();
-  if (checkpointing) {
-    next_ckpt =
-        (ckpt_base / options_.checkpoint_every_edges + 1) *
-        options_.checkpoint_every_edges;
-  }
-
-  int fill = 0;
-  WallTimer total;
-  if (options_.autotune && options_.batch_size == 0) {
-    // An explicit batch_size is a reproducibility pin; only the default
-    // is worth second-guessing.
-    w = Calibrate(estimator, source, stable_views, &fill);
-    metrics_.autotuned = true;
-  }
-  metrics_.batch_size = w;
-
-  std::uint64_t next_report =
-      options_.report_every_edges != 0 && options_.on_report
-          ? options_.report_every_edges
-          : std::numeric_limits<std::uint64_t>::max();
-  // Edges absorbed during calibration may already have crossed report
-  // points; fold them into the first report instead of replaying them.
-  while (next_report <= metrics_.edges) {
-    next_report += options_.report_every_edges;
-  }
-
-  while (PumpOne(estimator, source, stable_views, w, &fill) != 0) {
-    const std::uint64_t position = ckpt_base + metrics_.edges;
-    if (position >= next_ckpt) {
-      WallTimer ckpt_timer;
-      TRISTREAM_RETURN_IF_ERROR(
-          ckpt::SaveCheckpoint(options_.checkpoint_path, estimator, w));
-      metrics_.checkpoint_seconds += ckpt_timer.Seconds();
-      ++metrics_.checkpoints;
-      while (next_ckpt <= position) {
-        next_ckpt += options_.checkpoint_every_edges;
-      }
-    }
-    if (metrics_.edges >= next_report) {
-      metrics_.total_seconds = total.Seconds();
-      metrics_.io_seconds = source.io_seconds() - io_before;
-      options_.on_report(estimator, metrics_);
-      while (next_report <= metrics_.edges) {
-        next_report += options_.report_every_edges;
-      }
-    }
-  }
-
-  // The final barrier: everything dispatched is absorbed before the
-  // clock stops and before the caller reads estimates.
-  WallTimer flush_timer;
-  estimator.Flush();
-  metrics_.compute_seconds += flush_timer.Seconds();
-  metrics_.total_seconds = total.Seconds();
-  metrics_.io_seconds = source.io_seconds() - io_before;
-
-  // A short batch only means end of stream when the source is healthy;
-  // surface a mid-stream failure (truncated file, dead socket, producer
-  // Close(error)) instead of letting a prefix pass as the whole stream.
-  return source.status();
+  // One session, driven inline to completion: with a single session the
+  // scheduler degenerates to Step-until-done on this thread, which issues
+  // exactly the batch sequence the old monolithic loop did (blocking in
+  // the source when it has nothing buffered -- Session's default,
+  // non-cooperative mode).
+  SessionOptions session_options = options_;
+  Session session(estimator, source, std::move(session_options));
+  Scheduler scheduler;
+  scheduler.Add(&session);
+  scheduler.Run();
+  metrics_ = session.metrics();
+  return session.status();
 }
 
 }  // namespace engine

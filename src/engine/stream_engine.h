@@ -1,46 +1,31 @@
-// The one stream driver every estimator runs under.
+// The one-session stream driver every estimator runs under.
 //
 // Before the engine existed, each counter owned a private ProcessStream
 // loop (and several benches hand-rolled their own), so only the core
 // counters could consume mmap/queue/socket sources, only some callers
 // checked the source's sticky status, and batching policy was copy-pasted
-// per counter. StreamEngine centralizes everything those loops duplicated:
+// per counter. StreamEngine centralized everything those loops duplicated
+// -- batched double-buffered fetch, sticky-status propagation, per-run
+// metrics, batch-size autotuning, checkpoint cadence.
 //
-//   * Batched fetch through EdgeStream::NextBatchView. Stable sources
-//     (mmap, in-memory) are dispatched zero-copy; others fill the engine's
-//     double buffers, so the fetch of batch N+1 (disk read, page fault,
-//     queue wait) overlaps with the estimator absorbing batch N -- the
-//     pipelined discipline lifted from the old
-//     ParallelTriangleCounter::ProcessStream, now applied to every
-//     estimator uniformly.
-//   * Sticky-status propagation: Run() returns the source's status(), so
-//     a truncated file, dead socket, or producer Close(error) can never
-//     read as a clean prefix estimate -- for baselines too, which used to
-//     accept ingest failure silently.
-//   * Per-run metrics: edges, batches, effective batch size, wall time,
-//     io_seconds (source-attributed) vs. compute seconds (time the ingest
-//     thread spent blocked in the estimator).
-//   * Batch-size autotuning: instead of a static default (the sharded
-//     counter's 8r/threads), an opt-in calibration sweep measures
-//     throughput over a short prefix of the live stream at a ladder of
-//     candidate sizes and continues with the fastest. Single-pass: the
-//     calibration edges are absorbed normally, never replayed. Autotuning
-//     changes batch boundaries, so runs that must be bit-reproducible
-//     against a fixed seed should pin batch_size instead.
+// That drive loop now lives in engine::Session (one run, advanced in
+// schedulable quanta) and engine::Scheduler (which session steps next),
+// so serve mode can multiplex many concurrent runs over a worker pool.
+// StreamEngine survives as the one-session convenience wrapper: Run()
+// builds a Session from its options, drives it to completion through an
+// inline Scheduler, and returns the session's sticky status. Nothing
+// about the observable contract changed -- same option struct (aliased
+// below), same metrics, same call sequence into the source and estimator.
 //
 // Determinism: with a fixed batch_size (explicit or the estimator's
-// preference) the engine issues exactly the same NextBatchView calls as
+// preference) the session issues exactly the same NextBatchView calls as
 // the drivers it replaced, so estimates are bit-identical to pre-engine
 // output for a fixed seed -- the parity suite (tests/engine) locks this.
 
 #ifndef TRISTREAM_ENGINE_STREAM_ENGINE_H_
 #define TRISTREAM_ENGINE_STREAM_ENGINE_H_
 
-#include <cstdint>
-#include <functional>
-#include <string>
-#include <vector>
-
+#include "engine/session.h"
 #include "engine/streaming_estimator.h"
 #include "stream/edge_stream.h"
 #include "util/status.h"
@@ -48,80 +33,14 @@
 namespace tristream {
 namespace engine {
 
-/// What one Run() measured. Reset at every Run() call.
-struct StreamEngineMetrics {
-  std::uint64_t edges = 0;    // edges delivered to the estimator
-  std::uint64_t batches = 0;  // ProcessEdges calls issued
-  /// Batch size in effect at end of run (the autotuner's pick, when
-  /// autotuning ran).
-  std::size_t batch_size = 0;
-  bool autotuned = false;
-  double total_seconds = 0.0;    // wall clock, fetch + absorb + flush
-  double io_seconds = 0.0;       // source-attributed (reads, waits)
-  double compute_seconds = 0.0;  // ingest thread blocked in the estimator
-  std::uint64_t checkpoints = 0;  // snapshots written this run
-  double checkpoint_seconds = 0.0;  // wall clock inside SaveCheckpoint
+/// Historical names, kept for the many call sites (CLI, benches, tests)
+/// that configure single-session runs: the structs moved to session.h
+/// when the drive loop became Session.
+using StreamEngineMetrics = SessionMetrics;
+using StreamEngineOptions = SessionOptions;
 
-  double edges_per_second() const {
-    return total_seconds > 0.0 ? static_cast<double>(edges) / total_seconds
-                               : 0.0;
-  }
-};
-
-/// Configuration of the driver, not of any estimator.
-struct StreamEngineOptions {
-  /// Fetch size w per NextBatchView call. 0 defers to the estimator's
-  /// preferred_batch_size(), then to kDefaultBatchSize.
-  std::size_t batch_size = 0;
-
-  /// Calibrate w on the stream's prefix instead of trusting the static
-  /// default (see the file comment). Ignored when batch_size != 0.
-  bool autotune = false;
-
-  /// Edges measured per autotune candidate (rounded up to whole batches).
-  std::size_t autotune_probe_edges = 1 << 16;
-
-  /// Candidate ladder for the sweep. Empty selects the built-in ladder
-  /// {4K, 16K, 64K} plus the estimator's preferred size.
-  std::vector<std::size_t> autotune_candidates;
-
-  /// Topology staging opt-in, forwarded to the estimator through
-  /// StreamSourceTraits: a placement-aware estimator (the sharded
-  /// counter) then keeps a per-NUMA-node replica of each *stable* (mmap /
-  /// in-memory) batch instead of broadcasting one mapping across sockets.
-  /// Off by default: the replica costs one copy per node per batch and
-  /// only pays when remote-read bandwidth dominates; non-stable sources
-  /// (file reads, queues, sockets) are staged per node regardless, since
-  /// their batches land in a caller-side buffer anyway. No effect on
-  /// single-node topologies or estimates (staging is placement, not
-  /// semantics).
-  bool replicate_stable_views = false;
-
-  /// When nonzero, on_report fires after any batch that crosses a multiple
-  /// of this many edges -- the live-monitoring hook (progress rows,
-  /// alerting) that used to force callers back onto manual loops.
-  std::uint64_t report_every_edges = 0;
-  std::function<void(StreamingEstimator&, const StreamEngineMetrics&)>
-      on_report;
-
-  /// When non-empty, the engine writes a crash-safe TRICKPT snapshot of
-  /// the estimator (ckpt::SaveCheckpoint: temp file -> fsync -> atomic
-  /// rename, previous generation retained at `<path>.prev`) after every
-  /// batch that crosses a multiple of checkpoint_every_edges. Snapshots
-  /// are taken *between* batches without flushing, so enabling them never
-  /// perturbs the estimates. Requires a checkpointable() estimator and a
-  /// fixed batch size (autotune changes batch boundaries, which a resumed
-  /// run could not replay).
-  std::string checkpoint_path;
-  std::uint64_t checkpoint_every_edges = 0;
-};
-
-/// Fallback fetch size when neither the caller nor the estimator has an
-/// opinion (64K edges = 512 KiB per buffer, comfortably past the regime
-/// where per-batch substrate cost dominates).
-inline constexpr std::size_t kDefaultBatchSize = std::size_t{1} << 16;
-
-/// Drives any EdgeStream through any StreamingEstimator (see file comment).
+/// Drives any EdgeStream through any StreamingEstimator (see file
+/// comment): the one-session wrapper over Session + Scheduler.
 class StreamEngine {
  public:
   explicit StreamEngine(StreamEngineOptions options = {});
@@ -130,7 +49,8 @@ class StreamEngine {
   /// Returns the source's sticky status(): OK means the stream ended
   /// cleanly; anything else means the source failed mid-read and the
   /// absorbed edges are a *prefix* -- estimates computed anyway describe
-  /// that prefix, not the stream, so callers must check.
+  /// that prefix, not the stream, so callers must check. (Option
+  /// validation and checkpoint-write failures surface the same way.)
   [[nodiscard]] Status Run(StreamingEstimator& estimator,
                            stream::EdgeStream& source);
 
@@ -138,23 +58,8 @@ class StreamEngine {
   const StreamEngineMetrics& metrics() const { return metrics_; }
 
  private:
-  /// The calibration sweep: absorbs a short prefix at each candidate size,
-  /// returns the fastest. `fill` is the engine's double-buffer cursor,
-  /// advanced in step with the main loop's discipline.
-  std::size_t Calibrate(StreamingEstimator& estimator,
-                        stream::EdgeStream& source, bool stable_views,
-                        int* fill);
-
-  /// One fetch + dispatch at size `w`; returns edges delivered (0 = end).
-  std::size_t PumpOne(StreamingEstimator& estimator,
-                      stream::EdgeStream& source, bool stable_views,
-                      std::size_t w, int* fill);
-
   StreamEngineOptions options_;
   StreamEngineMetrics metrics_;
-  /// Double buffer for non-stable sources: while the estimator may still
-  /// reference the view from buffer A, the next fetch fills buffer B.
-  std::vector<Edge> buffers_[2];
 };
 
 }  // namespace engine

@@ -105,6 +105,23 @@ class StreamingEstimator {
   /// preference: the engine falls back to its default or autotunes.
   virtual std::size_t preferred_batch_size() const { return 0; }
 
+  /// True when reading the typed estimates RIGHT NOW would not change the
+  /// estimator's trajectory -- i.e. the implied Flush() is a no-op or a
+  /// pure barrier. False exactly when a partial batch is buffered and
+  /// Flush would absorb it early, perturbing the RNG sequence relative to
+  /// an unqueried run. Serve-mode snapshots only read estimates when this
+  /// holds, which is how a mid-ingest query stays invisible to the
+  /// bit-identity guarantee. Default true (estimators with no batch
+  /// buffering are always safe).
+  virtual bool estimates_nonperturbing() const { return true; }
+
+  /// Rough resident footprint in bytes of the estimator's stream state
+  /// (samples, counters, buffers) -- the admission-control currency for
+  /// serve mode's per-session memory accounting. 0 means unknown; the
+  /// server then charges only its own per-session overhead. Cheap to call;
+  /// an estimate, not an audit.
+  virtual std::size_t approx_memory_bytes() const { return 0; }
+
   // ------------------------------------------------- checkpointing
   // The neighborhood-sampling family serializes its full stream state
   // (samples, counters, RNG positions, buffered edges) so a killed run can

@@ -52,6 +52,19 @@ class EdgeStream {
   /// to dispatch views to workers while already fetching the next batch.
   virtual bool stable_views() const { return false; }
 
+  /// Scheduling hint: true when a NextBatch/NextBatchView(max_edges) call
+  /// right now would return promptly instead of blocking on a producer.
+  /// Sources that never block (files, memory, mmap) keep the default;
+  /// live sources (QueueEdgeStream) report whether a full batch is
+  /// buffered or the stream has closed. engine::Scheduler's ready queue
+  /// is driven by this, so one stalled stream never parks a worker that
+  /// other sessions need. Purely advisory: a false positive costs a
+  /// blocking fetch, never a wrong estimate.
+  virtual bool ready(std::size_t max_edges) const {
+    (void)max_edges;
+    return true;
+  }
+
   /// Restarts the stream from the first edge.
   virtual void Reset() = 0;
 

@@ -40,6 +40,24 @@ std::size_t QueueEdgeStream::Push(std::span<const Edge> edges) {
   return pushed;
 }
 
+std::size_t QueueEdgeStream::TryPush(std::span<const Edge> edges) {
+  std::size_t pushed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return 0;
+    const std::size_t room = capacity_ - buffer_.size();
+    pushed = std::min(room, edges.size());
+    buffer_.insert(buffer_.end(), edges.begin(),
+                   edges.begin() + static_cast<std::ptrdiff_t>(pushed));
+  }
+  if (pushed > 0) can_pop_.notify_one();
+  return pushed;
+}
+
+void QueueEdgeStream::SetSpaceHook(std::function<void()> hook) {
+  space_hook_ = std::move(hook);
+}
+
 void QueueEdgeStream::Close(Status status) {
   std::lock_guard<std::mutex> lock(mu_);
   // A failure report must survive even after a clean close already won the
@@ -83,13 +101,25 @@ std::size_t QueueEdgeStream::NextBatch(std::size_t max_edges,
     wait_seconds_ += wait_timer.Seconds();
   }
   const std::size_t take = std::min(max_edges, buffer_.size());
+  const bool was_full = buffer_.size() >= capacity_;
   batch->insert(batch->end(), buffer_.begin(),
                 buffer_.begin() + static_cast<std::ptrdiff_t>(take));
   buffer_.erase(buffer_.begin(),
                 buffer_.begin() + static_cast<std::ptrdiff_t>(take));
   delivered_ += take;
   if (take > 0) can_push_.notify_all();
+  const bool freed_space = was_full && take > 0;
+  lock.unlock();
+  // Fire the space hook outside the lock: it typically pokes an eventfd or
+  // scheduler, and must be free to call back into the queue.
+  if (freed_space && space_hook_) space_hook_();
   return take;
+}
+
+bool QueueEdgeStream::ready(std::size_t max_edges) const {
+  if (max_edges == 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffer_.size() >= std::min(max_edges, capacity_) || closed_;
 }
 
 void QueueEdgeStream::Reset() {

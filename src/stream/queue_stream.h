@@ -42,6 +42,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <span>
 #include <vector>
@@ -69,6 +70,20 @@ class QueueEdgeStream : public EdgeStream {
   /// admitted -- short only when the queue closes mid-push.
   std::size_t Push(std::span<const Edge> edges);
 
+  /// Non-blocking Push: admits as much of `edges` as fits right now and
+  /// returns the number admitted (0 when full or closed), never waiting.
+  /// The admitted prefix is contiguous in the stream. This is the event-
+  /// loop discipline (engine serve mode): a full queue is backpressure --
+  /// the producer parks the remainder and stops reading its connection
+  /// until the consumer drains (see SetSpaceHook).
+  std::size_t TryPush(std::span<const Edge> edges);
+
+  /// Registers a hook invoked (without the queue lock held, on the
+  /// consumer's thread) whenever a pop transitions the queue from full to
+  /// not-full -- the signal a parked producer needs to resume pushing.
+  /// Must be set before concurrent use and not changed afterwards.
+  void SetSpaceHook(std::function<void()> hook);
+
   /// Closes the queue: producers are unblocked and further pushes fail;
   /// the consumer drains what is buffered, then sees end of stream with
   /// `status` as the sticky status(). First close wins, except that a
@@ -88,6 +103,10 @@ class QueueEdgeStream : public EdgeStream {
 
   std::size_t NextBatch(std::size_t max_edges,
                         std::vector<Edge>* batch) override;
+  /// True when NextBatch(max_edges) would return without waiting: a full
+  /// batch (min(max_edges, capacity)) is buffered, or the queue is closed
+  /// (the remainder drains, then end of stream).
+  bool ready(std::size_t max_edges) const override;
   void Reset() override;
   std::uint64_t edges_delivered() const override;
   /// Seconds the consumer spent blocked waiting for producers (the live
@@ -105,6 +124,8 @@ class QueueEdgeStream : public EdgeStream {
   Status status_;
   std::uint64_t delivered_ = 0;
   double wait_seconds_ = 0.0;
+  /// Set once before concurrent use; invoked outside mu_ (see SetSpaceHook).
+  std::function<void()> space_hook_;
 };
 
 }  // namespace stream

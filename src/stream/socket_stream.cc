@@ -2,6 +2,8 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -63,6 +65,29 @@ SocketEdgeStream::ReadResult SocketEdgeStream::ReadExact(void* out,
   std::size_t got = 0;
   io_timer_.Resume();
   while (got < bytes) {
+    if (idle_timeout_millis_ > 0) {
+      // Idle timeout: wait for readability before committing to a blocking
+      // read. Every arriving byte restarts the clock (the poll runs per
+      // read call), so only a *silent* peer -- half-open connection,
+      // stalled producer -- trips it, never a slow one.
+      pollfd pfd{fd_, POLLIN, 0};
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, idle_timeout_millis_);
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) {
+        io_timer_.Pause();
+        status_ = Status::IoError(SocketErrnoMessage("poll on edge socket"));
+        return ReadResult::kFailed;
+      }
+      if (rc == 0) {
+        io_timer_.Pause();
+        status_ = Status::DeadlineExceeded(
+            "edge socket idle for " + std::to_string(idle_timeout_millis_) +
+            " ms (receive idle timeout)");
+        return ReadResult::kFailed;
+      }
+    }
     const ssize_t n = ::read(fd_, p + got, bytes - got);
     if (n < 0) {
       if (errno == EINTR) continue;
@@ -161,7 +186,9 @@ Result<TcpListener> ListenOnLoopback(std::uint16_t port) {
     ::close(fd);
     return s;
   }
-  if (::listen(fd, 8) < 0) {
+  // SOMAXCONN, not a small constant: serve mode legitimately sees dozens
+  // of simultaneous connects, and a short backlog turns them into resets.
+  if (::listen(fd, SOMAXCONN) < 0) {
     const Status s = Status::IoError(SocketErrnoMessage("listen"));
     ::close(fd);
     return s;
@@ -181,7 +208,11 @@ Result<TcpListener> ListenOnLoopback(std::uint16_t port) {
 Result<int> AcceptOne(int listen_fd) {
   while (true) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
-    if (fd >= 0) return fd;
+    if (fd >= 0) {
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return fd;
+    }
     if (errno == EINTR) continue;
     return Status::IoError(SocketErrnoMessage("accept"));
   }
@@ -201,6 +232,11 @@ Result<int> ConnectToLoopback(std::uint16_t port) {
     ::close(fd);
     return s;
   }
+  // Disable Nagle on both ends (see AcceptOne): a 16-byte TRIQ header
+  // trailing a burst of edge frames must not sit out a delayed-ACK
+  // window -- query latency is an acceptance criterion of serve mode.
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
 }
 

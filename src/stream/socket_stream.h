@@ -71,11 +71,23 @@ class SocketEdgeStream : public EdgeStream {
   /// Seconds spent blocked in recv(2).
   double io_seconds() const override { return io_timer_.Seconds(); }
   /// Sticky: IoError on a socket read failure, CorruptData on a malformed
-  /// or truncated frame; OK after orderly shutdown at a frame boundary.
+  /// or truncated frame, DeadlineExceeded when the receive idle timeout
+  /// fires; OK after orderly shutdown at a frame boundary.
   Status status() const override { return status_; }
 
   /// Edges the sender promised in the current frame but not yet delivered.
   std::uint64_t frame_remaining() const { return frame_remaining_; }
+
+  /// Receive idle timeout (off by default). When set, a read that sees no
+  /// bytes for `millis` surfaces as a sticky kDeadlineExceeded status
+  /// instead of blocking forever -- so a silently stalled or half-open
+  /// peer cannot hold a consumer (or a serve session slot) indefinitely.
+  /// Idle, not total: any received byte restarts the clock. millis <= 0
+  /// turns the timeout off.
+  void set_receive_idle_timeout_millis(int millis) {
+    idle_timeout_millis_ = millis;
+  }
+  int receive_idle_timeout_millis() const { return idle_timeout_millis_; }
 
  private:
   explicit SocketEdgeStream(int fd) : fd_(fd) { io_timer_.Pause(); }
@@ -90,6 +102,7 @@ class SocketEdgeStream : public EdgeStream {
   ReadResult ReadExact(void* out, std::size_t bytes);
 
   int fd_;
+  int idle_timeout_millis_ = 0;
   std::uint64_t frame_remaining_ = 0;
   std::uint64_t delivered_ = 0;
   bool eof_ = false;

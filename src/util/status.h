@@ -29,6 +29,10 @@ enum class StatusCode {
   // been written). Callers typically treat this as "start fresh", not as a
   // hard failure.
   kUnavailable,
+  // An operation ran out of time waiting on a peer (e.g. a socket source's
+  // receive idle timeout fired). Distinct from kIoError: the transport is
+  // healthy but silent, so the caller may reclaim the slot or retry.
+  kDeadlineExceeded,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -67,6 +71,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,497 @@
+// Serve-mode suite: the multi-tenant TCP front end over Session +
+// Scheduler. Locks the acceptance contracts: N concurrent connections
+// produce estimates bit-identical to isolated single-session runs over
+// the same edges; mid-ingest TRIQ queries answer without stalling ingest;
+// admission control refuses (TRIE) instead of OOMing; connect/disconnect
+// churn storms leave no leaked sessions, no held memory charge, and a
+// scheduler that still serves; per-session failures stay per-session.
+
+#include "engine/serve.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/estimators.h"
+#include "engine/stream_engine.h"
+#include "gen/erdos_renyi.h"
+#include "graph/edge_list.h"
+#include "gtest/gtest.h"
+#include "stream/binary_io.h"
+#include "stream/edge_stream.h"
+#include "stream/socket_stream.h"
+
+namespace tristream {
+namespace engine {
+namespace {
+
+constexpr std::size_t kBatch = 256;
+
+EstimatorConfig TestConfig() {
+  EstimatorConfig config;
+  config.num_estimators = 1024;
+  config.seed = 12345;
+  // Align the bulk counter's self-batching with the session pump batch:
+  // snapshots are only refreshed when no partial counter batch is
+  // pending, so alignment is what makes mid-ingest queries answerable at
+  // every quantum boundary instead of every 8*num_estimators edges.
+  config.batch_size = kBatch;
+  return config;
+}
+
+ServeOptions BaseOptions() {
+  ServeOptions options;
+  options.algo = "bulk";
+  options.config = TestConfig();
+  options.batch_size = kBatch;
+  options.num_workers = 2;
+  return options;
+}
+
+/// The reference estimate: one dedicated StreamEngine::Run with the same
+/// (algo, config, batch size) every serve session uses.
+double IsolatedTriangles(const graph::EdgeList& el) {
+  auto est = MakeEstimator("bulk", TestConfig());
+  EXPECT_TRUE(est.ok());
+  stream::MemoryEdgeStream source(el);
+  StreamEngineOptions options;
+  options.batch_size = kBatch;
+  StreamEngine eng(options);
+  EXPECT_TRUE(eng.Run(**est, source).ok());
+  return (*est)->EstimateTriangles();
+}
+
+Status RecvAll(int fd, void* out, std::size_t size) {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n == 0) return Status::CorruptData("peer closed mid-reply");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("recv failed");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+struct Reply {
+  bool is_error = false;
+  SnapshotWire snapshot;
+  std::string error;
+};
+
+Result<Reply> ReadReply(int fd) {
+  char header[stream::kTrisHeaderBytes];
+  if (Status s = RecvAll(fd, header, sizeof(header)); !s.ok()) return s;
+  std::uint64_t count = 0;
+  std::memcpy(&count, header + 8, sizeof(count));
+  Reply reply;
+  if (std::memcmp(header, kServeSnapshotMagic, 4) == 0) {
+    char body[kSnapshotBodyBytes];
+    if (count != kSnapshotBodyBytes) {
+      return Status::CorruptData("bad TRIR body size");
+    }
+    if (Status s = RecvAll(fd, body, sizeof(body)); !s.ok()) return s;
+    auto wire = DecodeSnapshotBody(body, sizeof(body));
+    if (!wire.ok()) return wire.status();
+    reply.snapshot = *wire;
+    return reply;
+  }
+  if (std::memcmp(header, kServeErrorMagic, 4) == 0) {
+    reply.is_error = true;
+    reply.error.resize(static_cast<std::size_t>(count));
+    if (count > 0) {
+      if (Status s = RecvAll(fd, reply.error.data(), reply.error.size());
+          !s.ok()) {
+        return s;
+      }
+    }
+    return reply;
+  }
+  return Status::CorruptData("unknown reply magic");
+}
+
+void SendQuery(int fd) {
+  char header[stream::kTrisHeaderBytes];
+  std::memcpy(header, kServeQueryMagic, 4);
+  std::memcpy(header + 4, &stream::kTrisVersion,
+              sizeof(stream::kTrisVersion));
+  const std::uint64_t zero = 0;
+  std::memcpy(header + 8, &zero, sizeof(zero));
+  ASSERT_EQ(::send(fd, header, sizeof(header), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(header)));
+}
+
+/// Streams `el` in ragged frames (stride varies by salt), half-closes,
+/// and returns the final TRIR. Asserts on transport or TRIE failure.
+SnapshotWire FeedAndFinish(std::uint16_t port, const graph::EdgeList& el,
+                           std::size_t salt) {
+  auto fd = stream::ConnectToLoopback(port);
+  EXPECT_TRUE(fd.ok()) << fd.status();
+  const std::span<const Edge> edges(el.edges());
+  const std::size_t stride = 61 + 17 * (salt % 23);
+  std::size_t offset = 0;
+  while (offset < edges.size()) {
+    const std::size_t take = std::min(stride, edges.size() - offset);
+    EXPECT_TRUE(
+        stream::WriteEdgeFrame(*fd, edges.subspan(offset, take)).ok());
+    offset += take;
+  }
+  ::shutdown(*fd, SHUT_WR);
+  SnapshotWire final_snap;
+  while (true) {
+    auto reply = ReadReply(*fd);
+    EXPECT_TRUE(reply.ok()) << reply.status();
+    if (!reply.ok()) break;
+    EXPECT_FALSE(reply->is_error) << reply->error;
+    if (reply->is_error) break;
+    if (reply->snapshot.final_result) {
+      final_snap = reply->snapshot;
+      break;
+    }
+  }
+  ::close(*fd);
+  return final_snap;
+}
+
+/// Polls server stats until `pred` holds or the deadline passes.
+template <typename Pred>
+bool WaitForStats(Server& server, Pred pred, int seconds = 30) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred(server.stats())) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred(server.stats());
+}
+
+TEST(ServeWireTest, SnapshotBodyRoundTrips) {
+  SessionSnapshot snap;
+  snap.edges = 123456789;
+  snap.triangles = 3.5e9;
+  snap.wedges = 7.25e11;
+  snap.transitivity = 0.123456;
+  snap.has_wedges = true;
+  snap.valid = true;
+  snap.final_result = false;
+  char body[kSnapshotBodyBytes];
+  EncodeSnapshotBody(snap, body);
+  auto wire = DecodeSnapshotBody(body, sizeof(body));
+  ASSERT_TRUE(wire.ok());
+  EXPECT_EQ(wire->edges, snap.edges);
+  EXPECT_EQ(wire->triangles, snap.triangles);
+  EXPECT_EQ(wire->wedges, snap.wedges);
+  EXPECT_EQ(wire->transitivity, snap.transitivity);
+  EXPECT_TRUE(wire->has_wedges);
+  EXPECT_TRUE(wire->valid);
+  EXPECT_FALSE(wire->final_result);
+  EXPECT_FALSE(DecodeSnapshotBody(body, 10).ok());  // short buffer
+}
+
+/// The headline acceptance contract: 64 concurrent sessions, every one
+/// bit-identical to a dedicated isolated run with the same seed/r/batch,
+/// regardless of how each client chunked its frames.
+TEST(ServeTest, SixtyFourConcurrentSessionsBitIdenticalToIsolated) {
+  constexpr std::size_t kClients = 64;
+  const auto el = gen::GnmRandom(300, 4000, 67);
+  const double expected = IsolatedTriangles(el);
+
+  ServeOptions options = BaseOptions();
+  options.max_sessions = kClients;
+  options.num_workers = 4;
+  options.queue_capacity = 2048;  // small: real backpressure in play
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  std::vector<SnapshotWire> finals(kClients);
+  std::vector<std::thread> clients;
+  for (std::size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back(
+        [&, i] { finals[i] = FeedAndFinish(*port, el, i); });
+  }
+  for (auto& t : clients) t.join();
+  server.Stop();
+  server.Wait();
+
+  for (std::size_t i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(finals[i].valid) << "client " << i;
+    EXPECT_TRUE(finals[i].final_result) << "client " << i;
+    EXPECT_EQ(finals[i].edges, el.size()) << "client " << i;
+    EXPECT_EQ(finals[i].triangles, expected) << "client " << i;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, kClients);
+  EXPECT_EQ(stats.completed, kClients);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.active_sessions, 0u);
+  EXPECT_EQ(stats.memory_used, 0u);
+}
+
+/// A TRIQ mid-ingest answers promptly from the cached snapshot -- with
+/// the client holding back the rest of the stream, so a reply proves the
+/// query path cannot be waiting on a Flush or end of stream. Repeated
+/// query rounds eventually return valid, advancing estimates.
+TEST(ServeTest, QueryMidIngestAnswersWithoutFlushStall) {
+  const auto el = gen::GnmRandom(300, 6000, 91);
+  ServeOptions options = BaseOptions();
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  auto fd = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(fd.ok());
+  const std::span<const Edge> edges(el.edges());
+  // Send two full batches' worth, then query until the snapshot turns
+  // valid: the session absorbs them and refreshes at a quantum boundary.
+  ASSERT_TRUE(stream::WriteEdgeFrame(*fd, edges.subspan(0, 2 * kBatch)).ok());
+  bool saw_valid = false;
+  for (int round = 0; round < 10000 && !saw_valid; ++round) {
+    SendQuery(*fd);
+    auto reply = ReadReply(*fd);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    ASSERT_FALSE(reply->is_error) << reply->error;
+    ASSERT_FALSE(reply->snapshot.final_result);  // stream is still open
+    if (reply->snapshot.valid) {
+      saw_valid = true;
+      EXPECT_GT(reply->snapshot.edges, 0u);
+      EXPECT_LE(reply->snapshot.edges, 2 * kBatch);
+    }
+  }
+  EXPECT_TRUE(saw_valid);
+
+  // The stream still completes normally after the query traffic.
+  std::size_t offset = 2 * kBatch;
+  while (offset < edges.size()) {
+    const std::size_t take = std::min<std::size_t>(997, edges.size() - offset);
+    ASSERT_TRUE(stream::WriteEdgeFrame(*fd, edges.subspan(offset, take)).ok());
+    offset += take;
+  }
+  ::shutdown(*fd, SHUT_WR);
+  while (true) {
+    auto reply = ReadReply(*fd);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    ASSERT_FALSE(reply->is_error) << reply->error;
+    if (reply->snapshot.final_result) {
+      EXPECT_EQ(reply->snapshot.edges, el.size());
+      EXPECT_EQ(reply->snapshot.triangles, IsolatedTriangles(el));
+      break;
+    }
+  }
+  ::close(*fd);
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServeTest, SessionLimitRefusedWithDiagnostic) {
+  ServeOptions options = BaseOptions();
+  options.max_sessions = 1;
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto first = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(first.ok());
+  // Make sure the first session is admitted before the second connects.
+  ASSERT_TRUE(WaitForStats(
+      server, [](const ServerStats& s) { return s.accepted == 1; }));
+
+  auto second = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(second.ok());
+  auto reply = ReadReply(*second);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->is_error);
+  EXPECT_NE(reply->error.find("session limit"), std::string::npos)
+      << reply->error;
+  ::close(*second);
+  ::close(*first);
+  EXPECT_TRUE(WaitForStats(
+      server, [](const ServerStats& s) { return s.refused == 1; }));
+  server.Stop();
+  server.Wait();
+}
+
+TEST(ServeTest, MemoryBudgetRefusesInsteadOfOoming) {
+  ServeOptions options = BaseOptions();
+  options.memory_budget_bytes = 1;  // nothing fits
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto fd = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(fd.ok());
+  auto reply = ReadReply(*fd);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->is_error);
+  EXPECT_NE(reply->error.find("memory budget"), std::string::npos)
+      << reply->error;
+  ::close(*fd);
+  server.Stop();
+  server.Wait();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.refused, 1u);
+  EXPECT_EQ(stats.accepted, 0u);
+  EXPECT_EQ(stats.memory_used, 0u);
+}
+
+/// Connect/disconnect storm: clients that vanish instantly, mid-header,
+/// and mid-frame. The server must reap every session, release every
+/// memory charge, and still run a healthy session to completion after.
+TEST(ServeTest, ChurnStormLeavesNoLeakedSessions) {
+  const auto el = gen::GnmRandom(200, 2500, 19);
+  ServeOptions options = BaseOptions();
+  options.max_sessions = 128;
+  options.num_workers = 4;
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  constexpr std::size_t kStormers = 48;
+  std::vector<std::thread> storm;
+  for (std::size_t i = 0; i < kStormers; ++i) {
+    storm.emplace_back([&, i] {
+      auto fd = stream::ConnectToLoopback(*port);
+      if (!fd.ok()) return;
+      switch (i % 3) {
+        case 0:
+          break;  // connect and vanish
+        case 1: {
+          // Die mid-header.
+          ::send(*fd, "TRIS\1", 5, MSG_NOSIGNAL);
+          break;
+        }
+        case 2: {
+          // Promise a big frame, deliver a sliver, die.
+          char header[stream::kTrisHeaderBytes];
+          std::memcpy(header, stream::kTrisMagic, 4);
+          std::memcpy(header + 4, &stream::kTrisVersion,
+                      sizeof(stream::kTrisVersion));
+          const std::uint64_t promised = 1 << 20;
+          std::memcpy(header + 8, &promised, sizeof(promised));
+          ::send(*fd, header, sizeof(header), MSG_NOSIGNAL);
+          const Edge e(1, 2);
+          ::send(*fd, &e, sizeof(e), MSG_NOSIGNAL);
+          break;
+        }
+      }
+      ::close(*fd);
+    });
+  }
+  for (auto& t : storm) t.join();
+
+  // Every stormer's session must be reaped: nothing active, no memory
+  // charge held, scheduler not stuck.
+  ASSERT_TRUE(WaitForStats(server, [](const ServerStats& s) {
+    return s.active_sessions == 0 && s.memory_used == 0 &&
+           s.completed + s.failed == s.accepted;
+  })) << "leaked sessions after churn";
+
+  // And the server still serves: a healthy client completes normally.
+  const SnapshotWire final_snap = FeedAndFinish(*port, el, 5);
+  EXPECT_TRUE(final_snap.final_result);
+  EXPECT_EQ(final_snap.edges, el.size());
+  EXPECT_EQ(final_snap.triangles, IsolatedTriangles(el));
+  server.Stop();
+  server.Wait();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.active_sessions, 0u);
+  EXPECT_EQ(stats.memory_used, 0u);
+}
+
+/// A protocol failure on one connection surfaces as its own TRIE while a
+/// concurrent healthy session is untouched -- per-session sticky status.
+TEST(ServeTest, BadFrameFailsOnlyItsOwnSession) {
+  const auto el = gen::GnmRandom(250, 3000, 23);
+  ServeOptions options = BaseOptions();
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  SnapshotWire healthy_final;
+  std::thread healthy(
+      [&] { healthy_final = FeedAndFinish(*port, el, 1); });
+
+  auto bad = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(bad.ok());
+  ASSERT_EQ(::send(*bad, "JUNKJUNKJUNKJUNK", 16, MSG_NOSIGNAL), 16);
+  auto reply = ReadReply(*bad);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->is_error);
+  EXPECT_NE(reply->error.find("bad frame magic"), std::string::npos)
+      << reply->error;
+  ::close(*bad);
+
+  healthy.join();
+  EXPECT_TRUE(healthy_final.final_result);
+  EXPECT_EQ(healthy_final.triangles, IsolatedTriangles(el));
+  server.Stop();
+  server.Wait();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+/// The serve-side receive idle sweep: a connection that goes silent
+/// mid-stream fails its session with DeadlineExceeded (TRIE reply), and
+/// the slot is freed for new connections.
+TEST(ServeTest, IdleConnectionSweptWithDeadlineExceeded) {
+  ServeOptions options = BaseOptions();
+  options.idle_timeout_millis = 60;
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto fd = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(fd.ok());
+  const std::vector<Edge> some = {Edge(1, 2), Edge(2, 3), Edge(1, 3)};
+  ASSERT_TRUE(stream::WriteEdgeFrame(
+                  *fd, std::span<const Edge>(some.data(), some.size()))
+                  .ok());
+  // ... then silence, with the socket still open (half-open peer).
+  auto reply = ReadReply(*fd);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->is_error);
+  EXPECT_NE(reply->error.find("idle"), std::string::npos) << reply->error;
+  ::close(*fd);
+  EXPECT_TRUE(WaitForStats(server, [](const ServerStats& s) {
+    return s.failed == 1 && s.active_sessions == 0;
+  }));
+  server.Stop();
+  server.Wait();
+}
+
+/// max_accepts drains the server without Stop(): the listener closes
+/// after N accepts and Wait() returns once the last session finishes.
+TEST(ServeTest, MaxAcceptsDrainsServerCleanly) {
+  const auto el = gen::GnmRandom(150, 1500, 37);
+  ServeOptions options = BaseOptions();
+  options.max_accepts = 2;
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  SnapshotWire a, b;
+  std::thread ca([&] { a = FeedAndFinish(*port, el, 0); });
+  std::thread cb([&] { b = FeedAndFinish(*port, el, 1); });
+  ca.join();
+  cb.join();
+  server.Wait();  // no Stop(): max_accepts drained the loop
+  EXPECT_EQ(a.triangles, b.triangles);
+  EXPECT_TRUE(a.final_result && b.final_result);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.active_sessions, 0u);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace tristream

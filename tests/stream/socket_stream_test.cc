@@ -11,6 +11,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -246,6 +247,85 @@ TEST(SocketEdgeStreamTest, LoopbackEngineRunBitIdenticalToMemory) {
   EXPECT_EQ(from_socket.EstimateTriangles(), from_memory.EstimateTriangles());
   EXPECT_EQ(from_socket.EstimateWedges(), from_memory.EstimateWedges());
   EXPECT_EQ((*source)->edges_delivered(), el.size());
+}
+
+TEST(SocketEdgeStreamTest, IdleTimeoutOnHalfOpenSocketIsDeadlineExceeded) {
+  SocketPair pair;
+  // Half-open peer: the producer fd stays open but never sends a byte --
+  // without the timeout the consumer would block in recv forever.
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok());
+  (*source)->set_receive_idle_timeout_millis(50);
+  std::vector<Edge> batch;
+  EXPECT_EQ((*source)->NextBatch(8, &batch), 0u);
+  EXPECT_EQ((*source)->status().code(), StatusCode::kDeadlineExceeded);
+  // Sticky: further pops do not re-arm the wait.
+  EXPECT_EQ((*source)->NextBatch(8, &batch), 0u);
+  EXPECT_EQ((*source)->status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SocketEdgeStreamTest, IdleTimeoutMidPayloadIsDeadlineExceeded) {
+  SocketPair pair;
+  // A started-then-stalled frame: header promising 100 edges, 2 delivered,
+  // then silence with the socket still open. The *idle* clock fires (the
+  // peer is stalled), distinct from CorruptData (the peer is gone).
+  const auto edges = MakeEdges(2);
+  char header[kTrisHeaderBytes];
+  std::memcpy(header, kTrisMagic, 4);
+  std::memcpy(header + 4, &kTrisVersion, sizeof(kTrisVersion));
+  const std::uint64_t promised = 100;
+  std::memcpy(header + 8, &promised, sizeof(promised));
+  ASSERT_EQ(::send(pair.fds[0], header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  ASSERT_EQ(::send(pair.fds[0], edges.data(), 2 * sizeof(Edge), 0),
+            static_cast<ssize_t>(2 * sizeof(Edge)));
+
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok());
+  (*source)->set_receive_idle_timeout_millis(50);
+  std::vector<Edge> batch;
+  EXPECT_EQ((*source)->NextBatch(8, &batch), 0u);
+  EXPECT_EQ((*source)->status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(SocketEdgeStreamTest, IdleTimeoutIsIdleNotTotal) {
+  SocketPair pair;
+  // Five frames spaced 100 ms apart: total elapsed (~400 ms) exceeds the
+  // 250 ms timeout, but no single gap does -- a trickling producer is
+  // healthy, only a silent one trips the deadline.
+  std::thread producer([&pair] {
+    const auto edges = MakeEdges(10);
+    for (int i = 0; i < 5; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      ASSERT_TRUE(WriteEdgeFrame(pair.fds[0], edges).ok());
+    }
+    pair.CloseProducer();  // clean EOF before the idle clock can fire
+  });
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok());
+  (*source)->set_receive_idle_timeout_millis(250);
+  const auto got = Drain(**source, 64);
+  producer.join();
+  EXPECT_EQ(got.size(), 50u);
+  EXPECT_TRUE((*source)->status().ok());
+}
+
+TEST(SocketEdgeStreamTest, IdleTimeoutOffByDefault) {
+  SocketPair pair;
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok());
+  EXPECT_EQ((*source)->receive_idle_timeout_millis(), 0);
+  // With the timeout off, a delayed producer just blocks the pop -- the
+  // stream still drains cleanly (no deadline machinery on the path).
+  std::thread producer([&pair] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ASSERT_TRUE(WriteEdgeFrame(pair.fds[0], MakeEdges(7)).ok());
+    pair.CloseProducer();
+  });
+  const auto got = Drain(**source, 16);
+  producer.join();
+  EXPECT_EQ(got.size(), 7u);
+  EXPECT_TRUE((*source)->status().ok());
 }
 
 TEST(SocketEdgeStreamTest, ProducerDeathMidFrameFailsEngineRun) {

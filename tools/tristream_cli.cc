@@ -7,6 +7,8 @@
 //   tristream_cli count    --input g.tris --algo colorful --colors 16
 //   tristream_cli window   --input g.tris --window 100000
 //   tristream_cli live     --listen 7433 --window 100000
+//   tristream_cli serve    --listen 7433 --max-sessions 64
+//   tristream_cli feed     --connect 7433 --input g.tris [--query-every N]
 //   tristream_cli sample   --input g.tris -k 10 --max-degree 500
 //   tristream_cli convert  --input edges.txt --output edges.tris
 //
@@ -24,24 +26,37 @@
 // propagation. `--autotune` replaces the static batch-size default with
 // the engine's calibration sweep.
 //
+// `serve` is the multi-tenant network mode (engine/serve.h): one process
+// accepts any number of TRIS connections, each mapped to its own
+// estimator session, all multiplexed over a shared scheduler worker pool
+// with per-session admission control and backpressure. `feed` is the
+// matching client: it streams an edge file to a serve (or live) port as
+// TRIS frames, optionally interleaving TRIQ queries, and prints the final
+// estimates in count-compatible lines.
+//
 // `live` takes no file at all: it accepts one TCP connection on
-// 127.0.0.1:PORT, consumes TRIS-framed edge chunks (socket_stream.h) and
-// tracks the sliding-window triangle estimate as they arrive, printing a
-// progress row every --report edges. A producer failure (disconnect
-// mid-frame, bad frame) exits nonzero -- a live estimate over a silently
-// truncated feed is worse than no estimate.
+// 127.0.0.1:PORT, consumes TRIS-framed edge chunks and tracks the
+// sliding-window triangle estimate as it arrives, printing a progress row
+// every --report edges. It is the single-session special case of serve
+// (max_accepts = 1 over the same event loop and scheduler). A producer
+// failure (disconnect mid-frame, bad frame) exits nonzero -- a live
+// estimate over a silently truncated feed is worse than no estimate.
 
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <map>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "ckpt/checkpoint.h"
 #include "core/triangle_sampler.h"
 #include "engine/estimators.h"
+#include "engine/serve.h"
 #include "engine/stream_engine.h"
 #include "gen/datasets.h"
 #include "graph/degree_stats.h"
@@ -52,6 +67,7 @@
 #include "stream/text_io.h"
 #include "util/timer.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 namespace {
@@ -88,6 +104,23 @@ int Usage() {
       "  window   --input FILE --window W [--estimators N] [--seed N]\n"
       "  live     --listen PORT --window W [--estimators N] [--seed N]\n"
       "           [--report EDGES]\n"
+      "  serve    --listen PORT [--algo A] [--estimators N] [--seed N]\n"
+      "           [--batch W] [--workers N] [--max-sessions N]\n"
+      "           [--memory-budget-mb M] [--queue-capacity EDGES]\n"
+      "           [--idle-timeout-ms N] [--accepts N] [--window W]\n"
+      "           [--vertices N] [--max-degree D] [--colors C]\n"
+      "           multi-tenant: every TRIS connection gets its own\n"
+      "           session (own estimator, own status), multiplexed over\n"
+      "           --workers scheduler threads. Estimates per session are\n"
+      "           bit-identical to a standalone run with the same flags.\n"
+      "           --accepts N exits cleanly after N connections drain.\n"
+      "  feed     --connect PORT --input FILE [--frame EDGES]\n"
+      "           [--query-every EDGES]\n"
+      "           streams FILE to a serve/live port as TRIS frames;\n"
+      "           --query-every sends a TRIQ mid-ingest snapshot query\n"
+      "           (reply on stderr); prints the final server estimates\n"
+      "           in count-compatible lines. Nonzero exit on a server\n"
+      "           TRIE diagnostic or transport failure.\n"
       "  sample   --input FILE -k K --max-degree D [--estimators N]\n"
       "  convert  --input FILE --output FILE\n");
   return 2;
@@ -486,71 +519,386 @@ int CmdWindow(const std::map<std::string, std::string>& flags) {
 
 int CmdLive(const std::map<std::string, std::string>& flags) {
   if (!flags.count("listen") || !flags.count("window")) return Usage();
-  core::SlidingWindowOptions options;
-  options.window_size = FlagU64(flags, "window", 1 << 16);
-  options.num_estimators = FlagU64(flags, "estimators", 4096);
-  options.seed = FlagU64(flags, "seed", 1);
-  engine::SlidingWindowEstimator estimator(options);
-
   const std::uint64_t port = FlagU64(flags, "listen", 0);
   if (port > 65535) {
     std::fprintf(stderr, "--listen %llu is not a valid TCP port\n",
                  static_cast<unsigned long long>(port));
     return 2;
   }
-  auto listener =
-      stream::ListenOnLoopback(static_cast<std::uint16_t>(port));
-  if (!listener.ok()) {
+
+  // live is the single-session special case of serve: one accepted
+  // connection, one window session, the same event loop, queue
+  // backpressure, and scheduler the multi-tenant mode uses -- the
+  // bespoke accept-one/SocketEdgeStream loop this command used to carry
+  // is gone. Output and exit codes are unchanged.
+  engine::ServeOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.algo = "window";
+  options.config.window_size = FlagU64(flags, "window", 1 << 16);
+  options.config.num_estimators = FlagU64(flags, "estimators", 4096);
+  options.config.seed = FlagU64(flags, "seed", 1);
+  options.max_accepts = 1;
+  options.max_sessions = 1;
+  options.num_workers = 1;
+  options.report_every_edges = FlagU64(flags, "report", 100000);
+  options.on_report = [](engine::StreamingEstimator& est,
+                         const engine::SessionMetrics&) {
+    std::printf("%12llu  %16.0f  %14.6f\n",
+                static_cast<unsigned long long>(est.edges_processed()),
+                est.EstimateTriangles(), est.EstimateTransitivity());
+  };
+
+  // Filled on the event-loop thread when the session ends; read only
+  // after Wait() joins it.
+  struct LiveOutcome {
+    bool seen = false;
+    Status status;
+    std::uint64_t edges_seen = 0;
+    std::uint64_t window_edges = 0;
+    double triangles = 0.0;
+    double transitivity = 0.0;
+  } outcome;
+  options.on_session_end = [&outcome](engine::Session& session,
+                                      const Status& status) {
+    outcome.seen = true;
+    outcome.status = status;
+    auto* est = dynamic_cast<engine::SlidingWindowEstimator*>(
+        &session.estimator());
+    if (est != nullptr) {
+      const core::SlidingWindowTriangleCounter& counter = est->counter();
+      outcome.edges_seen = counter.edges_seen();
+      outcome.window_edges = counter.window_edge_count();
+      outcome.triangles = counter.EstimateTriangles();
+      outcome.transitivity = counter.EstimateTransitivity();
+    }
+  };
+
+  engine::Server server(std::move(options));
+  auto started = server.Start();
+  if (!started.ok()) {
     std::fprintf(stderr, "cannot listen: %s\n",
-                 listener.status().ToString().c_str());
+                 started.status().ToString().c_str());
     return 1;
   }
   std::fprintf(stderr,
                "listening on 127.0.0.1:%u for TRIS frames "
                "(window=%llu, estimators=%llu)\n",
-               listener->port,
-               static_cast<unsigned long long>(options.window_size),
-               static_cast<unsigned long long>(options.num_estimators));
-  auto accepted = stream::AcceptOne(listener->fd);
-  ::close(listener->fd);  // one producer per run
-  if (!accepted.ok()) {
-    std::fprintf(stderr, "accept failed: %s\n",
-                 accepted.status().ToString().c_str());
-    return 1;
-  }
-  auto source = stream::SocketEdgeStream::FromFd(*accepted);
-  if (!source.ok()) {
-    std::fprintf(stderr, "%s\n", source.status().ToString().c_str());
-    return 1;
-  }
-
-  // The engine's reporting hook replaces the old hand-rolled NextBatch
-  // loop: the monitor reports while the producer is still sending.
+               *started, FlagU64(flags, "window", 1 << 16),
+               FlagU64(flags, "estimators", 4096));
   std::printf("%12s  %16s  %14s\n", "edge#", "window triangles",
               "transitivity");
-  engine::StreamEngineOptions engine_options;
-  engine_options.report_every_edges = FlagU64(flags, "report", 100000);
-  engine_options.on_report = [](engine::StreamingEstimator& est,
-                                const engine::StreamEngineMetrics&) {
-    std::printf("%12llu  %16.0f  %14.6f\n",
-                static_cast<unsigned long long>(est.edges_processed()),
-                est.EstimateTriangles(), est.EstimateTransitivity());
-  };
-  engine::StreamEngine engine(engine_options);
-  const Status streamed = engine.Run(estimator, **source);
-  const core::SlidingWindowTriangleCounter& counter = estimator.counter();
-  if (!streamed.ok()) {
+  server.Wait();
+  if (!outcome.seen) {
+    std::fprintf(stderr, "live stream ended without a session\n");
+    return 1;
+  }
+  if (!outcome.status.ok()) {
     std::fprintf(stderr, "live stream failed after %llu edges: %s\n",
-                 static_cast<unsigned long long>(counter.edges_seen()),
-                 streamed.ToString().c_str());
+                 static_cast<unsigned long long>(outcome.edges_seen),
+                 outcome.status.ToString().c_str());
     return 1;
   }
   std::printf("feed closed cleanly after %llu edges\n",
-              static_cast<unsigned long long>(counter.edges_seen()));
+              static_cast<unsigned long long>(outcome.edges_seen));
   std::printf("window edges        : %llu\n",
-              static_cast<unsigned long long>(counter.window_edge_count()));
-  std::printf("window triangles    : %.0f\n", counter.EstimateTriangles());
-  std::printf("window transitivity : %.6f\n", counter.EstimateTransitivity());
+              static_cast<unsigned long long>(outcome.window_edges));
+  std::printf("window triangles    : %.0f\n", outcome.triangles);
+  std::printf("window transitivity : %.6f\n", outcome.transitivity);
+  return 0;
+}
+
+int CmdServe(const std::map<std::string, std::string>& flags) {
+  if (!flags.count("listen")) return Usage();
+  const std::uint64_t port = FlagU64(flags, "listen", 0);
+  if (port > 65535) {
+    std::fprintf(stderr, "--listen %llu is not a valid TCP port\n",
+                 static_cast<unsigned long long>(port));
+    return 2;
+  }
+  engine::ServeOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.algo =
+      flags.count("algo") ? flags.at("algo") : std::string("bulk");
+  options.config.num_estimators = FlagU64(flags, "estimators", 1 << 17);
+  options.config.seed = FlagU64(flags, "seed", 1);
+  options.config.num_threads =
+      static_cast<std::uint32_t>(FlagU64(flags, "threads", 1));
+  options.config.window_size = FlagU64(flags, "window", 1 << 16);
+  options.config.num_vertices =
+      static_cast<VertexId>(FlagU64(flags, "vertices", 0));
+  options.config.max_degree_bound = FlagU64(flags, "max-degree", 0);
+  options.config.num_colors =
+      static_cast<std::uint32_t>(FlagU64(flags, "colors", 8));
+  options.batch_size = static_cast<std::size_t>(FlagU64(flags, "batch", 0));
+  // Mirror `count`: --batch pins the estimator's internal batching too,
+  // so serve results stay diffable against `count --batch W` and
+  // mid-ingest queries can be answered at every pump boundary.
+  options.config.batch_size = options.batch_size;
+  options.num_workers = static_cast<std::size_t>(FlagU64(flags, "workers", 2));
+  options.max_sessions =
+      static_cast<std::size_t>(FlagU64(flags, "max-sessions", 64));
+  options.memory_budget_bytes = static_cast<std::size_t>(
+      FlagU64(flags, "memory-budget-mb", 0) * (std::uint64_t{1} << 20));
+  options.queue_capacity =
+      static_cast<std::size_t>(FlagU64(flags, "queue-capacity", 1 << 16));
+  options.idle_timeout_millis =
+      static_cast<int>(FlagU64(flags, "idle-timeout-ms", 0));
+  options.max_accepts = FlagU64(flags, "accepts", 0);
+
+  // Sessions construct their estimator per connection; a config typo
+  // would otherwise surface only as every connect being refused.
+  if (auto probe = engine::MakeEstimator(options.algo, options.config);
+      !probe.ok()) {
+    std::fprintf(stderr, "%s\n", probe.status().ToString().c_str());
+    return 2;
+  }
+
+  options.on_session_end = [](engine::Session& session,
+                              const Status& status) {
+    if (!status.ok()) {
+      std::printf("session failed after %llu edges: %s\n",
+                  static_cast<unsigned long long>(
+                      session.estimator().edges_processed()),
+                  status.ToString().c_str());
+      return;
+    }
+    const engine::SessionSnapshot snap = session.snapshot();
+    if (snap.has_wedges) {
+      std::printf("session done: edges=%llu triangles=%.0f wedges=%.0f "
+                  "transitivity=%.6f\n",
+                  static_cast<unsigned long long>(snap.edges),
+                  snap.triangles, snap.wedges, snap.transitivity);
+    } else {
+      std::printf("session done: edges=%llu triangles=%.0f\n",
+                  static_cast<unsigned long long>(snap.edges),
+                  snap.triangles);
+    }
+    std::fflush(stdout);
+  };
+
+  engine::Server server(std::move(options));
+  const auto started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot listen: %s\n",
+                 started.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "serving on 127.0.0.1:%u (algo=%s, workers=%llu, "
+               "max-sessions=%llu)\n",
+               *started, flags.count("algo") ? flags.at("algo").c_str()
+                                             : "bulk",
+               static_cast<unsigned long long>(
+                   FlagU64(flags, "workers", 2)),
+               static_cast<unsigned long long>(
+                   FlagU64(flags, "max-sessions", 64)));
+  server.Wait();
+  const engine::ServerStats stats = server.stats();
+  std::printf("sessions        : %llu accepted, %llu refused, "
+              "%llu ok, %llu failed\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.refused),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed));
+  return 0;
+}
+
+/// Full blocking write toward the server; IoError when the peer is gone.
+Status SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status RecvAll(int fd, void* out, std::size_t size) {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n == 0) {
+      return Status::CorruptData("server closed mid-reply");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+/// One server->client frame: a TRIR snapshot or a TRIE diagnostic.
+struct ServerReply {
+  bool is_error = false;
+  engine::SnapshotWire snapshot;
+  std::string error;
+};
+
+Result<ServerReply> ReadServerReply(int fd) {
+  char header[stream::kTrisHeaderBytes];
+  if (Status s = RecvAll(fd, header, sizeof(header)); !s.ok()) return s;
+  std::uint64_t count = 0;
+  std::memcpy(&count, header + 8, sizeof(count));
+  ServerReply reply;
+  if (std::memcmp(header, engine::kServeSnapshotMagic, 4) == 0) {
+    if (count != engine::kSnapshotBodyBytes) {
+      return Status::CorruptData("TRIR frame with unexpected body size");
+    }
+    char body[engine::kSnapshotBodyBytes];
+    if (Status s = RecvAll(fd, body, sizeof(body)); !s.ok()) return s;
+    auto wire = engine::DecodeSnapshotBody(body, sizeof(body));
+    if (!wire.ok()) return wire.status();
+    reply.snapshot = *wire;
+    return reply;
+  }
+  if (std::memcmp(header, engine::kServeErrorMagic, 4) == 0) {
+    if (count > (std::uint64_t{1} << 20)) {
+      return Status::CorruptData("oversized TRIE diagnostic");
+    }
+    reply.is_error = true;
+    reply.error.resize(static_cast<std::size_t>(count));
+    if (count > 0) {
+      if (Status s = RecvAll(fd, reply.error.data(), reply.error.size());
+          !s.ok()) {
+        return s;
+      }
+    }
+    return reply;
+  }
+  return Status::CorruptData("server reply with unknown frame magic");
+}
+
+int CmdFeed(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("input");
+  if (it == flags.end() || !flags.count("connect")) return Usage();
+  const std::uint64_t port = FlagU64(flags, "connect", 0);
+  if (port == 0 || port > 65535) {
+    std::fprintf(stderr, "--connect %llu is not a valid TCP port\n",
+                 static_cast<unsigned long long>(port));
+    return 2;
+  }
+  const std::size_t frame_edges =
+      static_cast<std::size_t>(FlagU64(flags, "frame", 8192));
+  const std::uint64_t query_every = FlagU64(flags, "query-every", 0);
+
+  // Same ingest front end (and dedup filter) as `count`, so the edge
+  // sequence a serve session absorbs is identical to what a local run
+  // over the same file would see -- that is what makes the server's
+  // estimates diffable against `count` output.
+  stream::EdgeSourceOptions source_options;
+  source_options.dedup = true;
+  auto source = OpenSourceOrDie(it->second, source_options);
+
+  auto connected =
+      stream::ConnectToLoopback(static_cast<std::uint16_t>(port));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "cannot connect to 127.0.0.1:%llu: %s\n",
+                 static_cast<unsigned long long>(port),
+                 connected.status().ToString().c_str());
+    return 1;
+  }
+  const int fd = *connected;
+
+  std::uint64_t sent_edges = 0;
+  std::uint64_t next_query =
+      query_every > 0 ? query_every
+                      : std::numeric_limits<std::uint64_t>::max();
+  std::vector<Edge> batch;
+  while (source->NextBatch(std::max<std::size_t>(frame_edges, 1), &batch) >
+         0) {
+    if (Status s = stream::WriteEdgeFrame(
+            fd, std::span<const Edge>(batch.data(), batch.size()));
+        !s.ok()) {
+      std::fprintf(stderr, "feed failed after %llu edges: %s\n",
+                   static_cast<unsigned long long>(sent_edges),
+                   s.ToString().c_str());
+      ::close(fd);
+      return 1;
+    }
+    sent_edges += batch.size();
+    if (sent_edges >= next_query) {
+      next_query += query_every;
+      // Lockstep query: one TRIQ out, one reply back before more edges.
+      // The server answers from the session's cached snapshot, so this
+      // never stalls its ingest.
+      char header[stream::kTrisHeaderBytes];
+      std::memcpy(header, engine::kServeQueryMagic, 4);
+      std::memcpy(header + 4, &stream::kTrisVersion,
+                  sizeof(stream::kTrisVersion));
+      const std::uint64_t zero = 0;
+      std::memcpy(header + 8, &zero, sizeof(zero));
+      if (Status s = SendAll(fd, header, sizeof(header)); !s.ok()) {
+        std::fprintf(stderr, "feed failed after %llu edges: %s\n",
+                     static_cast<unsigned long long>(sent_edges),
+                     s.ToString().c_str());
+        ::close(fd);
+        return 1;
+      }
+      auto reply = ReadServerReply(fd);
+      if (!reply.ok()) {
+        std::fprintf(stderr, "query reply failed: %s\n",
+                     reply.status().ToString().c_str());
+        ::close(fd);
+        return 1;
+      }
+      if (reply->is_error) {
+        std::fprintf(stderr, "server refused feed: %s\n",
+                     reply->error.c_str());
+        ::close(fd);
+        return 1;
+      }
+      const engine::SnapshotWire& q = reply->snapshot;
+      std::fprintf(stderr,
+                   "query @%llu sent: valid=%d edges=%llu "
+                   "triangles=%.0f transitivity=%.6f\n",
+                   static_cast<unsigned long long>(sent_edges),
+                   q.valid ? 1 : 0,
+                   static_cast<unsigned long long>(q.edges), q.triangles,
+                   q.transitivity);
+    }
+  }
+  if (!source->status().ok()) {
+    std::fprintf(stderr, "cannot read '%s': %s\n", it->second.c_str(),
+                 source->status().ToString().c_str());
+    ::close(fd);
+    return 1;
+  }
+
+  // Half-close at a frame boundary = clean end of stream; our read half
+  // stays open for the server's final TRIR.
+  ::shutdown(fd, SHUT_WR);
+  while (true) {
+    auto reply = ReadServerReply(fd);
+    if (!reply.ok()) {
+      std::fprintf(stderr, "final reply failed: %s\n",
+                   reply.status().ToString().c_str());
+      ::close(fd);
+      return 1;
+    }
+    if (reply->is_error) {
+      std::fprintf(stderr, "session failed: %s\n", reply->error.c_str());
+      ::close(fd);
+      return 1;
+    }
+    if (!reply->snapshot.final_result) continue;  // stale query crossing
+    const engine::SnapshotWire& snap = reply->snapshot;
+    std::printf("edges           : %llu\n",
+                static_cast<unsigned long long>(snap.edges));
+    std::printf("triangles (est) : %.0f\n", snap.triangles);
+    if (snap.has_wedges) {
+      std::printf("wedges (est)    : %.0f\n", snap.wedges);
+      std::printf("transitivity    : %.6f\n", snap.transitivity);
+    }
+    break;
+  }
+  ::close(fd);
   return 0;
 }
 
@@ -606,6 +954,8 @@ int main(int argc, char** argv) {
   if (command == "count") return CmdCount(flags);
   if (command == "window") return CmdWindow(flags);
   if (command == "live") return CmdLive(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "feed") return CmdFeed(flags);
   if (command == "sample") return CmdSample(flags);
   if (command == "convert") return CmdConvert(flags);
   return Usage();
