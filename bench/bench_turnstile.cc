@@ -1,0 +1,167 @@
+// Turnstile bench: event throughput and estimate error of the dynamic
+// (deletion-capable) counter across churn mixes -- insert-only, 10% and
+// 50% delete fractions -- on the dblp stand-in.
+//
+// Two counters run per mix:
+//   * exact mode (1 group, sampling probability 1): the live-graph truth
+//     oracle. Its estimate must equal the exact count to the last bit --
+//     that equality is the CI gate.
+//   * sampled mode (the production default shape): the throughput row and
+//     the error the trajectory tracks.
+//
+// Knobs on top of the standard bench env vars:
+//   TRISTREAM_BENCH_GROUPS    sampled-mode groups             (default 16)
+//   TRISTREAM_BENCH_SAMPLE_P  sampled-mode edge probability   (default 0.5)
+//
+// Output: human-readable table on stderr, one JSON document on stdout.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/dynamic_counter.h"
+#include "gen/churn.h"
+#include "graph/csr.h"
+#include "graph/exact.h"
+#include "util/flat_hash_map.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace tristream;
+
+/// Exact triangle count of the live graph an event sequence leaves behind.
+double LiveTriangles(const EdgeEventList& events) {
+  FlatHashMap<std::int64_t> multiplicity(events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    multiplicity[events.edges[i].Key()] +=
+        events.op(i) == EdgeOp::kDelete ? -1 : 1;
+  }
+  graph::EdgeList live;
+  multiplicity.ForEach([&live](std::uint64_t key, const std::int64_t& count) {
+    if (count > 0) {
+      live.Add(Edge(static_cast<VertexId>(key >> 32),
+                    static_cast<VertexId>(key & 0xffffffffULL)));
+    }
+  });
+  return static_cast<double>(
+      graph::CountTriangles(graph::Csr::FromEdgeList(live)));
+}
+
+struct MixResult {
+  std::string mix;
+  double delete_fraction = 0.0;
+  std::size_t events = 0;
+  std::size_t deletes = 0;
+  double meps = 0.0;        // sampled-mode events/s (millions), median
+  double estimate = 0.0;    // sampled-mode estimate
+  double exact = 0.0;       // live-graph truth
+  double rel_error = 0.0;   // |estimate - exact| / max(exact, 1)
+  bool exact_mode_matches = false;  // p=1 counter == truth, bit-exact
+};
+
+}  // namespace
+
+int main() {
+  using namespace tristream::bench;
+  const auto groups =
+      static_cast<std::uint32_t>(EnvU64("TRISTREAM_BENCH_GROUPS", 16));
+  const double sample_p = EnvDouble("TRISTREAM_BENCH_SAMPLE_P", 0.5);
+  const int trials = BenchTrials();
+
+  std::fprintf(stderr,
+               "turnstile churn bench: dynamic estimator throughput and "
+               "error across insert/delete mixes\n");
+  const auto instance = MakeInstance(gen::DatasetId::kDblp);
+  std::fprintf(stderr,
+               "dataset=dblp base_edges=%zu groups=%u p=%.2f trials=%d\n\n",
+               instance.stream.size(), groups, sample_p, trials);
+  std::fprintf(stderr, "%12s | %9s | %8s | %9s | %11s | %11s | %8s\n", "mix",
+               "events", "deletes", "Mev/s", "estimate", "exact",
+               "rel err");
+
+  struct Mix {
+    const char* name;
+    double fraction;
+  };
+  const Mix mixes[] = {{"insert-only", 0.0}, {"delete-10", 0.1},
+                       {"delete-50", 0.5}};
+
+  std::vector<MixResult> results;
+  for (const Mix& mix : mixes) {
+    gen::ChurnOptions churn;
+    churn.schedule = gen::ChurnSchedule::kMixed;
+    churn.delete_fraction = mix.fraction;
+    churn.seed = BenchSeed() * 31 + 7;
+    const EdgeEventList events = gen::MakeChurnStream(instance.stream, churn);
+
+    MixResult r;
+    r.mix = mix.name;
+    r.delete_fraction = mix.fraction;
+    r.events = events.size();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      if (events.op(i) == EdgeOp::kDelete) ++r.deletes;
+    }
+    r.exact = LiveTriangles(events);
+
+    // Exact mode: the CI gate. One group at p=1 is an exact live-graph
+    // count, so any mismatch is a correctness bug, not noise.
+    core::DynamicCounterOptions exact_options;
+    exact_options.num_groups = 1;
+    exact_options.sample_probability = 1.0;
+    core::DynamicTriangleCounter exact_counter(exact_options);
+    exact_counter.ProcessEvents(events.view());
+    r.exact_mode_matches = exact_counter.EstimateTriangles() == r.exact;
+
+    // Sampled mode: timed trials, median throughput.
+    core::DynamicCounterOptions options;
+    options.num_groups = groups;
+    options.sample_probability = sample_p;
+    options.seed = BenchSeed() * 101 + 3;
+    std::vector<double> seconds;
+    for (int trial = 0; trial < trials; ++trial) {
+      core::DynamicTriangleCounter counter(options);
+      WallTimer timer;
+      counter.ProcessEvents(events.view());
+      seconds.push_back(timer.Seconds());
+      r.estimate = counter.EstimateTriangles();
+    }
+    const double median = Median(seconds);
+    r.meps = median > 0.0
+                 ? static_cast<double>(events.size()) / median / 1e6
+                 : 0.0;
+    r.rel_error =
+        std::abs(r.estimate - r.exact) / (r.exact > 1.0 ? r.exact : 1.0);
+    results.push_back(r);
+    std::fprintf(stderr,
+                 "%12s | %9zu | %8zu | %9.2f | %11.1f | %11.1f | %7.3f%s\n",
+                 r.mix.c_str(), r.events, r.deletes, r.meps, r.estimate,
+                 r.exact, r.rel_error, r.exact_mode_matches ? "" : "  [!]");
+    TRISTREAM_CHECK(r.exact_mode_matches)
+        << r.mix << ": exact-mode dynamic counter diverged from truth";
+  }
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"turnstile\",\n");
+  std::printf("  \"dataset\": \"dblp\",\n");
+  std::printf("  \"base_edges\": %zu,\n", instance.stream.size());
+  std::printf("  \"groups\": %u,\n", groups);
+  std::printf("  \"sample_probability\": %.4f,\n", sample_p);
+  std::printf("  \"trials\": %d,\n", trials);
+  std::printf("  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const MixResult& r = results[i];
+    std::printf(
+        "    {\"mix\": \"%s\", \"delete_fraction\": %.2f, \"events\": %zu, "
+        "\"deletes\": %zu, \"meps\": %.4f, \"estimate\": %.2f, "
+        "\"exact\": %.2f, \"rel_error\": %.4f, \"exact_mode_matches\": %s}%s\n",
+        r.mix.c_str(), r.delete_fraction, r.events, r.deletes, r.meps,
+        r.estimate, r.exact, r.rel_error,
+        r.exact_mode_matches ? "true" : "false",
+        i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}

@@ -354,10 +354,13 @@ Status SkipToCheckpoint(stream::EdgeStream& source,
     return Status::InvalidArgument(
         "checkpoint records no batch size; cannot align the resume seek");
   }
-  std::vector<Edge> scratch;
+  // Event-model seek: turnstile streams count delete events as delivered
+  // positions too, so the replay cursor matches the estimator's
+  // events-processed count exactly.
+  stream::EventScratch scratch;
   std::uint64_t delivered = 0;
   while (delivered < info.edges_processed) {
-    const auto view = source.NextBatchView(
+    const auto view = source.NextEventBatchView(
         static_cast<std::size_t>(info.batch_size), &scratch);
     if (view.empty()) {
       TRISTREAM_RETURN_IF_ERROR(source.status());

@@ -1,0 +1,114 @@
+// Sketch-based triangle counting for dynamic (turnstile) graph streams.
+//
+// After Bulteau, Froese, Kutzkov and Pagh, "Triangle counting in dynamic
+// graph streams" (arXiv:1404.4696): when edges can be deleted, reservoir-
+// style samplers break -- a sampled edge may be deleted and there is no
+// way to resample from edges that were "passed by". The dynamic-stream
+// fix is *deterministic hash-based sampling*: an edge belongs to the
+// sample iff a pairwise-independent hash of its key clears a threshold
+// (probability p), so insertions and deletions of the same edge always
+// touch the same sketch cell and the sampled subgraph tracks the live
+// graph exactly. The estimate is then
+//
+//     tau_hat = triangles(sampled live subgraph) / p^3
+//
+// since a triangle survives iff all three of its edges are sampled
+// (independent events under the per-group hash), giving an unbiased
+// estimator whose variance shrinks with p^3 * tau. Several independent
+// groups (distinct hash seeds) are aggregated by mean or median-of-means,
+// exactly like the insert-only counters.
+//
+// Implementation notes:
+//   * Signed multiplicity per sampled key (insert +1, delete -1): an edge
+//     is live iff its count is positive, so delete-then-reinsert and
+//     duplicate-tolerant feeds both work, and a delete of a never-
+//     inserted edge leaves the edge non-live instead of corrupting the
+//     sketch.
+//   * No RNG anywhere -- sampling is a pure function of (key, group
+//     seed) -- so checkpoint/resume is trivially bit-identical and the
+//     estimate is a pure function of the live multiset.
+//   * p = 1 makes every group an exact triangle counter of the live
+//     graph; the window-parity test pins the estimator's semantics
+//     against the sliding-window counter that way.
+
+#ifndef TRISTREAM_CORE_DYNAMIC_COUNTER_H_
+#define TRISTREAM_CORE_DYNAMIC_COUNTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ckpt/serial.h"
+#include "core/triangle_counter.h"
+#include "util/flat_hash_map.h"
+#include "util/status.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace core {
+
+/// Configuration for the dynamic (turnstile) triangle counter.
+struct DynamicCounterOptions {
+  /// Independent hash groups g (each with its own sampling seed).
+  std::uint32_t num_groups = 16;
+  /// Per-edge sampling probability p in (0, 1]. Memory is O(p * live
+  /// edges) per group; variance scales like 1/p^3.
+  double sample_probability = 0.5;
+  std::uint64_t seed = 0xd1a9a11cbeefULL;
+  Aggregation aggregation = Aggregation::kMean;
+  std::uint32_t median_groups = 12;
+};
+
+/// Streaming estimator of the triangle count of the *live* graph of a
+/// turnstile edge stream.
+class DynamicTriangleCounter {
+ public:
+  explicit DynamicTriangleCounter(const DynamicCounterOptions& options);
+
+  /// Absorbs one event. Self-loops and invalid edges are ignored (the
+  /// live graph is simple); duplicate inserts stack multiplicity.
+  void ProcessEvent(const Edge& e, EdgeOp op);
+
+  /// Absorbs a batch of events (view.op(i) defaults to insert).
+  void ProcessEvents(const EventBatchView& view);
+
+  /// Total events absorbed (inserts + deletes), the stream position.
+  std::uint64_t events_seen() const { return events_seen_; }
+
+  /// Live sampled edges in group `g` (multiplicity > 0). For tests.
+  std::uint64_t SampledLiveEdges(std::size_t g) const;
+
+  /// Aggregated estimate of the live graph's triangle count.
+  double EstimateTriangles() const;
+
+  /// Heap bytes held by the sketch.
+  std::size_t MemoryBytes() const;
+
+  const DynamicCounterOptions& options() const { return options_; }
+
+  /// Serializes the complete sketch (stream position + every group's
+  /// signed multiplicity table, in key order for determinism).
+  void SaveState(ckpt::ByteSink& sink) const;
+
+  /// Restores a SaveState blob into a counter configured with the same
+  /// options. On failure the state is unspecified.
+  Status RestoreState(ckpt::ByteSource& source);
+
+ private:
+  /// True when `key` belongs to group `g`'s sample.
+  bool Sampled(std::uint64_t key, std::size_t g) const;
+
+  DynamicCounterOptions options_;
+  /// Hash threshold: keep iff Mix(key ^ group_seed) < threshold_
+  /// (threshold_ = p * 2^64, saturated so p = 1 keeps everything).
+  std::uint64_t threshold_;
+  bool sample_all_;
+  std::vector<std::uint64_t> group_seeds_;
+  /// Per group: edge key -> signed multiplicity (live iff > 0).
+  std::vector<FlatHashMap<std::int64_t>> counts_;
+  std::uint64_t events_seen_ = 0;
+};
+
+}  // namespace core
+}  // namespace tristream
+
+#endif  // TRISTREAM_CORE_DYNAMIC_COUNTER_H_

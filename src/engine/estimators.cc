@@ -38,6 +38,24 @@ Result<std::unique_ptr<StreamingEstimator>> MakeEstimator(
     return std::unique_ptr<StreamingEstimator>(
         std::make_unique<SlidingWindowEstimator>(o));
   }
+  if (algo == "dynamic") {
+    if (config.sample_probability <= 0.0 || config.sample_probability > 1.0) {
+      return Status::InvalidArgument(
+          "dynamic needs a sampling probability in (0, 1] "
+          "(--sample-prob P)");
+    }
+    if (config.dynamic_groups == 0) {
+      return Status::InvalidArgument("dynamic needs --groups G > 0");
+    }
+    core::DynamicCounterOptions o;
+    o.num_groups = config.dynamic_groups;
+    o.sample_probability = config.sample_probability;
+    o.seed = config.seed;
+    o.aggregation = config.aggregation;
+    o.median_groups = config.median_groups;
+    return std::unique_ptr<StreamingEstimator>(
+        std::make_unique<DynamicEstimator>(o));
+  }
   if (algo == "buriol") {
     if (config.num_vertices == 0) {
       return Status::InvalidArgument(
@@ -85,7 +103,7 @@ Result<std::unique_ptr<StreamingEstimator>> MakeEstimator(
 }
 
 const char* KnownAlgos() {
-  return "tsb bulk window buriol colorful jg first-edge";
+  return "tsb bulk window dynamic buriol colorful jg first-edge";
 }
 
 }  // namespace engine

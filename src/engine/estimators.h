@@ -26,6 +26,7 @@
 #define TRISTREAM_ENGINE_ESTIMATORS_H_
 
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
@@ -34,6 +35,7 @@
 #include "baseline/colorful.h"
 #include "ckpt/serial.h"
 #include "baseline/jowhari_ghodsi.h"
+#include "core/dynamic_counter.h"
 #include "core/parallel_counter.h"
 #include "core/sliding_window.h"
 #include "core/triangle_counter.h"
@@ -253,6 +255,67 @@ class SlidingWindowEstimator : public StreamingEstimator {
   std::unique_ptr<core::SlidingWindowTriangleCounter> counter_;
 };
 
+/// Hash-sampling turnstile counter (after Bulteau et al., arXiv:1404.4696):
+/// the one estimator in the repo that absorbs delete events, estimating
+/// the live graph's triangle count. See core/dynamic_counter.h.
+class DynamicEstimator : public StreamingEstimator {
+ public:
+  explicit DynamicEstimator(const core::DynamicCounterOptions& options)
+      : options_(options),
+        counter_(std::make_unique<core::DynamicTriangleCounter>(options)) {}
+
+  const char* name() const override { return "dynamic"; }
+  bool supports_deletions() const override { return true; }
+  void ProcessEdges(std::span<const Edge> edges) override {
+    for (const Edge& e : edges) counter_->ProcessEvent(e, EdgeOp::kInsert);
+  }
+  void ProcessEvents(const EventBatchView& view) override {
+    counter_->ProcessEvents(view);
+  }
+  void Flush() override {}
+  void Reset() override {
+    counter_ = std::make_unique<core::DynamicTriangleCounter>(options_);
+  }
+  /// Stream positions here are *events* (inserts + deletes), matching how
+  /// the session and checkpoint cadence count delivered batch entries.
+  std::uint64_t edges_processed() const override {
+    return counter_->events_seen();
+  }
+  double EstimateTriangles() override { return counter_->EstimateTriangles(); }
+  /// The sketch update is strictly per-event; moderate pulls amortize
+  /// source lock traffic without changing anything the sketch computes.
+  std::size_t preferred_batch_size() const override { return 4096; }
+  std::size_t approx_memory_bytes() const override {
+    return counter_->MemoryBytes();
+  }
+  bool checkpointable() const override { return true; }
+  std::uint64_t config_fingerprint() const override {
+    ckpt::ConfigFingerprint fp;
+    fp.Mix(name());
+    fp.Mix(options_.num_groups);
+    fp.Mix(options_.seed);
+    std::uint64_t p_bits;
+    std::memcpy(&p_bits, &options_.sample_probability, sizeof(p_bits));
+    fp.Mix(p_bits);
+    fp.Mix(static_cast<std::uint64_t>(options_.aggregation));
+    fp.Mix(options_.median_groups);
+    return fp.value();
+  }
+  Status SaveState(ckpt::ByteSink& sink) override {
+    counter_->SaveState(sink);
+    return Status::Ok();
+  }
+  Status RestoreState(ckpt::ByteSource& source) override {
+    return counter_->RestoreState(source);
+  }
+
+  core::DynamicTriangleCounter& counter() { return *counter_; }
+
+ private:
+  core::DynamicCounterOptions options_;
+  std::unique_ptr<core::DynamicTriangleCounter> counter_;
+};
+
 /// Buriol et al. uniform-apex baseline (paper reference [5]).
 class BuriolStreamEstimator : public StreamingEstimator {
  public:
@@ -381,6 +444,10 @@ struct EstimatorConfig {
   TopologyOptions topology;
   /// window only.
   std::uint64_t window_size = 1 << 16;
+  /// dynamic only: independent hash groups.
+  std::uint32_t dynamic_groups = 16;
+  /// dynamic only: per-edge sampling probability p in (0, 1].
+  double sample_probability = 0.5;
   /// buriol only: the advance-known vertex universe (required, > 0).
   VertexId num_vertices = 0;
   /// jg only: the a-priori degree bound Δ (required, > 0).
@@ -390,9 +457,9 @@ struct EstimatorConfig {
 };
 
 /// Builds the estimator named `algo`: "tsb" (the paper's algorithm,
-/// sharded), "bulk" (serial), "window", "buriol", "colorful", "jg",
-/// "first-edge". InvalidArgument on an unknown name or a missing required
-/// parameter.
+/// sharded), "bulk" (serial), "window", "dynamic" (turnstile), "buriol",
+/// "colorful", "jg", "first-edge". InvalidArgument on an unknown name or a
+/// missing required parameter.
 Result<std::unique_ptr<StreamingEstimator>> MakeEstimator(
     const std::string& algo, const EstimatorConfig& config);
 

@@ -104,9 +104,13 @@ struct Server::Conn {
   /// pause while anything here cannot be pushed yet.
   std::vector<char> inbuf;
   std::size_t inbuf_off = 0;
-  /// Edges the current TRIS frame still owes (payload parse cursor --
+  /// Events the current TRIS frame still owes (payload parse cursor --
   /// frames never buffer whole, however large).
   std::uint64_t frame_edges_remaining = 0;
+  /// Version of the in-flight frame: sets the record size (8-byte pairs
+  /// for v1, 9-byte edge+op records for v2). Frames of either version may
+  /// interleave freely on one connection.
+  std::uint32_t frame_version = stream::kTrisVersion;
 
   std::vector<char> wbuf;
   std::size_t wbuf_off = 0;
@@ -384,17 +388,51 @@ void Server::ParseIngest(Conn& conn) {
     const char* data = conn.inbuf.data() + conn.inbuf_off;
     const std::size_t avail = conn.inbuf.size() - conn.inbuf_off;
     if (conn.frame_edges_remaining > 0) {
+      const bool v2 = conn.frame_version == stream::kTrisVersion2;
+      const std::size_t record =
+          v2 ? stream::kTrisEventBytes : sizeof(Edge);
       const std::size_t whole = static_cast<std::size_t>(
           std::min<std::uint64_t>(conn.frame_edges_remaining,
-                                  avail / sizeof(Edge)));
-      if (whole == 0) break;  // need more bytes for even one edge
-      // Stage into aligned Edge storage (inbuf offsets are arbitrary).
+                                  avail / record));
+      if (whole == 0) break;  // need more bytes for even one event
+      // Stage into aligned Edge storage (inbuf offsets are arbitrary; v2
+      // records are 9 bytes, so their pairs are never aligned in place).
       edge_scratch_.resize(whole);
-      std::memcpy(edge_scratch_.data(), data, whole * sizeof(Edge));
-      const std::size_t admitted = conn.queue->TryPush(
-          std::span<const Edge>(edge_scratch_.data(), whole));
+      if (v2) {
+        op_scratch_.resize(whole);
+        bool bad_op = false;
+        std::uint8_t bad = 0;
+        for (std::size_t i = 0; i < whole; ++i) {
+          const char* rec = data + i * stream::kTrisEventBytes;
+          std::memcpy(&edge_scratch_[i], rec, sizeof(Edge));
+          const auto op = static_cast<std::uint8_t>(rec[sizeof(Edge)]);
+          if (op > static_cast<std::uint8_t>(EdgeOp::kDelete)) {
+            bad = op;
+            bad_op = true;
+            break;
+          }
+          op_scratch_[i] = static_cast<EdgeOp>(op);
+        }
+        if (bad_op) {
+          conn.queue->Close(Status::CorruptData(
+              "serve connection sent op byte " + std::to_string(bad) +
+              " (neither insert nor delete)"));
+          conn.queue_closed = true;
+          conn.read_done = true;
+          scheduler_->Kick();
+          break;
+        }
+      } else {
+        std::memcpy(edge_scratch_.data(), data, whole * sizeof(Edge));
+      }
+      const std::size_t admitted =
+          v2 ? conn.queue->TryPushEvents(
+                   std::span<const Edge>(edge_scratch_.data(), whole),
+                   std::span<const EdgeOp>(op_scratch_.data(), whole))
+             : conn.queue->TryPush(
+                   std::span<const Edge>(edge_scratch_.data(), whole));
       if (admitted > 0) {
-        conn.inbuf_off += admitted * sizeof(Edge);
+        conn.inbuf_off += admitted * record;
         conn.frame_edges_remaining -= admitted;
         scheduler_->Kick();
       }
@@ -412,7 +450,8 @@ void Server::ParseIngest(Conn& conn) {
     std::uint64_t count = 0;
     std::memcpy(&count, data + 8, sizeof(count));
     if (std::memcmp(data, stream::kTrisMagic, 4) == 0) {
-      if (version != stream::kTrisVersion) {
+      if (version != stream::kTrisVersion &&
+          version != stream::kTrisVersion2) {
         conn.queue->Close(Status::CorruptData(
             "serve connection sent unsupported frame version " +
             std::to_string(version)));
@@ -422,6 +461,7 @@ void Server::ParseIngest(Conn& conn) {
         break;
       }
       conn.inbuf_off += stream::kTrisHeaderBytes;
+      conn.frame_version = version;
       conn.frame_edges_remaining = count;  // count == 0 is a keep-alive
       continue;
     }
@@ -459,7 +499,10 @@ void Server::MaybeFinishIngest(Conn& conn) {
   if (!conn.peer_eof || conn.queue_closed) return;
   const std::size_t avail = conn.inbuf.size() - conn.inbuf_off;
   if (conn.frame_edges_remaining > 0) {
-    if (avail >= sizeof(Edge)) return;  // payload still pushing through
+    const std::size_t record = conn.frame_version == stream::kTrisVersion2
+                                   ? stream::kTrisEventBytes
+                                   : sizeof(Edge);
+    if (avail >= record) return;  // payload still pushing through
     conn.queue->Close(
         Status::CorruptData("serve connection closed mid-frame"));
   } else if (avail > 0) {

@@ -231,8 +231,10 @@ class Server {
   std::vector<std::unique_ptr<Conn>> conns_;
   std::uint64_t next_id_ = 2;  // 0 = wake fd, 1 = listener
 
-  /// Staging for payload bytes -> aligned Edge spans before TryPush.
+  /// Staging for payload bytes -> aligned Edge/op spans before TryPush
+  /// (op_scratch_ is filled only while a TRIS v2 frame is in flight).
   std::vector<Edge> edge_scratch_;
+  std::vector<EdgeOp> op_scratch_;
 
   std::atomic<bool> stop_requested_{false};
 

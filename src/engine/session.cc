@@ -29,15 +29,29 @@ Session::Session(StreamingEstimator& estimator, stream::EdgeStream& source,
       options_(std::move(options)) {}
 
 std::size_t Session::PumpOne() {
+  if (state() == SessionState::kFailed) return 0;
   // Stable sources yield spans into their own storage that outlive the
   // dispatch; others fill the idle half of the double buffer. Either way
   // the fetch (disk read, page fault, queue wait) runs while a pipelined
   // estimator is still absorbing the previous batch.
-  std::vector<Edge>* scratch = stable_views_ ? nullptr : &buffers_[fill_];
-  const std::span<const Edge> view = source_.NextBatchView(w_, scratch);
+  stream::EventScratch* scratch =
+      stable_views_ ? nullptr : &event_buffers_[fill_];
+  const EventBatchView view = source_.NextEventBatchView(w_, scratch);
   if (view.empty()) return 0;
+  // The delete gate of the whole spine: a batch carrying delete events
+  // reaches an insert-only estimator exactly never. Failing the run with
+  // a diagnostic naming the estimator beats a silently wrong estimate.
+  if (!view.all_inserts() && !estimator_.supports_deletions() &&
+      view.has_deletes()) {
+    status_ = Status::InvalidArgument(
+        "estimator '" + std::string(estimator_.name()) +
+        "' is insert-only and cannot absorb delete events; use a "
+        "turnstile-capable estimator (e.g. 'dynamic') for this stream");
+    state_.store(SessionState::kFailed, std::memory_order_release);
+    return 0;
+  }
   WallTimer compute;
-  estimator_.ProcessEdges(view);
+  estimator_.ProcessEvents(view);
   metrics_.compute_seconds += compute.Seconds();
   metrics_.edges += view.size();
   ++metrics_.batches;
@@ -250,6 +264,10 @@ SessionState Session::Step() {
   for (std::size_t i = 0; i < quantum; ++i) {
     if (options_.cooperative && !source_.ready(w_)) break;
     if (PumpOne() == 0) {
+      // PumpOne fails the session itself when a delete-carrying batch hit
+      // an insert-only estimator; Finish would overwrite that diagnostic
+      // with the (healthy) source status.
+      if (state() == SessionState::kFailed) return SessionState::kFailed;
       Finish();
       return state();
     }

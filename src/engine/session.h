@@ -232,7 +232,9 @@ class Session {
   int fill_ = 0;
   /// Double buffer for non-stable sources: while the estimator may still
   /// reference the view from buffer A, the next fetch fills buffer B.
-  std::vector<Edge> buffers_[2];
+  /// Event scratch (edges + ops) so the same discipline covers turnstile
+  /// sources.
+  stream::EventScratch event_buffers_[2];
   double io_before_ = 0.0;
   std::uint64_t ckpt_base_ = 0;
   std::uint64_t next_ckpt_ = std::numeric_limits<std::uint64_t>::max();

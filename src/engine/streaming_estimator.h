@@ -72,6 +72,22 @@ class StreamingEstimator {
   /// ProcessEdges or Flush call (see the file comment).
   virtual void ProcessEdges(std::span<const Edge> edges) = 0;
 
+  /// True when the estimator can absorb delete events (turnstile model).
+  /// The engine rejects delete-carrying batches for estimators that return
+  /// false -- with an InvalidArgument naming the estimator, never a
+  /// silently wrong estimate.
+  virtual bool supports_deletions() const { return false; }
+
+  /// Event-model absorption. The engine routes every batch through here;
+  /// the default forwards the edge span, which is exactly right for
+  /// insert-only estimators because the engine guarantees the batch is
+  /// all-inserts before calling them (see supports_deletions). Turnstile
+  /// estimators override this and consume view.op(i). Same view-lifetime
+  /// rules as ProcessEdges (both spans).
+  virtual void ProcessEvents(const EventBatchView& view) {
+    ProcessEdges(view.edges);
+  }
+
   /// Barrier: blocks until everything passed to ProcessEdges is absorbed.
   /// Afterwards estimates are consistent and no view is still referenced.
   virtual void Flush() = 0;

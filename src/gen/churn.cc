@@ -1,0 +1,106 @@
+#include "gen/churn.h"
+
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tristream {
+namespace gen {
+namespace {
+
+/// Marks a ~`fraction` subset of [0, n) for deletion (one coin per edge,
+/// so the subset itself is seed-deterministic).
+std::vector<bool> PickDeleted(std::size_t n, double fraction, Rng& rng) {
+  std::vector<bool> deleted(n, false);
+  for (std::size_t i = 0; i < n; ++i) deleted[i] = rng.Coin(fraction);
+  return deleted;
+}
+
+EdgeEventList MixedSchedule(const std::vector<Edge>& base,
+                            const ChurnOptions& options, Rng& rng) {
+  const std::vector<bool> deleted =
+      PickDeleted(base.size(), options.delete_fraction, rng);
+  EdgeEventList events;
+  // Edges marked for deletion, already inserted, not yet deleted.
+  std::vector<Edge> pending;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    events.Add(base[i]);
+    if (deleted[i]) pending.push_back(base[i]);
+    // One coin per insert keeps the delete rate tracking the insert rate,
+    // so deletions stay spread across the whole stream instead of
+    // clumping; the swap-remove pick makes *which* live edge dies
+    // uniform over the eligible set.
+    if (!pending.empty() && rng.Coin(options.delete_fraction)) {
+      const std::size_t pick = rng.UniformBelow(pending.size());
+      events.Add(pending[pick], EdgeOp::kDelete);
+      pending[pick] = pending.back();
+      pending.pop_back();
+    }
+  }
+  // Whatever the interleave did not get to dies at the end, so the final
+  // live graph is exactly base minus the marked subset.
+  while (!pending.empty()) {
+    const std::size_t pick = rng.UniformBelow(pending.size());
+    events.Add(pending[pick], EdgeOp::kDelete);
+    pending[pick] = pending.back();
+    pending.pop_back();
+  }
+  return events;
+}
+
+EdgeEventList AdversarialTailSchedule(const std::vector<Edge>& base,
+                                      const ChurnOptions& options, Rng& rng) {
+  const std::vector<bool> deleted =
+      PickDeleted(base.size(), options.delete_fraction, rng);
+  EdgeEventList events;
+  std::vector<Edge> doomed;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    events.Add(base[i]);
+    if (deleted[i]) doomed.push_back(base[i]);
+  }
+  // Fisher-Yates over the doomed set: the tail's delete order carries no
+  // information about the insert order.
+  for (std::size_t i = doomed.size(); i > 1; --i) {
+    const std::size_t j = rng.UniformBelow(i);
+    std::swap(doomed[i - 1], doomed[j]);
+  }
+  for (const Edge& e : doomed) events.Add(e, EdgeOp::kDelete);
+  return events;
+}
+
+EdgeEventList WindowSchedule(const std::vector<Edge>& base,
+                             const ChurnOptions& options) {
+  TRISTREAM_CHECK(options.window_size > 0);
+  const std::size_t window = options.window_size;
+  EdgeEventList events;
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    // The expiring edge leaves before the new one arrives, so the live
+    // count never exceeds window_size -- matching how the sliding-window
+    // counter ages its chains before absorbing the next edge.
+    if (i >= window) events.Add(base[i - window], EdgeOp::kDelete);
+    events.Add(base[i]);
+  }
+  return events;
+}
+
+}  // namespace
+
+EdgeEventList MakeChurnStream(const graph::EdgeList& base,
+                              const ChurnOptions& options) {
+  TRISTREAM_CHECK(options.delete_fraction >= 0.0 &&
+                  options.delete_fraction <= 1.0);
+  Rng rng(options.seed);
+  switch (options.schedule) {
+    case ChurnSchedule::kMixed:
+      return MixedSchedule(base.edges(), options, rng);
+    case ChurnSchedule::kAdversarialTail:
+      return AdversarialTailSchedule(base.edges(), options, rng);
+    case ChurnSchedule::kWindow:
+      return WindowSchedule(base.edges(), options);
+  }
+  return EdgeEventList{};
+}
+
+}  // namespace gen
+}  // namespace tristream

@@ -1,0 +1,65 @@
+// Churn workloads: turnstile event schedules derived from a base graph.
+//
+// The insert-only generators (gen/*.h) answer "what graph"; churn answers
+// "in what order do edges come and go". Each schedule turns a base edge
+// list into an EdgeEventList whose *live* graph (inserts minus deletes)
+// is well defined at every prefix, which is what the dynamic estimator's
+// tests and benches need:
+//
+//   kMixed            Every edge is inserted; a `delete_fraction` subset
+//                     is deleted at positions uniformly interleaved after
+//                     their insert. Final live graph = base minus the
+//                     deleted subset. The steady-state workload.
+//   kAdversarialTail  All inserts first, then a burst of deletes of a
+//                     random `delete_fraction` subset at the very end --
+//                     the estimator absorbs the whole graph and then
+//                     watches it shrink. Stresses estimators whose state
+//                     only grows.
+//   kWindow           Insert edges in order; once more than `window_size`
+//                     inserts have happened, delete the edge that fell
+//                     out of the window just before each new insert. The
+//                     live graph after event stream end is exactly the
+//                     last `window_size` base edges -- the delete-shaped
+//                     mirror of the sliding-window counter's semantics,
+//                     and the basis of the dynamic-vs-window parity test.
+//
+// All schedules are deterministic given the seed. Deletes always refer to
+// a currently-live edge (never a double delete), so DedupFilter admits
+// every event of any schedule built from a simple base graph.
+
+#ifndef TRISTREAM_GEN_CHURN_H_
+#define TRISTREAM_GEN_CHURN_H_
+
+#include <cstdint>
+
+#include "graph/edge_list.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace gen {
+
+/// Which shape of insert/delete interleaving to produce.
+enum class ChurnSchedule {
+  kMixed,
+  kAdversarialTail,
+  kWindow,
+};
+
+struct ChurnOptions {
+  ChurnSchedule schedule = ChurnSchedule::kMixed;
+  /// Fraction of base edges that get deleted (kMixed, kAdversarialTail).
+  double delete_fraction = 0.1;
+  /// Live-edge cap for kWindow (must be > 0 for that schedule).
+  std::uint64_t window_size = 1 << 16;
+  std::uint64_t seed = 1;
+};
+
+/// Expands `base` into a turnstile event stream per `options`. The base
+/// list's edge order is taken as the insertion order.
+EdgeEventList MakeChurnStream(const graph::EdgeList& base,
+                              const ChurnOptions& options);
+
+}  // namespace gen
+}  // namespace tristream
+
+#endif  // TRISTREAM_GEN_CHURN_H_

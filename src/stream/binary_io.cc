@@ -1,23 +1,27 @@
 #include "stream/binary_io.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <span>
 #include <vector>
 
 namespace tristream {
 namespace stream {
-std::string ErrnoMessage(const std::string& what, const std::string& path) {
-  return what + " '" + path + "': " + std::strerror(errno);
-}
+namespace {
 
-Status WriteBinaryEdges(const std::string& path,
-                        const graph::EdgeList& edges) {
+/// Shared writer for both TRIS versions: header + pair section, then (v2
+/// only) the op section. `ops` empty selects v1.
+Status WriteTrisFile(const std::string& path, std::span<const Edge> edges,
+                     std::span<const EdgeOp> ops) {
+  const bool v2 = !ops.empty();
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IoError(ErrnoMessage("cannot open", path));
   Status status = Status::Ok();
   const std::uint64_t count = edges.size();
+  const std::uint32_t version = v2 ? kTrisVersion2 : kTrisVersion;
   if (std::fwrite(kTrisMagic, 1, 4, f) != 4 ||
-      std::fwrite(&kTrisVersion, sizeof(kTrisVersion), 1, f) != 1 ||
+      std::fwrite(&version, sizeof(version), 1, f) != 1 ||
       std::fwrite(&count, sizeof(count), 1, f) != 1) {
     status = Status::IoError(ErrnoMessage("cannot write header to", path));
   }
@@ -28,7 +32,7 @@ Status WriteBinaryEdges(const std::string& path,
     // element, which a pair count computed as fwrite(...)/2 would round
     // away and report as a complete write.
     std::uint64_t elements_written = 0;
-    for (const Edge& e : edges.edges()) {
+    for (const Edge& e : edges) {
       buffer.push_back(e.u);
       buffer.push_back(e.v);
       if (buffer.size() == (2 << 16)) {
@@ -46,12 +50,55 @@ Status WriteBinaryEdges(const std::string& path,
       status = Status::IoError(ErrnoMessage("short write to", path));
     }
   }
+  if (status.ok() && v2) {
+    static_assert(sizeof(EdgeOp) == 1, "op section layout");
+    if (std::fwrite(ops.data(), 1, ops.size(), f) != ops.size()) {
+      status = Status::IoError(ErrnoMessage("short write to", path));
+    }
+  }
   // fclose flushes the stdio buffer; a flush failure (e.g. disk full) must
   // surface even when every fwrite "succeeded" into the buffer.
   if (std::fclose(f) != 0 && status.ok()) {
     status = Status::IoError(ErrnoMessage("cannot close", path));
   }
   return status;
+}
+
+}  // namespace
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " '" + path + "': " + std::strerror(errno);
+}
+
+bool ValidateOpBytes(const std::uint8_t* ops, std::size_t count,
+                     std::uint8_t* bad) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (ops[i] > static_cast<std::uint8_t>(EdgeOp::kDelete)) {
+      if (bad != nullptr) *bad = ops[i];
+      return false;
+    }
+  }
+  return true;
+}
+
+Status WriteBinaryEdges(const std::string& path,
+                        const graph::EdgeList& edges) {
+  return WriteTrisFile(path, std::span<const Edge>(edges.edges()), {});
+}
+
+Status WriteBinaryEvents(const std::string& path,
+                         const EdgeEventList& events) {
+  if (!events.ops.empty() && events.ops.size() != events.edges.size()) {
+    return Status::InvalidArgument(
+        "event list has " + std::to_string(events.edges.size()) +
+        " edges but " + std::to_string(events.ops.size()) + " ops");
+  }
+  // Insert-only sequences stay v1 so every existing reader keeps working;
+  // only a real delete forces the v2 op section.
+  const bool v2 = events.has_deletes();
+  return WriteTrisFile(path, std::span<const Edge>(events.edges),
+                       v2 ? std::span<const EdgeOp>(events.ops)
+                          : std::span<const EdgeOp>{});
 }
 
 Result<graph::EdgeList> ReadBinaryEdges(const std::string& path) {
@@ -71,6 +118,29 @@ Result<graph::EdgeList> ReadBinaryEdges(const std::string& path) {
                                "' truncated: header promises " +
                                std::to_string(stream.total_edges()) +
                                " edges, got " + std::to_string(out.size()));
+  }
+  return out;
+}
+
+Result<EdgeEventList> ReadBinaryEvents(const std::string& path) {
+  auto opened = BinaryFileEdgeStream::Open(path);
+  if (!opened.ok()) return opened.status();
+  BinaryFileEdgeStream& stream = **opened;
+  EdgeEventList out;
+  EventScratch scratch;
+  for (;;) {
+    const EventBatchView view = stream.NextEventBatchView(1 << 16, &scratch);
+    if (view.empty()) break;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      out.Add(view.edges[i], view.op(i));
+    }
+  }
+  if (!stream.status().ok()) return stream.status();
+  if (out.size() != stream.total_edges()) {
+    return Status::CorruptData("edge file '" + path +
+                               "' truncated: header promises " +
+                               std::to_string(stream.total_edges()) +
+                               " events, got " + std::to_string(out.size()));
   }
   return out;
 }
@@ -98,20 +168,24 @@ Result<std::unique_ptr<BinaryFileEdgeStream>> BinaryFileEdgeStream::Open(
     std::fclose(f);
     return Status::CorruptData("edge file '" + path + "': bad magic");
   }
-  if (version != kTrisVersion) {
+  if (version != kTrisVersion && version != kTrisVersion2) {
     std::fclose(f);
     return Status::CorruptData("edge file '" + path +
                                "': unsupported version " +
                                std::to_string(version));
   }
   return std::unique_ptr<BinaryFileEdgeStream>(
-      new BinaryFileEdgeStream(f, count, path));
+      new BinaryFileEdgeStream(f, version, count, path));
 }
 
 BinaryFileEdgeStream::BinaryFileEdgeStream(std::FILE* file,
+                                           std::uint32_t version,
                                            std::uint64_t total_edges,
                                            std::string path)
-    : file_(file), total_edges_(total_edges), path_(std::move(path)) {
+    : file_(file),
+      version_(version),
+      total_edges_(total_edges),
+      path_(std::move(path)) {
   io_timer_.Restart();
   io_timer_.Pause();
 }
@@ -120,19 +194,29 @@ BinaryFileEdgeStream::~BinaryFileEdgeStream() {
   if (file_ != nullptr) std::fclose(file_);
 }
 
-std::size_t BinaryFileEdgeStream::NextBatch(std::size_t max_edges,
-                                            std::vector<Edge>* batch) {
-  batch->clear();
+std::size_t BinaryFileEdgeStream::ReadRecords(std::size_t want,
+                                              std::vector<Edge>* edges,
+                                              std::vector<EdgeOp>* ops) {
+  edges->clear();
+  if (ops != nullptr) ops->clear();
   const std::uint64_t remaining = total_edges_ - delivered_;
-  const std::size_t want =
-      static_cast<std::size_t>(std::min<std::uint64_t>(max_edges, remaining));
-  if (want == 0) return 0;
-  std::vector<std::uint32_t> raw(want * 2);
+  const std::size_t take =
+      static_cast<std::size_t>(std::min<std::uint64_t>(want, remaining));
+  if (take == 0) return 0;
+  raw_.resize(take * 2);
   io_timer_.Resume();
+  if (version_ == kTrisVersion2) {
+    // v2 alternates between the pair and op sections, so every batch read
+    // is positioned (the v1 path stays purely sequential).
+    std::fseek(file_,
+               static_cast<long>(kTrisHeaderBytes +
+                                 delivered_ * sizeof(Edge)),
+               SEEK_SET);
+  }
   const std::size_t got =
-      std::fread(raw.data(), sizeof(std::uint32_t), raw.size(), file_);
+      std::fread(raw_.data(), sizeof(std::uint32_t), raw_.size(), file_);
   io_timer_.Pause();
-  if (got != raw.size() && status_.ok()) {
+  if (got != raw_.size() && status_.ok()) {
     // A short read inside the promised payload is never a clean end of
     // stream: ferror means the device failed, EOF means the file is
     // shorter than its header claims. Either way streaming consumers
@@ -147,13 +231,87 @@ std::size_t BinaryFileEdgeStream::NextBatch(std::size_t max_edges,
           std::to_string(delivered_ + got / 2));
     }
   }
-  const std::size_t edges = got / 2;
-  batch->reserve(edges);
-  for (std::size_t i = 0; i < edges; ++i) {
-    batch->emplace_back(raw[2 * i], raw[2 * i + 1]);
+  std::size_t count = got / 2;
+  if (version_ == kTrisVersion2 && ops != nullptr && count > 0) {
+    ops->resize(count);
+    io_timer_.Resume();
+    std::fseek(file_,
+               static_cast<long>(kTrisHeaderBytes +
+                                 total_edges_ * sizeof(Edge) + delivered_),
+               SEEK_SET);
+    const std::size_t op_got = std::fread(
+        reinterpret_cast<std::uint8_t*>(ops->data()), 1, count, file_);
+    io_timer_.Pause();
+    if (op_got != count && status_.ok()) {
+      if (std::ferror(file_) != 0) {
+        status_ =
+            Status::IoError(ErrnoMessage("read failed mid-stream in", path_));
+      } else {
+        status_ = Status::CorruptData(
+            "edge file '" + path_ + "' truncated: op section ends at event " +
+            std::to_string(delivered_ + op_got) + " of " +
+            std::to_string(total_edges_));
+      }
+    }
+    // Deliver only events whose op arrived: the pair prefix beyond op_got
+    // is indistinguishable from a torn tail.
+    count = std::min(count, op_got);
+    ops->resize(count);
+    std::uint8_t bad = 0;
+    if (!ValidateOpBytes(reinterpret_cast<const std::uint8_t*>(ops->data()),
+                         count, &bad) &&
+        status_.ok()) {
+      status_ = Status::CorruptData(
+          "edge file '" + path_ + "': op byte " + std::to_string(bad) +
+          " is neither insert nor delete");
+      count = 0;
+      ops->clear();
+    }
   }
-  delivered_ += edges;
-  return edges;
+  edges->reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    edges->emplace_back(raw_[2 * i], raw_[2 * i + 1]);
+  }
+  delivered_ += count;
+  return count;
+}
+
+std::size_t BinaryFileEdgeStream::NextBatch(std::size_t max_edges,
+                                            std::vector<Edge>* batch) {
+  if (version_ == kTrisVersion) {
+    return ReadRecords(max_edges, batch, nullptr);
+  }
+  // Edge-only read of a turnstile file: legal while every event is an
+  // insert, a loud sticky failure at the first actual delete -- never a
+  // silently misread op.
+  std::vector<EdgeOp> ops;
+  const std::size_t got = ReadRecords(max_edges, batch, &ops);
+  for (std::size_t i = 0; i < got; ++i) {
+    if (ops[i] == EdgeOp::kDelete) {
+      if (status_.ok()) {
+        status_ = Status::InvalidArgument(
+            "edge file '" + path_ + "' is a turnstile (TRIS v2) stream with "
+            "delete events; this consumer reads edges only -- use the "
+            "event API or an estimator that supports deletions");
+      }
+      batch->clear();
+      return 0;
+    }
+  }
+  return got;
+}
+
+EventBatchView BinaryFileEdgeStream::NextEventBatchView(
+    std::size_t max_edges, EventScratch* scratch) {
+  const std::size_t got =
+      ReadRecords(max_edges, &scratch->edges,
+                  version_ == kTrisVersion2 ? &scratch->ops : nullptr);
+  if (got == 0) return {};
+  std::span<const EdgeOp> ops;
+  if (version_ == kTrisVersion2) {
+    ops = std::span<const EdgeOp>(scratch->ops);
+  }
+  return EventBatchView{std::span<const Edge>(scratch->edges), ops};
 }
 
 void BinaryFileEdgeStream::Reset() {

@@ -6,6 +6,14 @@
 // undirected edge once, at O(#distinct edges) memory -- the unavoidable
 // cost of exact online deduplication, paid by the ingest layer rather
 // than the O(1)-per-estimator counters behind it.
+//
+// Turnstile semantics: the filter tracks the LIVE set, not the seen set.
+// An insert passes iff the edge is not currently live (first insert, or
+// re-insert after a delete); a delete passes iff the edge is live
+// (deleting an absent or already-deleted edge is dropped, as is a delete
+// of a self-loop). On an insert-only stream live == seen, so the filter
+// behaves bit-identically to the historical seen-set version -- which is
+// what keeps replay-after-resume exact for v1 streams.
 
 #ifndef TRISTREAM_STREAM_DEDUP_H_
 #define TRISTREAM_STREAM_DEDUP_H_
@@ -18,31 +26,50 @@
 namespace tristream {
 namespace stream {
 
-/// Admits each undirected edge once; rejects self-loops and repeats.
+/// Admits each undirected edge once per live period; rejects self-loops,
+/// repeats of live edges, and deletes of non-live edges.
 class DedupFilter {
  public:
   explicit DedupFilter(std::size_t expected_edges = 1 << 12)
-      : seen_(expected_edges) {}
+      : live_(expected_edges) {}
 
   /// Returns true when `e` is a new, valid simple edge (and records it).
-  bool Admit(const Edge& e) {
+  /// Equivalent to AdmitEvent(e, EdgeOp::kInsert).
+  bool Admit(const Edge& e) { return AdmitEvent(e, EdgeOp::kInsert); }
+
+  /// Turnstile admission: inserts pass iff the edge is not live, deletes
+  /// pass iff it is. Self-loops and invalid edges never pass either way.
+  bool AdmitEvent(const Edge& e, EdgeOp op) {
     ++offered_;
     if (e.self_loop() || !e.valid()) return false;
-    return seen_.Insert(e.Key());
+    std::uint8_t& live = live_[e.Key()];
+    const std::uint8_t want = op == EdgeOp::kInsert ? 0 : 1;
+    if (live != want) return false;
+    live = want ^ 1;
+    ++admitted_;
+    return true;
   }
 
-  /// Edges offered so far (admitted + rejected).
+  /// True when `e` is currently in the live set.
+  bool IsLive(const Edge& e) const {
+    const std::uint8_t* live = live_.Find(e.Key());
+    return live != nullptr && *live != 0;
+  }
+
+  /// Events offered so far (admitted + rejected).
   std::uint64_t offered() const { return offered_; }
 
-  /// Distinct simple edges admitted.
-  std::uint64_t admitted() const { return seen_.size(); }
+  /// Events admitted (passed the filter). On an insert-only stream this
+  /// equals the number of distinct simple edges seen.
+  std::uint64_t admitted() const { return admitted_; }
 
   /// Memory held by the filter.
-  std::size_t MemoryBytes() const { return seen_.MemoryBytes(); }
+  std::size_t MemoryBytes() const { return live_.MemoryBytes(); }
 
  private:
-  FlatHashSet seen_;
+  FlatHashMap<std::uint8_t> live_;
   std::uint64_t offered_ = 0;
+  std::uint64_t admitted_ = 0;
 };
 
 }  // namespace stream

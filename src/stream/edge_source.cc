@@ -15,36 +15,77 @@ namespace tristream {
 namespace stream {
 namespace {
 
-/// Memory stream that owns its edges (MemoryEdgeStream only borrows).
+/// Memory stream that owns its events (MemoryEdgeStream only borrows).
 /// Backs the text path of OpenEdgeSource: the whole file is parsed up
 /// front, so batches are stable zero-copy views and io_seconds reports the
-/// one-time load cost.
+/// one-time load cost. Turnstile-capable: event pulls serve real ops;
+/// edge-only pulls fail with a sticky InvalidArgument at the first delete.
 class OwningMemoryEdgeStream : public EdgeStream {
  public:
-  OwningMemoryEdgeStream(graph::EdgeList edges, double load_seconds)
-      : edges_(std::move(edges)),
-        load_seconds_(load_seconds),
-        view_(edges_) {}
+  OwningMemoryEdgeStream(EdgeEventList events, double load_seconds)
+      : events_(std::move(events)), load_seconds_(load_seconds) {}
 
   std::size_t NextBatch(std::size_t max_edges,
                         std::vector<Edge>* batch) override {
-    return view_.NextBatch(max_edges, batch);
+    batch->clear();
+    const std::span<const Edge> view = NextBatchView(max_edges, nullptr);
+    batch->assign(view.begin(), view.end());
+    return view.size();
   }
   std::span<const Edge> NextBatchView(std::size_t max_edges,
-                                      std::vector<Edge>* scratch) override {
-    return view_.NextBatchView(max_edges, scratch);
+                                      std::vector<Edge>* /*scratch*/) override {
+    const std::size_t take = Take(max_edges);
+    if (take == 0) return {};
+    if (!events_.ops.empty()) {
+      for (std::size_t i = 0; i < take; ++i) {
+        if (events_.ops[cursor_ + i] == EdgeOp::kDelete) {
+          if (status_.ok()) {
+            status_ = Status::InvalidArgument(
+                "turnstile stream with delete events; this consumer reads "
+                "edges only -- use the event API or an estimator that "
+                "supports deletions");
+          }
+          return {};
+        }
+      }
+    }
+    const std::span<const Edge> view(events_.edges.data() + cursor_, take);
+    cursor_ += take;
+    return view;
   }
+  EventBatchView NextEventBatchView(std::size_t max_edges,
+                                    EventScratch* /*scratch*/) override {
+    const std::size_t take = Take(max_edges);
+    if (take == 0) return {};
+    std::span<const EdgeOp> ops;
+    if (!events_.ops.empty()) {
+      ops = std::span<const EdgeOp>(events_.ops.data() + cursor_, take);
+    }
+    EventBatchView view{
+        std::span<const Edge>(events_.edges.data() + cursor_, take), ops};
+    cursor_ += take;
+    return view;
+  }
+  bool turnstile() const override { return events_.has_deletes(); }
   bool stable_views() const override { return true; }
-  void Reset() override { view_.Reset(); }
-  std::uint64_t edges_delivered() const override {
-    return view_.edges_delivered();
+  void Reset() override {
+    cursor_ = 0;
+    status_ = Status::Ok();
   }
+  std::uint64_t edges_delivered() const override { return cursor_; }
   double io_seconds() const override { return load_seconds_; }
+  Status status() const override { return status_; }
 
  private:
-  graph::EdgeList edges_;
+  std::size_t Take(std::size_t max_edges) const {
+    const std::size_t remaining = events_.size() - cursor_;
+    return std::min(max_edges, remaining);
+  }
+
+  EdgeEventList events_;
   double load_seconds_;
-  MemoryEdgeStream view_;
+  std::size_t cursor_ = 0;
+  Status status_;
 };
 
 /// Reads the first 4 bytes of `path`. Returns false (with `*error` set)
@@ -101,6 +142,23 @@ bool DedupEdgeStream::FilterOneBatch(std::size_t max_edges,
   return true;
 }
 
+bool DedupEdgeStream::FilterOneEventBatch(std::size_t max_edges,
+                                          EventScratch* out) {
+  // `out` is empty on entry (the pop path loops until an event survives).
+  const EventBatchView raw =
+      inner_->NextEventBatchView(max_edges, &event_scratch_);
+  if (raw.empty()) return false;
+  const bool carry_ops = !raw.all_inserts();
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const EdgeOp op = raw.op(i);
+    if (filter_.AdmitEvent(raw.edges[i], op)) {
+      out->edges.push_back(raw.edges[i]);
+      if (carry_ops) out->ops.push_back(op);
+    }
+  }
+  return true;
+}
+
 std::size_t DedupEdgeStream::NextBatch(std::size_t max_edges,
                                        std::vector<Edge>* batch) {
   batch->clear();
@@ -129,11 +187,29 @@ std::span<const Edge> DedupEdgeStream::NextBatchView(
   return std::span<const Edge>(out);
 }
 
+EventBatchView DedupEdgeStream::NextEventBatchView(std::size_t max_edges,
+                                                   EventScratch* /*scratch*/) {
+  event_slot_ ^= 1;
+  EventScratch& out = event_bufs_[event_slot_];
+  out.edges.clear();
+  out.ops.clear();
+  while (out.edges.empty()) {
+    if (!FilterOneEventBatch(max_edges, &out)) break;
+  }
+  delivered_ += out.edges.size();
+  return EventBatchView{std::span<const Edge>(out.edges),
+                        std::span<const EdgeOp>(out.ops)};
+}
+
 void DedupEdgeStream::Reset() {
   inner_->Reset();
   filter_ = DedupFilter(expected_edges_);
   delivered_ = 0;
   for (std::vector<Edge>& buf : view_bufs_) buf.clear();
+  for (EventScratch& buf : event_bufs_) {
+    buf.edges.clear();
+    buf.ops.clear();
+  }
 }
 
 Result<std::unique_ptr<EdgeStream>> OpenEdgeSource(
@@ -152,6 +228,7 @@ Result<std::unique_ptr<EdgeStream>> OpenEdgeSource(
       if (mapped.ok()) {
         built.reader = EdgeSourceInfo::Reader::kMmap;
         built.total_edges = (*mapped)->total_edges();
+        built.turnstile = (*mapped)->turnstile();
         source = std::move(*mapped);
       } else if (mapped.status().code() == StatusCode::kCorruptData) {
         // A malformed file is malformed under any reader; only mapping
@@ -164,14 +241,16 @@ Result<std::unique_ptr<EdgeStream>> OpenEdgeSource(
       if (!opened.ok()) return opened.status();
       built.reader = EdgeSourceInfo::Reader::kFile;
       built.total_edges = (*opened)->total_edges();
+      built.turnstile = (*opened)->turnstile();
       source = std::move(*opened);
     }
   } else {
     WallTimer load_timer;
-    auto parsed = ReadTextEdges(path);
+    auto parsed = ReadTextEvents(path);
     if (!parsed.ok()) return parsed.status();
     built.reader = EdgeSourceInfo::Reader::kText;
     built.total_edges = parsed->size();
+    built.turnstile = parsed->has_deletes();
     source = std::make_unique<OwningMemoryEdgeStream>(std::move(*parsed),
                                                       load_timer.Seconds());
   }

@@ -53,9 +53,12 @@ struct EdgeSourceInfo {
     kText,  // parsed SNAP text served from memory
   };
   Reader reader = Reader::kText;
-  /// Edge count promised by the source (header count for binary, parsed
-  /// count for text) -- pre-dedup.
+  /// Edge/event count promised by the source (header count for binary,
+  /// parsed count for text) -- pre-dedup.
   std::uint64_t total_edges = 0;
+  /// True when the source may emit delete events (TRIS v2, or a text file
+  /// with "-1" op columns).
+  bool turnstile = false;
 
   /// Short label for logs/CLI output.
   const char* reader_name() const {
@@ -68,10 +71,12 @@ struct EdgeSourceInfo {
   }
 };
 
-/// Filtering adapter: pulls from `inner` and delivers only edges admitted
-/// by a DedupFilter. Batches may come back shorter than requested (the
-/// filter is applied per inner batch); a 0/empty return still means end of
-/// stream. Views are never stable (filtered edges must be compacted).
+/// Filtering adapter: pulls from `inner` and delivers only events admitted
+/// by a DedupFilter (turnstile live-set semantics: inserts pass iff not
+/// live, deletes pass iff live). Batches may come back shorter than
+/// requested (the filter is applied per inner batch); a 0/empty return
+/// still means end of stream. Views are never stable (filtered events must
+/// be compacted).
 class DedupEdgeStream : public EdgeStream {
  public:
   explicit DedupEdgeStream(std::unique_ptr<EdgeStream> inner,
@@ -90,6 +95,11 @@ class DedupEdgeStream : public EdgeStream {
   /// NextBatch's.
   std::span<const Edge> NextBatchView(std::size_t max_edges,
                                       std::vector<Edge>* scratch) override;
+  /// Event-model pull with the same double-buffered lifetime. `scratch`
+  /// is ignored.
+  EventBatchView NextEventBatchView(std::size_t max_edges,
+                                    EventScratch* scratch) override;
+  bool turnstile() const override { return inner_->turnstile(); }
   void Reset() override;
   std::uint64_t edges_delivered() const override { return delivered_; }
   double io_seconds() const override { return inner_->io_seconds(); }
@@ -100,17 +110,27 @@ class DedupEdgeStream : public EdgeStream {
 
  private:
   /// Pulls one inner batch into `*out` with only admitted edges kept;
-  /// returns false at inner end of stream. Shared by both pop paths.
+  /// returns false at inner end of stream. Shared by both edge-only pop
+  /// paths.
   bool FilterOneBatch(std::size_t max_edges, std::vector<Edge>* out);
+
+  /// Event counterpart: pulls one inner event batch and compacts admitted
+  /// events into `*out` (ops materialized only when the inner batch has
+  /// them).
+  bool FilterOneEventBatch(std::size_t max_edges, EventScratch* out);
 
   std::unique_ptr<EdgeStream> inner_;
   DedupFilter filter_;
   std::size_t expected_edges_;
   std::uint64_t delivered_ = 0;
   std::vector<Edge> scratch_;
+  EventScratch event_scratch_;
   /// Double-buffered output of NextBatchView (see its comment).
   std::array<std::vector<Edge>, 2> view_bufs_;
+  /// Double-buffered output of NextEventBatchView.
+  std::array<EventScratch, 2> event_bufs_;
   int view_slot_ = 0;
+  int event_slot_ = 0;
 };
 
 /// Opens `path` as an EdgeStream, sniffing binary TRIS vs. text by magic

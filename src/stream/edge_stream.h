@@ -21,9 +21,28 @@
 namespace tristream {
 namespace stream {
 
+/// Caller-owned staging for the event-batch pull (the SoA counterpart of
+/// the plain std::vector<Edge> scratch): sources without stable views fill
+/// these; sources with stable views ignore them and return spans into
+/// their own storage.
+struct EventScratch {
+  std::vector<Edge> edges;
+  std::vector<EdgeOp> ops;
+};
+
 /// Pull-based edge source. Implementations are single-pass but resettable
 /// (the paper's algorithms are strictly one-pass; Reset exists for
 /// multi-trial experiments).
+///
+/// Two pull surfaces exist:
+///   * the edge-only NextBatch/NextBatchView (the historical insert-only
+///     API). On a turnstile source this MUST fail loudly -- a sticky
+///     InvalidArgument the moment an actual delete event is encountered --
+///     never silently drop or misread ops.
+///   * the event-model NextEventBatchView, which every consumer that can
+///     handle (or at least detect) deletions uses. Insert-only sources
+///     keep the default shim: it wraps the edge view with an empty ops
+///     span, so the refactor costs them nothing.
 class EdgeStream {
  public:
   virtual ~EdgeStream() = default;
@@ -45,6 +64,25 @@ class EdgeStream {
     NextBatch(max_edges, scratch);
     return std::span<const Edge>(*scratch);
   }
+
+  /// Event-model pull: a view of up to `max_edges` next events; an empty
+  /// view signals end of stream. Same lifetime rules as NextBatchView
+  /// (stable_views() covers both spans). The default shim serves
+  /// insert-only sources: it returns the edge view with an empty ops span
+  /// (all_inserts() == true) at zero extra cost. Turnstile sources
+  /// override it to deliver real ops.
+  virtual EventBatchView NextEventBatchView(std::size_t max_edges,
+                                            EventScratch* scratch) {
+    const std::span<const Edge> edges =
+        NextBatchView(max_edges, scratch != nullptr ? &scratch->edges
+                                                    : nullptr);
+    return EventBatchView{edges, {}};
+  }
+
+  /// True when this source may emit delete events (so edge-only reads can
+  /// fail mid-stream with InvalidArgument). Purely informational; the
+  /// per-batch truth is EventBatchView::all_inserts().
+  virtual bool turnstile() const { return false; }
 
   /// True when every span returned by NextBatchView stays valid until the
   /// stream is destroyed (not merely until the next call). Pipelined

@@ -24,6 +24,8 @@ static_assert(std::is_trivially_copyable_v<Edge>,
               "Edge must be trivially copyable to alias mapped bytes");
 static_assert(kTrisHeaderBytes % alignof(Edge) == 0,
               "payload offset must be Edge-aligned");
+static_assert(sizeof(EdgeOp) == 1,
+              "EdgeOp must be one byte to alias the v2 op section");
 
 constexpr std::size_t kPageBytes = 4096;
 
@@ -59,20 +61,25 @@ Result<std::unique_ptr<MmapEdgeStream>> MmapEdgeStream::Open(
   std::uint64_t count = 0;
   std::memcpy(&version, bytes + 4, sizeof(version));
   std::memcpy(&count, bytes + 8, sizeof(count));
+  // Per-event payload bytes: v1 is the pair alone, v2 adds the op byte in
+  // the trailing section. Dividing the payload size (instead of
+  // multiplying `count`) keeps the truncation check overflow-safe for
+  // hostile headers, and covers tails that end mid-pair or inside the op
+  // section alike.
+  const std::size_t event_bytes =
+      version == kTrisVersion2 ? kTrisEventBytes : sizeof(Edge);
   Status status = Status::Ok();
   if (std::memcmp(bytes, kTrisMagic, 4) != 0) {
     status = Status::CorruptData("edge file '" + path + "': bad magic");
-  } else if (version != kTrisVersion) {
+  } else if (version != kTrisVersion && version != kTrisVersion2) {
     status = Status::CorruptData("edge file '" + path +
                                  "': unsupported version " +
                                  std::to_string(version));
-  } else if ((file_bytes - kTrisHeaderBytes) / sizeof(Edge) < count) {
-    // Covers both whole-pair truncation and an odd-byte tail that ends in
-    // the middle of a pair: either way the payload cannot hold `count`.
+  } else if ((file_bytes - kTrisHeaderBytes) / event_bytes < count) {
     status = Status::CorruptData(
         "edge file '" + path + "' truncated: header promises " +
-        std::to_string(count) + " edges, payload holds " +
-        std::to_string((file_bytes - kTrisHeaderBytes) / sizeof(Edge)));
+        std::to_string(count) + " events, payload holds " +
+        std::to_string((file_bytes - kTrisHeaderBytes) / event_bytes));
   }
   if (!status.ok()) {
     ::munmap(map, file_bytes);
@@ -81,19 +88,29 @@ Result<std::unique_ptr<MmapEdgeStream>> MmapEdgeStream::Open(
   ::madvise(map, file_bytes, MADV_SEQUENTIAL);
   const Edge* payload =
       reinterpret_cast<const Edge*>(bytes + kTrisHeaderBytes);
+  const EdgeOp* ops =
+      version == kTrisVersion2
+          ? reinterpret_cast<const EdgeOp*>(bytes + kTrisHeaderBytes +
+                                            count * sizeof(Edge))
+          : nullptr;
   return std::unique_ptr<MmapEdgeStream>(
-      new MmapEdgeStream(map, file_bytes, payload, count));
+      new MmapEdgeStream(map, file_bytes, version, payload, ops, count));
 }
 
 MmapEdgeStream::MmapEdgeStream(void* map, std::size_t map_bytes,
-                               const Edge* payload, std::uint64_t total_edges)
+                               std::uint32_t version, const Edge* payload,
+                               const EdgeOp* ops, std::uint64_t total_edges)
     : map_(map),
       map_bytes_(map_bytes),
+      version_(version),
       payload_(payload),
+      ops_(ops),
       total_edges_(total_edges) {
   io_timer_.Restart();
   io_timer_.Pause();
 }
+
+bool MmapEdgeStream::turnstile() const { return ops_ != nullptr; }
 
 MmapEdgeStream::~MmapEdgeStream() {
   if (map_ != nullptr) ::munmap(map_, map_bytes_);
@@ -102,18 +119,35 @@ MmapEdgeStream::~MmapEdgeStream() {
 void MmapEdgeStream::Prefault(std::uint64_t end_edge) {
   const std::size_t end_byte = static_cast<std::size_t>(end_edge) *
                                sizeof(Edge);
-  if (end_byte <= prefaulted_bytes_) return;
-  const volatile char* bytes =
-      reinterpret_cast<const volatile char*>(payload_);
-  io_timer_.Resume();
-  // One touch per page triggers the fault (and the kernel's sequential
-  // readahead); the loop revisits nothing thanks to prefaulted_bytes_.
-  for (std::size_t b = prefaulted_bytes_; b < end_byte; b += kPageBytes) {
-    (void)bytes[b];
+  if (end_byte > prefaulted_bytes_) {
+    const volatile char* bytes =
+        reinterpret_cast<const volatile char*>(payload_);
+    io_timer_.Resume();
+    // One touch per page triggers the fault (and the kernel's sequential
+    // readahead); the loop revisits nothing thanks to prefaulted_bytes_.
+    for (std::size_t b = prefaulted_bytes_; b < end_byte; b += kPageBytes) {
+      (void)bytes[b];
+    }
+    (void)bytes[end_byte - 1];
+    io_timer_.Pause();
+    prefaulted_bytes_ = end_byte;
   }
-  (void)bytes[end_byte - 1];
+  // The op section lives past the whole pair section, so its pages need
+  // their own watermark -- sequential readahead from the pair cursor never
+  // reaches them.
+  if (ops_ == nullptr) return;
+  const std::size_t end_op_byte = static_cast<std::size_t>(end_edge);
+  if (end_op_byte <= prefaulted_op_bytes_) return;
+  const volatile char* op_bytes =
+      reinterpret_cast<const volatile char*>(ops_);
+  io_timer_.Resume();
+  for (std::size_t b = prefaulted_op_bytes_; b < end_op_byte;
+       b += kPageBytes) {
+    (void)op_bytes[b];
+  }
+  (void)op_bytes[end_op_byte - 1];
   io_timer_.Pause();
-  prefaulted_bytes_ = end_byte;
+  prefaulted_op_bytes_ = end_op_byte;
 }
 
 std::span<const Edge> MmapEdgeStream::NextBatchView(
@@ -123,7 +157,59 @@ std::span<const Edge> MmapEdgeStream::NextBatchView(
       static_cast<std::size_t>(std::min<std::uint64_t>(max_edges, remaining));
   if (take == 0) return {};
   Prefault(cursor_ + take);
+  if (ops_ != nullptr) {
+    // Edge-only read of a turnstile file: legal while every event is an
+    // insert, a loud sticky failure at the first actual delete.
+    const std::uint8_t* ops =
+        reinterpret_cast<const std::uint8_t*>(ops_ + cursor_);
+    std::uint8_t bad = 0;
+    if (!ValidateOpBytes(ops, take, &bad)) {
+      if (status_.ok()) {
+        status_ = Status::CorruptData(
+            "edge file: op byte " + std::to_string(bad) +
+            " is neither insert nor delete");
+      }
+      return {};
+    }
+    for (std::size_t i = 0; i < take; ++i) {
+      if (ops_[cursor_ + i] == EdgeOp::kDelete) {
+        if (status_.ok()) {
+          status_ = Status::InvalidArgument(
+              "turnstile (TRIS v2) stream with delete events; this consumer "
+              "reads edges only -- use the event API or an estimator that "
+              "supports deletions");
+        }
+        return {};
+      }
+    }
+  }
   std::span<const Edge> view(payload_ + cursor_, take);
+  cursor_ += take;
+  return view;
+}
+
+EventBatchView MmapEdgeStream::NextEventBatchView(std::size_t max_edges,
+                                                  EventScratch* /*scratch*/) {
+  const std::uint64_t remaining = total_edges_ - cursor_;
+  const std::size_t take =
+      static_cast<std::size_t>(std::min<std::uint64_t>(max_edges, remaining));
+  if (take == 0) return {};
+  Prefault(cursor_ + take);
+  std::span<const EdgeOp> ops;
+  if (ops_ != nullptr) {
+    std::uint8_t bad = 0;
+    if (!ValidateOpBytes(reinterpret_cast<const std::uint8_t*>(ops_ + cursor_),
+                         take, &bad)) {
+      if (status_.ok()) {
+        status_ = Status::CorruptData(
+            "edge file: op byte " + std::to_string(bad) +
+            " is neither insert nor delete");
+      }
+      return {};
+    }
+    ops = std::span<const EdgeOp>(ops_ + cursor_, take);
+  }
+  EventBatchView view{std::span<const Edge>(payload_ + cursor_, take), ops};
   cursor_ += take;
   return view;
 }
@@ -139,6 +225,8 @@ std::size_t MmapEdgeStream::NextBatch(std::size_t max_edges,
 void MmapEdgeStream::Reset() {
   cursor_ = 0;
   prefaulted_bytes_ = 0;
+  prefaulted_op_bytes_ = 0;
+  status_ = Status::Ok();
   io_timer_.Restart();
   io_timer_.Pause();
 }

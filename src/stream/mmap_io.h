@@ -18,6 +18,13 @@
 // valid until the stream is destroyed (stable_views() == true), which is
 // what lets engine::StreamEngine hand a mapped batch to the sharded
 // counter's workers while already faulting in the next one.
+//
+// TRIS v2 (turnstile) files map just as well: the SoA layout keeps the
+// pair section bit-identical to v1, so the Edge spans still come straight
+// from the mapping, and the trailing op section is served as a second
+// zero-copy span (EdgeOp is a single byte, no alignment concerns). Both
+// sections are prefaulted under the io stopwatch, each behind its own
+// watermark since they live at distant file offsets.
 
 #ifndef TRISTREAM_STREAM_MMAP_IO_H_
 #define TRISTREAM_STREAM_MMAP_IO_H_
@@ -51,6 +58,11 @@ class MmapEdgeStream : public EdgeStream {
                         std::vector<Edge>* batch) override;
   std::span<const Edge> NextBatchView(std::size_t max_edges,
                                       std::vector<Edge>* scratch) override;
+  /// v2 files deliver both spans straight from the mapping (scratch is
+  /// ignored); v1 files keep the empty-ops fast path.
+  EventBatchView NextEventBatchView(std::size_t max_edges,
+                                    EventScratch* scratch) override;
+  bool turnstile() const override;
   bool stable_views() const override { return true; }
   void Reset() override;
   std::uint64_t edges_delivered() const override { return cursor_; }
@@ -58,28 +70,42 @@ class MmapEdgeStream : public EdgeStream {
   /// time; cold-cache faults dominate it, warm-cache runs show ~0).
   double io_seconds() const override { return io_timer_.Seconds(); }
 
-  /// Total edges in the file.
+  /// Sticky: InvalidArgument when an edge-only pull hit a delete event,
+  /// CorruptData when an op byte is neither insert nor delete. Cleared by
+  /// Reset().
+  Status status() const override { return status_; }
+
+  /// Total edges/events in the file.
   std::uint64_t total_edges() const { return total_edges_; }
 
-  /// The whole payload as one span (valid for the stream's lifetime).
+  /// TRIS format version of the file (1 or 2).
+  std::uint32_t version() const { return version_; }
+
+  /// The whole pair payload as one span (valid for the stream's lifetime).
   std::span<const Edge> edges() const {
     return std::span<const Edge>(payload_, total_edges_);
   }
 
  private:
-  MmapEdgeStream(void* map, std::size_t map_bytes, const Edge* payload,
+  MmapEdgeStream(void* map, std::size_t map_bytes, std::uint32_t version,
+                 const Edge* payload, const EdgeOp* ops,
                  std::uint64_t total_edges);
 
-  /// Touches one byte per page of payload edges [cursor_, end) that have
-  /// not been faulted in yet, on the io stopwatch.
+  /// Touches one byte per page of payload events [cursor_, end) -- pair
+  /// section and, for v2, op section -- that have not been faulted in yet,
+  /// on the io stopwatch.
   void Prefault(std::uint64_t end_edge);
 
   void* map_;
   std::size_t map_bytes_;
+  std::uint32_t version_;
   const Edge* payload_;
+  const EdgeOp* ops_;  // nullptr for v1
   std::uint64_t total_edges_;
   std::uint64_t cursor_ = 0;
   std::size_t prefaulted_bytes_ = 0;
+  std::size_t prefaulted_op_bytes_ = 0;
+  Status status_;
   mutable WallTimer io_timer_;
 };
 

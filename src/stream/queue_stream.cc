@@ -11,17 +11,27 @@ QueueEdgeStream::QueueEdgeStream(std::size_t capacity_edges)
     : capacity_(std::max<std::size_t>(capacity_edges, 1)) {}
 
 bool QueueEdgeStream::Push(const Edge& e) {
+  return PushEvent(EdgeEvent(e, EdgeOp::kInsert));
+}
+
+bool QueueEdgeStream::PushEvent(const EdgeEvent& e) {
   std::unique_lock<std::mutex> lock(mu_);
   can_push_.wait(lock,
                  [this] { return buffer_.size() < capacity_ || closed_; });
   if (closed_) return false;
   buffer_.push_back(e);
-  // One edge satisfies any waiting pop; no need to wake other producers.
+  if (e.is_delete()) delete_pushed_ = true;
+  // One event satisfies any waiting pop; no need to wake other producers.
   can_pop_.notify_one();
   return true;
 }
 
 std::size_t QueueEdgeStream::Push(std::span<const Edge> edges) {
+  return PushEvents(edges, {});
+}
+
+std::size_t QueueEdgeStream::PushEvents(std::span<const Edge> edges,
+                                        std::span<const EdgeOp> ops) {
   std::size_t pushed = 0;
   std::unique_lock<std::mutex> lock(mu_);
   while (pushed < edges.size()) {
@@ -32,8 +42,11 @@ std::size_t QueueEdgeStream::Push(std::span<const Edge> edges) {
     // whole insert keeps the run contiguous in the stream.
     const std::size_t room = capacity_ - buffer_.size();
     const std::size_t take = std::min(room, edges.size() - pushed);
-    buffer_.insert(buffer_.end(), edges.begin() + pushed,
-                   edges.begin() + pushed + take);
+    for (std::size_t i = 0; i < take; ++i) {
+      const EdgeOp op = ops.empty() ? EdgeOp::kInsert : ops[pushed + i];
+      buffer_.emplace_back(edges[pushed + i], op);
+      if (op == EdgeOp::kDelete) delete_pushed_ = true;
+    }
     pushed += take;
     can_pop_.notify_one();
   }
@@ -41,14 +54,22 @@ std::size_t QueueEdgeStream::Push(std::span<const Edge> edges) {
 }
 
 std::size_t QueueEdgeStream::TryPush(std::span<const Edge> edges) {
+  return TryPushEvents(edges, {});
+}
+
+std::size_t QueueEdgeStream::TryPushEvents(std::span<const Edge> edges,
+                                           std::span<const EdgeOp> ops) {
   std::size_t pushed = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (closed_) return 0;
     const std::size_t room = capacity_ - buffer_.size();
     pushed = std::min(room, edges.size());
-    buffer_.insert(buffer_.end(), edges.begin(),
-                   edges.begin() + static_cast<std::ptrdiff_t>(pushed));
+    for (std::size_t i = 0; i < pushed; ++i) {
+      const EdgeOp op = ops.empty() ? EdgeOp::kInsert : ops[i];
+      buffer_.emplace_back(edges[i], op);
+      if (op == EdgeOp::kDelete) delete_pushed_ = true;
+    }
   }
   if (pushed > 0) can_pop_.notify_one();
   return pushed;
@@ -79,17 +100,28 @@ bool QueueEdgeStream::closed() const {
   return closed_;
 }
 
-std::size_t QueueEdgeStream::NextBatch(std::size_t max_edges,
-                                       std::vector<Edge>* batch) {
-  batch->clear();
+bool QueueEdgeStream::turnstile() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return delete_pushed_;
+}
+
+std::size_t QueueEdgeStream::PopEvents(std::size_t max_edges,
+                                       std::vector<Edge>* edges,
+                                       std::vector<EdgeOp>* ops) {
+  edges->clear();
+  if (ops != nullptr) ops->clear();
   if (max_edges == 0) return 0;
   std::unique_lock<std::mutex> lock(mu_);
+  // A consumer that already failed (edge-only read hit a delete) must not
+  // block again waiting for a batch it can never accept. This is distinct
+  // from a Close(error) status, which still drains buffered events.
+  if (ops == nullptr && edge_read_failed_) return 0;
   // Block until a *full* batch is available (or the queue closes, after
   // which the remainder drains) -- the same chunking-independence the
   // socket source gets by filling batches across frames: batch boundaries
   // are decided by the consumer's request size, never by producer timing,
   // so estimates are bit-identical to file/memory ingest of the same
-  // edges. A slow feed therefore reads as slow I/O (the wait lands on the
+  // events. A slow feed therefore reads as slow I/O (the wait lands on the
   // I/O stopwatch), not as a ragged batch. Capped at capacity so a
   // request larger than the buffer cannot deadlock against blocked
   // producers.
@@ -100,10 +132,36 @@ std::size_t QueueEdgeStream::NextBatch(std::size_t max_edges,
                   [this, goal] { return buffer_.size() >= goal || closed_; });
     wait_seconds_ += wait_timer.Seconds();
   }
-  const std::size_t take = std::min(max_edges, buffer_.size());
+  std::size_t take = std::min(max_edges, buffer_.size());
+  if (ops == nullptr) {
+    // Edge-only consumer: deliver the insert prefix, then fail loudly.
+    // The delete stays buffered -- never silently dropped.
+    for (std::size_t i = 0; i < take; ++i) {
+      if (buffer_[i].is_delete()) {
+        edge_read_failed_ = true;
+        if (status_.ok()) {
+          status_ = Status::InvalidArgument(
+              "edge queue carries delete events; this consumer reads edges "
+              "only -- use the event API or an estimator that supports "
+              "deletions");
+        }
+        take = i;
+        break;
+      }
+    }
+  }
   const bool was_full = buffer_.size() >= capacity_;
-  batch->insert(batch->end(), buffer_.begin(),
-                buffer_.begin() + static_cast<std::ptrdiff_t>(take));
+  bool any_delete = false;
+  for (std::size_t i = 0; i < take; ++i) {
+    edges->push_back(buffer_[i].edge);
+    if (ops != nullptr) {
+      ops->push_back(buffer_[i].op);
+      any_delete = any_delete || buffer_[i].is_delete();
+    }
+  }
+  // All-insert batches report an empty ops span so downstream keeps the
+  // insert-only fast path.
+  if (ops != nullptr && !any_delete) ops->clear();
   buffer_.erase(buffer_.begin(),
                 buffer_.begin() + static_cast<std::ptrdiff_t>(take));
   delivered_ += take;
@@ -116,6 +174,19 @@ std::size_t QueueEdgeStream::NextBatch(std::size_t max_edges,
   return take;
 }
 
+std::size_t QueueEdgeStream::NextBatch(std::size_t max_edges,
+                                       std::vector<Edge>* batch) {
+  return PopEvents(max_edges, batch, nullptr);
+}
+
+EventBatchView QueueEdgeStream::NextEventBatchView(std::size_t max_edges,
+                                                   EventScratch* scratch) {
+  EventScratch& out = scratch != nullptr ? *scratch : event_scratch_;
+  PopEvents(max_edges, &out.edges, &out.ops);
+  return EventBatchView{std::span<const Edge>(out.edges),
+                        std::span<const EdgeOp>(out.ops)};
+}
+
 bool QueueEdgeStream::ready(std::size_t max_edges) const {
   if (max_edges == 0) return true;
   std::lock_guard<std::mutex> lock(mu_);
@@ -126,6 +197,8 @@ void QueueEdgeStream::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   buffer_.clear();
   closed_ = false;
+  delete_pushed_ = false;
+  edge_read_failed_ = false;
   status_ = Status::Ok();
   delivered_ = 0;
   wait_seconds_ = 0.0;

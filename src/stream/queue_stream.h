@@ -36,6 +36,11 @@
 //     with other producers.
 //   * Reset() reopens an emptied queue for reuse (a live feed cannot
 //     replay); the caller must ensure no producer is active across Reset.
+//   * Turnstile-capable: producers may push events (edge + op). Event
+//     consumers pull via NextEventBatchView; the edge-only NextBatch keeps
+//     working while every buffered event is an insert and fails with a
+//     sticky InvalidArgument at the first delete (the delete is left in
+//     the queue, never silently dropped).
 #ifndef TRISTREAM_STREAM_QUEUE_STREAM_H_
 #define TRISTREAM_STREAM_QUEUE_STREAM_H_
 
@@ -78,6 +83,20 @@ class QueueEdgeStream : public EdgeStream {
   /// until the consumer drains (see SetSpaceHook).
   std::size_t TryPush(std::span<const Edge> edges);
 
+  /// Appends one event, blocking while the queue is full. Returns false
+  /// (dropping the event) when the queue is closed.
+  bool PushEvent(const EdgeEvent& e);
+
+  /// Blocking span push of events. `ops` is either empty (all inserts) or
+  /// exactly parallel to `edges`. Returns the number admitted.
+  std::size_t PushEvents(std::span<const Edge> edges,
+                         std::span<const EdgeOp> ops);
+
+  /// Non-blocking event push with TryPush's contract; `ops` empty means
+  /// all inserts.
+  std::size_t TryPushEvents(std::span<const Edge> edges,
+                            std::span<const EdgeOp> ops);
+
   /// Registers a hook invoked (without the queue lock held, on the
   /// consumer's thread) whenever a pop transitions the queue from full to
   /// not-full -- the signal a parked producer needs to resume pushing.
@@ -103,6 +122,13 @@ class QueueEdgeStream : public EdgeStream {
 
   std::size_t NextBatch(std::size_t max_edges,
                         std::vector<Edge>* batch) override;
+  /// Event pull with NextBatch's blocking/batching semantics. Fills
+  /// `scratch` (or internal buffers when null) and returns a view of it;
+  /// the ops span is empty when the batch is all-inserts.
+  EventBatchView NextEventBatchView(std::size_t max_edges,
+                                    EventScratch* scratch) override;
+  /// True once any delete event has been pushed.
+  bool turnstile() const override;
   /// True when NextBatch(max_edges) would return without waiting: a full
   /// batch (min(max_edges, capacity)) is buffered, or the queue is closed
   /// (the remainder drains, then end of stream).
@@ -115,17 +141,30 @@ class QueueEdgeStream : public EdgeStream {
   Status status() const override;
 
  private:
+  /// Shared pop core. With `ops == nullptr` (edge-only consumer) the take
+  /// stops before the first buffered delete and the sticky status becomes
+  /// InvalidArgument; with ops the take is verbatim. Returns events
+  /// delivered.
+  std::size_t PopEvents(std::size_t max_edges, std::vector<Edge>* edges,
+                        std::vector<EdgeOp>* ops);
+
   const std::size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable can_push_;  // signals producers: space freed
-  std::condition_variable can_pop_;   // signals consumer: edges or close
-  std::deque<Edge> buffer_;
+  std::condition_variable can_pop_;   // signals consumer: events or close
+  std::deque<EdgeEvent> buffer_;
   bool closed_ = false;
+  bool delete_pushed_ = false;
+  /// The edge-only consumer hit a delete (distinct from a Close(error)
+  /// status, which still drains the buffer).
+  bool edge_read_failed_ = false;
   Status status_;
   std::uint64_t delivered_ = 0;
   double wait_seconds_ = 0.0;
   /// Set once before concurrent use; invoked outside mu_ (see SetSpaceHook).
   std::function<void()> space_hook_;
+  /// Fallback staging for NextEventBatchView(scratch == nullptr).
+  EventScratch event_scratch_;
 };
 
 }  // namespace stream

@@ -109,16 +109,20 @@ SocketEdgeStream::ReadResult SocketEdgeStream::ReadExact(void* out,
   return ReadResult::kOk;
 }
 
-std::size_t SocketEdgeStream::NextBatch(std::size_t max_edges,
-                                        std::vector<Edge>* batch) {
-  batch->clear();
+std::size_t SocketEdgeStream::FillEvents(std::size_t max_edges,
+                                         std::vector<Edge>* edges,
+                                         std::vector<EdgeOp>* ops) {
+  edges->clear();
+  if (ops != nullptr) ops->clear();
   if (eof_ || !status_.ok()) return 0;
   // Fill the batch across frame boundaries: batch boundaries then depend
-  // only on the edge sequence and max_edges, never on how the producer
+  // only on the event sequence and max_edges, never on how the producer
   // chunked its sends -- which is what keeps socket ingest bit-identical
   // to file and memory ingest for a fixed (seed, threads).
-  batch->resize(max_edges);
+  edges->resize(max_edges);
+  if (ops != nullptr) ops->resize(max_edges);
   std::size_t filled = 0;
+  bool any_delete = false;
   while (filled < max_edges) {
     if (frame_remaining_ == 0) {
       char header[kTrisHeaderBytes];
@@ -135,36 +139,106 @@ std::size_t SocketEdgeStream::NextBatch(std::size_t max_edges,
       }
       std::uint32_t version = 0;
       std::memcpy(&version, header + 4, sizeof(version));
-      if (version != kTrisVersion) {
+      if (version != kTrisVersion && version != kTrisVersion2) {
         status_ = Status::CorruptData("edge socket frame has unsupported "
                                       "version " + std::to_string(version));
         break;
       }
+      frame_version_ = version;
+      if (version == kTrisVersion2) saw_v2_ = true;
       std::memcpy(&frame_remaining_, header + 8, sizeof(frame_remaining_));
       continue;  // an n == 0 keep-alive loops straight to the next header
     }
     const std::size_t take = static_cast<std::size_t>(
         std::min<std::uint64_t>(max_edges - filled, frame_remaining_));
-    // Edge is two packed u32s -- the frame payload layout -- so the pairs
-    // land directly in the batch vector with no staging buffer.
-    static_assert(sizeof(Edge) == 8, "frame payload layout");
-    const ReadResult r = ReadExact(batch->data() + filled,
-                                   take * sizeof(Edge));
+    if (frame_version_ == kTrisVersion) {
+      // Edge is two packed u32s -- the v1 frame payload layout -- so the
+      // pairs land directly in the batch vector with no staging buffer.
+      static_assert(sizeof(Edge) == 8, "frame payload layout");
+      const ReadResult r = ReadExact(edges->data() + filled,
+                                     take * sizeof(Edge));
+      if (r != ReadResult::kOk) {
+        // EOF between the pops of a frame is still mid-frame: the sender
+        // promised frame_remaining_ more edges. ReadExact only knows byte
+        // offsets, so the zero-offset case is classified here.
+        if (r == ReadResult::kCleanEof) {
+          status_ = Status::CorruptData("edge socket closed mid-frame");
+        }
+        break;
+      }
+      if (ops != nullptr) {
+        std::fill(ops->begin() + static_cast<std::ptrdiff_t>(filled),
+                  ops->begin() + static_cast<std::ptrdiff_t>(filled + take),
+                  EdgeOp::kInsert);
+      }
+      frame_remaining_ -= take;
+      filled += take;
+      continue;
+    }
+    // v2: interleaved 9-byte (u32 u, u32 v, u8 op) records through a
+    // staging buffer.
+    record_buf_.resize(take * kTrisEventBytes);
+    const ReadResult r = ReadExact(record_buf_.data(), record_buf_.size());
     if (r != ReadResult::kOk) {
-      // EOF between the pops of a frame is still mid-frame: the sender
-      // promised frame_remaining_ more edges. ReadExact only knows byte
-      // offsets, so the zero-offset case is classified here.
       if (r == ReadResult::kCleanEof) {
         status_ = Status::CorruptData("edge socket closed mid-frame");
       }
       break;
     }
     frame_remaining_ -= take;
-    filled += take;
+    bool failed = false;
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::uint8_t* rec = record_buf_.data() + i * kTrisEventBytes;
+      const std::uint8_t op_byte = rec[8];
+      if (op_byte > static_cast<std::uint8_t>(EdgeOp::kDelete)) {
+        status_ = Status::CorruptData(
+            "edge socket frame has op byte " + std::to_string(op_byte) +
+            " (neither insert nor delete)");
+        failed = true;
+        break;
+      }
+      const EdgeOp op = static_cast<EdgeOp>(op_byte);
+      if (ops == nullptr && op == EdgeOp::kDelete) {
+        // Edge-only consumer: deliver the insert prefix, then fail
+        // loudly -- the delete is never silently dropped.
+        status_ = Status::InvalidArgument(
+            "edge socket carries delete events (TRIS v2 frame); this "
+            "consumer reads edges only -- use the event API or an "
+            "estimator that supports deletions");
+        failed = true;
+        break;
+      }
+      std::memcpy(edges->data() + filled, rec, sizeof(Edge));
+      if (ops != nullptr) {
+        (*ops)[filled] = op;
+        any_delete = any_delete || op == EdgeOp::kDelete;
+      }
+      ++filled;
+    }
+    if (failed) break;
   }
-  batch->resize(filled);
+  edges->resize(filled);
+  if (ops != nullptr) {
+    ops->resize(filled);
+    // All-insert batches report an empty ops span so downstream keeps the
+    // insert-only fast path.
+    if (!any_delete) ops->clear();
+  }
   delivered_ += filled;
   return filled;
+}
+
+std::size_t SocketEdgeStream::NextBatch(std::size_t max_edges,
+                                        std::vector<Edge>* batch) {
+  return FillEvents(max_edges, batch, nullptr);
+}
+
+EventBatchView SocketEdgeStream::NextEventBatchView(std::size_t max_edges,
+                                                    EventScratch* scratch) {
+  EventScratch& out = scratch != nullptr ? *scratch : event_scratch_;
+  FillEvents(max_edges, &out.edges, &out.ops);
+  return EventBatchView{std::span<const Edge>(out.edges),
+                        std::span<const EdgeOp>(out.ops)};
 }
 
 void SocketEdgeStream::Reset() {
@@ -249,6 +323,32 @@ Status WriteEdgeFrame(int fd, std::span<const Edge> edges) {
   TRISTREAM_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
   static_assert(sizeof(Edge) == 8, "frame payload layout");
   return WriteAll(fd, edges.data(), edges.size() * sizeof(Edge));
+}
+
+Status WriteEventFrame(int fd, std::span<const Edge> edges,
+                       std::span<const EdgeOp> ops) {
+  if (!ops.empty() && ops.size() != edges.size()) {
+    return Status::InvalidArgument(
+        "event frame has " + std::to_string(edges.size()) + " edges but " +
+        std::to_string(ops.size()) + " ops");
+  }
+  // Insert-only spans go out as plain v1 so v1-only peers keep working.
+  const bool has_delete =
+      std::find(ops.begin(), ops.end(), EdgeOp::kDelete) != ops.end();
+  if (!has_delete) return WriteEdgeFrame(fd, edges);
+  char header[kTrisHeaderBytes];
+  std::memcpy(header, kTrisMagic, 4);
+  std::memcpy(header + 4, &kTrisVersion2, sizeof(kTrisVersion2));
+  const std::uint64_t count = edges.size();
+  std::memcpy(header + 8, &count, sizeof(count));
+  TRISTREAM_RETURN_IF_ERROR(WriteAll(fd, header, sizeof(header)));
+  std::vector<std::uint8_t> payload(edges.size() * kTrisEventBytes);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    std::uint8_t* rec = payload.data() + i * kTrisEventBytes;
+    std::memcpy(rec, &edges[i], sizeof(Edge));
+    rec[8] = static_cast<std::uint8_t>(ops[i]);
+  }
+  return WriteAll(fd, payload.data(), payload.size());
 }
 
 }  // namespace stream

@@ -6,18 +6,25 @@
 // counters already speak. The wire format reuses the TRIS on-disk layout,
 // chunked so the stream can be unbounded:
 //
-//   frame := "TRIS" magic (4) | version u32 | edge count n u64
-//            | n * 8 bytes of (u32 u, u32 v) endpoint pairs
+//   v1 frame := "TRIS" magic (4) | version u32 = 1 | edge count n u64
+//               | n * 8 bytes of (u32 u, u32 v) endpoint pairs
+//   v2 frame := "TRIS" magic (4) | version u32 = 2 | event count n u64
+//               | n * 9 bytes of (u32 u, u32 v, u8 op) records
 //
-// i.e. every frame looks exactly like a little TRIS file (binary_io.h), in
-// native little-endian byte order, and a connection carries any number of
-// frames back to back. An n == 0 frame is a keep-alive delivering nothing.
+// i.e. every v1 frame looks exactly like a little TRIS file (binary_io.h),
+// in native little-endian byte order, and a connection carries any number
+// of frames back to back -- v1 and v2 may interleave freely, the version
+// field of each frame header decides. Unlike the on-disk v2 layout (SoA
+// sections), socket records interleave the op byte so a frame can be
+// parsed incrementally with bounded memory -- a socket cannot seek ahead
+// to an op section. An n == 0 frame is a keep-alive delivering nothing.
 // Orderly shutdown *between* frames is clean end of stream; everything
 // else is sticky-status() failure, never a silent prefix:
 //
 //   EOF mid-frame (truncated header or payload)  -> CorruptData
-//   bad magic / unsupported version              -> CorruptData
+//   bad magic / unsupported version / bad op     -> CorruptData
 //   recv(2) error                                -> IoError
+//   delete event hitting an edge-only NextBatch  -> InvalidArgument
 //
 // NextBatch is batch-granular and fills across frame boundaries: a huge
 // frame never forces a huge batch (pops are capped at max_edges) and
@@ -65,6 +72,14 @@ class SocketEdgeStream : public EdgeStream {
 
   std::size_t NextBatch(std::size_t max_edges,
                         std::vector<Edge>* batch) override;
+  /// Event pull with NextBatch's batching semantics (fills across frames,
+  /// v1 frames decode as all-inserts). Fills `scratch` (or internal
+  /// buffers when null) and returns a view of it; the ops span is empty
+  /// when the batch is all-inserts.
+  EventBatchView NextEventBatchView(std::size_t max_edges,
+                                    EventScratch* scratch) override;
+  /// True once any v2 frame has been received.
+  bool turnstile() const override { return saw_v2_; }
   /// Live sockets cannot replay; calling Reset is a programmer error.
   void Reset() override;
   std::uint64_t edges_delivered() const override { return delivered_; }
@@ -101,12 +116,26 @@ class SocketEdgeStream : public EdgeStream {
   /// (IoError).
   ReadResult ReadExact(void* out, std::size_t bytes);
 
+  /// Shared pop core. With `ops == nullptr` (edge-only consumer) a v2
+  /// delete record stops the fill and sets the sticky InvalidArgument;
+  /// with ops the records are delivered verbatim (ops cleared when the
+  /// whole batch is inserts). Returns events delivered.
+  std::size_t FillEvents(std::size_t max_edges, std::vector<Edge>* edges,
+                         std::vector<EdgeOp>* ops);
+
   int fd_;
   int idle_timeout_millis_ = 0;
   std::uint64_t frame_remaining_ = 0;
+  std::uint32_t frame_version_ = 0;  // of the frame being drained
   std::uint64_t delivered_ = 0;
   bool eof_ = false;
+  bool saw_v2_ = false;
   Status status_;
+  /// Staging for v2 record payloads (9-byte records cannot land directly
+  /// in an Edge vector the way v1 pairs do).
+  std::vector<std::uint8_t> record_buf_;
+  /// Fallback staging for NextEventBatchView(scratch == nullptr).
+  EventScratch event_scratch_;
   mutable WallTimer io_timer_;
 };
 
@@ -127,10 +156,18 @@ Result<int> AcceptOne(int listen_fd);
 /// Connects to 127.0.0.1:`port`; returns the connected fd (caller owns).
 Result<int> ConnectToLoopback(std::uint16_t port);
 
-/// Producer-side framing: sends `edges` as one TRIS frame (header +
+/// Producer-side framing: sends `edges` as one TRIS v1 frame (header +
 /// payload) with a full-write loop. An empty span sends a keep-alive
 /// frame. IoError when the peer is gone or the write fails.
 Status WriteEdgeFrame(int fd, std::span<const Edge> edges);
+
+/// Event framing: insert-only spans (empty or all-insert `ops`) go out as
+/// plain v1 frames -- byte-identical to WriteEdgeFrame, so v1-only peers
+/// keep working; anything with a delete becomes one v2 frame of
+/// interleaved 9-byte records. `ops` is either empty or parallel to
+/// `edges`.
+Status WriteEventFrame(int fd, std::span<const Edge> edges,
+                       std::span<const EdgeOp> ops);
 
 }  // namespace stream
 }  // namespace tristream

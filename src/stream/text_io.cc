@@ -15,7 +15,8 @@ const char* SkipSpace(const char* p, const char* end) {
 }
 
 /// Parses an unsigned integer; returns nullptr on failure or overflow of
-/// the VertexId range.
+/// the VertexId range (so a negative id like "-5" fails at the '-', and
+/// "4294967296" fails rather than wrapping).
 const char* ParseVertex(const char* p, const char* end, VertexId* out) {
   if (p >= end || !std::isdigit(static_cast<unsigned char>(*p))) {
     return nullptr;
@@ -30,10 +31,26 @@ const char* ParseVertex(const char* p, const char* end, VertexId* out) {
   return p;
 }
 
-}  // namespace
+/// Parses the optional op column: "+1" -> insert, "-1" -> delete. Returns
+/// nullptr on any other token.
+const char* ParseOp(const char* p, const char* end, EdgeOp* out) {
+  if (end - p < 2 || (p[0] != '+' && p[0] != '-') || p[1] != '1') {
+    return nullptr;
+  }
+  *out = p[0] == '-' ? EdgeOp::kDelete : EdgeOp::kInsert;
+  return p + 2;
+}
 
-Result<graph::EdgeList> ParseTextEdges(const std::string& content) {
-  graph::EdgeList out;
+Status LineError(const char* what, std::size_t line_number) {
+  return Status::InvalidArgument("text edge list: " + std::string(what) +
+                                 " on line " + std::to_string(line_number));
+}
+
+/// Shared line-by-line scanner; `emit(edge, op, line)` returns a Status so
+/// the edge-only caller can reject delete lines with the right line
+/// number.
+template <typename Emit>
+Status ScanTextEvents(const std::string& content, Emit emit) {
   const char* p = content.data();
   const char* const end = p + content.size();
   std::size_t line_number = 0;
@@ -49,28 +66,26 @@ Result<graph::EdgeList> ParseTextEdges(const std::string& content) {
     }
     VertexId u = 0, v = 0;
     cursor = ParseVertex(cursor, line_end, &u);
-    if (cursor == nullptr) {
-      return Status::CorruptData("text edge list: bad source id on line " +
-                                 std::to_string(line_number));
-    }
+    if (cursor == nullptr) return LineError("bad source id", line_number);
     cursor = SkipSpace(cursor, line_end);
     cursor = ParseVertex(cursor, line_end, &v);
-    if (cursor == nullptr) {
-      return Status::CorruptData("text edge list: bad target id on line " +
-                                 std::to_string(line_number));
+    if (cursor == nullptr) return LineError("bad target id", line_number);
+    EdgeOp op = EdgeOp::kInsert;
+    const char* after = SkipSpace(cursor, line_end);
+    if (after != line_end) {
+      after = ParseOp(after, line_end, &op);
+      if (after == nullptr || SkipSpace(after, line_end) != line_end) {
+        return LineError("trailing garbage", line_number);
+      }
     }
-    if (SkipSpace(cursor, line_end) != line_end) {
-      return Status::CorruptData(
-          "text edge list: trailing garbage on line " +
-          std::to_string(line_number));
-    }
-    out.Add(u, v);
+    const Status emitted = emit(Edge(u, v), op, line_number);
+    if (!emitted.ok()) return emitted;
     p = line_end + 1;
   }
-  return out;
+  return Status::Ok();
 }
 
-Result<graph::EdgeList> ReadTextEdges(const std::string& path) {
+Result<std::string> ReadWholeFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::IoError("cannot open '" + path + "'");
@@ -88,7 +103,50 @@ Result<graph::EdgeList> ReadTextEdges(const std::string& path) {
   if (read_error) {
     return Status::IoError("read failed on '" + path + "'");
   }
-  return ParseTextEdges(content);
+  return content;
+}
+
+}  // namespace
+
+Result<graph::EdgeList> ParseTextEdges(const std::string& content) {
+  graph::EdgeList out;
+  const Status scanned = ScanTextEvents(
+      content, [&out](Edge e, EdgeOp op, std::size_t line_number) {
+        if (op == EdgeOp::kDelete) {
+          return Status::InvalidArgument(
+              "text edge list: delete event on line " +
+              std::to_string(line_number) +
+              " but this consumer reads edges only -- use the event API or "
+              "an estimator that supports deletions");
+        }
+        out.Add(e);
+        return Status::Ok();
+      });
+  if (!scanned.ok()) return scanned;
+  return out;
+}
+
+Result<EdgeEventList> ParseTextEvents(const std::string& content) {
+  EdgeEventList out;
+  const Status scanned =
+      ScanTextEvents(content, [&out](Edge e, EdgeOp op, std::size_t) {
+        out.Add(e, op);
+        return Status::Ok();
+      });
+  if (!scanned.ok()) return scanned;
+  return out;
+}
+
+Result<graph::EdgeList> ReadTextEdges(const std::string& path) {
+  auto content = ReadWholeFile(path);
+  if (!content.ok()) return content.status();
+  return ParseTextEdges(*content);
+}
+
+Result<EdgeEventList> ReadTextEvents(const std::string& path) {
+  auto content = ReadWholeFile(path);
+  if (!content.ok()) return content.status();
+  return ParseTextEvents(*content);
 }
 
 Status WriteTextEdges(const std::string& path, const graph::EdgeList& edges) {
@@ -105,6 +163,38 @@ Status WriteTextEdges(const std::string& path, const graph::EdgeList& edges) {
   }
   // fprintf buffers: a full disk may only surface via ferror after the
   // stdio flush, so check both before and at fclose.
+  if (write_failed || std::ferror(f) != 0) {
+    status = Status::IoError("write failed on '" + path + "'");
+  }
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = Status::IoError("cannot close '" + path + "'");
+  }
+  return status;
+}
+
+Status WriteTextEvents(const std::string& path, const EdgeEventList& events) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open '" + path + "'");
+  }
+  Status status = Status::Ok();
+  // Insert-only sequences serialize byte-identically to WriteTextEdges
+  // (same header, same lines) -- the text mirror of the binary writers'
+  // v1 passthrough.
+  bool write_failed =
+      (events.has_deletes()
+           ? std::fprintf(f, "# tristream event list: %zu events\n",
+                          events.size())
+           : std::fprintf(f, "# tristream edge list: %zu edges\n",
+                          events.size())) < 0;
+  for (std::size_t i = 0; i < events.size() && !write_failed; ++i) {
+    const Edge& e = events.edges[i];
+    // Inserts stay two-column so an insert-only event file is a plain
+    // SNAP edge list; only deletes carry the op column.
+    write_failed = events.op(i) == EdgeOp::kDelete
+                       ? std::fprintf(f, "%u\t%u\t-1\n", e.u, e.v) < 0
+                       : std::fprintf(f, "%u\t%u\n", e.u, e.v) < 0;
+  }
   if (write_failed || std::ferror(f) != 0) {
     status = Status::IoError("write failed on '" + path + "'");
   }

@@ -4,6 +4,16 @@
 // whitespace-separated "u v" lines with '#' comment headers. This parser
 // accepts that format so the original files drop straight in when
 // available; generators use it for human-inspectable fixtures.
+//
+// Turnstile extension: a line may carry an optional third token, "+1"
+// (insert) or "-1" (delete) -- the signed-update column of the classic
+// turnstile-stream literature. Two-token lines are inserts, so every
+// plain SNAP file parses unchanged as an insert-only event sequence.
+//
+// Malformed lines -- negative or overflowing vertex ids, trailing
+// garbage, a bad op token -- are rejected with a line-numbered
+// InvalidArgument naming the first offending line; the parser never
+// silently skips or truncates data it cannot read.
 
 #ifndef TRISTREAM_STREAM_TEXT_IO_H_
 #define TRISTREAM_STREAM_TEXT_IO_H_
@@ -12,6 +22,7 @@
 
 #include "graph/edge_list.h"
 #include "util/status.h"
+#include "util/types.h"
 
 namespace tristream {
 namespace stream {
@@ -20,14 +31,28 @@ namespace stream {
 /// starting with '#' or '%' (after leading whitespace) and blank lines are
 /// skipped. Self-loops and duplicates are kept verbatim -- callers decide
 /// whether to EdgeList::MakeSimple(), matching SNAP files that list both
-/// directions of each edge.
+/// directions of each edge. InvalidArgument (line-numbered) on any
+/// malformed line, including a "-1" op column (edge-only parse of a
+/// turnstile file must fail loudly, not drop the deletes).
 Result<graph::EdgeList> ParseTextEdges(const std::string& content);
+
+/// Event-model parse: like ParseTextEdges but accepts the optional
+/// "+1"/"-1" op column. Two-token lines are inserts.
+Result<EdgeEventList> ParseTextEvents(const std::string& content);
 
 /// Reads and parses a text edge-list file.
 Result<graph::EdgeList> ReadTextEdges(const std::string& path);
 
+/// Reads and parses a text event file (op column optional).
+Result<EdgeEventList> ReadTextEvents(const std::string& path);
+
 /// Writes "u<TAB>v" lines with a small comment header.
 Status WriteTextEdges(const std::string& path, const graph::EdgeList& edges);
+
+/// Writes events as "u<TAB>v" for inserts and "u<TAB>v<TAB>-1" for
+/// deletes; only delete lines carry the op column, and insert-only
+/// sequences serialize byte-identically to WriteTextEdges.
+Status WriteTextEvents(const std::string& path, const EdgeEventList& events);
 
 }  // namespace stream
 }  // namespace tristream

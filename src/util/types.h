@@ -13,6 +13,8 @@
 #include <functional>
 #include <limits>
 #include <ostream>
+#include <span>
+#include <vector>
 
 namespace tristream {
 
@@ -94,6 +96,95 @@ struct Edge {
 inline std::ostream& operator<<(std::ostream& os, const Edge& e) {
   return os << '{' << e.u << ',' << e.v << '}';
 }
+
+/// What an edge event does to the graph. The turnstile (dynamic) stream
+/// model generalizes insert-only streams: every event either adds an edge
+/// or removes a previously inserted one. The byte values are the TRIS v2
+/// wire encoding (stream/README.md); anything above kDelete is malformed
+/// on the wire.
+enum class EdgeOp : std::uint8_t {
+  kInsert = 0,
+  kDelete = 1,
+};
+
+inline const char* EdgeOpName(EdgeOp op) {
+  return op == EdgeOp::kDelete ? "delete" : "insert";
+}
+
+/// One turnstile stream event: an edge plus what happens to it.
+struct EdgeEvent {
+  Edge edge;
+  EdgeOp op = EdgeOp::kInsert;
+
+  constexpr EdgeEvent() = default;
+  constexpr EdgeEvent(Edge e, EdgeOp o) : edge(e), op(o) {}
+
+  constexpr bool is_delete() const { return op == EdgeOp::kDelete; }
+
+  friend constexpr bool operator==(const EdgeEvent& a, const EdgeEvent& b) {
+    return a.op == b.op && a.edge == b.edge;
+  }
+};
+
+/// A batch of edge events in SoA layout: the edge pairs and, when any
+/// event may be a delete, a parallel span of ops. An empty `ops` span
+/// means every event is an insert -- which is what lets every insert-only
+/// source keep serving zero-copy Edge spans with no per-event op storage,
+/// and lets consumers branch once per batch instead of once per event.
+/// When non-empty, `ops.size() == edges.size()`.
+struct EventBatchView {
+  std::span<const Edge> edges;
+  std::span<const EdgeOp> ops;
+
+  std::size_t size() const { return edges.size(); }
+  bool empty() const { return edges.empty(); }
+  bool all_inserts() const { return ops.empty(); }
+  EdgeOp op(std::size_t i) const {
+    return ops.empty() ? EdgeOp::kInsert : ops[i];
+  }
+  /// True when at least one event in the batch is a delete.
+  bool has_deletes() const {
+    for (const EdgeOp o : ops) {
+      if (o == EdgeOp::kDelete) return true;
+    }
+    return false;
+  }
+};
+
+/// Owning SoA container of an event sequence (the event-model counterpart
+/// of graph::EdgeList): generators emit these, writers serialize them.
+/// `ops` is either empty (all inserts) or exactly parallel to `edges`.
+struct EdgeEventList {
+  std::vector<Edge> edges;
+  std::vector<EdgeOp> ops;
+
+  std::size_t size() const { return edges.size(); }
+  bool empty() const { return edges.empty(); }
+
+  void Add(Edge e, EdgeOp op = EdgeOp::kInsert) {
+    if (op != EdgeOp::kInsert && ops.empty()) {
+      ops.assign(edges.size(), EdgeOp::kInsert);
+    }
+    edges.push_back(e);
+    if (!ops.empty()) ops.push_back(op);
+  }
+
+  EdgeOp op(std::size_t i) const {
+    return ops.empty() ? EdgeOp::kInsert : ops[i];
+  }
+
+  bool has_deletes() const {
+    for (const EdgeOp o : ops) {
+      if (o == EdgeOp::kDelete) return true;
+    }
+    return false;
+  }
+
+  EventBatchView view() const {
+    return EventBatchView{std::span<const Edge>(edges),
+                          std::span<const EdgeOp>(ops)};
+  }
+};
 
 /// An edge tagged with its stream position. The bulk algorithm (paper
 /// Sec. 3.3) stores positions alongside sampled edges so that "comes after"

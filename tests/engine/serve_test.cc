@@ -19,8 +19,11 @@
 
 #include "engine/estimators.h"
 #include "engine/stream_engine.h"
+#include "gen/churn.h"
 #include "gen/erdos_renyi.h"
+#include "graph/csr.h"
 #include "graph/edge_list.h"
+#include "graph/exact.h"
 #include "gtest/gtest.h"
 #include "stream/binary_io.h"
 #include "stream/edge_stream.h"
@@ -490,6 +493,132 @@ TEST(ServeTest, MaxAcceptsDrainsServerCleanly) {
   EXPECT_EQ(stats.accepted, 2u);
   EXPECT_EQ(stats.completed, 2u);
   EXPECT_EQ(stats.active_sessions, 0u);
+}
+
+// --------------------------------------------------- turnstile ingest
+
+/// Replays `events` into a live-edge list and counts its triangles
+/// exactly (the serve-side turnstile oracle).
+double LiveTriangles(const EdgeEventList& events) {
+  std::vector<Edge> live;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events.op(i) == EdgeOp::kInsert) {
+      live.push_back(events.edges[i]);
+    } else {
+      for (std::size_t j = 0; j < live.size(); ++j) {
+        if (live[j].Key() == events.edges[i].Key()) {
+          live[j] = live.back();
+          live.pop_back();
+          break;
+        }
+      }
+    }
+  }
+  graph::EdgeList el;
+  for (const Edge& e : live) el.Add(e);
+  return static_cast<double>(
+      graph::CountTriangles(graph::Csr::FromEdgeList(el)));
+}
+
+TEST(ServeTest, V2EventFramesReachDynamicEstimator) {
+  // Mixed v1/v2 ingest against a deletion-capable estimator: the final
+  // snapshot must be the exact live-graph count (sampling probability 1).
+  const auto el = gen::GnmRandom(80, 900, 77);
+  gen::ChurnOptions churn;
+  churn.delete_fraction = 0.3;
+  churn.seed = 5;
+  const EdgeEventList events = gen::MakeChurnStream(el, churn);
+  ASSERT_TRUE(events.has_deletes());
+
+  ServeOptions options = BaseOptions();
+  options.algo = "dynamic";
+  options.config.dynamic_groups = 1;
+  options.config.sample_probability = 1.0;
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status();
+
+  auto fd = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(fd.ok()) << fd.status();
+  const std::size_t stride = 97;
+  for (std::size_t offset = 0; offset < events.size(); offset += stride) {
+    const std::size_t take = std::min(stride, events.size() - offset);
+    ASSERT_TRUE(
+        stream::WriteEventFrame(
+            *fd, std::span<const Edge>(events.edges).subspan(offset, take),
+            std::span<const EdgeOp>(events.ops).subspan(offset, take))
+            .ok());
+  }
+  ::shutdown(*fd, SHUT_WR);
+  SnapshotWire final_snap;
+  while (true) {
+    auto reply = ReadReply(*fd);
+    ASSERT_TRUE(reply.ok()) << reply.status();
+    ASSERT_FALSE(reply->is_error) << reply->error;
+    if (reply->snapshot.final_result) {
+      final_snap = reply->snapshot;
+      break;
+    }
+  }
+  ::close(*fd);
+  server.Stop();
+  server.Wait();
+
+  EXPECT_TRUE(final_snap.valid);
+  EXPECT_EQ(final_snap.edges, events.size());
+  EXPECT_EQ(final_snap.triangles, LiveTriangles(events));
+}
+
+TEST(ServeTest, DeleteFrameToInsertOnlyEstimatorIsSessionError) {
+  ServeOptions options = BaseOptions();  // algo = "bulk", insert-only
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto fd = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(fd.ok());
+  EdgeEventList events;
+  events.Add(Edge(1, 2));
+  events.Add(Edge(1, 2), EdgeOp::kDelete);
+  ASSERT_TRUE(stream::WriteEventFrame(*fd, events.edges, events.ops).ok());
+  ::shutdown(*fd, SHUT_WR);
+  auto reply = ReadReply(*fd);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->is_error);
+  EXPECT_NE(reply->error.find("'bulk'"), std::string::npos) << reply->error;
+  ::close(*fd);
+  server.Stop();
+  server.Wait();
+  EXPECT_EQ(server.stats().failed, 1u);
+}
+
+TEST(ServeTest, BadOpByteClosesConnectionWithError) {
+  ServeOptions options = BaseOptions();
+  Server server(std::move(options));
+  auto port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  auto fd = stream::ConnectToLoopback(*port);
+  ASSERT_TRUE(fd.ok());
+  char header[stream::kTrisHeaderBytes];
+  std::memcpy(header, stream::kTrisMagic, 4);
+  std::memcpy(header + 4, &stream::kTrisVersion2,
+              sizeof(stream::kTrisVersion2));
+  const std::uint64_t count = 1;
+  std::memcpy(header + 8, &count, sizeof(count));
+  char record[stream::kTrisEventBytes] = {0};
+  record[8] = 5;  // neither insert nor delete
+  ASSERT_EQ(::send(*fd, header, sizeof(header), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(header)));
+  ASSERT_EQ(::send(*fd, record, sizeof(record), MSG_NOSIGNAL),
+            static_cast<ssize_t>(sizeof(record)));
+  auto reply = ReadReply(*fd);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_TRUE(reply->is_error);
+  EXPECT_NE(reply->error.find("op byte"), std::string::npos) << reply->error;
+  ::close(*fd);
+  server.Stop();
+  server.Wait();
 }
 
 }  // namespace

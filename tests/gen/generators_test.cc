@@ -3,8 +3,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 
 #include "gen/chung_lu.h"
+#include "gen/churn.h"
 #include "gen/collaboration.h"
 #include "gen/datasets.h"
 #include "gen/erdos_renyi.h"
@@ -342,6 +344,122 @@ TEST(DatasetsTest, YoutubeStandInIsTheSkewedOne) {
                            static_cast<double>(dreg.CountActiveVertices());
   const double dreg_skew = static_cast<double>(dreg.MaxDegree()) / dreg_mean;
   EXPECT_GT(yt_skew, 10.0 * dreg_skew);
+}
+
+// ------------------------------------------------------------ churn
+
+/// Replays events into a live multiset keyed by Edge::Key, tracking the
+/// maximum live size, and fails if any delete targets a dead edge.
+struct ChurnReplay {
+  std::map<std::uint64_t, int> live;
+  std::size_t max_live = 0;
+  std::size_t inserts = 0;
+  std::size_t deletes = 0;
+  bool valid = true;
+
+  explicit ChurnReplay(const EdgeEventList& events) {
+    std::size_t live_count = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const std::uint64_t key = events.edges[i].Key();
+      if (events.op(i) == EdgeOp::kInsert) {
+        ++inserts;
+        ++live[key];
+        ++live_count;
+      } else {
+        ++deletes;
+        auto it = live.find(key);
+        if (it == live.end() || it->second == 0) {
+          valid = false;  // delete of a dead edge
+          continue;
+        }
+        if (--it->second == 0) live.erase(it);
+        --live_count;
+      }
+      max_live = std::max(max_live, live_count);
+    }
+  }
+};
+
+TEST(ChurnStreamTest, MixedScheduleLeavesBaseMinusMarkedLive) {
+  const auto base = GnmRandom(60, 500, 3);
+  ChurnOptions options;
+  options.schedule = ChurnSchedule::kMixed;
+  options.delete_fraction = 0.4;
+  options.seed = 11;
+  const EdgeEventList events = MakeChurnStream(base, options);
+  ASSERT_TRUE(events.has_deletes());
+  const ChurnReplay replay(events);
+  EXPECT_TRUE(replay.valid);
+  EXPECT_EQ(replay.inserts, base.size());
+  // Deletes land spread through the stream, not bunched at the end: some
+  // delete must appear before the last insert.
+  std::size_t last_insert = 0, first_delete = events.size();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (events.op(i) == EdgeOp::kInsert) last_insert = i;
+    else first_delete = std::min(first_delete, i);
+  }
+  EXPECT_LT(first_delete, last_insert);
+  // Final live = base minus the marked subset.
+  EXPECT_EQ(replay.live.size(), base.size() - replay.deletes);
+}
+
+TEST(ChurnStreamTest, AdversarialTailDeletesOnlyAfterAllInserts) {
+  const auto base = GnmRandom(60, 500, 4);
+  ChurnOptions options;
+  options.schedule = ChurnSchedule::kAdversarialTail;
+  options.delete_fraction = 0.5;
+  options.seed = 12;
+  const EdgeEventList events = MakeChurnStream(base, options);
+  ASSERT_TRUE(events.has_deletes());
+  const ChurnReplay replay(events);
+  EXPECT_TRUE(replay.valid);
+  // Prefix is exactly the base inserts, in order; the tail is all deletes.
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(events.op(i), EdgeOp::kInsert);
+    EXPECT_EQ(events.edges[i], base[i]);
+  }
+  for (std::size_t i = base.size(); i < events.size(); ++i) {
+    EXPECT_EQ(events.op(i), EdgeOp::kDelete);
+  }
+}
+
+TEST(ChurnStreamTest, WindowScheduleBoundsLiveEdges) {
+  const auto base = GnmRandom(60, 500, 5);
+  const std::size_t window = 100;
+  ChurnOptions options;
+  options.schedule = ChurnSchedule::kWindow;
+  options.window_size = window;
+  const EdgeEventList events = MakeChurnStream(base, options);
+  const ChurnReplay replay(events);
+  EXPECT_TRUE(replay.valid);
+  EXPECT_LE(replay.max_live, window);
+  // Final live graph is exactly the last `window` base edges.
+  EXPECT_EQ(replay.live.size(),
+            std::min<std::size_t>(window, base.size()));
+  for (std::size_t i = base.size() - window; i < base.size(); ++i) {
+    EXPECT_TRUE(replay.live.count(base[i].Key())) << i;
+  }
+}
+
+TEST(ChurnStreamTest, DeterministicPerSeed) {
+  const auto base = GnmRandom(40, 300, 6);
+  ChurnOptions options;
+  options.delete_fraction = 0.3;
+  options.seed = 21;
+  const EdgeEventList a = MakeChurnStream(base, options);
+  const EdgeEventList b = MakeChurnStream(base, options);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.edges[i], b.edges[i]);
+    EXPECT_EQ(a.op(i), b.op(i));
+  }
+  options.seed = 22;
+  const EdgeEventList c = MakeChurnStream(base, options);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = !(a.edges[i] == c.edges[i]) || a.op(i) != c.op(i);
+  }
+  EXPECT_TRUE(differs);
 }
 
 }  // namespace

@@ -38,6 +38,63 @@ TEST(DedupFilterTest, MemoryGrowsWithDistinctEdges) {
   EXPECT_EQ(filter.admitted(), 10000u);
 }
 
+TEST(DedupFilterTest, DeleteOfLiveEdgePassesAndClearsLiveness) {
+  DedupFilter filter;
+  EXPECT_TRUE(filter.AdmitEvent(Edge(1, 2), EdgeOp::kInsert));
+  EXPECT_TRUE(filter.IsLive(Edge(1, 2)));
+  EXPECT_TRUE(filter.AdmitEvent(Edge(2, 1), EdgeOp::kDelete));  // reversed
+  EXPECT_FALSE(filter.IsLive(Edge(1, 2)));
+  EXPECT_EQ(filter.admitted(), 2u);
+}
+
+TEST(DedupFilterTest, DeleteOfDedupedDuplicateStillTargetsTheLiveEdge) {
+  // The duplicate insert was rejected, but the edge is live -- a delete
+  // must still pass (it names the live edge, not the rejected event).
+  DedupFilter filter;
+  EXPECT_TRUE(filter.AdmitEvent(Edge(3, 4), EdgeOp::kInsert));
+  EXPECT_FALSE(filter.AdmitEvent(Edge(3, 4), EdgeOp::kInsert));  // deduped
+  EXPECT_TRUE(filter.AdmitEvent(Edge(3, 4), EdgeOp::kDelete));
+  // A second delete has nothing live to remove.
+  EXPECT_FALSE(filter.AdmitEvent(Edge(3, 4), EdgeOp::kDelete));
+  EXPECT_EQ(filter.admitted(), 2u);
+  EXPECT_EQ(filter.offered(), 4u);
+}
+
+TEST(DedupFilterTest, ReinsertAfterDeleteIsAdmitted) {
+  DedupFilter filter;
+  EXPECT_TRUE(filter.AdmitEvent(Edge(7, 8), EdgeOp::kInsert));
+  EXPECT_TRUE(filter.AdmitEvent(Edge(7, 8), EdgeOp::kDelete));
+  EXPECT_TRUE(filter.AdmitEvent(Edge(7, 8), EdgeOp::kInsert));
+  EXPECT_TRUE(filter.IsLive(Edge(7, 8)));
+  // ... and the re-inserted edge dedups again.
+  EXPECT_FALSE(filter.AdmitEvent(Edge(8, 7), EdgeOp::kInsert));
+  EXPECT_EQ(filter.admitted(), 3u);
+}
+
+TEST(DedupFilterTest, DeleteOfNeverInsertedOrSelfLoopIsDropped) {
+  DedupFilter filter;
+  EXPECT_FALSE(filter.AdmitEvent(Edge(1, 2), EdgeOp::kDelete));
+  EXPECT_FALSE(filter.AdmitEvent(Edge(5, 5), EdgeOp::kDelete));
+  EXPECT_FALSE(filter.AdmitEvent(Edge(), EdgeOp::kDelete));
+  EXPECT_EQ(filter.admitted(), 0u);
+}
+
+TEST(DedupFilterTest, InsertOnlyStreamMatchesHistoricalSeenSet) {
+  // On an insert-only stream the live map must behave exactly like the
+  // old seen-set: first occurrence passes, every repeat is rejected
+  // forever (nothing ever leaves the live set).
+  DedupFilter filter;
+  const auto graph = gen::GnmRandom(30, 120, 9);
+  std::size_t admitted = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (const Edge& e : graph.edges()) {
+      if (filter.AdmitEvent(e, EdgeOp::kInsert)) ++admitted;
+    }
+  }
+  EXPECT_EQ(admitted, graph.size());
+  EXPECT_EQ(filter.admitted(), graph.size());
+}
+
 TEST(DedupFilterTest, ProtectsCounterFromDirtyFeed) {
   // A doubled + looped feed through the filter must give the same
   // estimate quality as the clean stream (the counter itself assumes

@@ -357,6 +357,123 @@ TEST(SocketEdgeStreamTest, ProducerDeathMidFrameFailsEngineRun) {
   EXPECT_EQ(estimator.edges_processed(), 500u);
 }
 
+// ------------------------------------------------------- turnstile frames
+
+/// Drains the event API into an owning list.
+EdgeEventList DrainEvents(EdgeStream& s, std::size_t batch_size) {
+  EdgeEventList all;
+  EventScratch scratch;
+  for (;;) {
+    const EventBatchView view = s.NextEventBatchView(batch_size, &scratch);
+    if (view.empty()) break;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      all.Add(view.edges[i], view.op(i));
+    }
+  }
+  return all;
+}
+
+TEST(SocketEdgeStreamTest, DeliversV2EventFrames) {
+  SocketPair pair;
+  EdgeEventList events;
+  events.Add(Edge(0, 1));
+  events.Add(Edge(1, 2));
+  events.Add(Edge(0, 1), EdgeOp::kDelete);
+  events.Add(Edge(2, 3));
+  ASSERT_TRUE(WriteEventFrame(pair.fds[0], events.edges, events.ops).ok());
+  pair.CloseProducer();
+
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok()) << source.status();
+  const EdgeEventList got = DrainEvents(**source, 3);
+  ASSERT_EQ(got.size(), events.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got.edges[i], events.edges[i]);
+    EXPECT_EQ(got.op(i), events.op(i));
+  }
+  EXPECT_TRUE((*source)->status().ok());
+}
+
+TEST(SocketEdgeStreamTest, V1AndV2FramesInterleaveOnOneConnection) {
+  SocketPair pair;
+  const auto v1_edges = MakeEdges(5);
+  EdgeEventList v2_events;
+  v2_events.Add(Edge(100, 101));
+  v2_events.Add(Edge(100, 101), EdgeOp::kDelete);
+  ASSERT_TRUE(WriteEdgeFrame(pair.fds[0], v1_edges).ok());
+  ASSERT_TRUE(
+      WriteEventFrame(pair.fds[0], v2_events.edges, v2_events.ops).ok());
+  ASSERT_TRUE(WriteEdgeFrame(pair.fds[0], v1_edges).ok());
+  pair.CloseProducer();
+
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok());
+  const EdgeEventList got = DrainEvents(**source, 4);
+  ASSERT_EQ(got.size(), 2 * v1_edges.size() + v2_events.size());
+  EXPECT_EQ(got.op(v1_edges.size() + 1), EdgeOp::kDelete);
+  EXPECT_TRUE((*source)->status().ok());
+}
+
+TEST(SocketEdgeStreamTest, InsertOnlyEventFrameIsByteIdenticalToV1) {
+  // The passthrough contract on the wire: an insert-only WriteEventFrame
+  // and a WriteEdgeFrame of the same edges produce identical bytes.
+  const auto edges = MakeEdges(20);
+  SocketPair a, b;
+  ASSERT_TRUE(WriteEdgeFrame(a.fds[0], edges).ok());
+  ASSERT_TRUE(WriteEventFrame(b.fds[0], edges, {}).ok());
+  a.CloseProducer();
+  b.CloseProducer();
+  const std::size_t frame_bytes = kTrisHeaderBytes + edges.size() * sizeof(Edge);
+  std::vector<char> from_a(frame_bytes + 1), from_b(frame_bytes + 1);
+  const ssize_t got_a = ::recv(a.fds[1], from_a.data(), from_a.size(), 0);
+  const ssize_t got_b = ::recv(b.fds[1], from_b.data(), from_b.size(), 0);
+  ASSERT_EQ(got_a, static_cast<ssize_t>(frame_bytes));
+  ASSERT_EQ(got_b, got_a);
+  EXPECT_EQ(std::memcmp(from_a.data(), from_b.data(), frame_bytes), 0);
+  ::close(a.fds[1]);
+  ::close(b.fds[1]);
+}
+
+TEST(SocketEdgeStreamTest, BadOpByteInV2FrameIsCorruptData) {
+  SocketPair pair;
+  char header[kTrisHeaderBytes];
+  std::memcpy(header, kTrisMagic, 4);
+  std::memcpy(header + 4, &kTrisVersion2, sizeof(kTrisVersion2));
+  const std::uint64_t count = 1;
+  std::memcpy(header + 8, &count, sizeof(count));
+  char record[kTrisEventBytes] = {0};
+  record[8] = 9;  // neither insert nor delete
+  ASSERT_EQ(::send(pair.fds[0], header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  ASSERT_EQ(::send(pair.fds[0], record, sizeof(record), 0),
+            static_cast<ssize_t>(sizeof(record)));
+  pair.CloseProducer();
+
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok());
+  EventScratch scratch;
+  const EventBatchView view = (*source)->NextEventBatchView(8, &scratch);
+  EXPECT_TRUE(view.empty());
+  EXPECT_EQ((*source)->status().code(), StatusCode::kCorruptData);
+}
+
+TEST(SocketEdgeStreamTest, EdgeOnlyReadOfDeleteFrameIsInvalidArgument) {
+  SocketPair pair;
+  EdgeEventList events;
+  events.Add(Edge(0, 1));
+  events.Add(Edge(0, 1), EdgeOp::kDelete);
+  ASSERT_TRUE(WriteEventFrame(pair.fds[0], events.edges, events.ops).ok());
+  pair.CloseProducer();
+
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok());
+  std::vector<Edge> batch;
+  std::size_t delivered = 0;
+  while ((*source)->NextBatch(8, &batch) > 0) delivered += batch.size();
+  EXPECT_LE(delivered, 1u);
+  EXPECT_EQ((*source)->status().code(), StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace stream
 }  // namespace tristream

@@ -2,6 +2,8 @@
 // through the library without writing any code.
 //
 //   tristream_cli generate --dataset dblp --scale 0.02 --output g.tris
+//   tristream_cli generate --dataset dblp --output g.tris --churn 0.1
+//   tristream_cli inspect  g.tris
 //   tristream_cli stats    --input g.tris
 //   tristream_cli count    --input g.tris --estimators 131072 [--threads 2]
 //   tristream_cli count    --input g.tris --algo colorful --colors 16
@@ -58,6 +60,7 @@
 #include "engine/estimators.h"
 #include "engine/serve.h"
 #include "engine/stream_engine.h"
+#include "gen/churn.h"
 #include "gen/datasets.h"
 #include "graph/degree_stats.h"
 #include "stream/binary_io.h"
@@ -80,8 +83,17 @@ int Usage() {
       "usage: tristream_cli <command> [flags]\n"
       "commands:\n"
       "  generate --dataset NAME --output FILE [--scale F] [--seed N]\n"
+      "           [--churn F] [--churn-schedule mixed|tail|window]\n"
+      "           [--churn-window W]\n"
       "           NAME: amazon dblp youtube livejournal orkut syndreg\n"
       "                 hepth syn3reg\n"
+      "           --churn F expands the graph into a turnstile event\n"
+      "           stream (inserts + deletes, TRIS v2): 'mixed' interleaves\n"
+      "           deletes of a fraction-F subset, 'tail' deletes them all\n"
+      "           at the end, 'window' keeps only the last W edges live.\n"
+      "  inspect  FILE  (or --input FILE)\n"
+      "           prints the TRIS header (version, count) and event mix\n"
+      "           without running any estimator; works on text lists too.\n"
       "  stats    --input FILE\n"
       "  count    --input FILE [--algo A] [--estimators N] [--seed N]\n"
       "           [--batch W] [--autotune] [--threads T] [--pipeline 0|1]\n"
@@ -90,12 +102,18 @@ int Usage() {
       "           [--checkpoint PATH [--checkpoint-every N]] [--resume PATH]\n"
       "           [--vertices N (buriol)] [--max-degree D (jg)]\n"
       "           [--colors C (colorful)]\n"
-      "           A: tsb (default) bulk buriol colorful jg first-edge\n"
+      "           [--groups G --sample-prob P (dynamic)]\n"
+      "           A: tsb (default) bulk dynamic buriol colorful jg\n"
+      "              first-edge\n"
+      "           dynamic is the turnstile estimator: the only algo that\n"
+      "           accepts TRIS v2 inputs with delete events; every other\n"
+      "           algo fails them with a diagnostic.\n"
       "           --checkpoint writes a crash-safe snapshot every N edges\n"
       "           (default 10000000; previous generation kept at\n"
       "           PATH.prev); --resume restores one, seeks the input\n"
       "           forward, and continues to estimates bit-identical to an\n"
-      "           uninterrupted run with the same flags. tsb/bulk only.\n"
+      "           uninterrupted run with the same flags. tsb, bulk and\n"
+      "           dynamic only.\n"
       "           --pin 1 binds worker k to its planned core (round-robin\n"
       "           across NUMA nodes); --numa off forces the single-node\n"
       "           fallback; --numa-replicate stages a per-node copy of\n"
@@ -275,11 +293,162 @@ int CmdGenerate(const std::map<std::string, std::string>& flags) {
   const double scale = FlagDouble(flags, "scale", 0.02);
   const auto seed = FlagU64(flags, "seed", 1);
   const auto el = gen::MakeDataset(*id, scale, seed);
+  if (flags.count("churn") || flags.count("churn-schedule")) {
+    gen::ChurnOptions churn;
+    churn.delete_fraction = FlagDouble(flags, "churn", 0.1);
+    if (churn.delete_fraction < 0.0 || churn.delete_fraction > 1.0) {
+      std::fprintf(stderr, "--churn expects a fraction in [0, 1]\n");
+      return Usage();
+    }
+    churn.window_size = FlagU64(flags, "churn-window", 1 << 16);
+    churn.seed = seed;
+    const std::string schedule = flags.count("churn-schedule")
+                                     ? flags.at("churn-schedule")
+                                     : std::string("mixed");
+    if (schedule == "mixed") {
+      churn.schedule = gen::ChurnSchedule::kMixed;
+    } else if (schedule == "tail") {
+      churn.schedule = gen::ChurnSchedule::kAdversarialTail;
+    } else if (schedule == "window") {
+      churn.schedule = gen::ChurnSchedule::kWindow;
+    } else {
+      std::fprintf(stderr,
+                   "--churn-schedule expects mixed, tail or window, got "
+                   "'%s'\n",
+                   schedule.c_str());
+      return Usage();
+    }
+    const EdgeEventList events = gen::MakeChurnStream(el, churn);
+    if (Status s = stream::WriteBinaryEvents(out->second, events); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::size_t deletes = 0;
+    for (const EdgeOp op : events.ops) {
+      if (op == EdgeOp::kDelete) ++deletes;
+    }
+    std::printf("wrote %zu events (%zu inserts, %zu deletes) to %s\n",
+                events.size(), events.size() - deletes, deletes,
+                out->second.c_str());
+    return 0;
+  }
   if (Status s = stream::WriteBinaryEdges(out->second, el); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
   std::printf("wrote %zu edges to %s\n", el.size(), out->second.c_str());
+  return 0;
+}
+
+/// Loads a whole edge/event file (any TRIS version or text) into memory
+/// through the dedup filter's live-map semantics, exiting on failure.
+EdgeEventList LoadEvents(const std::string& path) {
+  stream::DedupEdgeStream source(OpenSourceOrDie(path, {}));
+  EdgeEventList events;
+  stream::EventScratch scratch;
+  while (true) {
+    const EventBatchView view = source.NextEventBatchView(1 << 16, &scratch);
+    if (view.empty()) break;
+    for (std::size_t i = 0; i < view.size(); ++i) {
+      events.Add(view.edges[i], view.op(i));
+    }
+  }
+  if (!source.status().ok()) {
+    std::fprintf(stderr, "cannot load '%s': %s\n", path.c_str(),
+                 source.status().ToString().c_str());
+    std::exit(1);
+  }
+  return events;
+}
+
+int CmdInspect(const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("input");
+  if (it == flags.end()) return Usage();
+  const std::string& path = it->second;
+
+  // Raw header peek first: inspect reports what is *in the file*, before
+  // any reader-side filtering or validation beyond the header itself.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open '%s': %s\n", path.c_str(),
+                 std::strerror(errno));
+    return 1;
+  }
+  unsigned char header[stream::kTrisHeaderBytes];
+  const std::size_t got = std::fread(header, 1, sizeof(header), f);
+  if (got >= 4 && std::memcmp(header, stream::kTrisMagic, 4) == 0) {
+    if (got < sizeof(header)) {
+      std::fclose(f);
+      std::fprintf(stderr, "'%s': truncated TRIS header (%zu of %d bytes)\n",
+                   path.c_str(), got, stream::kTrisHeaderBytes);
+      return 1;
+    }
+    std::uint32_t version = 0;
+    std::uint64_t count = 0;
+    std::memcpy(&version, header + 4, sizeof(version));
+    std::memcpy(&count, header + 8, sizeof(count));
+    std::fseek(f, 0, SEEK_END);
+    const long file_bytes = std::ftell(f);
+    std::fclose(f);
+    std::printf("format      : TRIS binary\n");
+    std::printf("version     : %u (%s)\n", version,
+                version == stream::kTrisVersion    ? "insert-only edges"
+                : version == stream::kTrisVersion2 ? "turnstile events"
+                                                   : "unknown");
+    std::printf("magic       : TRIS\n");
+    std::printf("count       : %llu %s\n",
+                static_cast<unsigned long long>(count),
+                version == stream::kTrisVersion2 ? "events" : "edges");
+    std::printf("file bytes  : %ld\n", file_bytes);
+    if (version != stream::kTrisVersion &&
+        version != stream::kTrisVersion2) {
+      std::fprintf(stderr, "unsupported TRIS version %u\n", version);
+      return 1;
+    }
+    const std::uint64_t expect =
+        stream::kTrisHeaderBytes +
+        count * (version == stream::kTrisVersion2 ? stream::kTrisEventBytes
+                                                  : sizeof(Edge));
+    if (file_bytes >= 0 &&
+        static_cast<std::uint64_t>(file_bytes) != expect) {
+      std::printf("note        : expected %llu bytes for %llu records\n",
+                  static_cast<unsigned long long>(expect),
+                  static_cast<unsigned long long>(count));
+    }
+    if (version == stream::kTrisVersion2) {
+      auto events = stream::ReadBinaryEvents(path);
+      if (!events.ok()) {
+        std::fprintf(stderr, "cannot read events: %s\n",
+                     events.status().ToString().c_str());
+        return 1;
+      }
+      std::size_t deletes = 0;
+      for (const EdgeOp op : events->ops) {
+        if (op == EdgeOp::kDelete) ++deletes;
+      }
+      std::printf("inserts     : %zu\n", events->size() - deletes);
+      std::printf("deletes     : %zu\n", deletes);
+    }
+    return 0;
+  }
+  std::fclose(f);
+
+  // Not TRIS: treat as a text edge/event list.
+  auto events = stream::ReadTextEvents(path);
+  if (!events.ok()) {
+    std::fprintf(stderr, "'%s' is neither TRIS nor a readable text edge "
+                 "list: %s\n",
+                 path.c_str(), events.status().ToString().c_str());
+    return 1;
+  }
+  std::size_t deletes = 0;
+  for (const EdgeOp op : events->ops) {
+    if (op == EdgeOp::kDelete) ++deletes;
+  }
+  std::printf("format      : text edge list\n");
+  std::printf("count       : %zu events\n", events->size());
+  std::printf("inserts     : %zu\n", events->size() - deletes);
+  std::printf("deletes     : %zu\n", deletes);
   return 0;
 }
 
@@ -331,6 +500,9 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   config.max_degree_bound = FlagU64(flags, "max-degree", 0);
   config.num_colors =
       static_cast<std::uint32_t>(FlagU64(flags, "colors", 8));
+  config.dynamic_groups =
+      static_cast<std::uint32_t>(FlagU64(flags, "groups", 16));
+  config.sample_probability = FlagDouble(flags, "sample-prob", 0.5);
   if (flags.count("median-of-means")) {
     config.aggregation = core::Aggregation::kMedianOfMeans;
   }
@@ -388,7 +560,8 @@ int CmdCount(const std::map<std::string, std::string>& flags) {
   if (has_checkpoint || has_resume) {
     if (!(*estimator)->checkpointable()) {
       std::fprintf(stderr,
-                   "algo '%s' is not checkpointable (tsb/bulk only)\n",
+                   "algo '%s' is not checkpointable (tsb, bulk and "
+                   "dynamic are)\n",
                    (*estimator)->name());
       return 2;
     }
@@ -629,6 +802,9 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   options.config.max_degree_bound = FlagU64(flags, "max-degree", 0);
   options.config.num_colors =
       static_cast<std::uint32_t>(FlagU64(flags, "colors", 8));
+  options.config.dynamic_groups =
+      static_cast<std::uint32_t>(FlagU64(flags, "groups", 16));
+  options.config.sample_probability = FlagDouble(flags, "sample-prob", 0.5);
   options.batch_size = static_cast<std::size_t>(FlagU64(flags, "batch", 0));
   // Mirror `count`: --batch pins the estimator's internal batching too,
   // so serve results stay diffable against `count --batch W` and
@@ -810,11 +986,16 @@ int CmdFeed(const std::map<std::string, std::string>& flags) {
   std::uint64_t next_query =
       query_every > 0 ? query_every
                       : std::numeric_limits<std::uint64_t>::max();
-  std::vector<Edge> batch;
-  while (source->NextBatch(std::max<std::size_t>(frame_edges, 1), &batch) >
-         0) {
-    if (Status s = stream::WriteEdgeFrame(
-            fd, std::span<const Edge>(batch.data(), batch.size()));
+  // Event-model pull: insert-only inputs produce all-insert views, and
+  // WriteEventFrame sends those as plain v1 frames byte-identical to the
+  // old WriteEdgeFrame path; a TRIS v2 input flows through unchanged as
+  // v2 frames (9-byte records). Same client either way.
+  stream::EventScratch scratch;
+  while (true) {
+    const EventBatchView view = source->NextEventBatchView(
+        std::max<std::size_t>(frame_edges, 1), &scratch);
+    if (view.empty()) break;
+    if (Status s = stream::WriteEventFrame(fd, view.edges, view.ops);
         !s.ok()) {
       std::fprintf(stderr, "feed failed after %llu edges: %s\n",
                    static_cast<unsigned long long>(sent_edges),
@@ -822,7 +1003,7 @@ int CmdFeed(const std::map<std::string, std::string>& flags) {
       ::close(fd);
       return 1;
     }
-    sent_edges += batch.size();
+    sent_edges += view.size();
     if (sent_edges >= next_query) {
       next_query += query_every;
       // Lockstep query: one TRIQ out, one reply back before more edges.
@@ -931,15 +1112,20 @@ int CmdConvert(const std::map<std::string, std::string>& flags) {
   const auto in = flags.find("input");
   const auto out = flags.find("output");
   if (in == flags.end() || out == flags.end()) return Usage();
-  const auto el = LoadEdges(in->second);
+  // Event-model load: an insert-only input round-trips through the v1
+  // writers exactly as before (WriteBinaryEvents emits plain v1 when no
+  // deletes are present), and a turnstile input converts to v2 instead of
+  // dying in an edges-only reader.
+  const EdgeEventList events = LoadEvents(in->second);
   const Status s = EndsWith(out->second, ".tris")
-                       ? stream::WriteBinaryEdges(out->second, el)
-                       : stream::WriteTextEdges(out->second, el);
+                       ? stream::WriteBinaryEvents(out->second, events)
+                       : stream::WriteTextEvents(out->second, events);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
-  std::printf("wrote %zu edges to %s\n", el.size(), out->second.c_str());
+  std::printf("wrote %zu events to %s\n", events.size(),
+              out->second.c_str());
   return 0;
 }
 
@@ -948,7 +1134,14 @@ int CmdConvert(const std::map<std::string, std::string>& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  // inspect takes its file as a bare positional ("inspect g.tris") for
+  // quick interactive use; --input works too.
+  if (command == "inspect" && argc >= 3 && argv[2][0] != '-') {
+    std::map<std::string, std::string> flags{{"input", argv[2]}};
+    return CmdInspect(flags);
+  }
   const auto flags = ParseFlags(argc, argv, 2);
+  if (command == "inspect") return CmdInspect(flags);
   if (command == "generate") return CmdGenerate(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "count") return CmdCount(flags);
