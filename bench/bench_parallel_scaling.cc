@@ -21,6 +21,11 @@
 //   TRISTREAM_BENCH_R        total estimators        (default 4096)
 //   TRISTREAM_BENCH_BATCH    shared batch size w     (default 64)
 //   TRISTREAM_BENCH_THREADS  max thread count swept  (default 8)
+//   TRISTREAM_BENCH_SIMD     lane-sweep dispatch     (default auto)
+//
+// The JSON records both the requested simd mode and the ISA it resolved
+// to on this host, so trajectory diffs can tell an avx512 row from a
+// scalar-fallback row.
 
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +35,7 @@
 #include "bench/bench_util.h"
 #include "core/parallel_counter.h"
 #include "engine/estimators.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -47,7 +53,7 @@ struct Measurement {
 
 Measurement RunOne(const bench::DatasetInstance& instance, std::uint64_t r,
                    std::size_t batch, std::uint32_t threads, bool pipeline,
-                   bool pin, int trials) {
+                   bool pin, SimdMode simd, int trials) {
   std::vector<double> seconds;
   Measurement out;
   out.threads = threads;
@@ -61,6 +67,7 @@ Measurement RunOne(const bench::DatasetInstance& instance, std::uint64_t r,
     options.batch_size = batch;
     options.use_pipeline = pipeline;
     options.topology.pin_threads = pin;
+    options.simd = simd;
     engine::ParallelEstimator estimator(options);
     WallTimer timer;
     bench::RunThroughEngine(estimator, instance.stream, batch);
@@ -86,12 +93,22 @@ int main() {
   const std::uint32_t max_threads = static_cast<std::uint32_t>(
       bench::EnvU64("TRISTREAM_BENCH_THREADS", 8));
   const int trials = bench::BenchTrials();
+  SimdMode simd = SimdMode::kAuto;
+  if (const char* env = std::getenv("TRISTREAM_BENCH_SIMD")) {
+    const auto parsed = ParseSimdMode(env);
+    if (!parsed.has_value() || !ResolveSimdIsa(*parsed).has_value()) {
+      std::fprintf(stderr, "bad TRISTREAM_BENCH_SIMD '%s'\n", env);
+      return 1;
+    }
+    simd = *parsed;
+  }
+  const char* isa_name = SimdIsaName(*ResolveSimdIsa(simd));
 
   std::fprintf(stderr,
                "parallel scaling sweep: pooled pipeline vs spawn-per-batch\n"
-               "r=%llu batch=%zu trials=%d scale=%.3g\n",
+               "r=%llu batch=%zu trials=%d scale=%.3g simd=%s (isa %s)\n",
                static_cast<unsigned long long>(r), batch, trials,
-               bench::BenchScale());
+               bench::BenchScale(), SimdModeName(simd), isa_name);
 
   const auto instance = bench::MakeInstance(gen::DatasetId::kDblp);
   std::fprintf(stderr, "dataset=dblp edges=%zu (%llu batches/run)\n\n",
@@ -106,15 +123,15 @@ int main() {
   for (std::uint32_t threads = 1; threads <= max_threads; threads *= 2) {
     const Measurement spawn = RunOne(instance, r, batch, threads,
                                      /*pipeline=*/false, /*pin=*/false,
-                                     trials);
+                                     simd, trials);
     const Measurement pooled = RunOne(instance, r, batch, threads,
                                       /*pipeline=*/true, /*pin=*/false,
-                                      trials);
+                                      simd, trials);
     // Pinned rows track the topology substrate (PR 5) in the same
     // trajectory as the PR 1 spawn-vs-pipeline numbers.
     const Measurement pinned = RunOne(instance, r, batch, threads,
                                       /*pipeline=*/true, /*pin=*/true,
-                                      trials);
+                                      simd, trials);
     // Same (seed, threads) => all substrates must agree to the last bit.
     if (spawn.triangles != pooled.triangles ||
         spawn.wedges != pooled.wedges ||
@@ -148,6 +165,8 @@ int main() {
               static_cast<unsigned long long>(r));
   std::printf("  \"batch_size\": %zu,\n", batch);
   std::printf("  \"trials\": %d,\n", trials);
+  std::printf("  \"simd\": \"%s\",\n", SimdModeName(simd));
+  std::printf("  \"simd_isa\": \"%s\",\n", isa_name);
   std::printf("  \"bit_identical\": %s,\n", bit_identical ? "true" : "false");
   std::printf("  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {

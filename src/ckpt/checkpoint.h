@@ -40,7 +40,10 @@
 namespace tristream {
 namespace ckpt {
 
-inline constexpr std::uint32_t kFormatVersion = 1;
+// v2: the bulk counter's state blob stores the counter-based RNG's batch
+// number where v1 stored a 256-bit xoshiro state; v1 snapshots cannot
+// position the new generator, so readers reject them by version.
+inline constexpr std::uint32_t kFormatVersion = 2;
 
 /// The container metadata, available without touching an estimator.
 struct CheckpointInfo {

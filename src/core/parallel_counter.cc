@@ -37,6 +37,7 @@ ParallelTriangleCounter::ParallelTriangleCounter(
     shard_opt.seed = seeder.Next();
     shard_opt.aggregation = options.aggregation;
     shard_opt.median_groups = options.median_groups;
+    shard_opt.simd = options.simd;
     // Shards never self-batch: this wrapper owns batching so that all
     // shards see identical batch boundaries.
     shard_opt.batch_size = std::numeric_limits<std::size_t>::max();

@@ -119,6 +119,10 @@ struct ParallelCounterOptions {
   /// file comment). Applies to the pipelined substrate; the legacy spawn
   /// path ignores it.
   TopologyOptions topology;
+  /// Vector ISA for each shard's lane sweeps (forwarded to
+  /// TriangleCounterOptions::simd; same bit-identity contract, same
+  /// exclusion from the checkpoint fingerprint).
+  SimdMode simd = SimdMode::kAuto;
 };
 
 /// Estimator-sharded bulk triangle counter.

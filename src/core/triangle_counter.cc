@@ -1,9 +1,10 @@
 #include "core/triangle_counter.h"
 
 #include <algorithm>
-#include <array>
+#include <bit>
 
 #include "core/bulk_engine.h"
+#include "core/estimator_kernels.h"
 #include "util/logging.h"
 #include "util/stats.h"
 
@@ -16,6 +17,42 @@ constexpr std::uint32_t kNil = 0xffffffffu;
 double TransitivityFrom(double triangles, double wedges) {
   if (wedges <= 0.0) return 0.0;
   return 3.0 * triangles / wedges;
+}
+
+SimdIsa ResolveIsaOrDie(SimdMode mode) {
+  const std::optional<SimdIsa> isa = ResolveSimdIsa(mode);
+  // Requesting an ISA the CPU lacks is a configuration error;
+  // engine::MakeEstimator turns it into InvalidArgument before a counter
+  // is ever constructed.
+  TRISTREAM_CHECK(isa.has_value());
+  return *isa;
+}
+
+// Bloom sizing for the Step-2b candidate filter: 64 bits per inserted
+// vertex (a batch inserts at most 2w), power of two so the hash is a pure
+// shift, floored at 512 bits and capped at 2^26 bits (8 MiB) so a
+// pathological batch cannot own the cache -- past the cap the false-
+// positive rate degrades gracefully and only costs redundant degree
+// probes. The generous per-vertex budget matters: every false positive
+// sends a lane through the scalar Step-2b probe, so at r >> w lanes even
+// a few percent of false positives would dominate the batch.
+int BloomLog2Bits(std::uint64_t w) {
+  const std::uint64_t target = std::max<std::uint64_t>(512, 128 * w);
+  const int log2_bits = 64 - std::countl_zero(target - 1);
+  return std::min(log2_bits, 26);
+}
+
+// r1 endpoints are stored packed (u in the low word, v in the high word)
+// so a candidate touches one cache line instead of two and the kernels
+// cover 8 lanes per 512-bit load.
+constexpr std::uint64_t PackUv(std::uint32_t u, std::uint32_t v) {
+  return static_cast<std::uint64_t>(v) << 32 | u;
+}
+constexpr std::uint32_t UvLo(std::uint64_t uv) {
+  return static_cast<std::uint32_t>(uv);
+}
+constexpr std::uint32_t UvHi(std::uint64_t uv) {
+  return static_cast<std::uint32_t>(uv >> 32);
 }
 
 }  // namespace
@@ -82,19 +119,27 @@ TriangleCounter::TriangleCounter(const TriangleCounterOptions& options)
       batch_size_(options.batch_size != 0
                       ? options.batch_size
                       : static_cast<std::size_t>(8 * options.num_estimators)),
-      rng_(options.seed),
+      isa_(ResolveIsaOrDie(options.simd)),
+      kernels_(&kernels::TableFor(isa_)),
       cold_(options.num_estimators),
       r1_pos_(options.num_estimators, kInvalidEdgeIndex),
       c_(options.num_estimators, 0),
+      r1_uv_(options.num_estimators, 0),
       deg_(1024),
       level1_(1024),
       level2_(1024),
       closers_(1024),
       chain_next_(options.num_estimators, kNil),
       closer_next_(options.num_estimators, kNil),
-      beta_u_(options.num_estimators, 0),
-      beta_v_(options.num_estimators, 0) {
+      beta_rep_u_(options.num_estimators, 0),
+      beta_rep_v_(options.num_estimators, 0),
+      draw2_(options.num_estimators, 0),
+      replacers_(options.num_estimators, 0),
+      replace_batch_idx_(options.num_estimators, 0),
+      candidates_(options.num_estimators, 0) {
   TRISTREAM_CHECK(options.num_estimators > 0);
+  // Chain heads and lane lists index estimators with 32-bit values.
+  TRISTREAM_CHECK(options.num_estimators < kNil);
   TRISTREAM_CHECK(batch_size_ > 0);
   // Callers may pass an effectively-infinite batch size to disable
   // self-batching (the parallel wrapper owns batch boundaries); cap the
@@ -108,8 +153,16 @@ void TriangleCounter::ProcessEdge(const Edge& e) {
 }
 
 void TriangleCounter::ProcessEdges(std::span<const Edge> edges) {
-  for (const Edge& e : edges) {
-    pending_.push_back(e);
+  // Bulk-append up to each batch boundary instead of pushing edge-by-edge;
+  // pending_.size() never exceeds batch_size_, so the subtraction is safe
+  // even when batch_size_ is the wrapper-owned SIZE_MAX sentinel.
+  std::size_t offset = 0;
+  while (offset < edges.size()) {
+    const std::size_t take =
+        std::min(edges.size() - offset, batch_size_ - pending_.size());
+    pending_.insert(pending_.end(), edges.begin() + offset,
+                    edges.begin() + offset + take);
+    offset += take;
     if (pending_.size() >= batch_size_) Flush();
   }
 }
@@ -125,6 +178,8 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
   const std::uint64_t m_before = applied_edges_;
   const std::uint64_t w = batch.size();
   const std::uint64_t r = cold_.size();
+  // Chosen batch offsets travel through 32-bit lane outputs.
+  TRISTREAM_CHECK(w <= 0xffffffffu);
 
   // Pre-size the scratch tables to their per-batch worst case so no
   // rehash happens mid-batch: deg_ holds at most 2w vertices, L at most
@@ -140,65 +195,100 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
   closers_.Reserve(std::min(r, kMaxEagerReserve));
 
   // ---------------------------------------------------------------------
-  // Step 1 -- level-1 resampling. Keep the current edge with probability
-  // m/(m+w); otherwise install a uniformly chosen batch edge and reset the
-  // level-2 state. Estimators that picked batch index j are chained into
-  // L[j] so Step 2a can record their β values during the sweep.
+  // Step 0 -- fused lane sweep (SIMD kernel). Every estimator draws its
+  // Threefry block for this batch: word 0 decides the level-1 replacement
+  // (keep with probability m/(m+w), Sec. 3.3's reservoir step) and picks
+  // the replacement batch edge in the same draw; word 1 feeds the Step-2b
+  // candidate draw. The same pass probes a Bloom filter of the batch's
+  // vertices with each lane's r1 endpoints to pre-filter Step-2b: a lane
+  // only has level-2 work when one of its endpoints gained in-batch
+  // neighbors. No false negatives -- a filtered lane provably has
+  // a = b = 0 (its β is zero and its endpoints are absent from deg_), and
+  // replacing lanes are candidates unconditionally, so probing their
+  // stale endpoints cannot drop them. A false positive just repeats the
+  // old per-lane degree-probe work. Lanes are independent streams keyed
+  // (seed, lane), so the sweep vectorizes with no cross-lane state and
+  // every ISA produces the same bits.
+  // ---------------------------------------------------------------------
+  // The filter only pays off when most lanes get rejected: for batches
+  // large relative to r nearly every lane has an in-batch endpoint anyway,
+  // and the (128 bits/edge) filter outgrows cache, so run filterless --
+  // the kernel then marks every lane a candidate. The cutoff is a pure
+  // function of (w, r), never of the ISA, so dispatch stays bit-identical.
+  const bool use_filter = w * 8 <= r;
+  const int log2_bits = use_filter ? BloomLog2Bits(w) : 6;
+  if (use_filter) {
+    bloom_.assign(std::size_t{1} << (log2_bits - 6), 0);
+    for (const Edge& e : batch) {
+      const std::uint64_t bit_u = kernels::BloomBitIndex(e.u, log2_bits);
+      const std::uint64_t bit_v = kernels::BloomBitIndex(e.v, log2_bits);
+      bloom_[bit_u >> 6] |= std::uint64_t{1} << (bit_u & 63);
+      bloom_[bit_v >> 6] |= std::uint64_t{1} << (bit_v & 63);
+    }
+  }
+  kernels::SweepArgs sweep_args;
+  sweep_args.seed = options_.seed;
+  sweep_args.batch_no = batch_no_;
+  sweep_args.m_before = m_before;
+  sweep_args.w = w;
+  sweep_args.lanes = r;
+  sweep_args.bloom = use_filter ? bloom_.data() : nullptr;
+  sweep_args.log2_bits = log2_bits;
+  sweep_args.r1_uv = r1_uv_.data();
+  sweep_args.replacers = replacers_.data();
+  sweep_args.batch_idx = replace_batch_idx_.data();
+  sweep_args.candidates = candidates_.data();
+  sweep_args.draw2 = draw2_.data();
+  const kernels::SweepCounts counts = kernels_->lane_sweep(sweep_args);
+  const std::size_t num_replacers = counts.replacers;
+  const std::size_t num_candidates = counts.candidates;
+
+  // ---------------------------------------------------------------------
+  // Step 1 -- scalar chain-building tail over the ~r·w/(m+w) replacing
+  // lanes: install the chosen batch edge, reset the level-2 state, and
+  // chain the lane into L[batch_idx] so Step 2a can record its β values
+  // during the sweep.
   // ---------------------------------------------------------------------
   level1_.Clear();
-  std::fill(beta_u_.begin(), beta_u_.end(), 0u);
-  std::fill(beta_v_.begin(), beta_v_.end(), 0u);
-
-  auto replace_level1 = [&](std::uint64_t est_idx, std::uint64_t batch_idx) {
-    ColdState& st = cold_[est_idx];
-    st.r1 = batch[batch_idx];
-    r1_pos_[est_idx] = m_before + batch_idx;
+  for (std::size_t k = 0; k < num_replacers; ++k) {
+    const std::uint32_t est = replacers_[k];
+    const std::uint32_t batch_idx = replace_batch_idx_[k];
+    ColdState& st = cold_[est];
+    r1_uv_[est] = PackUv(batch[batch_idx].u, batch[batch_idx].v);
+    r1_pos_[est] = m_before + batch_idx;
     st.r2 = Edge();
     st.r2_pos = kInvalidEdgeIndex;
-    c_[est_idx] = 0;
+    c_[est] = 0;
     st.has_triangle = false;
     // Chain-head convention for all three tables: a stored value of 0 means
     // "empty" (operator[] default-constructs to 0), otherwise head-1 is the
-    // first estimator index of the chain.
+    // first chain entry. L chains link *replacer-list* indices (not lane
+    // indices) so Step 2a can write the β snapshots in replacer order; the
+    // Step-2b merge walk reads them back without scattered lane-indexed
+    // loads. chain_next_ is shared with the Step-2b level-2 chains -- safe,
+    // because L chains are fully consumed by Step 2a before Step 2b writes.
     std::uint32_t& head = level1_[batch_idx];
-    chain_next_[est_idx] = head == 0 ? kNil : head - 1;
-    head = static_cast<std::uint32_t>(est_idx) + 1;
-  };
-
-  const double replace_prob =
-      static_cast<double>(w) / static_cast<double>(m_before + w);
-  if (options_.use_geometric_skip && replace_prob < 1.0) {
-    // Jump directly between the estimators whose level-1 coin lands heads
-    // (Sec. 4: gaps between successes are Geometric(p)).
-    std::uint64_t est = rng_.GeometricSkip(replace_prob);
-    while (est < r) {
-      replace_level1(est, rng_.UniformBelow(w));
-      const std::uint64_t gap = rng_.GeometricSkip(replace_prob);
-      if (gap >= r) break;  // next success is past the array (avoids wrap)
-      est += 1 + gap;
-    }
-  } else {
-    for (std::uint64_t est = 0; est < r; ++est) {
-      const std::uint64_t pick = rng_.UniformBelow(m_before + w);
-      if (pick >= m_before) replace_level1(est, pick - m_before);
-    }
+    chain_next_[k] = head == 0 ? kNil : head - 1;
+    head = static_cast<std::uint32_t>(k) + 1;
   }
 
   // ---------------------------------------------------------------------
   // Step 2a -- first edgeIter sweep: record β(r1)(x), β(r1)(y) for every
   // estimator that replaced its level-1 edge (Observation 3.6 needs the
   // degree snapshot at the moment r1 was added). After the sweep, deg_
-  // holds deg_B.
+  // holds deg_B. Snapshots land in replacer order (beta_rep_*[k] for
+  // replacers_[k]); every non-replacing lane has β = 0 by definition, so
+  // nothing needs clearing at end of batch.
   // ---------------------------------------------------------------------
   RunEdgeIter(
       batch, deg_,
       [&](std::size_t j, const Edge&) {  // EVENTA
         const std::uint32_t* head = level1_.Find(j);
         if (head == nullptr || *head == 0) return;
-        for (std::uint32_t i = *head - 1; i != kNil; i = chain_next_[i]) {
-          const ColdState& st = cold_[i];
-          beta_u_[i] = *deg_.Find(st.r1.u);
-          beta_v_[i] = *deg_.Find(st.r1.v);
+        for (std::uint32_t k = *head - 1; k != kNil; k = chain_next_[k]) {
+          const std::uint64_t uv = r1_uv_[replacers_[k]];
+          beta_rep_u_[k] = *deg_.Find(UvLo(uv));
+          beta_rep_v_[k] = *deg_.Find(UvHi(uv));
         }
       },
       [](std::size_t, const Edge&, VertexId, std::uint32_t) {});
@@ -209,41 +299,73 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
   // (Algorithm 3's translation of a uniform draw into an EVENTB
   // subscription in P, or "keep current r2"). Estimators keeping an open
   // wedge subscribe their awaited closing edge in Q for the Step-3 pass.
+  // Only the lanes the fused sweep emitted as candidates are visited; the
+  // Bloom pre-filter guarantees every skipped lane has a = b = 0.
   // ---------------------------------------------------------------------
   level2_.Clear();
   closers_.Clear();
   std::uint64_t pending_assignments = 0;
 
-  auto subscribe_closer = [&](std::uint32_t est_idx) {
+  // Q and P chains link candidate-list positions, not lane indices: the
+  // positions a batch touches are dense (so the chain arrays stay within a
+  // few cache lines instead of scattering over all r lanes), and
+  // candidates_ maps a position back to its lane wherever a chain is
+  // consumed.
+  auto subscribe_closer = [&](std::uint32_t k, std::uint32_t est_idx) {
     const ColdState& st = cold_[est_idx];
-    const std::uint64_t key = ClosingEdge(st.r1, st.r2).Key();
+    const std::uint64_t uv = r1_uv_[est_idx];
+    const Edge r1(UvLo(uv), UvHi(uv));
+    const std::uint64_t key = ClosingEdge(r1, st.r2).Key();
     std::uint32_t& head = closers_[key];
-    closer_next_[est_idx] = head == 0 ? kNil : head - 1;
-    head = est_idx + 1;
+    closer_next_[k] = head == 0 ? kNil : head - 1;
+    head = k + 1;
   };
 
-  for (std::uint64_t i = 0; i < r; ++i) {
-    ColdState& st = cold_[i];
-    st.r2_pending = false;
-    if (r1_pos_[i] == kInvalidEdgeIndex) {
-      continue;  // no r1 yet: impossible once w >= 1, kept for safety
+  // Both lists from the fused sweep are ascending and every replacer is a
+  // candidate, so a two-pointer merge pairs each candidate with its β
+  // snapshot (zero for non-replacers) without lane-indexed loads.
+  std::size_t kr = 0;
+  for (std::size_t k = 0; k < num_candidates; ++k) {
+    const std::uint32_t i = candidates_[k];
+    if (k + 8 < num_candidates) {
+      // The lane indices are data-dependent; hint the lane-indexed arrays a
+      // few candidates ahead so their cache misses overlap this iteration.
+      const std::uint32_t pi = candidates_[k + 8];
+      __builtin_prefetch(&c_[pi]);
+      __builtin_prefetch(&cold_[pi]);
+      __builtin_prefetch(&r1_uv_[pi]);
     }
-    const std::uint32_t* du = deg_.Find(st.r1.u);
-    const std::uint32_t* dv = deg_.Find(st.r1.v);
-    const std::uint64_t a = (du != nullptr ? *du : 0) - beta_u_[i];
-    const std::uint64_t b = (dv != nullptr ? *dv : 0) - beta_v_[i];
+    std::uint32_t beta_u = 0;
+    std::uint32_t beta_v = 0;
+    if (kr < num_replacers && replacers_[kr] == i) {
+      beta_u = beta_rep_u_[kr];
+      beta_v = beta_rep_v_[kr];
+      ++kr;
+    }
+    // Every lane replaces in the very first batch (pick < m_before is
+    // impossible at m_before = 0), so r1 is always set by the time any
+    // candidate reaches this loop; avoid the extra scattered r1_pos_ load.
+    TRISTREAM_DCHECK(r1_pos_[i] != kInvalidEdgeIndex);
+    ColdState& st = cold_[i];
+    const std::uint64_t uv = r1_uv_[i];
+    const std::uint32_t* du = deg_.Find(UvLo(uv));
+    const std::uint32_t* dv = deg_.Find(UvHi(uv));
+    const std::uint64_t a = (du != nullptr ? *du : 0) - beta_u;
+    const std::uint64_t b = (dv != nullptr ? *dv : 0) - beta_v;
+    if (a + b == 0) {
+      // Bloom false positive: no in-batch neighbors after all.
+      continue;
+    }
     const std::uint64_t c_minus = c_[i];
     const std::uint64_t c_total = c_minus + a + b;
     c_[i] = c_total;
-    if (a + b == 0) {
-      // No in-batch neighbors: nothing to sample, no closer can arrive.
-      continue;
-    }
-    const std::uint64_t phi = rng_.UniformInt(1, c_total);
+    // randInt(1, c_total) from the lane's second Threefry word; draw2_ is
+    // compacted alongside candidates_, so index by list position.
+    const std::uint64_t phi = 1 + MulHi64(draw2_[k], c_total);
     if (phi <= c_minus) {
       // Keep the current r2; its wedge may still be closed by a batch edge.
       if (st.r2_pos != kInvalidEdgeIndex && !st.has_triangle) {
-        subscribe_closer(i);
+        subscribe_closer(static_cast<std::uint32_t>(k), i);
       }
       continue;
     }
@@ -252,19 +374,18 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
     std::uint64_t event_key;
     if (phi <= c_minus + a) {
       event_key = PackEventKey(
-          st.r1.u, beta_u_[i] + static_cast<std::uint32_t>(phi - c_minus));
+          UvLo(uv), beta_u + static_cast<std::uint32_t>(phi - c_minus));
     } else {
       event_key = PackEventKey(
-          st.r1.v,
-          beta_v_[i] + static_cast<std::uint32_t>(phi - c_minus - a));
+          UvHi(uv), beta_v + static_cast<std::uint32_t>(phi - c_minus - a));
     }
     st.r2 = Edge();
     st.r2_pos = kInvalidEdgeIndex;
     st.r2_pending = true;
     st.has_triangle = false;
     std::uint32_t& head = level2_[event_key];
-    chain_next_[i] = head == 0 ? kNil : head - 1;
-    head = static_cast<std::uint32_t>(i) + 1;
+    chain_next_[k] = head == 0 ? kNil : head - 1;
+    head = static_cast<std::uint32_t>(k) + 1;
     ++pending_assignments;
   }
 
@@ -278,7 +399,8 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
   std::uint64_t performed_assignments = 0;
   RunEdgeIter(
       batch, deg_,
-      [&](std::size_t j, const Edge& e) {  // EVENTA: closing-edge check
+      [&]([[maybe_unused]] std::size_t j,
+          const Edge& e) {  // EVENTA: closing-edge check
         const std::uint32_t* head = closers_.Find(e.Key());
         if (head == nullptr || *head == 0) return;
 #ifndef NDEBUG
@@ -287,8 +409,8 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
         // argument).
         const std::uint64_t pos = m_before + j;
 #endif
-        for (std::uint32_t i = *head - 1; i != kNil; i = closer_next_[i]) {
-          ColdState& st = cold_[i];
+        for (std::uint32_t k = *head - 1; k != kNil; k = closer_next_[k]) {
+          ColdState& st = cold_[candidates_[k]];
           TRISTREAM_DCHECK(st.r2_pos < pos);
           st.has_triangle = true;
         }
@@ -297,19 +419,21 @@ void TriangleCounter::ApplyBatch(std::span<const Edge> batch) {
         // EVENTB(j, e, v, d): deliver pending level-2 assignments.
         std::uint32_t* head = level2_.Find(PackEventKey(v, d));
         if (head == nullptr || *head == 0) return;
-        for (std::uint32_t i = *head - 1; i != kNil; i = chain_next_[i]) {
+        for (std::uint32_t k = *head - 1; k != kNil; k = chain_next_[k]) {
+          const std::uint32_t i = candidates_[k];
           ColdState& st = cold_[i];
           TRISTREAM_DCHECK(st.r2_pending);
           st.r2 = e;
           st.r2_pos = m_before + j;
           st.r2_pending = false;
           st.has_triangle = false;
-          subscribe_closer(i);
+          subscribe_closer(k, i);
           ++performed_assignments;
         }
         *head = 0;  // chain consumed; the event cannot fire again
       });
   TRISTREAM_CHECK_EQ(pending_assignments, performed_assignments);
+  ++batch_no_;
 }
 
 std::vector<double> TriangleCounter::PerEstimatorTriangleEstimates() {
@@ -402,7 +526,7 @@ const std::vector<EstimatorState>& TriangleCounter::estimators() {
   snapshot_.resize(cold_.size());
   for (std::size_t i = 0; i < cold_.size(); ++i) {
     EstimatorState& st = snapshot_[i];
-    st.r1 = cold_[i].r1;
+    st.r1 = Edge(UvLo(r1_uv_[i]), UvHi(r1_uv_[i]));
     st.r2 = cold_[i].r2;
     st.r1_pos = r1_pos_[i];
     st.r2_pos = cold_[i].r2_pos;
@@ -415,12 +539,14 @@ const std::vector<EstimatorState>& TriangleCounter::estimators() {
 
 void TriangleCounter::SaveState(ckpt::ByteSink& sink) const {
   sink.WriteU64(applied_edges_);
-  for (std::uint64_t word : rng_.state()) sink.WriteU64(word);
+  // The counter-based RNG's entire position is the batch number -- one
+  // word where the sequential generator needed its 256-bit state.
+  sink.WriteU64(batch_no_);
   sink.WriteU64(cold_.size());
   for (std::size_t i = 0; i < cold_.size(); ++i) {
     const ColdState& cs = cold_[i];
-    sink.WriteU32(cs.r1.u);
-    sink.WriteU32(cs.r1.v);
+    sink.WriteU32(UvLo(r1_uv_[i]));
+    sink.WriteU32(UvHi(r1_uv_[i]));
     sink.WriteU64(r1_pos_[i]);
     sink.WriteU64(c_[i]);
     sink.WriteU32(cs.r2.u);
@@ -438,11 +564,7 @@ void TriangleCounter::SaveState(ckpt::ByteSink& sink) const {
 
 Status TriangleCounter::RestoreState(ckpt::ByteSource& source) {
   TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&applied_edges_));
-  std::array<std::uint64_t, 4> rng_state;
-  for (std::uint64_t& word : rng_state) {
-    TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&word));
-  }
-  rng_.SetState(rng_state);
+  TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&batch_no_));
   std::uint64_t count = 0;
   TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&count));
   if (count != cold_.size()) {
@@ -457,8 +579,11 @@ Status TriangleCounter::RestoreState(ckpt::ByteSource& source) {
   for (std::size_t i = 0; i < cold_.size(); ++i) {
     ColdState& cs = cold_[i];
     std::uint8_t flags = 0;
-    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&cs.r1.u));
-    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&cs.r1.v));
+    std::uint32_t r1_u = 0;
+    std::uint32_t r1_v = 0;
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&r1_u));
+    TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&r1_v));
+    r1_uv_[i] = PackUv(r1_u, r1_v);
     TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&r1_pos_[i]));
     TRISTREAM_RETURN_IF_ERROR(source.ReadU64(&c_[i]));
     TRISTREAM_RETURN_IF_ERROR(source.ReadU32(&cs.r2.u));
@@ -497,13 +622,16 @@ TriangleCounter::MemoryStats TriangleCounter::ApproxMemoryUsage() const {
       cold_.capacity() * sizeof(ColdState) +
       r1_pos_.capacity() * sizeof(EdgeIndex) +
       c_.capacity() * sizeof(std::uint64_t) +
+      r1_uv_.capacity() * sizeof(std::uint64_t) +
       snapshot_.capacity() * sizeof(EstimatorState);
   stats.batch_scratch_bytes =
       pending_.capacity() * sizeof(Edge) + deg_.MemoryBytes() +
       level1_.MemoryBytes() + level2_.MemoryBytes() + closers_.MemoryBytes() +
       (chain_next_.capacity() + closer_next_.capacity() +
-       beta_u_.capacity() + beta_v_.capacity()) *
-          sizeof(std::uint32_t);
+       beta_rep_u_.capacity() + beta_rep_v_.capacity() + replacers_.capacity() +
+       replace_batch_idx_.capacity() + candidates_.capacity()) *
+          sizeof(std::uint32_t) +
+      (draw2_.capacity() + bloom_.capacity()) * sizeof(std::uint64_t);
   return stats;
 }
 

@@ -7,8 +7,11 @@
 //   * TriangleCounter -- the bulk algorithm of Sec. 3.3 (Theorem 3.5):
 //     batches of w edges are absorbed in O(r + w) time and O(r + w) space,
 //     so with w = Θ(r) the whole stream costs O(m + r) -- amortized O(1)
-//     per edge. Includes the paper's Sec. 4 implementation notes: the
-//     combined Step-2c/Step-3 pass and geometric-skip level-1 resampling.
+//     per edge. Includes the paper's Sec. 4 note merging Steps 2c and 3
+//     into one pass; the per-estimator sweeps (level-1 resampling, the
+//     level-2 candidate draw) run as SIMD lane sweeps over counter-based
+//     RNG streams (src/core/README.md documents the pipeline and the
+//     determinism contract).
 //
 // Both expose unbiased estimates of the triangle count τ (Lemma 3.2), the
 // wedge count ζ (Lemma 3.10), and the transitivity coefficient κ = 3τ/ζ
@@ -26,11 +29,16 @@
 #include "core/neighborhood_sampler.h"
 #include "util/flat_hash_map.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/status.h"
 #include "util/types.h"
 
 namespace tristream {
 namespace core {
+
+namespace kernels {
+struct KernelTable;
+}  // namespace kernels
 
 /// How per-estimator values are combined into one estimate.
 enum class Aggregation {
@@ -57,10 +65,13 @@ struct TriangleCounterOptions {
   /// (Sec. 4.3 uses w = 8r as the default operating point).
   std::size_t batch_size = 0;
 
-  /// Level-1 maintenance via geometric gap-skipping (Sec. 4): as the stream
-  /// grows, only ~r·w/(m+w) estimators replace their level-1 edge per
-  /// batch, so skipping directly between them beats touching all r.
-  bool use_geometric_skip = true;
+  /// Vector ISA for the per-estimator lane sweeps. Every choice computes
+  /// bit-identical estimates (pure integer math over counter-based RNG
+  /// draws), so this is a throughput knob only; it is excluded from the
+  /// checkpoint fingerprint. Requesting an ISA the host CPU lacks is a
+  /// configuration error (MakeEstimator validates; direct construction
+  /// CHECK-fails).
+  SimdMode simd = SimdMode::kAuto;
 };
 
 /// Aggregates per-estimator unbiased values per the configured rule.
@@ -205,16 +216,23 @@ class TriangleCounter {
   /// Effective batch size w in use.
   std::size_t batch_size() const { return batch_size_; }
 
-  /// Serializes the complete stream state -- RNG position, the SoA
-  /// estimator arrays, and the partially filled pending batch -- without
-  /// flushing (a flush would absorb a partial batch and perturb the RNG
-  /// trajectory relative to an uninterrupted run).
+  /// The instruction set the lane sweeps actually run on, after resolving
+  /// options.simd against the host CPU ("scalar", "avx2", "avx512").
+  /// Config echoes and bench JSON record this so results name the ISA.
+  const char* simd_isa_name() const { return SimdIsaName(isa_); }
+
+  /// Serializes the complete stream state -- the batch counter that
+  /// positions the counter-based RNG, the SoA estimator arrays, and the
+  /// partially filled pending batch -- without flushing (a flush would
+  /// absorb a partial batch and perturb the draw trajectory relative to an
+  /// uninterrupted run).
   void SaveState(ckpt::ByteSink& sink) const;
 
   /// Restores a SaveState blob into this counter. The counter must be
-  /// configured with the same (r, seed, batch, skip) options as the saver;
-  /// the estimator count is re-validated here, everything else by the
-  /// caller's config fingerprint. On failure the state is unspecified.
+  /// configured with the same (r, seed, batch) options as the saver -- but
+  /// not the same simd mode; snapshots are ISA-portable -- the estimator
+  /// count is re-validated here, everything else by the caller's config
+  /// fingerprint. On failure the state is unspecified.
   Status RestoreState(ckpt::ByteSource& source);
 
   /// Memory accounting, mirroring the paper's Sec. 4.3 discussion
@@ -229,12 +247,12 @@ class TriangleCounter {
  private:
   /// Cold per-estimator fields, touched only when an estimator resamples
   /// or completes a level-2 event. The hot fields of EstimatorState --
-  /// r1_pos (the has_r1 test of the level-1 sweep) and c (read and written
-  /// for every estimator in the Step-2b candidate-count pass and swept by
-  /// both estimate gathers) -- live in the r1_pos_/c_ arrays instead, so
-  /// those loops stream over 8-byte entries rather than 48-byte structs.
+  /// r1_pos (the has_r1 test), c (read and written in the Step-2b
+  /// candidate-count pass and swept by both estimate gathers), and the r1
+  /// endpoints (probed for every lane by the SIMD candidate filter) --
+  /// live in the r1_pos_/c_/r1_uv_ arrays instead, so those sweeps
+  /// stream over narrow contiguous entries rather than 48-byte structs.
   struct ColdState {
-    Edge r1;                               // level-1 edge
     Edge r2;                               // level-2 edge
     EdgeIndex r2_pos = kInvalidEdgeIndex;  // stream position of r2
     bool has_triangle = false;             // wedge r1r2 closed?
@@ -245,10 +263,14 @@ class TriangleCounter {
 
   TriangleCounterOptions options_;
   std::size_t batch_size_;
-  Rng rng_;
+  SimdIsa isa_;                             // resolved from options_.simd
+  const kernels::KernelTable* kernels_;     // lane-sweep kernels for isa_
+  std::uint64_t batch_no_ = 0;  // Threefry counter word: batches absorbed
   std::vector<ColdState> cold_;      // SoA: cold estimator fields
   std::vector<EdgeIndex> r1_pos_;    // SoA: stream position of r1 (hot)
   std::vector<std::uint64_t> c_;     // SoA: |N(r1)| so far (hot)
+  std::vector<std::uint64_t> r1_uv_;  // SoA: level-1 endpoints, packed
+                                      //   (u = low 32 bits, v = high 32)
   std::vector<EstimatorState> snapshot_;  // lazily built by estimators()
   std::vector<Edge> pending_;
   std::uint64_t applied_edges_ = 0;
@@ -260,8 +282,13 @@ class TriangleCounter {
   FlatHashMap<std::uint32_t> closers_;    // Q: awaited edge key -> chain head
   std::vector<std::uint32_t> chain_next_;   // shared chain storage (per est.)
   std::vector<std::uint32_t> closer_next_;  // Q chain storage (per est.)
-  std::vector<std::uint32_t> beta_u_;     // β(r1)(x) per estimator
-  std::vector<std::uint32_t> beta_v_;     // β(r1)(y) per estimator
+  std::vector<std::uint32_t> beta_rep_u_;  // β(r1)(x)/β(r1)(y) snapshots in
+  std::vector<std::uint32_t> beta_rep_v_;  //   replacer order (Step 2a->2b)
+  std::vector<std::uint64_t> draw2_;      // per-lane Step-2b draw word
+  std::vector<std::uint32_t> replacers_;  // lanes replacing r1 (ascending)
+  std::vector<std::uint32_t> replace_batch_idx_;  // their chosen batch edge
+  std::vector<std::uint32_t> candidates_;  // lanes passing the Bloom filter
+  std::vector<std::uint64_t> bloom_;       // batch-vertex Bloom bits
 };
 
 }  // namespace core

@@ -5,6 +5,11 @@ namespace engine {
 
 Result<std::unique_ptr<StreamingEstimator>> MakeEstimator(
     const std::string& algo, const EstimatorConfig& config) {
+  if (!ResolveSimdIsa(config.simd).has_value()) {
+    return Status::InvalidArgument(
+        std::string("--simd ") + SimdModeName(config.simd) +
+        " requested but this CPU does not support it (use --simd auto)");
+  }
   if (algo == "tsb") {
     core::ParallelCounterOptions o;
     o.num_estimators = config.num_estimators;
@@ -15,6 +20,7 @@ Result<std::unique_ptr<StreamingEstimator>> MakeEstimator(
     o.batch_size = config.batch_size;
     o.use_pipeline = config.use_pipeline;
     o.topology = config.topology;
+    o.simd = config.simd;
     return std::unique_ptr<StreamingEstimator>(
         std::make_unique<ParallelEstimator>(o));
   }
@@ -25,6 +31,7 @@ Result<std::unique_ptr<StreamingEstimator>> MakeEstimator(
     o.aggregation = config.aggregation;
     o.median_groups = config.median_groups;
     o.batch_size = config.batch_size;
+    o.simd = config.simd;
     return std::unique_ptr<StreamingEstimator>(
         std::make_unique<BulkEstimator>(o));
   }

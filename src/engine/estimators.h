@@ -86,7 +86,10 @@ class BulkEstimator : public StreamingEstimator {
   }
   bool checkpointable() const override { return true; }
   /// Everything that shapes the counter's RNG trajectory or state layout;
-  /// the resolved batch size stands in for options_.batch_size == 0.
+  /// the resolved batch size stands in for options_.batch_size == 0. The
+  /// simd mode is deliberately absent: every ISA computes the same bits,
+  /// so snapshots restore across dispatch choices (same policy as the
+  /// parallel estimator's exclusion of placement knobs).
   std::uint64_t config_fingerprint() const override {
     ckpt::ConfigFingerprint fp;
     fp.Mix(name());
@@ -95,7 +98,6 @@ class BulkEstimator : public StreamingEstimator {
     fp.Mix(static_cast<std::uint64_t>(options_.aggregation));
     fp.Mix(options_.median_groups);
     fp.Mix(counter_->batch_size());
-    fp.Mix(options_.use_geometric_skip ? 1 : 0);
     return fp.value();
   }
   Status SaveState(ckpt::ByteSink& sink) override {
@@ -439,6 +441,10 @@ struct EstimatorConfig {
   /// tsb only: shared batch size w (0 = 8r/threads).
   std::size_t batch_size = 0;
   bool use_pipeline = true;
+  /// tsb/bulk: vector ISA for the lane sweeps (--simd). Bit-identical
+  /// estimates under every choice; validated against the host CPU by
+  /// MakeEstimator.
+  SimdMode simd = SimdMode::kAuto;
   /// tsb only: topology placement (pinning, NUMA detection, per-node
   /// batch staging); see core::ParallelCounterOptions::topology.
   TopologyOptions topology;

@@ -150,6 +150,68 @@ class Rng {
   std::uint64_t state_[4];
 };
 
+/// High 64 bits of a 64x64 -> 128 multiply. Maps a raw 64-bit random word x
+/// onto [0, bound) as floor(x * bound / 2^64) — Lemire's multiply-shift
+/// *without* the rejection step. The bias is at most bound / 2^64 per value
+/// (unmeasurable for any bound this codebase draws), and in exchange every
+/// draw consumes exactly one word: no data-dependent retry loop, so vector
+/// lanes never diverge and scalar/SIMD paths are trivially bit-identical.
+inline std::uint64_t MulHi64(std::uint64_t x, std::uint64_t bound) {
+  return static_cast<std::uint64_t>(
+      (static_cast<__uint128_t>(x) * bound) >> 64);
+}
+
+/// Counter-based generator: Threefry-2x64, 13 rounds (Salmon et al.,
+/// "Parallel Random Numbers: As Easy as 1, 2, 3", SC'11 — the 13-round
+/// variant passes BigCrush). Unlike Rng there is no sequential state: the
+/// output block is a pure function of (key0, key1, counter), so estimator
+/// lane i at batch t draws Draw(seed, i, t) with no cross-lane coupling —
+/// any subset of lanes can be evaluated in any order, in any width of SIMD
+/// lane, or skipped entirely, without shifting anyone else's stream.
+/// Checkpoints only need the batch number, not a generator state.
+///
+/// The per-ISA kernels in src/core/estimator_kernels*.cc re-implement these
+/// rounds in vector registers against the same kRot/kParity constants; the
+/// scalar Draw below is the reference they are tested bit-identical to.
+class CounterRng {
+ public:
+  struct Block {
+    std::uint64_t x0;
+    std::uint64_t x1;
+  };
+
+  static constexpr int kRounds = 13;
+  /// Threefry-2x64 rotation schedule (R_64x2 of the reference
+  /// implementation), repeated cyclically.
+  static constexpr int kRot[8] = {16, 42, 12, 31, 16, 32, 24, 21};
+  /// Skein key-schedule parity constant.
+  static constexpr std::uint64_t kParity = 0x1BD11BDAA9FC1A22ULL;
+
+  /// One 128-bit block for key (key0, key1) at position `counter`.
+  static Block Draw(std::uint64_t key0, std::uint64_t key1,
+                    std::uint64_t counter) {
+    const std::uint64_t ks[3] = {key0, key1, key0 ^ key1 ^ kParity};
+    std::uint64_t x0 = counter + ks[0];
+    std::uint64_t x1 = ks[1];  // counter word 1 is always 0 here
+    for (int r = 0; r < kRounds; ++r) {
+      x0 += x1;
+      x1 = Rotl(x1, kRot[r % 8]);
+      x1 ^= x0;
+      if ((r & 3) == 3) {
+        const std::uint64_t inj = static_cast<std::uint64_t>(r / 4) + 1;
+        x0 += ks[inj % 3];
+        x1 += ks[(inj + 1) % 3] + inj;
+      }
+    }
+    return Block{x0, x1};
+  }
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+};
+
 }  // namespace tristream
 
 #endif  // TRISTREAM_UTIL_RNG_H_

@@ -1,0 +1,107 @@
+#include "util/simd.h"
+
+#include <cstdlib>
+
+namespace tristream {
+namespace {
+
+// __builtin_cpu_supports requires a literal argument, hence one probe
+// function per feature instead of a parameterized helper.
+bool CpuHasAvx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx512f() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+// Widest ISA the host supports; the kAuto choice.
+SimdIsa BestSupportedIsa() {
+  if (CpuHasAvx512f()) return SimdIsa::kAvx512;
+  if (CpuHasAvx2()) return SimdIsa::kAvx2;
+  return SimdIsa::kScalar;
+}
+
+}  // namespace
+
+std::optional<SimdMode> ParseSimdMode(const std::string& text) {
+  if (text == "auto") return SimdMode::kAuto;
+  if (text == "off") return SimdMode::kOff;
+  if (text == "avx2") return SimdMode::kAvx2;
+  if (text == "avx512") return SimdMode::kAvx512;
+  return std::nullopt;
+}
+
+const char* SimdModeName(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kAuto:
+      return "auto";
+    case SimdMode::kOff:
+      return "off";
+    case SimdMode::kAvx2:
+      return "avx2";
+    case SimdMode::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+const char* SimdIsaName(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
+  }
+  return "?";
+}
+
+bool SimdIsaSupported(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return true;
+    case SimdIsa::kAvx2:
+      return CpuHasAvx2();
+    case SimdIsa::kAvx512:
+      return CpuHasAvx512f();
+  }
+  return false;
+}
+
+std::optional<SimdIsa> ResolveSimdIsa(SimdMode mode) {
+  switch (mode) {
+    case SimdMode::kOff:
+      return SimdIsa::kScalar;
+    case SimdMode::kAvx2:
+      return SimdIsaSupported(SimdIsa::kAvx2) ? std::optional(SimdIsa::kAvx2)
+                                              : std::nullopt;
+    case SimdMode::kAvx512:
+      return SimdIsaSupported(SimdIsa::kAvx512)
+                 ? std::optional(SimdIsa::kAvx512)
+                 : std::nullopt;
+    case SimdMode::kAuto:
+      break;
+  }
+  // kAuto: honor the env override when it parses to a mode this host can
+  // run; anything unsupported or unparseable falls back to detection so a
+  // stale TRISTREAM_SIMD never turns into a hard failure.
+  if (const char* env = std::getenv("TRISTREAM_SIMD")) {
+    if (auto forced = ParseSimdMode(env);
+        forced.has_value() && *forced != SimdMode::kAuto) {
+      if (auto isa = ResolveSimdIsa(*forced); isa.has_value()) return isa;
+    }
+  }
+  return BestSupportedIsa();
+}
+
+}  // namespace tristream

@@ -1,0 +1,59 @@
+// SIMD dispatch substrate.
+//
+// The estimator hot path has per-ISA kernels (portable scalar, AVX2,
+// AVX-512F) selected at runtime. This header owns the *policy* half of
+// that: the user-facing mode knob (`--simd auto|off|avx2|avx512`), CPU
+// feature detection, and the resolution from a requested mode to the
+// instruction set a counter will actually run. The kernels themselves
+// live in src/core/estimator_kernels*.cc so that only those translation
+// units are compiled with vector target flags.
+//
+// Contract: every ISA computes bit-identical results (the kernels are
+// pure integer math over counter-based RNG draws), so the resolved ISA
+// is a pure performance choice. It is deliberately excluded from
+// checkpoint config fingerprints — a snapshot taken under `--simd off`
+// restores under `--simd avx512` and vice versa.
+
+#ifndef TRISTREAM_UTIL_SIMD_H_
+#define TRISTREAM_UTIL_SIMD_H_
+
+#include <optional>
+#include <string>
+
+namespace tristream {
+
+// What the user asked for.
+enum class SimdMode {
+  kAuto = 0,    // best supported ISA (TRISTREAM_SIMD env var may override)
+  kOff = 1,     // portable scalar kernels
+  kAvx2 = 2,    // require AVX2
+  kAvx512 = 3,  // require AVX-512F
+};
+
+// What the hardware will actually run.
+enum class SimdIsa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+// "auto", "off", "avx2", "avx512" -> mode. Empty optional on anything else.
+std::optional<SimdMode> ParseSimdMode(const std::string& text);
+
+const char* SimdModeName(SimdMode mode);
+const char* SimdIsaName(SimdIsa isa);
+
+// True when the host CPU can execute kernels for `isa` (scalar: always).
+bool SimdIsaSupported(SimdIsa isa);
+
+// Resolve a requested mode against the host CPU. Returns empty when the
+// mode names an ISA the CPU lacks (callers turn that into
+// InvalidArgument; core CHECK-fails — it is a config error, not a
+// runtime condition). kAuto picks the widest supported ISA; setting
+// TRISTREAM_SIMD=off|avx2|avx512 overrides kAuto only (explicit modes
+// always win), which is how CI pins the dispatch choice per run.
+std::optional<SimdIsa> ResolveSimdIsa(SimdMode mode);
+
+}  // namespace tristream
+
+#endif  // TRISTREAM_UTIL_SIMD_H_

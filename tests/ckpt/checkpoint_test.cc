@@ -21,6 +21,7 @@
 #include "gtest/gtest.h"
 #include "stream/edge_source.h"
 #include "stream/edge_stream.h"
+#include "util/simd.h"
 
 namespace tristream {
 namespace ckpt {
@@ -273,6 +274,121 @@ TEST(CheckpointBlobTest, ParallelRoundTripSurvivesPartialFillBuffer) {
   resumed.Flush();
   EXPECT_EQ(resumed.EstimateTriangles(), reference.EstimateTriangles());
   EXPECT_EQ(resumed.EstimateWedges(), reference.EstimateWedges());
+}
+
+// ----------------------------------------------------- SIMD portability
+
+EstimatorConfig SimdConfig(SimdMode simd) {
+  EstimatorConfig config;
+  config.num_estimators = 2048;
+  config.seed = 60806;
+  config.batch_size = kBatch;
+  config.simd = simd;
+  return config;
+}
+
+std::unique_ptr<StreamingEstimator> MakeBulkSimd(SimdMode simd) {
+  auto est = MakeEstimator("bulk", SimdConfig(simd));
+  EXPECT_TRUE(est.ok()) << est.status();
+  return std::move(*est);
+}
+
+std::vector<SimdMode> RestoreModes() {
+  std::vector<SimdMode> modes = {SimdMode::kOff, SimdMode::kAuto};
+  if (SimdIsaSupported(SimdIsa::kAvx2)) modes.push_back(SimdMode::kAvx2);
+  if (SimdIsaSupported(SimdIsa::kAvx512)) modes.push_back(SimdMode::kAvx512);
+  return modes;
+}
+
+TEST(CheckpointSimdTest, MidBatchRoundTripWithSimdOnIsBitIdentical) {
+  // Cut inside a batch with the vector kernels active: the pending-edge
+  // buffer plus the batch counter must round trip so the resumed run
+  // replays the exact same Threefry draws.
+  const auto el = gen::GnmRandom(150, 3000, 91);
+  const std::span<const Edge> edges(el.edges());
+  constexpr std::size_t kCut = 1111;  // mid-batch on the 256 grid
+
+  auto reference = MakeBulkSimd(SimdMode::kAuto);
+  reference->ProcessEdges(edges);
+  reference->Flush();
+
+  auto first = MakeBulkSimd(SimdMode::kAuto);
+  first->ProcessEdges(edges.first(kCut));
+  auto blob = EncodeCheckpoint(*first, kBatch);
+  ASSERT_TRUE(blob.ok()) << blob.status();
+
+  auto resumed = MakeBulkSimd(SimdMode::kAuto);
+  ASSERT_TRUE(DecodeCheckpoint(*blob, *resumed).ok());
+  resumed->ProcessEdges(edges.subspan(kCut));
+  resumed->Flush();
+  EXPECT_EQ(ReadEstimates(*resumed), ReadEstimates(*reference));
+}
+
+TEST(CheckpointSimdTest, SnapshotsAreIsaPortable) {
+  // --simd is a performance knob, not a configuration: a snapshot taken
+  // under the scalar fallback restores under every vector mode this host
+  // supports (and vice versa) with bit-identical continuation -- the
+  // fingerprint deliberately excludes the mode.
+  const auto el = gen::GnmRandom(150, 3000, 93);
+  const std::span<const Edge> edges(el.edges());
+  constexpr std::size_t kCut = 5 * kBatch;
+
+  auto reference = MakeBulkSimd(SimdMode::kOff);
+  reference->ProcessEdges(edges);
+  reference->Flush();
+  const Estimates expected = ReadEstimates(*reference);
+
+  auto saver = MakeBulkSimd(SimdMode::kOff);
+  saver->ProcessEdges(edges.first(kCut));
+  auto blob = EncodeCheckpoint(*saver, kBatch);
+  ASSERT_TRUE(blob.ok()) << blob.status();
+
+  for (const SimdMode mode : RestoreModes()) {
+    auto resumed = MakeBulkSimd(mode);
+    EXPECT_EQ(resumed->config_fingerprint(), saver->config_fingerprint())
+        << SimdModeName(mode);
+    auto info = DecodeCheckpoint(*blob, *resumed);
+    ASSERT_TRUE(info.ok()) << SimdModeName(mode) << ": " << info.status();
+    resumed->ProcessEdges(edges.subspan(kCut));
+    resumed->Flush();
+    EXPECT_EQ(ReadEstimates(*resumed), expected) << SimdModeName(mode);
+
+    // And the reverse direction: a vector-mode snapshot restores under
+    // the scalar fallback.
+    auto vec_saver = MakeBulkSimd(mode);
+    vec_saver->ProcessEdges(edges.first(kCut));
+    auto vec_blob = EncodeCheckpoint(*vec_saver, kBatch);
+    ASSERT_TRUE(vec_blob.ok()) << vec_blob.status();
+    auto scalar_resumed = MakeBulkSimd(SimdMode::kOff);
+    ASSERT_TRUE(DecodeCheckpoint(*vec_blob, *scalar_resumed).ok())
+        << SimdModeName(mode);
+    scalar_resumed->ProcessEdges(edges.subspan(kCut));
+    scalar_resumed->Flush();
+    EXPECT_EQ(ReadEstimates(*scalar_resumed), expected) << SimdModeName(mode);
+  }
+}
+
+TEST(CheckpointSimdTest, NextFormatVersionIsRejectedByName) {
+  // A checkpoint from a hypothetical v-next build must be refused with a
+  // version diagnostic (InvalidArgument, not CorruptData: the container
+  // is intact, this build is just too old for it).
+  auto est = MakeBulkSimd(SimdMode::kAuto);
+  const auto el = gen::GnmRandom(100, 1024, 95);
+  est->ProcessEdges(std::span<const Edge>(el.edges()));
+  auto blob = EncodeCheckpoint(*est, kBatch);
+  ASSERT_TRUE(blob.ok()) << blob.status();
+
+  std::string mutated = *blob;
+  mutated[8] = static_cast<char>(kFormatVersion + 1);  // little-endian U32
+  const Status s = InspectCheckpoint(mutated).status();
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << s;
+  EXPECT_NE(s.message().find("version"), std::string::npos) << s;
+
+  auto fresh = MakeBulkSimd(SimdMode::kAuto);
+  const Status d = DecodeCheckpoint(mutated, *fresh).status();
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(fresh->edges_processed(), 0u) << "half-restored estimator";
 }
 
 // --------------------------------------------------- engine checkpointing

@@ -4,7 +4,9 @@
 //   * deterministic estimator-state invariants across batch sizes,
 //     including w = 1 (which must behave like the sequential algorithm);
 //   * distributional equivalence with the naive engine;
-//   * end-to-end accuracy, determinism, skip on/off, and memory stats.
+//   * end-to-end accuracy, determinism, SIMD dispatch on/off, and memory
+//     stats. (Deeper cross-ISA bit-identity lives in
+//     simd_equivalence_test.cc.)
 
 #include <cmath>
 #include <map>
@@ -18,6 +20,7 @@
 #include "gtest/gtest.h"
 #include "stream/edge_stream.h"
 #include "tests/core/core_test_util.h"
+#include "util/simd.h"
 #include "util/types.h"
 
 namespace tristream {
@@ -122,26 +125,27 @@ TEST(EdgeIterTest, Figure2Observation36) {
 // --------------------------------------------------- invariants per batch
 
 TriangleCounterOptions BulkOptions(std::uint64_t r, std::uint64_t seed,
-                                   std::size_t batch, bool skip = true) {
+                                   std::size_t batch,
+                                   SimdMode simd = SimdMode::kAuto) {
   TriangleCounterOptions opt;
   opt.num_estimators = r;
   opt.seed = seed;
   opt.batch_size = batch;
-  opt.use_geometric_skip = skip;
+  opt.simd = simd;
   return opt;
 }
 
 class BulkInvariantSweep
-    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+    : public ::testing::TestWithParam<std::tuple<std::size_t, SimdMode>> {};
 
 TEST_P(BulkInvariantSweep, StateInvariantsAcrossBatchSizes) {
-  const auto [batch_size, skip] = GetParam();
+  const auto [batch_size, simd] = GetParam();
   for (std::uint64_t seed = 0; seed < 4; ++seed) {
     const auto graph_edges = gen::GnmRandom(40, 220, seed + 40);
     const auto stream = stream::ShuffleStreamOrder(graph_edges, seed);
     const auto stats = graph::ComputeStreamOrderStats(stream);
     TriangleCounter counter(BulkOptions(300, seed * 17 + 1, batch_size,
-                                        skip));
+                                        simd));
     counter.ProcessEdges(stream.edges());
     for (const EstimatorState& st : counter.estimators()) {
       ASSERT_FALSE(st.r2_pending);
@@ -157,7 +161,7 @@ INSTANTIATE_TEST_SUITE_P(
     BatchSizes, BulkInvariantSweep,
     ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 7, 64, 219,
                                                       220, 1024),
-                       ::testing::Bool()));
+                       ::testing::Values(SimdMode::kOff, SimdMode::kAuto)));
 
 TEST(BulkCounterTest, InvariantsWithPerEdgePushesAndInterleavedFlushes) {
   const auto stream =
@@ -304,18 +308,21 @@ TEST(BulkCounterTest, DeterministicPerSeed) {
   EXPECT_EQ(a.EstimateWedges(), b.EstimateWedges());
 }
 
-TEST(BulkCounterTest, SkipAndNoSkipBothAccurate) {
+TEST(BulkCounterTest, SimdOffAndAutoBitIdentical) {
+  // Whatever ISA `auto` resolves to must produce exactly the scalar
+  // fallback's bits -- not just statistically equivalent estimates.
   const auto stream =
       stream::ShuffleStreamOrder(gen::GnmRandom(50, 350, 31), 17);
   const auto tau = static_cast<double>(
       graph::CountTriangles(graph::Csr::FromEdgeList(stream)));
   ASSERT_GT(tau, 0.0);
-  TriangleCounter with_skip(BulkOptions(30000, 7, 128, /*skip=*/true));
-  TriangleCounter without_skip(BulkOptions(30000, 7, 128, /*skip=*/false));
-  with_skip.ProcessEdges(stream.edges());
-  without_skip.ProcessEdges(stream.edges());
-  EXPECT_NEAR(with_skip.EstimateTriangles(), tau, 0.2 * tau);
-  EXPECT_NEAR(without_skip.EstimateTriangles(), tau, 0.2 * tau);
+  TriangleCounter scalar(BulkOptions(30000, 7, 128, SimdMode::kOff));
+  TriangleCounter vector(BulkOptions(30000, 7, 128, SimdMode::kAuto));
+  scalar.ProcessEdges(stream.edges());
+  vector.ProcessEdges(stream.edges());
+  EXPECT_EQ(scalar.EstimateTriangles(), vector.EstimateTriangles());
+  EXPECT_EQ(scalar.EstimateWedges(), vector.EstimateWedges());
+  EXPECT_NEAR(scalar.EstimateTriangles(), tau, 0.2 * tau);
 }
 
 TEST(BulkCounterTest, DefaultBatchSizeIsEightR) {

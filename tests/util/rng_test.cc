@@ -1,7 +1,9 @@
 #include "util/rng.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -146,6 +148,68 @@ TEST(RngTest, GeometricSkipDistributionMatchesCoinFlips) {
   EXPECT_NEAR(zeros, kTrials * p, 5 * sigma);
 }
 
+TEST(RngTest, GeometricSkipNearOneProbabilityIsAlmostAlwaysZero) {
+  // replace_prob -> 1.0: P[skip > 0] = 1 - p. At p = 1 - 1e-9 a nonzero
+  // skip over 10^4 draws has probability ~1e-5; the math must not produce
+  // a spurious positive skip from floating-point cancellation in
+  // log1p(-p).
+  Rng rng(16);
+  const double p = 1.0 - 1e-9;
+  for (int i = 0; i < 10000; ++i) ASSERT_EQ(rng.GeometricSkip(p), 0u) << i;
+}
+
+TEST(RngTest, GeometricSkipTinyProbabilityStaysInRange) {
+  // p near the 2^-53 resolution floor of UniformReal: skips are
+  // astronomically large but must stay finite, clamped into uint64 range
+  // (no NaN/inf casts, which are UB). Mean is (1-p)/p ~ 9e15; every draw
+  // exceeding 10^9 has probability 1 - ~1e-7 per draw.
+  Rng rng(17);
+  const double p = 0x1.0p-53;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t skip = rng.GeometricSkip(p);
+    ASSERT_GT(skip, 1000000000ull) << i;
+  }
+}
+
+TEST(RngTest, GeometricSkipSubResolutionProbabilityClampsToMax) {
+  // p far below 2^-53: even the largest representable u maps to a skip
+  // beyond the 9.2e18 guard for most draws, and the u = 0 guard (the
+  // log(0) path) must clamp to uint64 max instead of overflowing the
+  // float-to-int cast.
+  Rng rng(18);
+  const double p = 1e-22;
+  bool saw_max = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t skip = rng.GeometricSkip(p);
+    saw_max |= (skip == std::numeric_limits<std::uint64_t>::max());
+    ASSERT_GT(skip, 1ull << 40) << i;
+  }
+  // -log(u) > 9.2e-4 (u < 0.9991) pushes past the clamp at this p.
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(RngTest, GeometricSkipWalkTerminatesWithinRangeBounds) {
+  // The level-1 maintenance loop walks `pos += skip + 1` until pos >= r.
+  // Because every step advances by at least one, covering r estimators
+  // takes at most r draws -- even at replace probabilities near 1, where
+  // the skips are almost all zero. A gap landing at or beyond r simply
+  // ends the walk; nothing is drawn for the out-of-range tail.
+  Rng rng(19);
+  for (const double p : {0.999, 0.5, 0.05, 1e-4}) {
+    const std::uint64_t r = 1000;
+    std::uint64_t pos = rng.GeometricSkip(p);
+    std::uint64_t draws = 1;
+    std::uint64_t last = pos;
+    while (pos < r) {
+      pos += rng.GeometricSkip(p) + 1;
+      ASSERT_GT(pos, last) << "walk must strictly advance (p=" << p << ")";
+      last = pos;
+      ++draws;
+      ASSERT_LE(draws, r + 1) << "walk failed to terminate (p=" << p << ")";
+    }
+  }
+}
+
 TEST(RngTest, ForkProducesIndependentStream) {
   Rng a(77);
   Rng b = a.Fork();
@@ -198,6 +262,120 @@ TEST(RngTest, WorksAsUniformRandomBitGenerator) {
   static_assert(Rng::min() == 0);
   static_assert(Rng::max() == ~0ULL);
   EXPECT_NE(rng(), rng());
+}
+
+// ------------------------------------------------------------ MulHi64
+
+TEST(MulHi64Test, MapsWordOntoRange) {
+  // floor(x * bound / 2^64): exact endpoints and a power-of-two identity.
+  EXPECT_EQ(MulHi64(0, 100), 0u);
+  EXPECT_EQ(MulHi64(~0ULL, 100), 99u);
+  // For bound = 2^k the map is just the top k bits.
+  const std::uint64_t x = 0xfedcba9876543210ULL;
+  EXPECT_EQ(MulHi64(x, 1ULL << 16), x >> 48);
+  EXPECT_EQ(MulHi64(x, 1), 0u);
+}
+
+TEST(MulHi64Test, IsMonotoneInX) {
+  std::uint64_t prev = 0;
+  for (std::uint64_t x = 0; x < (1ULL << 60); x += (1ULL << 53) + 12345) {
+    const std::uint64_t y = MulHi64(x, 1000);
+    ASSERT_GE(y, prev);
+    ASSERT_LT(y, 1000u);
+    prev = y;
+  }
+}
+
+// ---------------------------------------------------------- CounterRng
+
+TEST(CounterRngTest, MatchesThreefry2x64ReferenceVector) {
+  // Random123's known-answer test for threefry2x64, 13 rounds, with
+  // counter (0, 0) and key (0, 0). Pinning the exact reference output
+  // locks the rotation schedule, injection cadence, and parity constant:
+  // checkpointed streams replay these draws forever.
+  const CounterRng::Block b = CounterRng::Draw(0, 0, 0);
+  EXPECT_EQ(b.x0, 0xf167b032c3b480bdULL);
+  EXPECT_EQ(b.x1, 0xe91f9fee4b7a6fb5ULL);
+}
+
+TEST(CounterRngTest, GoldenVectorsPinTheAlgorithm) {
+  // Outputs captured from this implementation; any change to the round
+  // count or key schedule breaks bit-identical checkpoint resume and must
+  // show up here, not in a downstream estimate drift.
+  CounterRng::Block b = CounterRng::Draw(1, 2, 3);
+  EXPECT_EQ(b.x0, 0x68806eb694aefe1bULL);
+  EXPECT_EQ(b.x1, 0x3ab92483aa91856cULL);
+  b = CounterRng::Draw(0x5eed5eed5eed5eedULL, 4096, 1000000);
+  EXPECT_EQ(b.x0, 0x507ee9bebd7f2a5cULL);
+  EXPECT_EQ(b.x1, 0x68b94fb594d62511ULL);
+}
+
+TEST(CounterRngTest, IsAPureFunction) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const CounterRng::Block a = CounterRng::Draw(i * 7, i, i * i);
+    const CounterRng::Block b = CounterRng::Draw(i * 7, i, i * i);
+    ASSERT_EQ(a.x0, b.x0);
+    ASSERT_EQ(a.x1, b.x1);
+  }
+}
+
+TEST(CounterRngTest, SingleBitInputChangesAvalanche) {
+  // Flipping one bit of seed, lane, or counter should flip ~32 of the 64
+  // output bits; 16..48 is a >6-sigma band. This is what makes
+  // (seed, lane) keying safe: adjacent lanes share 63 input bits yet
+  // their streams are statistically unrelated.
+  const std::uint64_t seed = 0x5eed, lane = 12, ctr = 34;
+  const CounterRng::Block base = CounterRng::Draw(seed, lane, ctr);
+  for (int bit = 0; bit < 64; ++bit) {
+    const std::uint64_t flip = 1ULL << bit;
+    for (const CounterRng::Block& var :
+         {CounterRng::Draw(seed ^ flip, lane, ctr),
+          CounterRng::Draw(seed, lane ^ flip, ctr),
+          CounterRng::Draw(seed, lane, ctr ^ flip)}) {
+      const int d0 = __builtin_popcountll(base.x0 ^ var.x0);
+      const int d1 = __builtin_popcountll(base.x1 ^ var.x1);
+      ASSERT_GE(d0, 16) << "bit " << bit;
+      ASSERT_LE(d0, 48) << "bit " << bit;
+      ASSERT_GE(d1, 16) << "bit " << bit;
+      ASSERT_LE(d1, 48) << "bit " << bit;
+    }
+  }
+}
+
+TEST(CounterRngTest, LaneStreamsDoNotCollide) {
+  // 1000 lanes x 10 batches: all 128-bit blocks distinct (a collision is
+  // a 2^-64-scale event, i.e. a bug).
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t lane = 0; lane < 1000; ++lane) {
+    for (std::uint64_t batch = 0; batch < 10; ++batch) {
+      const CounterRng::Block b = CounterRng::Draw(42, lane, batch);
+      seen.push_back(b.x0 ^ (b.x1 * 0x9e3779b97f4a7c15ULL));
+    }
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(CounterRngTest, OutputWordsAreUniformEnoughForPicks) {
+  // The level-1 pick maps x0 through MulHi64 onto [0, m + w); chi-square
+  // the induced cell distribution the way UniformBelow is tested above.
+  constexpr int kCells = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts0(kCells, 0), counts1(kCells, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    const CounterRng::Block b = CounterRng::Draw(7, 3, i);
+    ++counts0[MulHi64(b.x0, kCells)];
+    ++counts1[MulHi64(b.x1, kCells)];
+  }
+  const double expected = static_cast<double>(kDraws) / kCells;
+  for (const auto& counts : {counts0, counts1}) {
+    double chi2 = 0.0;
+    for (int c : counts) {
+      const double d = c - expected;
+      chi2 += d * d / expected;
+    }
+    EXPECT_LT(chi2, 35.0);
+  }
 }
 
 }  // namespace

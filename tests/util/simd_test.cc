@@ -1,0 +1,117 @@
+// SIMD policy tests: mode parsing, CPU-feature resolution, and the
+// TRISTREAM_SIMD env override. Kernel bit-identity across ISAs is tested
+// separately in tests/core/simd_equivalence_test.cc; this file covers the
+// knob itself.
+
+#include "util/simd.h"
+
+#include <cstdlib>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace tristream {
+namespace {
+
+/// Sets/unsets TRISTREAM_SIMD for one test and restores the prior value.
+class ScopedSimdEnv {
+ public:
+  explicit ScopedSimdEnv(const char* value) {
+    const char* old = std::getenv("TRISTREAM_SIMD");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      ::setenv("TRISTREAM_SIMD", value, 1);
+    } else {
+      ::unsetenv("TRISTREAM_SIMD");
+    }
+  }
+  ~ScopedSimdEnv() {
+    if (had_old_) {
+      ::setenv("TRISTREAM_SIMD", old_.c_str(), 1);
+    } else {
+      ::unsetenv("TRISTREAM_SIMD");
+    }
+  }
+
+ private:
+  bool had_old_;
+  std::string old_;
+};
+
+TEST(SimdModeTest, ParseAcceptsTheFourModes) {
+  EXPECT_EQ(ParseSimdMode("auto"), SimdMode::kAuto);
+  EXPECT_EQ(ParseSimdMode("off"), SimdMode::kOff);
+  EXPECT_EQ(ParseSimdMode("avx2"), SimdMode::kAvx2);
+  EXPECT_EQ(ParseSimdMode("avx512"), SimdMode::kAvx512);
+}
+
+TEST(SimdModeTest, ParseRejectsEverythingElse) {
+  for (const char* bad :
+       {"", "AVX2", "Auto", "on", "avx", "avx-512", "sse", " off", "off "}) {
+    EXPECT_FALSE(ParseSimdMode(bad).has_value()) << "'" << bad << "'";
+  }
+}
+
+TEST(SimdModeTest, NamesRoundTripThroughParse) {
+  for (const SimdMode mode : {SimdMode::kAuto, SimdMode::kOff,
+                              SimdMode::kAvx2, SimdMode::kAvx512}) {
+    EXPECT_EQ(ParseSimdMode(SimdModeName(mode)), mode);
+  }
+}
+
+TEST(SimdIsaTest, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(SimdIsaSupported(SimdIsa::kScalar));
+}
+
+TEST(SimdIsaTest, WidthsImplyNarrowerWidths) {
+  // No real x86 ships AVX-512F without AVX2; the dispatch logic leans on
+  // feature detection being monotone like this.
+  if (SimdIsaSupported(SimdIsa::kAvx512)) {
+    EXPECT_TRUE(SimdIsaSupported(SimdIsa::kAvx2));
+  }
+}
+
+TEST(SimdResolveTest, OffAlwaysResolvesToScalar) {
+  ScopedSimdEnv env("avx512");  // explicit modes ignore the env
+  EXPECT_EQ(ResolveSimdIsa(SimdMode::kOff), SimdIsa::kScalar);
+}
+
+TEST(SimdResolveTest, ExplicitModeResolvesIffSupported) {
+  const auto avx2 = ResolveSimdIsa(SimdMode::kAvx2);
+  EXPECT_EQ(avx2.has_value(), SimdIsaSupported(SimdIsa::kAvx2));
+  if (avx2.has_value()) EXPECT_EQ(*avx2, SimdIsa::kAvx2);
+
+  const auto avx512 = ResolveSimdIsa(SimdMode::kAvx512);
+  EXPECT_EQ(avx512.has_value(), SimdIsaSupported(SimdIsa::kAvx512));
+  if (avx512.has_value()) EXPECT_EQ(*avx512, SimdIsa::kAvx512);
+}
+
+TEST(SimdResolveTest, AutoAlwaysResolvesToASupportedIsa) {
+  ScopedSimdEnv env(nullptr);
+  const auto isa = ResolveSimdIsa(SimdMode::kAuto);
+  ASSERT_TRUE(isa.has_value());
+  EXPECT_TRUE(SimdIsaSupported(*isa));
+}
+
+TEST(SimdResolveTest, EnvOverridePinsAuto) {
+  ScopedSimdEnv env("off");
+  EXPECT_EQ(ResolveSimdIsa(SimdMode::kAuto), SimdIsa::kScalar);
+}
+
+TEST(SimdResolveTest, EnvOverrideDoesNotTouchExplicitModes) {
+  ScopedSimdEnv env("off");
+  if (SimdIsaSupported(SimdIsa::kAvx2)) {
+    EXPECT_EQ(ResolveSimdIsa(SimdMode::kAvx2), SimdIsa::kAvx2);
+  }
+}
+
+TEST(SimdResolveTest, UnparseableEnvFallsBackToDetection) {
+  ScopedSimdEnv clean(nullptr);
+  const auto detected = ResolveSimdIsa(SimdMode::kAuto);
+  ScopedSimdEnv env("turbo-mode");
+  EXPECT_EQ(ResolveSimdIsa(SimdMode::kAuto), detected);
+}
+
+}  // namespace
+}  // namespace tristream
