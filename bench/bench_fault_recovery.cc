@@ -1,0 +1,253 @@
+// Fault-recovery overhead bench: what a failure costs on the self-healing
+// serve plane. Three figures, all on the production serve + feed-client
+// path:
+//   * reconnect overhead -- a named feed chaos-killed K times vs. a clean
+//     anonymous feed of the same stream (per-kill cost in ms);
+//   * resume latency -- the recovery leg of a killed-at-half feed when the
+//     detached session is still in memory;
+//   * restore latency -- the same leg after the session was
+//     checkpoint-evicted under memory pressure, so the server must restore
+//     it from disk first (the delta is the evict/restore tax).
+// Every path must land on the same triangle estimate as the clean run --
+// the bench exits nonzero on any divergence, like the checkpoint bench.
+//
+// Knobs on top of the standard bench env vars:
+//   TRISTREAM_BENCH_R       estimators per session        (default 2048)
+//   TRISTREAM_BENCH_THREADS serve worker threads          (default 2)
+//
+// Output: human-readable table on stderr, one JSON document on stdout.
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/feed_client.h"
+#include "engine/serve.h"
+#include "stream/edge_stream.h"
+#include "util/logging.h"
+
+namespace {
+
+using namespace tristream;
+
+constexpr std::size_t kBatch = 256;
+constexpr std::uint64_t kCkptEvery = 2048;  // multiple of kBatch: restore
+                                            // stays bit-identical
+
+engine::FeedClientOptions FeedOptions(std::uint16_t port,
+                                      std::uint64_t stream_id,
+                                      std::uint32_t retries) {
+  engine::FeedClientOptions options;
+  options.port = port;
+  options.frame_edges = 8192;
+  options.stream_id = stream_id;
+  options.max_retries = retries;
+  options.backoff.seed = stream_id != 0 ? stream_id : 1;
+  // Near-zero backoff: measure the recovery machinery, not the sleeps --
+  // but yield ~1ms per retry so the server's detach/evict bookkeeping can
+  // land between attempts instead of the client burning its budget first.
+  options.sleep_override = [](std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  };
+  return options;
+}
+
+engine::FeedResult MustFeed(const graph::EdgeList& el,
+                            const engine::FeedClientOptions& options) {
+  stream::MemoryEdgeStream source(el);
+  auto result = RunFeedClient(source, options);
+  TRISTREAM_CHECK(result.ok()) << result.status();
+  return *result;
+}
+
+/// Deletes a stream id's checkpoint generations. Sessions restore
+/// transparently across server restarts from the shared checkpoint dir --
+/// exactly the behavior under test, and exactly why each scenario must
+/// start from a scrubbed slate or the next one resumes instead of
+/// re-feeding.
+void Scrub(const std::string& ckpt_dir, std::uint64_t id) {
+  const std::string base = ckpt_dir + "/stream-" + std::to_string(id);
+  std::remove((base + ".ckpt").c_str());
+  std::remove((base + ".ckpt.prev").c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace tristream::bench;
+  const std::uint64_t r = EnvU64("TRISTREAM_BENCH_R", 2048);
+  const auto workers =
+      static_cast<std::uint32_t>(EnvU64("TRISTREAM_BENCH_THREADS", 2));
+  const int trials = BenchTrials();
+
+  const auto instance = MakeInstance(gen::DatasetId::kDblp);
+  const graph::EdgeList& el = instance.stream;
+  const std::uint64_t edges = el.size();
+  TRISTREAM_CHECK(edges > 4 * kCkptEvery)
+      << "bench scale too small for the eviction scenario";
+
+  const char* tmpdir = std::getenv("TMPDIR");
+  const std::string ckpt_dir =
+      std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp") +
+      "/bench_fault_recovery.d";
+  ::mkdir(ckpt_dir.c_str(), 0755);
+
+  engine::ServeOptions base;
+  base.algo = "bulk";
+  base.config.num_estimators = r;
+  base.config.seed = BenchSeed() * 7919 + 29;
+  base.config.batch_size = kBatch;
+  base.batch_size = kBatch;
+  base.num_workers = workers;
+  base.max_sessions = 8;
+  base.checkpoint_dir = ckpt_dir;
+  base.checkpoint_every_edges = kCkptEvery;
+  const std::size_t charge = engine::Server::EstimateSessionCharge(base);
+
+  // K chaos kills, evenly spaced; the half-point kill for the recovery
+  // legs is cadence-aligned so the evicted session's checkpoint sits at
+  // the exact detach position and both legs replay the same remainder.
+  constexpr std::uint64_t kKills = 4;
+  std::vector<std::uint64_t> kill_positions;
+  for (std::uint64_t k = 1; k <= kKills; ++k) {
+    kill_positions.push_back(k * edges / (kKills + 1) / kBatch * kBatch);
+  }
+  const std::uint64_t half = edges / 2 / kCkptEvery * kCkptEvery;
+
+  std::fprintf(stderr,
+               "fault recovery bench: serve plane, dataset=dblp "
+               "edges=%llu r=%llu workers=%u trials=%d\n"
+               "chaos kills=%llu  recovery-leg detach at edge %llu "
+               "(ckpt every %llu)\n\n",
+               static_cast<unsigned long long>(edges),
+               static_cast<unsigned long long>(r), workers, trials,
+               static_cast<unsigned long long>(kKills),
+               static_cast<unsigned long long>(half),
+               static_cast<unsigned long long>(kCkptEvery));
+
+  std::vector<double> clean_s, chaos_s, resume_s, restore_s;
+  double clean_estimate = 0.0;
+  bool identical = true;
+  std::uint64_t restores_seen = 0;
+
+  for (int trial = 0; trial < trials; ++trial) {
+    // Clean baseline: anonymous feed, no faults.
+    {
+      engine::Server server{engine::ServeOptions(base)};
+      auto port = server.Start();
+      TRISTREAM_CHECK(port.ok()) << port.status();
+      WallTimer timer;
+      const auto result = MustFeed(el, FeedOptions(*port, 0, 0));
+      clean_s.push_back(timer.Seconds());
+      clean_estimate = result.final_snapshot.triangles;
+      server.Stop();
+      server.Wait();
+    }
+
+    // Chaos: one named feed, K scheduled kills, self-healing retries.
+    {
+      engine::Server server{engine::ServeOptions(base)};
+      auto port = server.Start();
+      TRISTREAM_CHECK(port.ok()) << port.status();
+      engine::FeedClientOptions feed = FeedOptions(*port, 11, 200);
+      feed.kill_after_events = kill_positions;
+      WallTimer timer;
+      stream::MemoryEdgeStream source(el);
+      auto result = RunFeedClient(source, feed);
+      chaos_s.push_back(timer.Seconds());
+      TRISTREAM_CHECK(result.ok()) << result.status();
+      identical =
+          identical && result->final_snapshot.triangles == clean_estimate;
+      server.Stop();
+      server.Wait();
+      Scrub(ckpt_dir, 11);
+    }
+
+    // Recovery legs: kill a named session at the half-point, run a second
+    // full session, then time the killed session's reconnect-to-finish.
+    // With a roomy budget the detached session resumes from memory; with a
+    // one-session budget the second session evicts it to disk first, so
+    // the same leg pays the restore.
+    for (const bool tight : {false, true}) {
+      engine::ServeOptions options(base);
+      options.memory_budget_bytes = tight ? charge : 64 * charge;
+      engine::Server server(std::move(options));
+      auto port = server.Start();
+      TRISTREAM_CHECK(port.ok()) << port.status();
+
+      engine::FeedClientOptions killed = FeedOptions(*port, 21, 0);
+      killed.kill_after_events = {half};
+      {
+        stream::MemoryEdgeStream source(el);
+        auto cut = RunFeedClient(source, killed);
+        TRISTREAM_CHECK(!cut.ok());  // the kill is the point
+      }
+      MustFeed(el, FeedOptions(*port, 22, 200));  // pressure / warm peer
+
+      WallTimer timer;
+      const auto recovered = MustFeed(el, FeedOptions(*port, 21, 200));
+      (tight ? restore_s : resume_s).push_back(timer.Seconds());
+      identical =
+          identical && recovered.final_snapshot.triangles == clean_estimate;
+      server.Stop();
+      server.Wait();
+      if (tight) restores_seen += server.stats().restored;
+      Scrub(ckpt_dir, 21);
+      Scrub(ckpt_dir, 22);
+    }
+  }
+
+  ::rmdir(ckpt_dir.c_str());
+  TRISTREAM_CHECK(restores_seen == static_cast<std::uint64_t>(trials))
+      << "eviction scenario did not exercise restore-from-disk";
+
+  const double clean_med = Median(clean_s);
+  const double chaos_med = Median(chaos_s);
+  const double resume_med = Median(resume_s);
+  const double restore_med = Median(restore_s);
+  const double clean_meps =
+      clean_med > 0.0 ? static_cast<double>(edges) / clean_med / 1e6 : 0.0;
+  const double chaos_meps =
+      chaos_med > 0.0 ? static_cast<double>(edges) / chaos_med / 1e6 : 0.0;
+  const double per_kill_ms =
+      (chaos_med - clean_med) * 1000.0 / static_cast<double>(kKills);
+  const double restore_tax_ms = (restore_med - resume_med) * 1000.0;
+
+  std::fprintf(stderr, "%-22s | %10s\n", "measure", "value");
+  std::fprintf(stderr, "%-22s | %8.2f M e/s\n", "clean feed", clean_meps);
+  std::fprintf(stderr, "%-22s | %8.2f M e/s\n", "chaos feed (4 kills)",
+               chaos_meps);
+  std::fprintf(stderr, "%-22s | %8.3f ms\n", "per-kill reconnect",
+               per_kill_ms);
+  std::fprintf(stderr, "%-22s | %8.3f ms\n", "resume leg (memory)",
+               resume_med * 1000.0);
+  std::fprintf(stderr, "%-22s | %8.3f ms\n", "restore leg (disk)",
+               restore_med * 1000.0);
+  std::fprintf(stderr, "%-22s | %8.3f ms\n", "evict/restore tax",
+               restore_tax_ms);
+  std::fprintf(stderr, "%-22s | %s\n", "bit-identical",
+               identical ? "yes" : "NO -- BUG");
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"fault_recovery\",\n");
+  std::printf("  \"dataset\": \"dblp\",\n");
+  std::printf("  \"edges\": %llu,\n", static_cast<unsigned long long>(edges));
+  std::printf("  \"trials\": %d,\n", trials);
+  std::printf("  \"kills\": %llu,\n",
+              static_cast<unsigned long long>(kKills));
+  std::printf("  \"clean_meps\": %.4f,\n", clean_meps);
+  std::printf("  \"chaos_meps\": %.4f,\n", chaos_meps);
+  std::printf("  \"per_kill_reconnect_ms\": %.4f,\n", per_kill_ms);
+  std::printf("  \"resume_leg_ms\": %.4f,\n", resume_med * 1000.0);
+  std::printf("  \"restore_leg_ms\": %.4f,\n", restore_med * 1000.0);
+  std::printf("  \"evict_restore_tax_ms\": %.4f,\n", restore_tax_ms);
+  std::printf("  \"bit_identical\": %s\n", identical ? "true" : "false");
+  std::printf("}\n");
+  return identical ? 0 : 1;
+}

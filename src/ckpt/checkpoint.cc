@@ -6,6 +6,8 @@
 
 #include <cerrno>
 #include <cstring>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "ckpt/crc32c.h"
@@ -16,6 +18,28 @@ namespace ckpt {
 namespace {
 
 constexpr char kMagic[8] = {'T', 'R', 'I', 'C', 'K', 'P', 'T', '\0'};
+
+// Process-wide persist fault hook (testing only). Copied out under the
+// mutex before each step so a hook swap never races an in-flight save.
+std::mutex& PersistHookMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+PersistFaultHook& PersistHookSlot() {
+  static PersistFaultHook hook;
+  return hook;
+}
+
+Status ConsultPersistHook(PersistStep step, const std::string& path) {
+  PersistFaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(PersistHookMutex());
+    hook = PersistHookSlot();
+  }
+  if (!hook) return Status::Ok();
+  return hook(step, path);
+}
 
 constexpr std::uint32_t kSectionMeta = 1;
 constexpr std::uint32_t kSectionState = 2;
@@ -189,6 +213,11 @@ std::string PreviousGenerationPath(const std::string& path) {
   return path + ".prev";
 }
 
+void SetPersistFaultHookForTesting(PersistFaultHook hook) {
+  std::lock_guard<std::mutex> lock(PersistHookMutex());
+  PersistHookSlot() = std::move(hook);
+}
+
 Result<std::string> EncodeCheckpoint(engine::StreamingEstimator& estimator,
                                      std::uint64_t batch_size) {
   ByteSink state;
@@ -251,13 +280,34 @@ Result<CheckpointInfo> DecodeCheckpoint(
   return info;
 }
 
-Status WriteFileAtomic(const std::string& path, std::string_view data) {
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync) {
   const std::string tmp_path = path + ".tmp";
+  TRISTREAM_RETURN_IF_ERROR(ConsultPersistHook(PersistStep::kOpenTmp, path));
   const int fd = ::open(tmp_path.c_str(),
                         O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IoError("open('" + tmp_path +
                            "') failed: " + std::strerror(errno));
+  }
+  // An injected write fault simulates a crash mid-write: half the blob
+  // lands in the temp file and nothing is cleaned up (a real crash would
+  // not unlink either). Loaders never read `.tmp`, so the torn file is
+  // inert until the next save's O_TRUNC.
+  if (Status faulted = ConsultPersistHook(PersistStep::kWrite, path);
+      !faulted.ok()) {
+    const std::size_t half = data.size() / 2;
+    std::size_t torn = 0;
+    while (torn < half) {
+      const ssize_t n = ::write(fd, data.data() + torn, half - torn);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      torn += static_cast<std::size_t>(n);
+    }
+    ::close(fd);
+    return faulted;
   }
   std::size_t written = 0;
   while (written < data.size()) {
@@ -274,8 +324,15 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
   }
   // The temp file must be durable BEFORE any rename: if we crash between
   // the renames below, `path.prev` (the old snapshot) is still complete,
-  // and if we crash before them, `path` itself is untouched.
-  if (::fsync(fd) != 0) {
+  // and if we crash before them, `path` itself is untouched. sync == false
+  // trades the power-loss half of that guarantee for speed (the serve
+  // plane amortizes real fsyncs across its checkpoint cadence).
+  if (Status faulted = ConsultPersistHook(PersistStep::kFsync, path);
+      !faulted.ok()) {
+    ::close(fd);
+    return faulted;
+  }
+  if (sync && ::fsync(fd) != 0) {
     const std::string error = std::strerror(errno);
     ::close(fd);
     ::unlink(tmp_path.c_str());
@@ -286,6 +343,10 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
     return Status::IoError("close('" + tmp_path +
                            "') failed: " + std::strerror(errno));
   }
+  // A fault here is a crash after durability but before any rename:
+  // primary untouched, complete temp file left behind.
+  TRISTREAM_RETURN_IF_ERROR(
+      ConsultPersistHook(PersistStep::kRenamePrev, path));
   // Keep the previous generation around; a reader that finds `path` torn
   // away mid-rotation can still load `path.prev`.
   if (::rename(path.c_str(), PreviousGenerationPath(path).c_str()) != 0 &&
@@ -294,30 +355,38 @@ Status WriteFileAtomic(const std::string& path, std::string_view data) {
                            PreviousGenerationPath(path) +
                            "') failed: " + std::strerror(errno));
   }
+  // A fault here is the torn rename: rotation done, primary gone, only
+  // `path.prev` loadable -- the exact window LoadCheckpoint's fallback
+  // exists for.
+  TRISTREAM_RETURN_IF_ERROR(
+      ConsultPersistHook(PersistStep::kRenamePrimary, path));
   if (::rename(tmp_path.c_str(), path.c_str()) != 0) {
     return Status::IoError("rename('" + tmp_path + "' -> '" + path +
                            "') failed: " + std::strerror(errno));
   }
   // Make the renames themselves durable. Best-effort: some filesystems
   // reject fsync on directories; the data itself is already synced.
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
-  if (dir_fd >= 0) {
-    (void)::fsync(dir_fd);
-    ::close(dir_fd);
+  if (sync) {
+    const std::size_t slash = path.find_last_of('/');
+    const std::string dir = slash == std::string::npos
+                                ? std::string(".")
+                                : path.substr(0, slash == 0 ? 1 : slash);
+    const int dir_fd =
+        ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dir_fd >= 0) {
+      (void)::fsync(dir_fd);
+      ::close(dir_fd);
+    }
   }
   return Status::Ok();
 }
 
 Status SaveCheckpoint(const std::string& path,
                       engine::StreamingEstimator& estimator,
-                      std::uint64_t batch_size) {
+                      std::uint64_t batch_size, bool sync) {
   TRISTREAM_ASSIGN_OR_RETURN(std::string blob,
                              EncodeCheckpoint(estimator, batch_size));
-  return WriteFileAtomic(path, blob);
+  return WriteFileAtomic(path, blob, sync);
 }
 
 Result<CheckpointInfo> LoadCheckpoint(const std::string& path,

@@ -30,6 +30,7 @@
 #define TRISTREAM_CKPT_CHECKPOINT_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -72,12 +73,18 @@ Result<CheckpointInfo> DecodeCheckpoint(std::string_view blob,
 
 /// Atomically replaces `path` with `data`: write `path.tmp`, fsync, keep
 /// any existing snapshot as `path.prev`, rename `path.tmp` over `path`.
-Status WriteFileAtomic(const std::string& path, std::string_view data);
+/// `sync` == false skips the data fsync (and the best-effort directory
+/// fsync) -- the rename sequence is still torn-write-proof against
+/// process crashes, just not against power loss. The serve plane uses
+/// this to amortize fsync cost across checkpoint cadences; standalone
+/// saves keep the default.
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync = true);
 
 /// EncodeCheckpoint + WriteFileAtomic.
 Status SaveCheckpoint(const std::string& path,
                       engine::StreamingEstimator& estimator,
-                      std::uint64_t batch_size);
+                      std::uint64_t batch_size, bool sync = true);
 
 /// Loads `path` (falling back to the retained `path.prev` generation when
 /// the primary is missing or corrupt) and restores into `estimator`.
@@ -95,6 +102,32 @@ Status SkipToCheckpoint(stream::EdgeStream& source, const CheckpointInfo& info);
 
 /// The retained previous-generation path: `path` + ".prev".
 std::string PreviousGenerationPath(const std::string& path);
+
+/// The individually faultable steps of WriteFileAtomic, in execution
+/// order. Fault suites target a step to prove the crash-at-any-instant
+/// guarantee deterministically instead of racing SIGKILL against the
+/// file system.
+enum class PersistStep {
+  kOpenTmp = 0,     // creating `path.tmp`
+  kWrite,           // writing the blob into the temp file
+  kFsync,           // making the temp file durable
+  kRenamePrev,      // rotating `path` -> `path.prev`
+  kRenamePrimary,   // renaming `path.tmp` over `path`
+};
+
+/// Test hook consulted before each WriteFileAtomic step. Return non-OK to
+/// inject a failure at that step; the write then fails with that status
+/// after leaving the on-disk state exactly as a crash at that step would
+/// (a kWrite fault leaves a half-written `path.tmp`, a kRenamePrimary
+/// fault leaves the rotation done but the primary not yet replaced --
+/// only `path.prev` loadable). No cleanup runs on an injected fault:
+/// that is the point. `path` is the final destination path, so a hook
+/// can target one session's checkpoint in a multi-session run.
+using PersistFaultHook = std::function<Status(PersistStep, const std::string& path)>;
+
+/// Installs (or, with nullptr, clears) the process-wide persist fault
+/// hook. Testing only; thread-safe.
+void SetPersistFaultHookForTesting(PersistFaultHook hook);
 
 }  // namespace ckpt
 }  // namespace tristream

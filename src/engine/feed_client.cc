@@ -1,0 +1,307 @@
+#include "engine/feed_client.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <thread>
+
+#include "stream/binary_io.h"
+#include "stream/socket_stream.h"
+
+namespace tristream {
+namespace engine {
+namespace {
+
+Status SendAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status RecvAll(int fd, void* out, std::size_t size) {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n == 0) {
+      // Transport-level: the server (or a chaos proxy) vanished
+      // mid-reply; a named feed reconnects and asks again.
+      return Status::IoError("server closed mid-reply");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+void WriteFrameHeader(char out[16], const char magic[4],
+                      std::uint64_t count) {
+  std::memcpy(out, magic, 4);
+  std::memcpy(out + 4, &stream::kTrisVersion, sizeof(stream::kTrisVersion));
+  std::memcpy(out + 8, &count, sizeof(count));
+}
+
+/// One server->client frame: a TRIR snapshot or a TRIE diagnostic.
+struct ServerReply {
+  bool is_error = false;
+  SnapshotWire snapshot;
+  std::string error;
+};
+
+Result<ServerReply> ReadServerReply(int fd) {
+  char header[stream::kTrisHeaderBytes];
+  if (Status s = RecvAll(fd, header, sizeof(header)); !s.ok()) return s;
+  std::uint64_t count = 0;
+  std::memcpy(&count, header + 8, sizeof(count));
+  ServerReply reply;
+  if (std::memcmp(header, kServeSnapshotMagic, 4) == 0) {
+    if (count != kSnapshotBodyBytes) {
+      return Status::CorruptData("TRIR frame with unexpected body size");
+    }
+    char body[kSnapshotBodyBytes];
+    if (Status s = RecvAll(fd, body, sizeof(body)); !s.ok()) return s;
+    auto wire = DecodeSnapshotBody(body, sizeof(body));
+    if (!wire.ok()) return wire.status();
+    reply.snapshot = *wire;
+    return reply;
+  }
+  if (std::memcmp(header, kServeErrorMagic, 4) == 0) {
+    if (count > (std::uint64_t{1} << 20)) {
+      return Status::CorruptData("oversized TRIE diagnostic");
+    }
+    reply.is_error = true;
+    reply.error.resize(static_cast<std::size_t>(count));
+    if (count > 0) {
+      if (Status s = RecvAll(fd, reply.error.data(), reply.error.size());
+          !s.ok()) {
+        return s;
+      }
+    }
+    return reply;
+  }
+  return Status::CorruptData("server reply with unknown frame magic");
+}
+
+/// A TRIE payload mapped back to a Status via its machine-parseable code
+/// prefix.
+Status TrieToStatus(const std::string& payload) {
+  const TrieError err = ParseTrieMessage(payload);
+  return Status(err.code, err.message);
+}
+
+/// Outcome of one connection attempt.
+struct AttemptOutcome {
+  Status status;  // Ok = the feed completed (result is filled)
+  /// The failure happened in transport (or is a server condition that
+  /// clears by itself), so a named feed with retries left reconnects.
+  bool retry_eligible = false;
+};
+
+AttemptOutcome Transport(Status status) {
+  return {std::move(status), true};
+}
+
+AttemptOutcome Terminal(Status status) {
+  return {std::move(status), false};
+}
+
+/// One connection's lifetime: connect, (named) hello + skip-to-ack,
+/// stream, finish, final TRIR.
+AttemptOutcome Attempt(stream::EdgeStream& source,
+                       const FeedClientOptions& options, bool fresh_source,
+                       const std::vector<std::uint64_t>& kills,
+                       FeedResult* result) {
+  const bool named = options.stream_id != 0;
+  auto connected = stream::ConnectToLoopback(options.port);
+  if (!connected.ok()) return Transport(connected.status());
+  const int fd = *connected;
+
+  std::uint64_t ack = 0;
+  if (named) {
+    char hello[stream::kTrisHeaderBytes + 8];
+    WriteFrameHeader(hello, kServeHelloMagic, 8);
+    std::memcpy(hello + stream::kTrisHeaderBytes, &options.stream_id, 8);
+    if (Status s = SendAll(fd, hello, sizeof(hello)); !s.ok()) {
+      ::close(fd);
+      return Transport(std::move(s));
+    }
+    auto reply = ReadServerReply(fd);
+    if (!reply.ok()) {
+      ::close(fd);
+      return Transport(reply.status());
+    }
+    if (reply->is_error) {
+      ::close(fd);
+      Status s = TrieToStatus(reply->error);
+      const bool eligible = IsRetryable(s);
+      return {std::move(s), eligible};
+    }
+    if (reply->snapshot.final_result) {
+      // Finished-identity replay: this stream completed in a previous
+      // life; the hello reply IS the final answer.
+      result->final_snapshot = reply->snapshot;
+      ::close(fd);
+      return {Status::Ok(), false};
+    }
+    ack = reply->snapshot.edges;
+  }
+
+  // Position the source at the ack: everything before it has already
+  // been admitted under this identity (by a previous connection or a
+  // restored checkpoint) and must not be sent again.
+  if (!fresh_source) source.Reset();
+  std::uint64_t position = 0;
+  const std::size_t frame = std::max<std::size_t>(options.frame_edges, 1);
+  stream::EventScratch scratch;
+  while (position < ack) {
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(ack - position, frame));
+    const EventBatchView view = source.NextEventBatchView(want, &scratch);
+    if (view.empty()) break;  // source shorter than the ack: just finish
+    position += view.size();
+  }
+
+  // Chaos kill positions already behind the ack are history.
+  std::size_t kill_idx = 0;
+  while (kill_idx < kills.size() && kills[kill_idx] <= position) ++kill_idx;
+
+  const std::uint64_t q = options.query_every_edges;
+  std::uint64_t next_query = std::numeric_limits<std::uint64_t>::max();
+  if (q > 0 && options.on_query) next_query = (position / q + 1) * q;
+
+  while (true) {
+    std::size_t want = frame;
+    if (kill_idx < kills.size()) {
+      // Cap the frame so the cut lands at the exact scheduled event
+      // count -- deterministic chaos, not "somewhere in this frame".
+      want = static_cast<std::size_t>(
+          std::min<std::uint64_t>(want, kills[kill_idx] - position));
+    }
+    const EventBatchView view = source.NextEventBatchView(want, &scratch);
+    if (view.empty()) break;
+    if (Status s = stream::WriteEventFrame(fd, view.edges, view.ops);
+        !s.ok()) {
+      ::close(fd);
+      return Transport(std::move(s));
+    }
+    position += view.size();
+    result->events_sent += view.size();
+    if (kill_idx < kills.size() && position >= kills[kill_idx]) {
+      ++kill_idx;
+      ::close(fd);
+      return Transport(Status::IoError(
+          "chaos: connection killed after " + std::to_string(position) +
+          " events"));
+    }
+    if (position >= next_query) {
+      while (next_query <= position) next_query += q;
+      char header[stream::kTrisHeaderBytes];
+      WriteFrameHeader(header, kServeQueryMagic, 0);
+      if (Status s = SendAll(fd, header, sizeof(header)); !s.ok()) {
+        ::close(fd);
+        return Transport(std::move(s));
+      }
+      auto reply = ReadServerReply(fd);
+      if (!reply.ok()) {
+        ::close(fd);
+        return Transport(reply.status());
+      }
+      if (reply->is_error) {
+        ::close(fd);
+        Status s = TrieToStatus(reply->error);
+        const bool eligible = IsRetryable(s);
+        return {std::move(s), eligible};
+      }
+      options.on_query(reply->snapshot, position);
+    }
+  }
+  if (!source.status().ok()) {
+    // A local source failure is not the transport's fault; reconnecting
+    // cannot make the input readable.
+    ::close(fd);
+    return Terminal(source.status());
+  }
+
+  if (named) {
+    // Explicit finish: a bare disconnect on a named connection means
+    // "parked, maybe back later" -- TRIF is the commitment that turns
+    // the session into a final answer.
+    char finish[stream::kTrisHeaderBytes];
+    WriteFrameHeader(finish, kServeFinishMagic, 0);
+    if (Status s = SendAll(fd, finish, sizeof(finish)); !s.ok()) {
+      ::close(fd);
+      return Transport(std::move(s));
+    }
+  } else {
+    ::shutdown(fd, SHUT_WR);
+  }
+  while (true) {
+    auto reply = ReadServerReply(fd);
+    if (!reply.ok()) {
+      ::close(fd);
+      return Transport(reply.status());
+    }
+    if (reply->is_error) {
+      ::close(fd);
+      Status s = TrieToStatus(reply->error);
+      const bool eligible = IsRetryable(s);
+      return {std::move(s), eligible};
+    }
+    if (!reply->snapshot.final_result) continue;  // stale query crossing
+    result->final_snapshot = reply->snapshot;
+    ::close(fd);
+    return {Status::Ok(), false};
+  }
+}
+
+}  // namespace
+
+Result<FeedResult> RunFeedClient(stream::EdgeStream& source,
+                                 const FeedClientOptions& options) {
+  const bool named = options.stream_id != 0;
+  std::vector<std::uint64_t> kills = options.kill_after_events;
+  std::sort(kills.begin(), kills.end());
+
+  FeedResult result;
+  Backoff backoff(options.backoff);
+  std::uint32_t attempt = 0;
+  bool fresh_source = true;
+  while (true) {
+    AttemptOutcome outcome =
+        Attempt(source, options, fresh_source, kills, &result);
+    if (outcome.status.ok()) return result;
+    fresh_source = false;
+    if (!named || !outcome.retry_eligible || attempt >= options.max_retries) {
+      return outcome.status;
+    }
+    ++attempt;
+    ++result.reconnects;
+    const std::uint64_t delay = backoff.NextDelayMillis();
+    if (options.on_retry) {
+      options.on_retry(attempt, outcome.status, delay);
+    }
+    if (options.sleep_override) {
+      options.sleep_override(delay);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    }
+  }
+}
+
+}  // namespace engine
+}  // namespace tristream

@@ -1,0 +1,110 @@
+// The retrying half of the self-healing serve plane: a feed client that
+// streams an EdgeStream to a serve port as TRIS frames and survives the
+// connection dying underneath it.
+//
+// Anonymous feeds (stream_id == 0) behave exactly like the original
+// `tristream_cli feed` loop: connect, stream, half-close, read the final
+// TRIR. Named feeds open with a TRIH hello carrying the stream id; the
+// server's TRIR ack tells the client how many events of this identity it
+// has already admitted (0 for a fresh id, the resume position after a
+// reconnect or a checkpoint restore). The client skips exactly that many
+// events from the (Reset) source before sending more -- which is what
+// makes a retried feed deliver every event exactly once, never twice,
+// regardless of where the previous connection died. Named feeds end with
+// an explicit TRIF frame: to the server, TRIF means "finish and answer"
+// while a bare disconnect means "parked, I may be back".
+//
+// A transport failure (connect refused, send/recv error, server TRIE
+// whose code IsRetryable) consumes one retry: the client sleeps a
+// deterministic seeded backoff delay (util/backoff.h), reconnects, and
+// resumes from the fresh ack. Non-retryable TRIE diagnostics (corrupt
+// frames, failed preconditions) and source failures are terminal.
+//
+// kill_after_events is the chaos hook: the client hard-closes its own
+// socket once the total delivered-event count crosses each listed
+// position, turning one process into a deterministic crash-and-resume
+// exerciser (`feed --chaos-kill-after`).
+
+#ifndef TRISTREAM_ENGINE_FEED_CLIENT_H_
+#define TRISTREAM_ENGINE_FEED_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "engine/serve.h"
+#include "stream/edge_stream.h"
+#include "util/backoff.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace engine {
+
+struct FeedClientOptions {
+  /// Loopback serve/live port to connect to.
+  std::uint16_t port = 0;
+
+  /// Events per TRIS frame (clamped to >= 1).
+  std::size_t frame_edges = 8192;
+
+  /// Durable stream identity; 0 feeds anonymously (no TRIH, no retry).
+  std::uint64_t stream_id = 0;
+
+  /// Reconnect attempts after a transport failure. Only named feeds
+  /// retry: without an identity there is no ack, and a blind resend
+  /// would double-count everything the dead connection delivered.
+  std::uint32_t max_retries = 0;
+
+  /// Delay policy between attempts. Seeded: a fixed seed replays a fixed
+  /// delay sequence (chaos tests pin it; real callers seed from the
+  /// stream id to decorrelate a reconnecting fleet).
+  BackoffOptions backoff;
+
+  /// When nonzero, a lockstep TRIQ goes out each time the total
+  /// delivered count crosses a multiple of this; the reply is handed to
+  /// on_query. Queries do not re-fire for events skipped on resume.
+  std::uint64_t query_every_edges = 0;
+  std::function<void(const SnapshotWire& snapshot,
+                     std::uint64_t events_sent)>
+      on_query;
+
+  /// Observes each retry: attempt number (1-based), the failure that
+  /// caused it, and the delay about to be slept.
+  std::function<void(std::uint32_t attempt, const Status& cause,
+                     std::uint64_t delay_millis)>
+      on_retry;
+
+  /// Replaces the real sleep between attempts (tests run the ladder at
+  /// full speed while still observing the delays via on_retry).
+  std::function<void(std::uint64_t millis)> sleep_override;
+
+  /// Chaos hook: hard-close the socket (no TRIF, no half-close) once the
+  /// total delivered-event count reaches each listed position. Positions
+  /// at or below a resume ack are skipped (that part of the stream is
+  /// already history).
+  std::vector<std::uint64_t> kill_after_events;
+};
+
+struct FeedResult {
+  /// The server's final TRIR (final_result set).
+  SnapshotWire final_snapshot;
+  /// Unique events delivered across all attempts -- resumed attempts
+  /// count only events past the ack, so this never exceeds the source
+  /// size.
+  std::uint64_t events_sent = 0;
+  /// Connections opened beyond the first.
+  std::uint64_t reconnects = 0;
+};
+
+/// Streams `source` to the serve port per `options`. Blocks until the
+/// final TRIR arrives or the feed fails terminally. The source must
+/// support Reset() when retries or a nonzero resume ack are possible
+/// (every file/memory source does; it is part of the EdgeStream
+/// contract).
+Result<FeedResult> RunFeedClient(stream::EdgeStream& source,
+                                 const FeedClientOptions& options);
+
+}  // namespace engine
+}  // namespace tristream
+
+#endif  // TRISTREAM_ENGINE_FEED_CLIENT_H_

@@ -118,6 +118,29 @@ void Scheduler::WaitIdle() {
   idle_cv_.wait(lock, [this] { return active_ == 0; });
 }
 
+bool Scheduler::Remove(Session* session) {
+  bool removed = false;
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = std::find(ready_.begin(), ready_.end(), session);
+    if (it != ready_.end()) {
+      ready_.erase(it);
+      removed = true;
+    } else {
+      const auto pit = std::find(parked_.begin(), parked_.end(), session);
+      if (pit != parked_.end()) {
+        *pit = parked_.back();
+        parked_.pop_back();
+        removed = true;
+      }
+    }
+    if (removed) idle = (--active_ == 0);
+  }
+  if (idle) idle_cv_.notify_all();
+  return removed;
+}
+
 std::size_t Scheduler::active_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return active_;

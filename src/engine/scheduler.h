@@ -104,6 +104,16 @@ class Scheduler {
   /// sources; an idle parked session with an open source never finishes.
   void WaitIdle();
 
+  /// Withdraws `session` from scheduling without finishing it: removed
+  /// from whichever queue holds it, active count decremented, no
+  /// on_session_done. Returns false -- and does nothing -- when the
+  /// session is neither ready nor parked, i.e. a worker holds the
+  /// exclusive claim and is stepping it right now; callers retry later or
+  /// pick another victim. This is how serve mode's checkpoint-then-evict
+  /// claims an idle session: a true return guarantees no worker will
+  /// touch it again until a fresh Add().
+  bool Remove(Session* session);
+
   /// Sessions added but not yet reaped (ready + parked + being stepped).
   std::size_t active_sessions() const;
 

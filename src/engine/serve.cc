@@ -15,6 +15,7 @@
 #include <span>
 #include <utility>
 
+#include "ckpt/checkpoint.h"
 #include "stream/binary_io.h"
 #include "stream/queue_stream.h"
 #include "stream/socket_stream.h"
@@ -31,6 +32,14 @@ constexpr std::uint64_t kListenId = 1;
 /// Per-read chunk; also the bound on a paused connection's unparsed
 /// backlog (we stop reading while bytes remain unpushed).
 constexpr std::size_t kReadChunkBytes = 64 * 1024;
+
+/// Retained terminal outcomes (finished snapshots / failure tombstones)
+/// per kind; oldest ids forgotten first. Bounds server memory against a
+/// workload that churns through stream ids forever.
+constexpr std::size_t kMaxRetainedOutcomes = 4096;
+
+/// TRIE payload prefix (see FormatTrieMessage).
+constexpr char kTriePrefix[] = "TRIE/";
 
 void SetNonBlocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -59,7 +68,55 @@ void WriteFrameHeader(char out[16], const char magic[4],
   std::memcpy(out + 8, &count, sizeof(count));
 }
 
+/// The admission-control charge formula, shared by Admit and
+/// EstimateSessionCharge: estimator state + ingest queue + the session's
+/// double batch buffers + the parse backlog bound. An estimate (the
+/// point is refusing before allocating, not auditing after).
+std::size_t ChargeForSession(const StreamingEstimator& estimator,
+                             const ServeOptions& options) {
+  std::size_t w = options.batch_size;
+  if (w == 0) w = estimator.preferred_batch_size();
+  if (w == 0) w = kDefaultBatchSize;
+  return estimator.approx_memory_bytes() +
+         options.queue_capacity * sizeof(Edge) + 2 * w * sizeof(Edge) +
+         kReadChunkBytes;
+}
+
+/// Effective per-session fetch size (what Session::Initialize resolves).
+std::size_t EffectiveBatchSize(const StreamingEstimator& estimator,
+                               const ServeOptions& options) {
+  std::size_t w = options.batch_size;
+  if (w == 0) w = estimator.preferred_batch_size();
+  if (w == 0) w = kDefaultBatchSize;
+  return w;
+}
+
 }  // namespace
+
+std::string FormatTrieMessage(const Status& status) {
+  std::string out = kTriePrefix;
+  out += StatusCodeToken(status.code());
+  out += ": ";
+  out += status.message();
+  return out;
+}
+
+TrieError ParseTrieMessage(std::string_view payload) {
+  TrieError error;
+  error.message = std::string(payload);
+  constexpr std::size_t kPrefixLen = sizeof(kTriePrefix) - 1;
+  if (payload.substr(0, kPrefixLen) != kTriePrefix) return error;
+  const std::size_t colon = payload.find(": ", kPrefixLen);
+  if (colon == std::string_view::npos) return error;
+  StatusCode code = StatusCode::kInternal;
+  if (!StatusCodeFromToken(
+          payload.substr(kPrefixLen, colon - kPrefixLen), &code)) {
+    return error;
+  }
+  error.code = code;
+  error.message = std::string(payload.substr(colon + 2));
+  return error;
+}
 
 void EncodeSnapshotBody(const SessionSnapshot& snap, char out[40]) {
   std::memcpy(out, &snap.edges, 8);
@@ -123,8 +180,44 @@ struct Server::Conn {
   bool reaped = false;        // session finished; final frame queued
   bool close_after_flush = false;
 
+  // ---- self-healing state ----
+  /// Nonzero once a TRIH attached this connection to a durable identity.
+  std::uint64_t stream_id = 0;
+  bool named = false;
+  /// Any frame header consumed (TRIH must be the first).
+  bool saw_frame = false;
+  /// Session handed to the scheduler (deferred past Admit; see
+  /// EnsureSessionScheduled).
+  bool scheduled = false;
+  /// TRIF received: a disconnect after this finishes, never detaches.
+  bool finish_requested = false;
+  /// Events admitted into the queue on this stream identity -- the
+  /// number a resume handshake acks. Carried across reconnects by the
+  /// detached record.
+  std::uint64_t events_pushed = 0;
+  /// The queue's space hook routes through this indirection (the hook
+  /// itself can never be replaced once the consumer runs): it holds the
+  /// id of the conn currently attached to the queue, 0 while detached.
+  std::shared_ptr<std::atomic<std::uint64_t>> hook_target;
+
   std::size_t memory_charge = 0;
   std::chrono::steady_clock::time_point last_activity;
+};
+
+/// A named session parked between connections: everything a reconnect
+/// needs to adopt it in place. The queue stays OPEN -- the session keeps
+/// absorbing already-pushed events, then parks on its empty queue until
+/// the client returns (or eviction checkpoints it away).
+struct Server::Detached {
+  std::uint64_t stream_id = 0;
+  std::unique_ptr<StreamingEstimator> estimator;
+  std::unique_ptr<stream::QueueEdgeStream> queue;
+  std::unique_ptr<Session> session;
+  std::shared_ptr<std::atomic<std::uint64_t>> hook_target;
+  std::uint64_t events_pushed = 0;
+  std::size_t charge = 0;
+  bool scheduled = false;
+  std::chrono::steady_clock::time_point detached_at;
 };
 
 Server::Server(ServeOptions options) : options_(std::move(options)) {}
@@ -221,7 +314,8 @@ void Server::CloseListener() {
   listener_open_ = false;
 }
 
-void Server::Refuse(int fd, const std::string& message) {
+void Server::Refuse(int fd, const Status& status) {
+  const std::string message = FormatTrieMessage(status);
   std::vector<char> frame(stream::kTrisHeaderBytes + message.size());
   WriteFrameHeader(frame.data(), kServeErrorMagic, message.size());
   std::memcpy(frame.data() + stream::kTrisHeaderBytes, message.data(),
@@ -252,45 +346,71 @@ void Server::HandleAccept() {
   }
 }
 
+std::size_t Server::EstimateSessionCharge(const ServeOptions& options) {
+  auto estimator = MakeEstimator(options.algo, options.config);
+  if (!estimator.ok()) return 0;
+  return ChargeForSession(**estimator, options);
+}
+
+SessionOptions Server::MakeSessionOptions(std::string checkpoint_path) const {
+  SessionOptions session_options;
+  session_options.batch_size = options_.batch_size;
+  session_options.quantum_batches = options_.quantum_batches;
+  session_options.cooperative = true;
+  session_options.report_every_edges = options_.report_every_edges;
+  session_options.on_report = options_.on_report;
+  if (!checkpoint_path.empty() && options_.checkpoint_every_edges != 0) {
+    session_options.checkpoint_path = std::move(checkpoint_path);
+    session_options.checkpoint_every_edges = options_.checkpoint_every_edges;
+    session_options.checkpoint_sync_every = options_.checkpoint_sync_every;
+  }
+  return session_options;
+}
+
+std::string Server::CheckpointPathFor(std::uint64_t stream_id) const {
+  return options_.checkpoint_dir + "/stream-" + std::to_string(stream_id) +
+         ".ckpt";
+}
+
 void Server::Admit(int fd) {
   const std::size_t max_sessions =
       std::max<std::size_t>(options_.max_sessions, 1);
   if (conns_.size() >= max_sessions) {
-    Refuse(fd, "session limit reached (max_sessions=" +
-                   std::to_string(max_sessions) + "); connection refused");
+    Refuse(fd, Status::Unavailable(
+                   "session limit reached (max_sessions=" +
+                   std::to_string(max_sessions) + "); connection refused"));
     return;
   }
   auto estimator = MakeEstimator(options_.algo, options_.config);
   if (!estimator.ok()) {
-    Refuse(fd, "estimator construction failed: " +
-                   estimator.status().ToString());
+    Refuse(fd, Status(estimator.status().code(),
+                      "estimator construction failed: " +
+                          estimator.status().message()));
     return;
   }
-  // Admission charge: estimator state + ingest queue + the session's
-  // double batch buffers + the parse backlog bound. An estimate (the
-  // point is refusing before allocating, not auditing after).
-  std::size_t w = options_.batch_size;
-  if (w == 0) w = (*estimator)->preferred_batch_size();
-  if (w == 0) w = kDefaultBatchSize;
-  const std::size_t charge = (*estimator)->approx_memory_bytes() +
-                             options_.queue_capacity * sizeof(Edge) +
-                             2 * w * sizeof(Edge) + kReadChunkBytes;
+  const std::size_t charge = ChargeForSession(**estimator, options_);
   {
     std::size_t used = 0;
     bool over_budget = false;
-    {
+    const auto reserve = [&] {
       std::lock_guard<std::mutex> lock(stats_mu_);
       used = stats_.memory_used;
       over_budget = options_.memory_budget_bytes != 0 &&
                     used + charge > options_.memory_budget_bytes;
       if (!over_budget) stats_.memory_used += charge;
-    }
+    };
+    reserve();
+    // Memory pressure relief: detached sessions are idle state waiting
+    // on a maybe-reconnect; checkpointing the coldest to disk and freeing
+    // it beats refusing live work.
+    while (over_budget && EvictColdestDetached()) reserve();
     if (over_budget) {
-      Refuse(fd, "memory budget exceeded: session needs ~" +
+      Refuse(fd, Status::Unavailable(
+                     "memory budget exceeded: session needs ~" +
                      std::to_string(charge) + " bytes, " +
                      std::to_string(used) + " of " +
                      std::to_string(options_.memory_budget_bytes) +
-                     " in use; connection refused");
+                     " in use; connection refused"));
       return;
     }
   }
@@ -300,22 +420,22 @@ void Server::Admit(int fd) {
   conn->estimator = std::move(*estimator);
   conn->queue = std::make_unique<stream::QueueEdgeStream>(
       std::max<std::size_t>(options_.queue_capacity, 1));
-  const std::uint64_t conn_id = conn->id;
-  conn->queue->SetSpaceHook([this, conn_id] {
+  // The space hook is pinned to the queue for its lifetime, but the
+  // queue can outlive this connection (detach/adopt) -- so it routes
+  // through a shared atomic holding the currently-attached conn id.
+  conn->hook_target =
+      std::make_shared<std::atomic<std::uint64_t>>(conn->id);
+  const std::shared_ptr<std::atomic<std::uint64_t>> target =
+      conn->hook_target;
+  conn->queue->SetSpaceHook([this, target] {
     {
       std::lock_guard<std::mutex> lock(mail_mu_);
-      resume_ids_.push_back(conn_id);
+      resume_ids_.push_back(target->load(std::memory_order_acquire));
     }
     WakeLoop();
   });
-  SessionOptions session_options;
-  session_options.batch_size = options_.batch_size;
-  session_options.quantum_batches = options_.quantum_batches;
-  session_options.cooperative = true;
-  session_options.report_every_edges = options_.report_every_edges;
-  session_options.on_report = options_.on_report;
   conn->session = std::make_unique<Session>(*conn->estimator, *conn->queue,
-                                            std::move(session_options));
+                                            MakeSessionOptions({}));
   conn->memory_charge = charge;
   conn->last_activity = std::chrono::steady_clock::now();
 
@@ -330,14 +450,245 @@ void Server::Admit(int fd) {
   }
   conn->epoll_registered = true;
 
-  Session* session = conn->session.get();
   conns_.push_back(std::move(conn));
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     ++stats_.accepted;
     stats_.active_sessions = conns_.size();
   }
-  scheduler_->Add(session);
+  // Scheduling is deferred to the first frame (EnsureSessionScheduled):
+  // a TRIH hello may replace this fresh session with an adopted or
+  // restored one, which must happen before any worker steps it.
+}
+
+void Server::EnsureSessionScheduled(Conn& conn) {
+  if (conn.scheduled || conn.session == nullptr) return;
+  conn.scheduled = true;
+  scheduler_->Add(conn.session.get());
+}
+
+void Server::FailConn(Conn& conn, Status status) {
+  if (!conn.queue_closed) {
+    conn.queue->Close(std::move(status));
+    conn.queue_closed = true;
+  }
+  conn.read_done = true;
+  conn.want_read = false;
+  // The session must run to reap: that is where the coded TRIE goes out
+  // and the completed/failed accounting happens.
+  EnsureSessionScheduled(conn);
+  scheduler_->Kick();
+}
+
+void Server::SendHelloAck(Conn& conn, std::uint64_t acked) {
+  // Only the edges field carries meaning in a hello ack (the
+  // acknowledged delivered-event count); estimates are zeroed and
+  // neither valid nor final.
+  SessionSnapshot snap;
+  snap.edges = acked;
+  char frame[stream::kTrisHeaderBytes + kSnapshotBodyBytes];
+  WriteFrameHeader(frame, kServeSnapshotMagic, kSnapshotBodyBytes);
+  EncodeSnapshotBody(snap, frame + stream::kTrisHeaderBytes);
+  QueueWrite(conn, frame, sizeof(frame));
+  FlushWrites(conn);  // cannot destroy: close_after_flush is not set
+}
+
+void Server::DetachConn(Conn& conn) {
+  auto rec = std::make_unique<Detached>();
+  rec->stream_id = conn.stream_id;
+  rec->estimator = std::move(conn.estimator);
+  rec->queue = std::move(conn.queue);
+  rec->session = std::move(conn.session);
+  rec->hook_target = conn.hook_target;
+  rec->events_pushed = conn.events_pushed;
+  rec->charge = conn.memory_charge;
+  rec->scheduled = conn.scheduled;
+  rec->detached_at = std::chrono::steady_clock::now();
+  // Space-hook wakeups stop resolving to a connection until re-adoption.
+  rec->hook_target->store(0, std::memory_order_release);
+  detached_.push_back(std::move(rec));
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.detached;
+  }
+  conn.memory_charge = 0;  // the detached record holds the charge now
+  DestroyConn(conn);
+}
+
+bool Server::AttachHello(Conn& conn, std::uint64_t stream_id) {
+  if (stream_id == 0) {
+    FailConn(conn, Status::InvalidArgument(
+                       "stream id 0 is reserved (anonymous sessions simply "
+                       "omit the TRIH hello)"));
+    return false;
+  }
+  // Duplicate attach: one live connection per identity. Unavailable (not
+  // FailedPrecondition) on purpose -- the usual cause is a reconnect
+  // racing the server's discovery that the old connection died, which a
+  // backoff retry resolves by itself.
+  for (const auto& other : conns_) {
+    if (other.get() != &conn && other->stream_id == stream_id) {
+      FailConn(conn, Status::Unavailable(
+                         "stream id " + std::to_string(stream_id) +
+                         " is already attached to a live connection; retry "
+                         "after it detaches"));
+      return false;
+    }
+  }
+  // A terminally failed identity replays its failure -- a retrying
+  // client must learn the true outcome, not silently start over.
+  if (const auto it = tombstones_.find(stream_id); it != tombstones_.end()) {
+    FailConn(conn, it->second);
+    return false;
+  }
+  // A finished identity replays its final TRIR; this connection's fresh
+  // session never runs.
+  if (const auto it = finished_.find(stream_id); it != finished_.end()) {
+    char frame[stream::kTrisHeaderBytes + kSnapshotBodyBytes];
+    WriteFrameHeader(frame, kServeSnapshotMagic, kSnapshotBodyBytes);
+    EncodeSnapshotBody(it->second, frame + stream::kTrisHeaderBytes);
+    QueueWrite(conn, frame, sizeof(frame));
+    conn.reaped = true;
+    conn.read_done = true;
+    conn.want_read = false;
+    conn.close_after_flush = true;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.completed;
+    }
+    return FlushWrites(conn);
+  }
+  conn.named = true;
+  conn.stream_id = stream_id;
+  // Adopt a detached session: the reconnect case. Everything transfers
+  // in place; the estimate trajectory never notices the gap.
+  for (auto it = detached_.begin(); it != detached_.end(); ++it) {
+    if ((*it)->stream_id != stream_id) continue;
+    std::unique_ptr<Detached> rec = std::move(*it);
+    detached_.erase(it);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.memory_used -= conn.memory_charge;  // release the fresh charge
+      ++stats_.resumed;
+    }
+    conn.memory_charge = rec->charge;
+    conn.estimator = std::move(rec->estimator);
+    conn.queue = std::move(rec->queue);
+    conn.session = std::move(rec->session);
+    conn.hook_target = rec->hook_target;
+    conn.events_pushed = rec->events_pushed;
+    conn.scheduled = rec->scheduled;
+    conn.hook_target->store(conn.id, std::memory_order_release);
+    SendHelloAck(conn, conn.events_pushed);
+    scheduler_->Kick();
+    return false;
+  }
+  // No live state for this identity: rebuild the session under its
+  // durable checkpoint path, restoring the estimator from disk when an
+  // (evicted or crash-survived) snapshot exists.
+  std::uint64_t acked = 0;
+  const bool checkpointing = !options_.checkpoint_dir.empty() &&
+                             options_.checkpoint_every_edges != 0;
+  std::string ckpt_path =
+      checkpointing ? CheckpointPathFor(stream_id) : std::string();
+  if (checkpointing) {
+    auto loaded = ckpt::LoadCheckpoint(ckpt_path, *conn.estimator);
+    if (loaded.ok()) {
+      const std::size_t w = EffectiveBatchSize(*conn.estimator, options_);
+      if (loaded->batch_size != w) {
+        FailConn(conn,
+                 Status::InvalidArgument(
+                     "checkpoint for stream id " + std::to_string(stream_id) +
+                     " was taken at batch size " +
+                     std::to_string(loaded->batch_size) +
+                     " but this server runs " + std::to_string(w) +
+                     "; restart the server with the original batch size"));
+        return false;
+      }
+      acked = loaded->edges_processed;
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.restored;
+    } else if (loaded.status().code() != StatusCode::kUnavailable) {
+      // Both generations unreadable: loud, coded, named -- never a
+      // silent fresh start that would desynchronize the client's resume
+      // position.
+      FailConn(conn, loaded.status());
+      return false;
+    }
+  }
+  conn.session = std::make_unique<Session>(
+      *conn.estimator, *conn.queue, MakeSessionOptions(std::move(ckpt_path)));
+  SendHelloAck(conn, acked);
+  return false;
+}
+
+bool Server::EvictColdestDetached() {
+  if (options_.checkpoint_dir.empty() ||
+      options_.checkpoint_every_edges == 0) {
+    return false;  // nowhere to persist the parked state
+  }
+  // Coldest first: the longest-detached identity is the least likely to
+  // reconnect soon.
+  std::vector<std::size_t> order(detached_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return detached_[a]->detached_at < detached_[b]->detached_at;
+  });
+  for (const std::size_t idx : order) {
+    Detached& rec = *detached_[idx];
+    const bool was_scheduled = rec.scheduled;
+    if (was_scheduled && !scheduler_->Remove(rec.session.get())) {
+      // A worker is stepping it right now (or it just finished and its
+      // reap is in the mailbox): not claimable this pass.
+      continue;
+    }
+    rec.scheduled = false;
+    // Always fsync an eviction: this snapshot is about to become the
+    // session's only copy.
+    const Status saved = ckpt::SaveCheckpoint(
+        CheckpointPathFor(rec.stream_id), *rec.estimator,
+        EffectiveBatchSize(*rec.estimator, options_), /*sync=*/true);
+    if (!saved.ok()) {
+      // A failed write must not kill a healthy parked session; put it
+      // back and try the next candidate.
+      if (was_scheduled) {
+        rec.scheduled = true;
+        scheduler_->Add(rec.session.get());
+      }
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_.memory_used -= rec.charge;
+      ++stats_.evicted;
+    }
+    detached_.erase(detached_.begin() +
+                    static_cast<std::ptrdiff_t>(idx));
+    return true;
+  }
+  return false;
+}
+
+void Server::RememberOutcome(std::uint64_t stream_id, Session& session,
+                             const Status& status) {
+  if (stream_id == 0) return;
+  if (status.ok()) {
+    if (finished_.emplace(stream_id, session.snapshot()).second) {
+      finished_order_.push_back(stream_id);
+      if (finished_order_.size() > kMaxRetainedOutcomes) {
+        finished_.erase(finished_order_.front());
+        finished_order_.pop_front();
+      }
+    }
+  } else {
+    if (tombstones_.emplace(stream_id, status).second) {
+      tombstone_order_.push_back(stream_id);
+      if (tombstone_order_.size() > kMaxRetainedOutcomes) {
+        tombstones_.erase(tombstone_order_.front());
+        tombstone_order_.pop_front();
+      }
+    }
+  }
 }
 
 void Server::UpdateEpoll(Conn& conn) {
@@ -360,22 +711,38 @@ void Server::HandleReadable(Conn& conn) {
     return;
   }
   if (n == 0) {
+    // A named connection that disappears without TRIF is a client that
+    // may come back: park the session instead of finishing it. (Partial
+    // frames and unparsed bytes are dropped -- the resume ack tells the
+    // client exactly where to resend from.)
+    if (conn.named && !conn.finish_requested && !conn.reaped &&
+        !conn.queue_closed) {
+      DetachConn(conn);  // destroys the conn
+      return;
+    }
     // Half-close: the client is done sending; the session drains what is
     // buffered and the final TRIR/TRIE still goes out on our half.
     conn.peer_eof = true;
     conn.read_done = true;
     conn.want_read = false;
+    EnsureSessionScheduled(conn);
     MaybeFinishIngest(conn);
     UpdateEpoll(conn);
     return;
   }
   if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return;
+  if (conn.named && !conn.finish_requested && !conn.reaped &&
+      !conn.queue_closed) {
+    DetachConn(conn);
+    return;
+  }
   conn.read_done = true;
   conn.want_read = false;
   if (!conn.queue_closed) {
     conn.queue->Close(Status::IoError(
         std::string("read on serve connection: ") + std::strerror(errno)));
     conn.queue_closed = true;
+    EnsureSessionScheduled(conn);
     scheduler_->Kick();
   }
   UpdateEpoll(conn);
@@ -414,12 +781,10 @@ void Server::ParseIngest(Conn& conn) {
           op_scratch_[i] = static_cast<EdgeOp>(op);
         }
         if (bad_op) {
-          conn.queue->Close(Status::CorruptData(
-              "serve connection sent op byte " + std::to_string(bad) +
-              " (neither insert nor delete)"));
-          conn.queue_closed = true;
-          conn.read_done = true;
-          scheduler_->Kick();
+          FailConn(conn, Status::CorruptData(
+                             "serve connection sent op byte " +
+                             std::to_string(bad) +
+                             " (neither insert nor delete)"));
           break;
         }
       } else {
@@ -434,6 +799,7 @@ void Server::ParseIngest(Conn& conn) {
       if (admitted > 0) {
         conn.inbuf_off += admitted * record;
         conn.frame_edges_remaining -= admitted;
+        conn.events_pushed += admitted;  // the resume handshake's ack
         scheduler_->Kick();
       }
       if (admitted < whole) {
@@ -452,32 +818,71 @@ void Server::ParseIngest(Conn& conn) {
     if (std::memcmp(data, stream::kTrisMagic, 4) == 0) {
       if (version != stream::kTrisVersion &&
           version != stream::kTrisVersion2) {
-        conn.queue->Close(Status::CorruptData(
-            "serve connection sent unsupported frame version " +
-            std::to_string(version)));
-        conn.queue_closed = true;
-        conn.read_done = true;
-        scheduler_->Kick();
+        FailConn(conn, Status::CorruptData(
+                           "serve connection sent unsupported frame "
+                           "version " +
+                           std::to_string(version)));
         break;
       }
       conn.inbuf_off += stream::kTrisHeaderBytes;
+      conn.saw_frame = true;
+      EnsureSessionScheduled(conn);
       conn.frame_version = version;
       conn.frame_edges_remaining = count;  // count == 0 is a keep-alive
       continue;
     }
     if (std::memcmp(data, kServeQueryMagic, 4) == 0) {
       conn.inbuf_off += stream::kTrisHeaderBytes;
+      conn.saw_frame = true;
+      EnsureSessionScheduled(conn);
       // Reply from the cached snapshot immediately -- never a Flush, so a
       // query cannot stall ingest or perturb the estimate -- and ask the
       // session to refresh at its next non-perturbing quantum boundary.
       SendSnapshot(conn, /*request_refresh=*/true);
       continue;
     }
-    conn.queue->Close(
-        Status::CorruptData("serve connection sent bad frame magic"));
-    conn.queue_closed = true;
-    conn.read_done = true;
-    scheduler_->Kick();
+    if (std::memcmp(data, kServeHelloMagic, 4) == 0) {
+      if (conn.saw_frame) {
+        FailConn(conn, Status::FailedPrecondition(
+                           "TRIH hello must be the first frame on a "
+                           "connection"));
+        break;
+      }
+      if (count != 8) {
+        FailConn(conn, Status::CorruptData(
+                           "TRIH hello frame must carry exactly an 8-byte "
+                           "stream id (got count " + std::to_string(count) +
+                           ")"));
+        break;
+      }
+      if (avail < stream::kTrisHeaderBytes + 8) break;  // wait for payload
+      std::uint64_t stream_id = 0;
+      std::memcpy(&stream_id, data + stream::kTrisHeaderBytes, 8);
+      conn.inbuf_off += stream::kTrisHeaderBytes + 8;
+      conn.saw_frame = true;
+      // AttachHello may destroy the conn (finished-identity replay whose
+      // final frame drains synchronously): true means hands off.
+      if (AttachHello(conn, stream_id)) return;
+      if (conn.queue_closed) break;  // attach refused; session will reap
+      continue;
+    }
+    if (std::memcmp(data, kServeFinishMagic, 4) == 0) {
+      conn.inbuf_off += stream::kTrisHeaderBytes;
+      conn.saw_frame = true;
+      // Explicit finish: drain and answer. Unlike a bare disconnect on a
+      // named connection, this is a commitment -- never a detach.
+      conn.finish_requested = true;
+      conn.read_done = true;
+      if (!conn.queue_closed) {
+        conn.queue->Close(Status::Ok());
+        conn.queue_closed = true;
+      }
+      EnsureSessionScheduled(conn);
+      scheduler_->Kick();
+      break;
+    }
+    FailConn(conn,
+             Status::CorruptData("serve connection sent bad frame magic"));
     break;
   }
   // Compact the consumed prefix.
@@ -574,7 +979,32 @@ bool Server::FlushWrites(Conn& conn) {
 
 void Server::ReapSession(Session* session) {
   Conn* conn = FindConnBySession(session);
-  if (conn == nullptr || conn->reaped) return;
+  if (conn == nullptr) {
+    // The session may have finished while detached (its queue closed by
+    // shutdown, or a checkpoint write failing mid-absorb): record the
+    // outcome for the eventual reconnect to replay, free the parked
+    // state.
+    for (auto it = detached_.begin(); it != detached_.end(); ++it) {
+      if ((*it)->session.get() != session) continue;
+      std::unique_ptr<Detached> rec = std::move(*it);
+      detached_.erase(it);
+      const Status status = session->status();
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (status.ok()) {
+          ++stats_.completed;
+        } else {
+          ++stats_.failed;
+        }
+        stats_.memory_used -= rec->charge;
+      }
+      RememberOutcome(rec->stream_id, *session, status);
+      if (options_.on_session_end) options_.on_session_end(*session, status);
+      return;
+    }
+    return;
+  }
+  if (conn->reaped) return;
   conn->reaped = true;
   conn->read_done = true;
   conn->want_read = false;
@@ -587,6 +1017,7 @@ void Server::ReapSession(Session* session) {
       ++stats_.failed;
     }
   }
+  if (conn->named) RememberOutcome(conn->stream_id, *session, status);
   if (status.ok()) {
     // Session::Finish refreshed the snapshot post-Flush: final answer.
     const SessionSnapshot snap = conn->session->snapshot();
@@ -595,7 +1026,7 @@ void Server::ReapSession(Session* session) {
     EncodeSnapshotBody(snap, frame + stream::kTrisHeaderBytes);
     QueueWrite(*conn, frame, sizeof(frame));
   } else {
-    SendError(*conn, status.ToString());
+    SendError(*conn, FormatTrieMessage(status));
   }
   conn->close_after_flush = true;
   if (options_.on_session_end) options_.on_session_end(*session, status);
@@ -640,9 +1071,23 @@ void Server::SweepIdle() {
   if (options_.idle_timeout_millis <= 0) return;
   const auto now = std::chrono::steady_clock::now();
   const auto limit = std::chrono::milliseconds(options_.idle_timeout_millis);
-  for (auto& conn : conns_) {
+  // Two passes: DetachConn erases from conns_, which would invalidate a
+  // live iteration.
+  std::vector<std::uint64_t> expired;
+  for (const auto& conn : conns_) {
     if (conn->read_done || conn->reaped || conn->queue_closed) continue;
     if (now - conn->last_activity < limit) continue;
+    expired.push_back(conn->id);
+  }
+  for (const std::uint64_t id : expired) {
+    Conn* conn = FindConn(id);
+    if (conn == nullptr) continue;
+    if (conn->named && !conn->finish_requested) {
+      // A silent half-open named peer is indistinguishable from a crash
+      // in progress: park it like any other disconnect.
+      DetachConn(*conn);
+      continue;
+    }
     conn->queue->Close(Status::DeadlineExceeded(
         "serve connection idle for " +
         std::to_string(options_.idle_timeout_millis) +
@@ -650,6 +1095,7 @@ void Server::SweepIdle() {
     conn->queue_closed = true;
     conn->read_done = true;
     conn->want_read = false;
+    EnsureSessionScheduled(*conn);
     UpdateEpoll(*conn);
     scheduler_->Kick();
   }
@@ -678,12 +1124,21 @@ void Server::EventLoop() {
       Conn* conn = FindConn(id);
       if (conn == nullptr) continue;  // reaped earlier this round
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
-        // Reset / full close: fail the session; the conn survives until
-        // the scheduler reaps it (the final write will just miss).
+        // Reset / full close. A named session parks for the reconnect
+        // (the client resends from the resume ack, so any bytes the RST
+        // discarded are recovered); an anonymous one fails -- the conn
+        // survives until the scheduler reaps it (the final write will
+        // just miss).
+        if (conn->named && !conn->finish_requested && !conn->reaped &&
+            !conn->queue_closed) {
+          DetachConn(*conn);
+          continue;
+        }
         if (!conn->queue_closed) {
           conn->queue->Close(
               Status::IoError("serve connection reset by peer"));
           conn->queue_closed = true;
+          EnsureSessionScheduled(*conn);
           scheduler_->Kick();
         }
         conn->read_done = true;
@@ -713,9 +1168,19 @@ void Server::EventLoop() {
       conn->queue_closed = true;
     }
   }
+  // Detached sessions fail the same way -- no stat bumps, mirroring the
+  // open connections above (a graceful drain happens before Stop).
+  for (auto& rec : detached_) {
+    rec->queue->Close(Status::Unavailable("server shutting down"));
+  }
   scheduler_->Kick();
   scheduler_->Stop();
   while (!conns_.empty()) DestroyConn(*conns_.front());
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    for (const auto& rec : detached_) stats_.memory_used -= rec->charge;
+  }
+  detached_.clear();
 }
 
 }  // namespace engine

@@ -16,6 +16,16 @@
 // (magic 4B | version u32 | count u64).
 //
 //   client -> server
+//     "TRIH"  count = 8, payload u64 stream id -- the resume handshake.
+//             MUST be the first frame on its connection when sent at all;
+//             it names the session so it survives the connection. The
+//             server replies with a "TRIR" whose edges field is the
+//             acknowledged delivered-event count for that stream id (0
+//             for a brand-new id) and zeroed estimate fields; a client
+//             reconnecting after a failure skips that many events and
+//             resumes -- no event is ever double-counted. Connections
+//             without a TRIH are anonymous: their session lives and dies
+//             with the connection, exactly the pre-handshake behavior.
 //     "TRIS"  count = n edges, payload n * 8B (u32 u, u32 v) -- ingest,
 //             identical to the live/file frame format.
 //     "TRIQ"  count = 0 -- query. The server replies immediately with a
@@ -26,17 +36,46 @@
 //             refreshes at the session's next non-perturbing quantum
 //             boundary, so an early query can carry valid=0 (no estimate
 //             yet) and repeated queries converge to fresh values.
+//     "TRIF"  count = 0 -- explicit finish. The session drains, finalizes
+//             and replies with the final "TRIR". Named sessions MUST end
+//             with TRIF: for them a bare disconnect (EOF, reset, idle)
+//             means "the connection failed, the client will be back" and
+//             detaches the session instead of finishing it (below).
 //     half-close (shutdown(SHUT_WR)) at a frame boundary = end of
-//             stream; the server finishes the session and replies with a
-//             final "TRIR" before closing.
+//             stream for an ANONYMOUS session; the server finishes it and
+//             replies with a final "TRIR" before closing.
 //   server -> client
 //     "TRIR"  count = 40, payload: edges u64 | triangles f64 |
 //             wedges f64 | transitivity f64 | flags u64
 //             (bit0 has_wedges, bit1 final, bit2 valid).
-//     "TRIE"  count = message bytes, payload = human-readable diagnostic;
-//             the connection closes after. Sent on admission refusal
-//             (session limit, memory budget) and on session failure
-//             (malformed frame, idle timeout, ...).
+//     "TRIE"  count = message bytes, payload = "TRIE/<CODE>: <message>"
+//             where <CODE> is the StatusCodeToken of the failure (see
+//             FormatTrieMessage); the connection closes after. Sent on
+//             admission refusal (session limit, memory budget) and on
+//             session failure (malformed frame, idle timeout, ...).
+//             Clients parse the code to decide retryability without
+//             matching free text.
+//
+// Self-healing (the serve plane's recovery contract; engine/README.md
+// has the full failure-semantics matrix):
+//
+//   * Detach: when a NAMED connection dies without TRIF, its estimator,
+//     queue and session are parked server-side, charge still held. A
+//     reconnect with the same stream id adopts them in place -- the ack
+//     tells the client where to resume -- and nothing about the estimate
+//     trajectory changes (bit-identity survives the reconnect).
+//   * Checkpoint: with checkpoint_dir set, every named session snapshots
+//     its estimator on an edge cadence under a per-stream-id path
+//     (fsync amortized via checkpoint_sync_every).
+//   * Evict/restore: when admission runs out of memory budget, the
+//     coldest detached session is checkpointed (always fsynced) and
+//     destroyed to make room; a later TRIH for its id restores the
+//     estimator from the checkpoint transparently -- the ack simply
+//     points further back and the client replays the gap.
+//   * Finished ids replay their final TRIR on reconnect; failed ids
+//     replay their coded TRIE (both retained for a bounded number of
+//     ids) -- a retrying client always learns the true outcome instead
+//     of silently re-running.
 //
 // Backpressure: each connection's edges flow through a bounded
 // QueueEdgeStream. The event loop uses the non-blocking TryPush; when the
@@ -56,10 +95,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -75,6 +117,28 @@ namespace engine {
 inline constexpr char kServeQueryMagic[4] = {'T', 'R', 'I', 'Q'};
 inline constexpr char kServeSnapshotMagic[4] = {'T', 'R', 'I', 'R'};
 inline constexpr char kServeErrorMagic[4] = {'T', 'R', 'I', 'E'};
+/// Resume handshake (count = 8, payload u64 stream id; first frame only).
+inline constexpr char kServeHelloMagic[4] = {'T', 'R', 'I', 'H'};
+/// Explicit finish (count = 0); how a named session ends on purpose.
+inline constexpr char kServeFinishMagic[4] = {'T', 'R', 'I', 'F'};
+
+/// Renders a Status as a TRIE payload: "TRIE/<TOKEN>: <message>", where
+/// <TOKEN> is StatusCodeToken(status.code()). The prefix is a stable
+/// machine-parseable contract (tests pin it); the message stays free
+/// text.
+std::string FormatTrieMessage(const Status& status);
+
+/// A TRIE payload decoded back into code + message.
+struct TrieError {
+  StatusCode code = StatusCode::kInternal;
+  std::string message;
+};
+
+/// Inverse of FormatTrieMessage. A payload without a recognizable
+/// "TRIE/<TOKEN>: " prefix (an old server, a truncated frame) decodes as
+/// kInternal with the whole payload as the message -- never a parse
+/// failure.
+TrieError ParseTrieMessage(std::string_view payload);
 
 /// Fixed-layout "TRIR" payload (little-endian, packed by hand -- see
 /// EncodeSnapshotBody/DecodeSnapshotBody).
@@ -130,6 +194,23 @@ struct ServeOptions {
   std::size_t batch_size = 0;
   std::size_t quantum_batches = 1;
 
+  /// Directory for per-session TRICKPT snapshots. When set (and the
+  /// cadence below is nonzero), every NAMED session (TRIH handshake)
+  /// checkpoints under "<dir>/stream-<id>.ckpt" on its own cadence, and
+  /// eviction/restore become available. Anonymous sessions never
+  /// checkpoint (no durable identity to restore under). The directory
+  /// must exist.
+  std::string checkpoint_dir;
+
+  /// Edge cadence of those per-session checkpoints (0 disables them, and
+  /// with them eviction).
+  std::uint64_t checkpoint_every_edges = 0;
+
+  /// fsync one checkpoint in this many per session (SessionOptions::
+  /// checkpoint_sync_every); evictions always fsync regardless. The
+  /// default amortizes fsync across a busy serve plane.
+  std::uint64_t checkpoint_sync_every = 8;
+
   /// Stop accepting after this many connections (listener closes); the
   /// server then exits once the last session drains. 0 = unlimited.
   /// `live` mode is max_accepts = 1.
@@ -155,6 +236,11 @@ struct ServerStats {
   std::uint64_t failed = 0;     // sessions finished with a failure status
   std::size_t active_sessions = 0;
   std::size_t memory_used = 0;  // admission-control charge currently held
+  // Self-healing counters (cumulative).
+  std::uint64_t detached = 0;  // named sessions parked on connection loss
+  std::uint64_t resumed = 0;   // reconnects adopting a parked session
+  std::uint64_t evicted = 0;   // parked sessions checkpointed-and-freed
+  std::uint64_t restored = 0;  // sessions rebuilt from an on-disk snapshot
 };
 
 /// The serve-mode server (see file comment). Start() spawns the scheduler
@@ -181,14 +267,22 @@ class Server {
 
   ServerStats stats() const;
 
+  /// The admission-control charge one session of `options` would carry
+  /// (estimator state + queue + batch buffers + read backlog). Exposed so
+  /// tests and capacity planning can size memory budgets in session
+  /// units; 0 when the estimator cannot be constructed.
+  static std::size_t EstimateSessionCharge(const ServeOptions& options);
+
  private:
   struct Conn;
+  struct Detached;
 
   void EventLoop();
   void HandleAccept();
   void Admit(int fd);
-  /// Best-effort TRIE diagnostic + close for a connection never admitted.
-  void Refuse(int fd, const std::string& message);
+  /// Best-effort coded TRIE diagnostic + close for a connection never
+  /// admitted.
+  void Refuse(int fd, const Status& status);
   void HandleReadable(Conn& conn);
   /// Parses conn.inbuf: TRIS payload -> TryPush, TRIQ -> reply, garbage
   /// -> fail the session. Pauses reading when the queue pushes back.
@@ -203,7 +297,8 @@ class Server {
   bool FlushWrites(Conn& conn);
   void UpdateEpoll(Conn& conn);
   /// Scheduler reaped this session: send the final TRIR/TRIE, fire
-  /// on_session_end, tear the connection down once writes drain.
+  /// on_session_end, tear the connection down once writes drain. Also
+  /// covers sessions that finish while detached (recorded, no frame).
   void ReapSession(Session* session);
   void DestroyConn(Conn& conn);
   void DrainWake();
@@ -212,6 +307,38 @@ class Server {
   void WakeLoop();
   Conn* FindConn(std::uint64_t id);
   Conn* FindConnBySession(const Session* session);
+
+  // ---- self-healing plumbing (event-loop thread only) ----
+  /// Hands the session to the scheduler exactly once. Deferred past
+  /// Admit so a TRIH hello can swap the session (adopt/restore) before
+  /// any worker touches it.
+  void EnsureSessionScheduled(Conn& conn);
+  /// The TRIH handshake (duplicate / tombstone / finished-replay /
+  /// adopt / restore-from-checkpoint / fresh). Returns true when `conn`
+  /// was destroyed (finished replay flushed and closed synchronously).
+  bool AttachHello(Conn& conn, std::uint64_t stream_id);
+  /// Parks a named conn's estimator/queue/session server-side and
+  /// destroys the connection (charge stays held). The queue is NOT
+  /// closed: the session keeps absorbing what was already pushed and
+  /// then waits for the reconnect.
+  void DetachConn(Conn& conn);
+  /// Fails an admitted conn's session with `status` (closes the queue,
+  /// schedules it so the coded TRIE goes out through the normal reap).
+  void FailConn(Conn& conn, Status status);
+  /// Checkpoints and destroys the coldest evictable detached session to
+  /// free budget. False when nothing could be evicted.
+  bool EvictColdestDetached();
+  /// The TRIR acknowledging a TRIH: edges = acked delivered-event count,
+  /// estimate fields zeroed.
+  void SendHelloAck(Conn& conn, std::uint64_t acked);
+  /// Records a named session's terminal outcome for reconnect replay
+  /// (bounded retention).
+  void RememberOutcome(std::uint64_t stream_id, Session& session,
+                       const Status& status);
+  std::string CheckpointPathFor(std::uint64_t stream_id) const;
+  /// Session drive options shared by Admit and the TRIH rebuild;
+  /// `checkpoint_path` is empty for anonymous sessions.
+  SessionOptions MakeSessionOptions(std::string checkpoint_path) const;
 
   ServeOptions options_;
   std::unique_ptr<Scheduler> scheduler_;
@@ -230,6 +357,16 @@ class Server {
   /// hundreds, events are 64 KiB apart.
   std::vector<std::unique_ptr<Conn>> conns_;
   std::uint64_t next_id_ = 2;  // 0 = wake fd, 1 = listener
+
+  /// Named sessions parked between connections, keyed by stream id
+  /// inside the record; linear scan like conns_.
+  std::vector<std::unique_ptr<Detached>> detached_;
+  /// Terminal outcomes of named sessions, replayed to reconnects.
+  /// Bounded FIFO retention (the deques record insertion order).
+  std::map<std::uint64_t, SessionSnapshot> finished_;
+  std::deque<std::uint64_t> finished_order_;
+  std::map<std::uint64_t, Status> tombstones_;
+  std::deque<std::uint64_t> tombstone_order_;
 
   /// Staging for payload bytes -> aligned Edge/op spans before TryPush
   /// (op_scratch_ is filled only while a TRIS v2 frame is in flight).

@@ -206,7 +206,10 @@ void Session::Finish() {
 
 void Session::RefreshSnapshot(bool final_result) {
   SessionSnapshot snap;
-  snap.edges = metrics_.edges;
+  // Absolute stream position, not this run's delta: a session resumed
+  // from a checkpoint reports positions the producer can act on (the
+  // resume handshake acks snapshot.edges as "events delivered so far").
+  snap.edges = estimator_.edges_processed();
   snap.triangles = estimator_.EstimateTriangles();
   snap.has_wedges = estimator_.has_wedge_estimates();
   if (snap.has_wedges) {
@@ -274,8 +277,11 @@ SessionState Session::Step() {
     const std::uint64_t position = ckpt_base_ + metrics_.edges;
     if (position >= next_ckpt_) {
       WallTimer ckpt_timer;
-      const Status saved =
-          ckpt::SaveCheckpoint(options_.checkpoint_path, estimator_, w_);
+      const bool sync =
+          options_.checkpoint_sync_every <= 1 ||
+          (metrics_.checkpoints + 1) % options_.checkpoint_sync_every == 0;
+      const Status saved = ckpt::SaveCheckpoint(options_.checkpoint_path,
+                                                estimator_, w_, sync);
       if (!saved.ok()) {
         // Mirror the old StreamEngine::Run: a failed checkpoint write
         // aborts the run immediately, without a final Flush (the next

@@ -103,6 +103,14 @@ struct SessionOptions {
   std::string checkpoint_path;
   std::uint64_t checkpoint_every_edges = 0;
 
+  /// Amortized durability: fsync only every Nth checkpoint (the atomic
+  /// rename sequence still protects every save against process crashes;
+  /// intermediate saves merely risk loss on power failure, where the
+  /// .prev generation and resume replay cover the gap). <= 1 syncs every
+  /// save -- the standalone default. Serve mode raises this so dozens of
+  /// sessions checkpointing on cadence do not serialize on fsync.
+  std::uint64_t checkpoint_sync_every = 1;
+
   /// Batches advanced per Step() call -- the scheduling quantum. Larger
   /// quanta amortize scheduler overhead; smaller ones bound how long one
   /// session can occupy a worker while others wait. 0 behaves as 1.

@@ -1,0 +1,75 @@
+#include "fault/socket_faults.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "stream/binary_io.h"
+
+namespace tristream {
+namespace fault {
+
+namespace {
+
+// Same full-write loop as the stream helpers (MSG_NOSIGNAL, write(2)
+// fallback for non-socket fds), so a torn frame fails the same way a
+// whole one would.
+Status WriteAll(int fd, const void* data, std::size_t bytes) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < bytes) {
+    ssize_t n = ::send(fd, p + sent, bytes - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, p + sent, bytes - sent);
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send on edge socket: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("edge socket closed mid-send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteTornEdgeFrame(int fd, std::span<const Edge> edges,
+                          std::size_t cut_after_bytes) {
+  static_assert(sizeof(Edge) == 8, "frame payload layout");
+  std::vector<char> frame(stream::kTrisHeaderBytes +
+                          edges.size() * sizeof(Edge));
+  std::memcpy(frame.data(), stream::kTrisMagic, 4);
+  std::memcpy(frame.data() + 4, &stream::kTrisVersion,
+              sizeof(stream::kTrisVersion));
+  const std::uint64_t count = edges.size();
+  std::memcpy(frame.data() + 8, &count, sizeof(count));
+  if (!edges.empty()) {
+    std::memcpy(frame.data() + stream::kTrisHeaderBytes, edges.data(),
+                edges.size() * sizeof(Edge));
+  }
+  const std::size_t send_bytes = std::min(cut_after_bytes, frame.size());
+  return WriteAll(fd, frame.data(), send_bytes);
+}
+
+void HardResetConnection(int fd) {
+  if (fd < 0) return;
+  // Linger {on, 0}: close(2) discards unsent data and fires an RST
+  // instead of the FIN of an orderly shutdown.
+  linger hard{};
+  hard.l_onoff = 1;
+  hard.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+  ::close(fd);
+}
+
+}  // namespace fault
+}  // namespace tristream

@@ -1,0 +1,41 @@
+// Socket-seam fault injection: the two ways a TCP peer actually dies.
+//
+// Chaos suites exercising the serve plane need byte-exact control over
+// *how* a connection fails, because the server classifies the failures
+// differently: a frame cut mid-payload is CorruptData on the reader, a
+// hard RST is an IoError, and an orderly-but-premature close before the
+// first header is the retryable "peer closed before handshake". These
+// helpers produce each shape deterministically from the producer side of
+// a loopback connection; FaultSchedule decides *when* to call them.
+
+#ifndef TRISTREAM_FAULT_SOCKET_FAULTS_H_
+#define TRISTREAM_FAULT_SOCKET_FAULTS_H_
+
+#include <cstddef>
+#include <span>
+
+#include "util/status.h"
+#include "util/types.h"
+
+namespace tristream {
+namespace fault {
+
+/// Writes the prefix of a TRIS v1 frame (header + payload) for `edges`,
+/// truncated after `cut_after_bytes` bytes, then stops -- the caller
+/// closes or resets the fd to complete the mid-frame cut. Cutting inside
+/// the 16-byte header simulates a torn handshake; cutting inside the
+/// payload simulates a producer crash mid-send. A cut at or beyond the
+/// full frame size degrades to a complete, well-formed frame. IoError
+/// when the transport fails before reaching the cut.
+Status WriteTornEdgeFrame(int fd, std::span<const Edge> edges,
+                          std::size_t cut_after_bytes);
+
+/// Closes `fd` the violent way: SO_LINGER {on, 0} + close(2), which sends
+/// an RST instead of a FIN so the peer's next read fails with ECONNRESET
+/// (IoError) rather than seeing orderly end of stream. Consumes the fd.
+void HardResetConnection(int fd);
+
+}  // namespace fault
+}  // namespace tristream
+
+#endif  // TRISTREAM_FAULT_SOCKET_FAULTS_H_

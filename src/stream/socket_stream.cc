@@ -132,7 +132,19 @@ std::size_t SocketEdgeStream::FillEvents(std::size_t max_edges,
         eof_ = true;
         break;
       }
-      if (r == ReadResult::kFailed) break;
+      if (r == ReadResult::kFailed) {
+        // A peer that vanished partway through its very first header never
+        // spoke the protocol at all: that is transport flakiness
+        // (retryable IoError), not a framing violation. Timeouts and read
+        // errors keep their own codes.
+        if (!handshaken_ && status_.code() == StatusCode::kCorruptData) {
+          status_ = Status::IoError(
+              "edge socket peer closed before handshake (no complete frame "
+              "header received)");
+        }
+        break;
+      }
+      handshaken_ = true;
       if (std::memcmp(header, kTrisMagic, 4) != 0) {
         status_ = Status::CorruptData("edge socket frame has bad magic");
         break;

@@ -87,7 +87,11 @@ class SocketEdgeStream : public EdgeStream {
   double io_seconds() const override { return io_timer_.Seconds(); }
   /// Sticky: IoError on a socket read failure, CorruptData on a malformed
   /// or truncated frame, DeadlineExceeded when the receive idle timeout
-  /// fires; OK after orderly shutdown at a frame boundary.
+  /// fires; OK after orderly shutdown at a frame boundary. One deliberate
+  /// carve-out: a peer that disconnects before completing its *first*
+  /// frame header reports IoError ("peer closed before handshake"), not
+  /// CorruptData -- nothing was ever parsed, so the failure is transport
+  /// flakiness (retryable), not a framing bug (which is not).
   Status status() const override { return status_; }
 
   /// Edges the sender promised in the current frame but not yet delivered.
@@ -130,6 +134,9 @@ class SocketEdgeStream : public EdgeStream {
   std::uint64_t delivered_ = 0;
   bool eof_ = false;
   bool saw_v2_ = false;
+  /// True once a complete frame header has been received; gates the
+  /// pre-handshake IoError reclassification (see status()).
+  bool handshaken_ = false;
   Status status_;
   /// Staging for v2 record payloads (9-byte records cannot land directly
   /// in an Edge vector the way v1 pairs do).

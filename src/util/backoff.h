@@ -1,0 +1,111 @@
+// Retry policy shared by every reconnecting client in the repo: which
+// failures are worth retrying at all (IsRetryable) and how long to wait
+// between attempts (Backoff -- capped exponential with deterministic,
+// seeded jitter).
+//
+// Determinism is deliberate: a fixed seed yields a fixed delay sequence,
+// so chaos suites and reconnect tests replay byte-identically instead of
+// depending on wall-clock entropy. The jitter still decorrelates real
+// fleets -- every client seeds from its own stream id.
+
+#ifndef TRISTREAM_UTIL_BACKOFF_H_
+#define TRISTREAM_UTIL_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tristream {
+
+/// True when an operation failing with `code` is worth retrying:
+///   * kUnavailable       -- the resource may appear (server restarting,
+///                           admission slot freeing, no checkpoint yet).
+///   * kDeadlineExceeded  -- the peer was silent, not wrong; a fresh
+///                           attempt may find it healthy.
+///   * kIoError           -- transient transport failure (reset, refused
+///                           connect, short write on a dying socket).
+/// Everything else is permanent: kCorruptData/kInvalidArgument describe
+/// bytes or arguments that will be exactly as wrong on the next attempt.
+inline bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kIoError:
+      return true;
+    default:
+      return false;
+  }
+}
+
+inline bool IsRetryable(const Status& status) {
+  return !status.ok() && IsRetryable(status.code());
+}
+
+struct BackoffOptions {
+  /// Delay before the first retry (the base of the exponential ladder).
+  std::uint64_t initial_delay_millis = 50;
+  /// Ceiling the ladder saturates at.
+  std::uint64_t max_delay_millis = 5000;
+  /// Ladder growth per attempt (values < 1 behave as 1 = constant delay).
+  double multiplier = 2.0;
+  /// Jitter fraction j in [0, 1]: each delay is drawn uniformly from
+  /// [(1-j)*d, (1+j)*d], then re-capped at max_delay_millis. 0 = none.
+  double jitter = 0.25;
+  /// Seed of the deterministic jitter stream. Same seed, same options ->
+  /// same delay sequence.
+  std::uint64_t seed = 1;
+};
+
+/// Capped exponential backoff with a deterministic jitter stream.
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions options = {}) : options_(options) {
+    Reset();
+  }
+
+  /// Delay in milliseconds before the next attempt; advances the attempt
+  /// counter and the jitter stream.
+  std::uint64_t NextDelayMillis() {
+    double delay = static_cast<double>(
+        std::max<std::uint64_t>(options_.initial_delay_millis, 1));
+    const double mult = std::max(options_.multiplier, 1.0);
+    for (std::uint64_t i = 0; i < attempts_; ++i) {
+      delay *= mult;
+      if (delay >= static_cast<double>(options_.max_delay_millis)) break;
+    }
+    delay = std::min(delay, static_cast<double>(options_.max_delay_millis));
+    const double j = std::clamp(options_.jitter, 0.0, 1.0);
+    if (j > 0.0) {
+      // Uniform in [0, 1) from the top 53 bits of the SplitMix64 stream.
+      const double u =
+          static_cast<double>(SplitMix64Next(jitter_state_) >> 11) *
+          0x1.0p-53;
+      delay *= 1.0 - j + 2.0 * j * u;
+      delay = std::min(delay, static_cast<double>(options_.max_delay_millis));
+    }
+    ++attempts_;
+    return static_cast<std::uint64_t>(std::max(delay, 1.0));
+  }
+
+  /// Rewinds to attempt 0 and restarts the jitter stream from the seed.
+  void Reset() {
+    attempts_ = 0;
+    jitter_state_ = options_.seed;
+  }
+
+  /// Delays handed out since construction or the last Reset().
+  std::uint64_t attempts() const { return attempts_; }
+
+  const BackoffOptions& options() const { return options_; }
+
+ private:
+  BackoffOptions options_;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t jitter_state_ = 0;
+};
+
+}  // namespace tristream
+
+#endif  // TRISTREAM_UTIL_BACKOFF_H_

@@ -28,6 +28,49 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+const char* StatusCodeToken(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kIoError:
+      return "IO_ERROR";
+    case StatusCode::kCorruptData:
+      return "CORRUPT_DATA";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+  }
+  return "UNKNOWN";
+}
+
+bool StatusCodeFromToken(std::string_view token, StatusCode* code) {
+  constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition, StatusCode::kInternal,
+      StatusCode::kIoError,      StatusCode::kCorruptData,
+      StatusCode::kUnavailable,  StatusCode::kDeadlineExceeded,
+  };
+  for (const StatusCode c : kAll) {
+    if (token == StatusCodeToken(c)) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

@@ -9,6 +9,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -37,6 +38,15 @@ enum class StatusCode {
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
+
+/// Stable machine-parseable token of a StatusCode (e.g.
+/// "INVALID_ARGUMENT"). These are wire-format constants -- TRIE
+/// diagnostics and CLI error lines carry them so tools can classify
+/// failures without parsing free text; tests pin them against drift.
+const char* StatusCodeToken(StatusCode code);
+
+/// Inverse of StatusCodeToken. False when `token` matches no code.
+bool StatusCodeFromToken(std::string_view token, StatusCode* code);
 
 /// Result of a fallible operation: a code plus a diagnostic message.
 class Status {

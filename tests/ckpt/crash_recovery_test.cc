@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "engine/estimators.h"
 #include "gen/erdos_renyi.h"
 #include "graph/edge_list.h"
 #include "gtest/gtest.h"
@@ -302,6 +304,139 @@ TEST_F(CrashRecoveryTest, ResumeWithWrongFlagsIsRefusedNotWrong) {
 
   std::remove(ckpt.c_str());
   std::remove((ckpt + ".prev").c_str());
+}
+
+// ------------------------------------------- deterministic fs faults
+//
+// The SIGKILL cycles above prove crash-at-a-random-instant; these prove
+// crash-at-*every*-instant, by injecting a failure at each individual
+// WriteFileAtomic step (ckpt::SetPersistFaultHookForTesting) and checking
+// the invariant the rotation exists to provide: after any single-step
+// crash, at least one complete generation is loadable and resuming from
+// it reproduces the uninterrupted run bit-for-bit.
+
+constexpr std::uint64_t kFaultBatch = 1024;
+
+engine::EstimatorConfig FaultConfig() {
+  engine::EstimatorConfig config;
+  config.num_estimators = 512;
+  config.seed = 77;
+  config.batch_size = kFaultBatch;
+  return config;
+}
+
+/// Feeds edges [from, to) in kFaultBatch-aligned chunks -- the same
+/// boundaries on every run, so counter-based RNG trajectories replay.
+void FeedRange(engine::StreamingEstimator& est, const graph::EdgeList& el,
+               std::size_t from, std::size_t to) {
+  const std::span<const Edge> edges(el.edges());
+  for (std::size_t offset = from; offset < to;) {
+    const std::size_t take =
+        std::min<std::size_t>(kFaultBatch, to - offset);
+    est.ProcessEdges(edges.subspan(offset, take));
+    offset += take;
+  }
+}
+
+TEST(PersistFaultHookTest, EveryStepCrashLeavesALoadableGeneration) {
+  const auto el = gen::GnmRandom(500, 40000, 51);
+  const std::size_t p1 = 10 * kFaultBatch;  // first (clean) generation
+  const std::size_t p2 = 25 * kFaultBatch;  // faulted save attempt
+
+  auto reference = engine::MakeEstimator("bulk", FaultConfig());
+  ASSERT_TRUE(reference.ok());
+  FeedRange(**reference, el, 0, el.size());
+  (*reference)->Flush();
+  const double expected = (*reference)->EstimateTriangles();
+
+  const ckpt::PersistStep steps[] = {
+      ckpt::PersistStep::kOpenTmp, ckpt::PersistStep::kWrite,
+      ckpt::PersistStep::kFsync, ckpt::PersistStep::kRenamePrev,
+      ckpt::PersistStep::kRenamePrimary};
+  for (const ckpt::PersistStep step : steps) {
+    SCOPED_TRACE(static_cast<int>(step));
+    const std::string path =
+        std::string(::testing::TempDir()) + "/persist_fault_" +
+        std::to_string(static_cast<int>(step)) + ".ckpt";
+    for (const std::string& p :
+         {path, path + ".prev", path + ".tmp"}) {
+      std::remove(p.c_str());
+    }
+
+    auto victim = engine::MakeEstimator("bulk", FaultConfig());
+    ASSERT_TRUE(victim.ok());
+    FeedRange(**victim, el, 0, p1);
+    ASSERT_TRUE(ckpt::SaveCheckpoint(path, **victim, kFaultBatch).ok());
+    FeedRange(**victim, el, p1, p2);
+
+    ckpt::SetPersistFaultHookForTesting(
+        [step, &path](ckpt::PersistStep s, const std::string& p) {
+          if (s == step && p == path) {
+            return Status::IoError("injected: no space left on device");
+          }
+          return Status::Ok();
+        });
+    const Status faulted = ckpt::SaveCheckpoint(path, **victim, kFaultBatch);
+    ckpt::SetPersistFaultHookForTesting(nullptr);
+    ASSERT_FALSE(faulted.ok());
+    EXPECT_NE(faulted.message().find("injected"), std::string::npos)
+        << faulted.message();
+
+    // Whatever the "crash" left behind must load -- the primary when the
+    // fault hit before any rename, the retained .prev generation when it
+    // hit between the renames.
+    auto restored = engine::MakeEstimator("bulk", FaultConfig());
+    ASSERT_TRUE(restored.ok());
+    auto info = ckpt::LoadCheckpoint(path, **restored);
+    ASSERT_TRUE(info.ok()) << info.status();
+    EXPECT_EQ(info->batch_size, kFaultBatch);
+    ASSERT_TRUE(info->edges_processed == p1 || info->edges_processed == p2)
+        << "loaded generation at unexpected position "
+        << info->edges_processed;
+
+    // Resuming from the surviving generation converges on the
+    // uninterrupted run's estimate exactly.
+    FeedRange(**restored, el,
+              static_cast<std::size_t>(info->edges_processed), el.size());
+    (*restored)->Flush();
+    EXPECT_EQ((*restored)->EstimateTriangles(), expected);
+
+    for (const std::string& p :
+         {path, path + ".prev", path + ".tmp"}) {
+      std::remove(p.c_str());
+    }
+  }
+}
+
+TEST(PersistFaultHookTest, HookObservesEveryStepInOrderForItsPath) {
+  const auto el = gen::GnmRandom(200, 5000, 52);
+  auto est = engine::MakeEstimator("bulk", FaultConfig());
+  ASSERT_TRUE(est.ok());
+  FeedRange(**est, el, 0, 4 * kFaultBatch);
+
+  const std::string path =
+      std::string(::testing::TempDir()) + "/persist_hook_order.ckpt";
+  for (const std::string& p : {path, path + ".prev", path + ".tmp"}) {
+    std::remove(p.c_str());
+  }
+  std::vector<ckpt::PersistStep> seen;
+  ckpt::SetPersistFaultHookForTesting(
+      [&seen, &path](ckpt::PersistStep s, const std::string& p) {
+        EXPECT_EQ(p, path);  // hooks target by destination path
+        seen.push_back(s);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(ckpt::SaveCheckpoint(path, **est, kFaultBatch).ok());
+  ckpt::SetPersistFaultHookForTesting(nullptr);
+
+  const std::vector<ckpt::PersistStep> want = {
+      ckpt::PersistStep::kOpenTmp, ckpt::PersistStep::kWrite,
+      ckpt::PersistStep::kFsync, ckpt::PersistStep::kRenamePrev,
+      ckpt::PersistStep::kRenamePrimary};
+  EXPECT_EQ(seen, want);
+  for (const std::string& p : {path, path + ".prev", path + ".tmp"}) {
+    std::remove(p.c_str());
+  }
 }
 
 }  // namespace

@@ -131,8 +131,29 @@ TEST(SocketEdgeStreamTest, MidFramePayloadTruncationIsCorruptData) {
   EXPECT_EQ((*source)->status().code(), StatusCode::kCorruptData);
 }
 
-TEST(SocketEdgeStreamTest, TruncatedHeaderIsCorruptData) {
+TEST(SocketEdgeStreamTest, DisconnectBeforeHandshakeIsIoError) {
+  // A peer that dies before completing even one frame header never spoke
+  // the protocol at all: that is a transport failure (retryable), not a
+  // framing violation -- a retrying feeder must be allowed to reconnect.
   SocketPair pair;
+  ASSERT_EQ(::send(pair.fds[0], "TRIS\1", 5, 0), 5);
+  pair.CloseProducer();
+  auto source = SocketEdgeStream::FromFd(pair.fds[1]);
+  ASSERT_TRUE(source.ok());
+  std::vector<Edge> batch;
+  EXPECT_EQ((*source)->NextBatch(8, &batch), 0u);
+  EXPECT_EQ((*source)->status().code(), StatusCode::kIoError);
+  EXPECT_NE((*source)->status().message().find("before handshake"),
+            std::string::npos)
+      << (*source)->status();
+}
+
+TEST(SocketEdgeStreamTest, TruncatedHeaderAfterHandshakeIsCorruptData) {
+  // Once one complete header has arrived the peer has proven it speaks
+  // TRIS; a later ragged header is mid-stream truncation, still
+  // CorruptData.
+  SocketPair pair;
+  ASSERT_TRUE(WriteEdgeFrame(pair.fds[0], {}).ok());  // keep-alive
   ASSERT_EQ(::send(pair.fds[0], "TRIS\1", 5, 0), 5);
   pair.CloseProducer();
   auto source = SocketEdgeStream::FromFd(pair.fds[1]);

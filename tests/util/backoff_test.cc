@@ -1,0 +1,114 @@
+// Retry-policy suite: IsRetryable's code partition and the Backoff
+// ladder's shape (exponential growth, cap, jitter bounds, seeded
+// determinism). These are the contracts the retrying feed client and the
+// chaos suites build on -- a drifting delay sequence would silently
+// de-determinize every reconnect test.
+
+#include "util/backoff.h"
+
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace tristream {
+namespace {
+
+TEST(IsRetryableTest, PartitionsStatusCodes) {
+  // Transient: the next attempt may find the world healthy.
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetryable(StatusCode::kIoError));
+  // Permanent: the bytes/arguments will be exactly as wrong next time.
+  EXPECT_FALSE(IsRetryable(StatusCode::kCorruptData));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOutOfRange));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInternal));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+}
+
+TEST(IsRetryableTest, StatusOverloadRequiresFailure) {
+  EXPECT_FALSE(IsRetryable(Status::Ok()));
+  EXPECT_TRUE(IsRetryable(Status::IoError("reset")));
+  EXPECT_FALSE(IsRetryable(Status::CorruptData("torn frame")));
+}
+
+TEST(BackoffTest, NoJitterLadderIsExactExponentialWithCap) {
+  BackoffOptions options;
+  options.initial_delay_millis = 50;
+  options.max_delay_millis = 1000;
+  options.multiplier = 2.0;
+  options.jitter = 0.0;
+  Backoff backoff(options);
+  EXPECT_EQ(backoff.NextDelayMillis(), 50u);
+  EXPECT_EQ(backoff.NextDelayMillis(), 100u);
+  EXPECT_EQ(backoff.NextDelayMillis(), 200u);
+  EXPECT_EQ(backoff.NextDelayMillis(), 400u);
+  EXPECT_EQ(backoff.NextDelayMillis(), 800u);
+  EXPECT_EQ(backoff.NextDelayMillis(), 1000u);  // saturated
+  EXPECT_EQ(backoff.NextDelayMillis(), 1000u);
+  EXPECT_EQ(backoff.attempts(), 7u);
+}
+
+TEST(BackoffTest, JitterStaysInBandAndUnderCap) {
+  BackoffOptions options;
+  options.initial_delay_millis = 100;
+  options.max_delay_millis = 5000;
+  options.multiplier = 1.0;  // constant base so the band is fixed
+  options.jitter = 0.25;
+  options.seed = 99;
+  Backoff backoff(options);
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t delay = backoff.NextDelayMillis();
+    EXPECT_GE(delay, 75u) << "attempt " << i;
+    EXPECT_LE(delay, 125u) << "attempt " << i;
+  }
+}
+
+TEST(BackoffTest, SameSeedSameSequenceAndResetRewinds) {
+  BackoffOptions options;
+  options.seed = 4242;
+  Backoff a(options);
+  Backoff b(options);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t d = a.NextDelayMillis();
+    EXPECT_EQ(d, b.NextDelayMillis()) << "attempt " << i;
+    first.push_back(d);
+  }
+  a.Reset();
+  EXPECT_EQ(a.attempts(), 0u);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.NextDelayMillis(), first[static_cast<std::size_t>(i)])
+        << "replayed attempt " << i;
+  }
+}
+
+TEST(BackoffTest, DifferentSeedsDecorrelate) {
+  BackoffOptions options;
+  options.multiplier = 1.0;
+  options.seed = 1;
+  Backoff a(options);
+  options.seed = 2;
+  Backoff b(options);
+  bool diverged = false;
+  for (int i = 0; i < 32 && !diverged; ++i) {
+    diverged = a.NextDelayMillis() != b.NextDelayMillis();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, DegenerateOptionsStillProgress) {
+  BackoffOptions options;
+  options.initial_delay_millis = 0;  // clamped to >= 1ms
+  options.multiplier = 0.5;          // behaves as 1.0
+  options.jitter = 0.0;
+  Backoff backoff(options);
+  EXPECT_GE(backoff.NextDelayMillis(), 1u);
+  EXPECT_GE(backoff.NextDelayMillis(), 1u);
+}
+
+}  // namespace
+}  // namespace tristream

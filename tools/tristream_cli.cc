@@ -58,6 +58,7 @@
 #include "ckpt/checkpoint.h"
 #include "core/triangle_sampler.h"
 #include "engine/estimators.h"
+#include "engine/feed_client.h"
 #include "engine/serve.h"
 #include "engine/stream_engine.h"
 #include "gen/churn.h"
@@ -138,8 +139,17 @@ int Usage() {
       "           --workers scheduler threads. Estimates per session are\n"
       "           bit-identical to a standalone run with the same flags.\n"
       "           --accepts N exits cleanly after N connections drain.\n"
+      "           [--checkpoint-dir DIR [--checkpoint-every EDGES]\n"
+      "            [--checkpoint-sync-every N]]\n"
+      "           --checkpoint-dir enables the self-healing plane for\n"
+      "           named sessions (clients that open with a stream id):\n"
+      "           per-session snapshots in DIR every --checkpoint-every\n"
+      "           edges (fsynced every Nth save), checkpoint-then-evict\n"
+      "           of parked sessions under memory pressure, transparent\n"
+      "           restore on reconnect.\n"
       "  feed     --connect PORT --input FILE [--frame EDGES]\n"
-      "           [--query-every EDGES]\n"
+      "           [--query-every EDGES] [--stream-id ID [--retry N]]\n"
+      "           [--chaos-kill-after N[,N...]]\n"
       "           streams FILE to a serve/live port as TRIS frames;\n"
       "           the estimator (and its --simd ISA) lives server-side --\n"
       "           pass --simd to `serve`, not here;\n"
@@ -147,6 +157,12 @@ int Usage() {
       "           (reply on stderr); prints the final server estimates\n"
       "           in count-compatible lines. Nonzero exit on a server\n"
       "           TRIE diagnostic or transport failure.\n"
+      "           --stream-id opens a TRIH resume handshake under a\n"
+      "           durable identity; --retry N reconnects up to N times on\n"
+      "           transport failure, resuming from the server's ack so no\n"
+      "           event is ever delivered twice. --chaos-kill-after\n"
+      "           hard-closes the client's own socket at the listed event\n"
+      "           counts (deterministic crash/resume exercise).\n"
       "  sample   --input FILE -k K --max-degree D [--estimators N]\n"
       "  convert  --input FILE --output FILE\n");
   return 2;
@@ -442,8 +458,9 @@ int CmdInspect(const std::map<std::string, std::string>& flags) {
     if (version == stream::kTrisVersion2) {
       auto events = stream::ReadBinaryEvents(path);
       if (!events.ok()) {
-        std::fprintf(stderr, "cannot read events: %s\n",
-                     events.status().ToString().c_str());
+        std::fprintf(stderr, "cannot read events: %s: %s\n",
+                     StatusCodeToken(events.status().code()),
+                     events.status().message().c_str());
         return 1;
       }
       std::size_t deletes = 0;
@@ -461,8 +478,9 @@ int CmdInspect(const std::map<std::string, std::string>& flags) {
   auto events = stream::ReadTextEvents(path);
   if (!events.ok()) {
     std::fprintf(stderr, "'%s' is neither TRIS nor a readable text edge "
-                 "list: %s\n",
-                 path.c_str(), events.status().ToString().c_str());
+                 "list: %s: %s\n",
+                 path.c_str(), StatusCodeToken(events.status().code()),
+                 events.status().message().c_str());
     return 1;
   }
   std::size_t deletes = 0;
@@ -854,6 +872,19 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
   options.idle_timeout_millis =
       static_cast<int>(FlagU64(flags, "idle-timeout-ms", 0));
   options.max_accepts = FlagU64(flags, "accepts", 0);
+  if (flags.count("checkpoint-dir")) {
+    options.checkpoint_dir = flags.at("checkpoint-dir");
+    options.checkpoint_every_edges =
+        FlagU64(flags, "checkpoint-every", 1000000);
+    options.checkpoint_sync_every =
+        FlagU64(flags, "checkpoint-sync-every", 8);
+  } else if (flags.count("checkpoint-every") ||
+             flags.count("checkpoint-sync-every")) {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--checkpoint-sync-every require "
+                 "--checkpoint-dir\n");
+    return 2;
+  }
 
   // Sessions construct their estimator per connection; a config typo
   // would otherwise surface only as every connect being refused.
@@ -913,79 +944,41 @@ int CmdServe(const std::map<std::string, std::string>& flags) {
               static_cast<unsigned long long>(stats.refused),
               static_cast<unsigned long long>(stats.completed),
               static_cast<unsigned long long>(stats.failed));
+  if (stats.detached + stats.resumed + stats.evicted + stats.restored > 0) {
+    std::printf("recovery        : %llu detached, %llu resumed, "
+                "%llu evicted, %llu restored\n",
+                static_cast<unsigned long long>(stats.detached),
+                static_cast<unsigned long long>(stats.resumed),
+                static_cast<unsigned long long>(stats.evicted),
+                static_cast<unsigned long long>(stats.restored));
+  }
   return 0;
 }
 
-/// Full blocking write toward the server; IoError when the peer is gone.
-Status SendAll(int fd, const char* data, std::size_t size) {
-  std::size_t sent = 0;
-  while (sent < size) {
-    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("send: ") + std::strerror(errno));
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
-}
-
-Status RecvAll(int fd, void* out, std::size_t size) {
-  char* p = static_cast<char*>(out);
-  std::size_t got = 0;
-  while (got < size) {
-    const ssize_t n = ::recv(fd, p + got, size - got, 0);
-    if (n == 0) {
-      return Status::CorruptData("server closed mid-reply");
-    }
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IoError(std::string("recv: ") + std::strerror(errno));
-    }
-    got += static_cast<std::size_t>(n);
-  }
-  return Status::Ok();
-}
-
-/// One server->client frame: a TRIR snapshot or a TRIE diagnostic.
-struct ServerReply {
-  bool is_error = false;
-  engine::SnapshotWire snapshot;
-  std::string error;
-};
-
-Result<ServerReply> ReadServerReply(int fd) {
-  char header[stream::kTrisHeaderBytes];
-  if (Status s = RecvAll(fd, header, sizeof(header)); !s.ok()) return s;
-  std::uint64_t count = 0;
-  std::memcpy(&count, header + 8, sizeof(count));
-  ServerReply reply;
-  if (std::memcmp(header, engine::kServeSnapshotMagic, 4) == 0) {
-    if (count != engine::kSnapshotBodyBytes) {
-      return Status::CorruptData("TRIR frame with unexpected body size");
-    }
-    char body[engine::kSnapshotBodyBytes];
-    if (Status s = RecvAll(fd, body, sizeof(body)); !s.ok()) return s;
-    auto wire = engine::DecodeSnapshotBody(body, sizeof(body));
-    if (!wire.ok()) return wire.status();
-    reply.snapshot = *wire;
-    return reply;
-  }
-  if (std::memcmp(header, engine::kServeErrorMagic, 4) == 0) {
-    if (count > (std::uint64_t{1} << 20)) {
-      return Status::CorruptData("oversized TRIE diagnostic");
-    }
-    reply.is_error = true;
-    reply.error.resize(static_cast<std::size_t>(count));
-    if (count > 0) {
-      if (Status s = RecvAll(fd, reply.error.data(), reply.error.size());
-          !s.ok()) {
-        return s;
+/// Comma-separated u64 list for --chaos-kill-after. Empty string = empty
+/// list; a malformed element reports itself and exits.
+std::vector<std::uint64_t> ParseKillList(const std::string& text) {
+  std::vector<std::uint64_t> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    if (!item.empty()) {
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long value = std::strtoull(item.c_str(), &end, 10);
+      if (errno != 0 || end == item.c_str() || *end != '\0') {
+        std::fprintf(stderr,
+                     "--chaos-kill-after: '%s' is not an event count\n",
+                     item.c_str());
+        std::exit(2);
       }
+      out.push_back(value);
     }
-    return reply;
+    start = comma + 1;
   }
-  return Status::CorruptData("server reply with unknown frame magic");
+  return out;
 }
 
 int CmdFeed(const std::map<std::string, std::string>& flags) {
@@ -997,126 +990,73 @@ int CmdFeed(const std::map<std::string, std::string>& flags) {
                  static_cast<unsigned long long>(port));
     return 2;
   }
-  const std::size_t frame_edges =
+
+  engine::FeedClientOptions options;
+  options.port = static_cast<std::uint16_t>(port);
+  options.frame_edges =
       static_cast<std::size_t>(FlagU64(flags, "frame", 8192));
-  const std::uint64_t query_every = FlagU64(flags, "query-every", 0);
+  options.stream_id = FlagU64(flags, "stream-id", 0);
+  options.max_retries =
+      static_cast<std::uint32_t>(FlagU64(flags, "retry", 0));
+  if (options.max_retries > 0 && options.stream_id == 0) {
+    // Resume is identity-based: without a stream id there is no server
+    // ack, and a blind resend would double-count everything the dead
+    // connection had already delivered.
+    std::fprintf(stderr, "--retry requires --stream-id\n");
+    return 2;
+  }
+  options.backoff.seed = options.stream_id != 0 ? options.stream_id : 1;
+  options.query_every_edges = FlagU64(flags, "query-every", 0);
+  if (options.query_every_edges > 0) {
+    options.on_query = [](const engine::SnapshotWire& q,
+                          std::uint64_t sent) {
+      std::fprintf(stderr,
+                   "query @%llu sent: valid=%d edges=%llu "
+                   "triangles=%.0f transitivity=%.6f\n",
+                   static_cast<unsigned long long>(sent), q.valid ? 1 : 0,
+                   static_cast<unsigned long long>(q.edges), q.triangles,
+                   q.transitivity);
+    };
+  }
+  options.on_retry = [](std::uint32_t attempt, const Status& cause,
+                        std::uint64_t delay_millis) {
+    std::fprintf(stderr, "feed retry %u in %llu ms: %s: %s\n", attempt,
+                 static_cast<unsigned long long>(delay_millis),
+                 StatusCodeToken(cause.code()), cause.message().c_str());
+  };
+  if (flags.count("chaos-kill-after")) {
+    options.kill_after_events = ParseKillList(flags.at("chaos-kill-after"));
+  }
 
   // Same ingest front end (and dedup filter) as `count`, so the edge
   // sequence a serve session absorbs is identical to what a local run
   // over the same file would see -- that is what makes the server's
-  // estimates diffable against `count` output.
+  // estimates diffable against `count` output. The dedup filter rebuilds
+  // deterministically on Reset, so a resumed feed replays the identical
+  // admitted sequence up to the server's ack.
   stream::EdgeSourceOptions source_options;
   source_options.dedup = true;
   auto source = OpenSourceOrDie(it->second, source_options);
 
-  auto connected =
-      stream::ConnectToLoopback(static_cast<std::uint16_t>(port));
-  if (!connected.ok()) {
-    std::fprintf(stderr, "cannot connect to 127.0.0.1:%llu: %s\n",
-                 static_cast<unsigned long long>(port),
-                 connected.status().ToString().c_str());
+  auto result = engine::RunFeedClient(*source, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "feed failed: %s: %s\n",
+                 StatusCodeToken(result.status().code()),
+                 result.status().message().c_str());
     return 1;
   }
-  const int fd = *connected;
-
-  std::uint64_t sent_edges = 0;
-  std::uint64_t next_query =
-      query_every > 0 ? query_every
-                      : std::numeric_limits<std::uint64_t>::max();
-  // Event-model pull: insert-only inputs produce all-insert views, and
-  // WriteEventFrame sends those as plain v1 frames byte-identical to the
-  // old WriteEdgeFrame path; a TRIS v2 input flows through unchanged as
-  // v2 frames (9-byte records). Same client either way.
-  stream::EventScratch scratch;
-  while (true) {
-    const EventBatchView view = source->NextEventBatchView(
-        std::max<std::size_t>(frame_edges, 1), &scratch);
-    if (view.empty()) break;
-    if (Status s = stream::WriteEventFrame(fd, view.edges, view.ops);
-        !s.ok()) {
-      std::fprintf(stderr, "feed failed after %llu edges: %s\n",
-                   static_cast<unsigned long long>(sent_edges),
-                   s.ToString().c_str());
-      ::close(fd);
-      return 1;
-    }
-    sent_edges += view.size();
-    if (sent_edges >= next_query) {
-      next_query += query_every;
-      // Lockstep query: one TRIQ out, one reply back before more edges.
-      // The server answers from the session's cached snapshot, so this
-      // never stalls its ingest.
-      char header[stream::kTrisHeaderBytes];
-      std::memcpy(header, engine::kServeQueryMagic, 4);
-      std::memcpy(header + 4, &stream::kTrisVersion,
-                  sizeof(stream::kTrisVersion));
-      const std::uint64_t zero = 0;
-      std::memcpy(header + 8, &zero, sizeof(zero));
-      if (Status s = SendAll(fd, header, sizeof(header)); !s.ok()) {
-        std::fprintf(stderr, "feed failed after %llu edges: %s\n",
-                     static_cast<unsigned long long>(sent_edges),
-                     s.ToString().c_str());
-        ::close(fd);
-        return 1;
-      }
-      auto reply = ReadServerReply(fd);
-      if (!reply.ok()) {
-        std::fprintf(stderr, "query reply failed: %s\n",
-                     reply.status().ToString().c_str());
-        ::close(fd);
-        return 1;
-      }
-      if (reply->is_error) {
-        std::fprintf(stderr, "server refused feed: %s\n",
-                     reply->error.c_str());
-        ::close(fd);
-        return 1;
-      }
-      const engine::SnapshotWire& q = reply->snapshot;
-      std::fprintf(stderr,
-                   "query @%llu sent: valid=%d edges=%llu "
-                   "triangles=%.0f transitivity=%.6f\n",
-                   static_cast<unsigned long long>(sent_edges),
-                   q.valid ? 1 : 0,
-                   static_cast<unsigned long long>(q.edges), q.triangles,
-                   q.transitivity);
-    }
+  const engine::SnapshotWire& snap = result->final_snapshot;
+  std::printf("edges           : %llu\n",
+              static_cast<unsigned long long>(snap.edges));
+  std::printf("triangles (est) : %.0f\n", snap.triangles);
+  if (snap.has_wedges) {
+    std::printf("wedges (est)    : %.0f\n", snap.wedges);
+    std::printf("transitivity    : %.6f\n", snap.transitivity);
   }
-  if (!source->status().ok()) {
-    std::fprintf(stderr, "cannot read '%s': %s\n", it->second.c_str(),
-                 source->status().ToString().c_str());
-    ::close(fd);
-    return 1;
+  if (result->reconnects > 0) {
+    std::fprintf(stderr, "reconnects      : %llu\n",
+                 static_cast<unsigned long long>(result->reconnects));
   }
-
-  // Half-close at a frame boundary = clean end of stream; our read half
-  // stays open for the server's final TRIR.
-  ::shutdown(fd, SHUT_WR);
-  while (true) {
-    auto reply = ReadServerReply(fd);
-    if (!reply.ok()) {
-      std::fprintf(stderr, "final reply failed: %s\n",
-                   reply.status().ToString().c_str());
-      ::close(fd);
-      return 1;
-    }
-    if (reply->is_error) {
-      std::fprintf(stderr, "session failed: %s\n", reply->error.c_str());
-      ::close(fd);
-      return 1;
-    }
-    if (!reply->snapshot.final_result) continue;  // stale query crossing
-    const engine::SnapshotWire& snap = reply->snapshot;
-    std::printf("edges           : %llu\n",
-                static_cast<unsigned long long>(snap.edges));
-    std::printf("triangles (est) : %.0f\n", snap.triangles);
-    if (snap.has_wedges) {
-      std::printf("wedges (est)    : %.0f\n", snap.wedges);
-      std::printf("transitivity    : %.6f\n", snap.transitivity);
-    }
-    break;
-  }
-  ::close(fd);
   return 0;
 }
 
